@@ -1,0 +1,122 @@
+// Ablation: spatial defect-density gradients vs the lot-level model.
+//
+// The paper treats a lot as exchangeable chips; real wafers have radial
+// yield gradients (edge dies are worse — the phenomenon behind the
+// clustered yield models of the paper's references [10]-[12]). This bench
+// manufactures whole virtual wafers with a radial density profile, runs
+// the standard characterization on the pooled lot, and asks the question
+// that matters downstream: does the pooled (y, n0) fit still predict the
+// measured escape rate, and what do per-zone fits look like?
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuit/generators.hpp"
+#include "core/estimation.hpp"
+#include "core/reject_model.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/table.hpp"
+#include "wafer/experiment.hpp"
+#include "wafer/wafer_map.hpp"
+
+int main() {
+  using namespace lsiq;
+
+  bench::print_banner("Ablation",
+                      "radial defect gradients: wafer-map lots through the "
+                      "Section 5 procedure");
+
+  const circuit::Circuit chip = circuit::make_array_multiplier(8);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+  const sim::PatternSet program =
+      tpg::lfsr_patterns(chip.pattern_inputs().size(), 512, 7);
+  const fault::FaultSimResult graded = simulate_ppsfp(faults, program);
+
+  wafer::WaferSpec spec;
+  spec.wafer_diameter = 300.0;
+  spec.die_width = 5.0;
+  spec.die_height = 5.0;
+  spec.center_defect_density = 0.03;
+  spec.edge_density_multiplier = 4.0;
+  spec.variance_ratio = 0.5;
+  spec.extra_faults_per_defect = 2.0;
+  spec.seed = 1981;
+  const wafer::WaferMap map = wafer::WaferMap::generate(faults, spec);
+
+  bench::print_section("wafer summary");
+  std::cout << "dies: " << map.die_count()
+            << ", pooled yield: " << util::format_percent(map.yield(), 1)
+            << ", mean faults per defective die: "
+            << util::format_double(map.mean_faults_per_defective_die(), 2)
+            << "\n";
+
+  bench::print_section("radial yield profile (edge multiplier 4x)");
+  util::TextTable radial({"annulus r/R", "dies", "yield"});
+  const double edges[] = {0.0, 0.3, 0.5, 0.7, 0.85, 1.01};
+  for (std::size_t i = 0; i + 1 < std::size(edges); ++i) {
+    std::size_t count = 0;
+    for (const wafer::Die& die : map.dies()) {
+      if (die.radius_fraction >= edges[i] &&
+          die.radius_fraction < edges[i + 1]) {
+        ++count;
+      }
+    }
+    radial.add_row(
+        {util::format_double(edges[i], 2) + ".." +
+             util::format_double(edges[i + 1], 2),
+         std::to_string(count),
+         util::format_percent(map.yield_in_annulus(edges[i], edges[i + 1]),
+                              1)});
+  }
+  std::cout << radial.to_string();
+
+  // Pooled characterization: the wafer lot gets the full graded program
+  // (the Section 5 step); the shipping decision is then taken after a
+  // short 12-pattern production program (f ~ 0.9) so the escape rate is
+  // large enough to measure against the fitted model.
+  const wafer::ChipLot lot = map.to_lot();
+  const fault::CoverageCurve curve = graded.curve(faults, program.size());
+  const wafer::LotTestResult characterization =
+      wafer::test_lot(lot, graded, program.size());
+  const std::size_t ship_after = 12;
+  const wafer::LotTestResult production =
+      wafer::test_lot(lot, graded, ship_after);
+
+  std::vector<quality::CoveragePoint> points;
+  for (const double target :
+       {0.05, 0.10, 0.20, 0.30, 0.45, 0.60, 0.75, 0.90}) {
+    const std::size_t t = curve.patterns_for_coverage(target);
+    if (t > program.size()) break;
+    points.push_back(quality::CoveragePoint{
+        curve.coverage_after(t),
+        characterization.fraction_failed_within(t)});
+  }
+  const double y_pooled = map.yield();
+  const quality::FitResult fit =
+      quality::estimate_n0_least_squares(points, y_pooled);
+
+  bench::print_section("pooled characterization vs measured quality");
+  util::TextTable pooled({"quantity", "value"});
+  pooled.add_row({"pooled yield", util::format_percent(y_pooled, 1)});
+  pooled.add_row({"fitted n0 (least squares)",
+                  util::format_double(fit.n0, 2)});
+  pooled.add_row({"realized n0 (ground truth)",
+                  util::format_double(map.mean_faults_per_defective_die(),
+                                      2)});
+  const double f_ship = curve.coverage_after(ship_after);
+  pooled.add_row({"production program coverage f",
+                  util::format_percent(f_ship, 1)});
+  pooled.add_row(
+      {"predicted r(f) from pooled fit",
+       util::format_probability(
+           quality::field_reject_rate(f_ship, y_pooled, fit.n0))});
+  pooled.add_row(
+      {"measured escape rate",
+       util::format_probability(production.empirical_reject_rate())});
+  std::cout << pooled.to_string()
+            << "\nReading: the radial gradient makes per-chip defect counts "
+               "over-dispersed\n(edge dies carry several defects), which the "
+               "pooled shifted-Poisson fit\nabsorbs into a lower effective "
+               "n0 — the same clustering bias the physical-\nlot ablation "
+               "shows, now produced by honest wafer geometry.\n";
+  return 0;
+}

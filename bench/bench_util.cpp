@@ -1,0 +1,60 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/reject_model.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+namespace lsiq::bench {
+
+void print_banner(const std::string& artifact, const std::string& subtitle) {
+  const std::string rule(72, '=');
+  std::cout << rule << "\n"
+            << "Agrawal/Seth/Agrawal, \"LSI Product Quality and Fault "
+               "Coverage\", DAC 1981\n"
+            << artifact << " — " << subtitle << "\n"
+            << rule << "\n";
+}
+
+void print_section(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+void print_required_coverage_figure(
+    double reject_target, const std::vector<SpotCheck>& spot_checks) {
+  // Column per n0 (1..12 as in the paper's figures), yield down the rows.
+  std::vector<std::string> headers = {"yield"};
+  for (int n0 = 1; n0 <= 12; ++n0) {
+    headers.push_back("n0=" + std::to_string(n0));
+  }
+  util::TextTable table(std::move(headers));
+  for (double y = 0.05; y <= 0.951; y += 0.05) {
+    std::vector<std::string> row = {util::format_double(y, 2)};
+    for (int n0 = 1; n0 <= 12; ++n0) {
+      const double f = quality::required_fault_coverage(
+          reject_target, y, static_cast<double>(n0));
+      row.push_back(util::format_double(f, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_string();
+
+  if (!spot_checks.empty()) {
+    print_section("paper spot checks");
+    util::TextTable checks(
+        {"yield", "n0", "paper f", "reproduced f", "source"});
+    for (const SpotCheck& s : spot_checks) {
+      const double f =
+          quality::required_fault_coverage(reject_target, s.yield, s.n0);
+      checks.add_row({util::format_double(s.yield, 2),
+                      util::format_double(s.n0, 0),
+                      util::format_percent(s.paper_value, 1),
+                      util::format_percent(f, 1), s.source});
+    }
+    std::cout << checks.to_string();
+  }
+}
+
+}  // namespace lsiq::bench

@@ -1,0 +1,17 @@
+// Regenerates Fig. 2: fault coverage required for a field reject rate of
+// 1-in-100 as a function of yield, for n0 = 1..12 (Eq. 11 inverted).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lsiq;
+  bench::print_banner("Figure 2",
+                      "required fault coverage vs yield, r = 0.01 "
+                      "(1-in-100), n0 = 1..12");
+  bench::print_required_coverage_figure(
+      0.01, {
+                // Section 7: "for a 1 percent field reject rate, the fault
+                // coverage should be about 80 percent" (y=0.07, n0=8).
+                {0.07, 8.0, 0.80, "Section 7 text"},
+            });
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Regenerates Fig. 3: fault coverage required for a field reject rate of
+// 1-in-200 as a function of yield, for n0 = 1..12 (Eq. 11 inverted).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lsiq;
+  bench::print_banner("Figure 3",
+                      "required fault coverage vs yield, r = 0.005 "
+                      "(1-in-200), n0 = 1..12");
+  bench::print_required_coverage_figure(
+      0.005, {
+                 // The Fig. 1 discussion quotes these three requirements
+                 // for r <= 0.005.
+                 {0.80, 2.0, 0.95, "Section 4 text"},
+                 {0.80, 10.0, 0.38, "Section 4 text"},
+                 {0.20, 10.0, 0.63, "Section 4 text"},
+             });
+  return 0;
+}

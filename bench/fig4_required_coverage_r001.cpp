@@ -1,0 +1,20 @@
+// Regenerates Fig. 4: fault coverage required for a field reject rate of
+// 1-in-1000 as a function of yield, for n0 = 1..12 (Eq. 11 inverted).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lsiq;
+  bench::print_banner("Figure 4",
+                      "required fault coverage vs yield, r = 0.001 "
+                      "(1-in-1000), n0 = 1..12");
+  bench::print_required_coverage_figure(
+      0.001, {
+                 // Section 6: "for yield y = 0.3 and n0 = 8, the fault
+                 // coverage should be about 85 percent."
+                 {0.30, 8.0, 0.85, "Section 6 text"},
+                 // Section 7: "improved to 95 percent in order to achieve
+                 // a field reject rate of 1-in-1000" (y=0.07, n0=8).
+                 {0.07, 8.0, 0.95, "Section 7 text"},
+             });
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Performance suite for the statistical core (google-benchmark): closed
+// forms, exact sums, the required-coverage solver and the estimators.
+//
+// The point being demonstrated: the paper's model is cheap enough to sit
+// inside an interactive planning loop (millions of closed-form evaluations
+// per second, microsecond-scale solver calls), while the exact
+// hypergeometric sums cost orders of magnitude more — the quantitative
+// case for the Appendix approximations.
+#include <benchmark/benchmark.h>
+
+#include "core/coverage_requirement.hpp"
+#include "core/estimation.hpp"
+#include "core/reject_model.hpp"
+
+namespace {
+
+using namespace lsiq;
+
+void BM_FieldRejectRate_ClosedForm(benchmark::State& state) {
+  double f = 0.0;
+  for (auto _ : state) {
+    f += 1e-9;
+    benchmark::DoNotOptimize(
+        quality::field_reject_rate(0.5 + f, 0.07, 8.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FieldRejectRate_ClosedForm);
+
+void BM_FieldRejectRate_ExactSum(benchmark::State& state) {
+  const unsigned N = static_cast<unsigned>(state.range(0));
+  double f = 0.0;
+  for (auto _ : state) {
+    f += 1e-9;
+    benchmark::DoNotOptimize(
+        quality::field_reject_rate_exact(0.5 + f, 0.07, 8.0, N));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("N=" + std::to_string(N));
+}
+BENCHMARK(BM_FieldRejectRate_ExactSum)->Arg(1000)->Arg(16064);
+
+void BM_RequiredCoverage_Solver(benchmark::State& state) {
+  double r = 0.0;
+  for (auto _ : state) {
+    r += 1e-12;
+    benchmark::DoNotOptimize(
+        quality::required_fault_coverage(0.001 + r, 0.07, 8.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RequiredCoverage_Solver);
+
+void BM_RequirementCurve_Figure(benchmark::State& state) {
+  // One full Figs. 2-4 curve: 99 yield points, one solver call each.
+  for (auto _ : state) {
+    const quality::RequirementCurve curve =
+        quality::requirement_curve(0.001, 8.0, 99);
+    benchmark::DoNotOptimize(curve.coverages.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 99);
+}
+BENCHMARK(BM_RequirementCurve_Figure)->Unit(benchmark::kMicrosecond);
+
+const std::vector<quality::CoveragePoint>& table1_points() {
+  static const std::vector<quality::CoveragePoint> points = {
+      {0.05, 0.41}, {0.08, 0.48}, {0.10, 0.52}, {0.15, 0.67},
+      {0.20, 0.75}, {0.30, 0.82}, {0.36, 0.87}, {0.45, 0.91},
+      {0.50, 0.92}, {0.65, 0.93}};
+  return points;
+}
+
+void BM_Estimate_Slope(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quality::estimate_n0_slope(table1_points(), 0.07));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Estimate_Slope);
+
+void BM_Estimate_DiscreteFit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quality::estimate_n0_discrete(table1_points(), 0.07));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Estimate_DiscreteFit);
+
+void BM_Estimate_LeastSquares(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quality::estimate_n0_least_squares(table1_points(), 0.07));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Estimate_LeastSquares);
+
+void BM_Estimate_JointFit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quality::estimate_yield_and_n0(table1_points()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Estimate_JointFit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

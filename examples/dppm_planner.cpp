@@ -1,0 +1,69 @@
+// Quality planning across a product portfolio.
+//
+// A test organization owns several products at different yields and
+// defectivity profiles and must allocate test-development effort against a
+// shipped-quality budget (DPPM). This example uses the model to produce
+// the planning table: per product, the coverage needed for each quality
+// class — under the paper's model, its gamma-mixed extension (clustered
+// fault counts, ref [15] direction), and the conservative Wadsack rule.
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/coverage_requirement.hpp"
+#include "core/reject_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsiq;
+
+  struct Product {
+    const char* name;
+    double yield;
+    double n0;
+    double alpha;  ///< gamma-mixing shape; smaller = heavier tail
+  };
+  // A plausible 1981 portfolio: MSI parts at high yield and few faults per
+  // defective chip, LSI parts at low yield and many.
+  const Product portfolio[] = {
+      {"MSI logic    (y=0.80, n0=2)", 0.80, 2.0, 4.0},
+      {"mid LSI      (y=0.40, n0=5)", 0.40, 5.0, 3.0},
+      {"dense LSI    (y=0.20, n0=8)", 0.20, 8.0, 2.0},
+      {"bleeding edge(y=0.07, n0=10)", 0.07, 10.0, 1.5},
+  };
+  const double targets[] = {0.01, 0.005, 0.001};  // 10000/5000/1000 DPPM
+
+  for (const double r : targets) {
+    std::cout << "Target: " << util::format_double(r * 1e6, 0)
+              << " DPPM (r = " << util::format_probability(r) << ")\n";
+    util::TextTable table({"product", "required f (Poisson)",
+                           "required f (mixed)", "Wadsack rule",
+                           "reject at 95% f"});
+    for (const Product& p : portfolio) {
+      table.add_row(
+          {p.name,
+           util::format_percent(
+               quality::required_fault_coverage(r, p.yield, p.n0), 1),
+           util::format_percent(
+               quality::required_fault_coverage_mixed(r, p.yield, p.n0,
+                                                      p.alpha),
+               1),
+           util::format_percent(
+               quality::wadsack_required_coverage(r, p.yield), 1),
+           util::format_probability(
+               quality::field_reject_rate(0.95, p.yield, p.n0))});
+    }
+    std::cout << table.to_string() << "\n";
+  }
+
+  std::cout
+      << "Observations the model turns into policy:\n"
+      << "  * the denser the product (higher n0), the LESS coverage a\n"
+      << "    quality target needs — the paper's counterintuitive core\n"
+      << "    result;\n"
+      << "  * clustered fault counts (mixed column) claw back some of\n"
+      << "    that relief: heavy tails mean more one-fault chips that\n"
+      << "    slip through;\n"
+      << "  * Wadsack's rule would send every product to >99% coverage,\n"
+      << "    which Section 1 calls unattainable for LSI.\n";
+  return 0;
+}

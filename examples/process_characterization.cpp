@@ -1,0 +1,92 @@
+// The full Section 5-7 flow on a virtual process line, end to end:
+//
+//   1. take a product netlist (here: a 12-bit array multiplier built by the
+//      generator library — swap in any .bench file via read_bench_file);
+//   2. enumerate and collapse its stuck-at fault universe;
+//   3. build the ordered production test program (LFSR patterns here) and
+//      grade it with the PPSFP fault simulator to get the cumulative
+//      coverage curve — the paper's LAMP step;
+//   4. run a production lot through the virtual tester recording each
+//      chip's first failing pattern — the paper's Sentry step;
+//   5. estimate n0 from the fallout-vs-coverage points (slope, discrete
+//      fit, least squares) and characterize the product;
+//   6. decide: is the current program good enough for the quality target,
+//      and if not, what coverage must test development reach?
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "core/quality_analyzer.hpp"
+#include "fault/fault_list.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/table.hpp"
+#include "wafer/experiment.hpp"
+
+int main() {
+  using namespace lsiq;
+
+  // ---- 1-2: product and fault universe ----
+  const circuit::Circuit product = circuit::make_array_multiplier(12);
+  const fault::FaultList faults = fault::FaultList::full_universe(product);
+  const circuit::CircuitStats stats = product.stats();
+  std::cout << "Product: " << product.name() << " — "
+            << stats.combinational_gates << " gates, "
+            << stats.primary_inputs << " inputs, depth " << stats.depth
+            << "\nFault universe: N = " << faults.fault_count() << " ("
+            << faults.class_count() << " collapsed classes)\n";
+
+  // ---- 3: grade the production test program ----
+  const sim::PatternSet program =
+      tpg::lfsr_patterns(product.pattern_inputs().size(), 768, 2024);
+  std::cout << "Test program: " << program.size()
+            << " patterns in tester order\n";
+
+  // ---- 4: test a production lot (500 chips) ----
+  wafer::ExperimentSpec spec;
+  spec.chip_count = 500;
+  spec.yield = 0.12;  // what the fab's yield tracking reports
+  spec.n0 = 7.0;      // ground truth the estimators must recover
+  spec.seed = 99;
+  // Functional-program emulation: output pins come under tester strobe
+  // progressively, so the fallout curve rises gradually and the strobe
+  // table spans the coverage axis (see fault/strobe.hpp).
+  spec.progressive_strobe_step = 16;
+  const wafer::ExperimentResult lot_run =
+      wafer::run_chip_test_experiment(faults, program, spec);
+
+  util::TextTable fallout({"coverage", "patterns", "fraction failed"});
+  for (const wafer::StrobeRow& row : lot_run.table) {
+    fallout.add_row({util::format_percent(row.actual_coverage, 1),
+                     std::to_string(row.pattern_index),
+                     util::format_double(row.cumulative_fraction, 3)});
+  }
+  std::cout << "\nLot fallout vs cumulative coverage (500 chips):\n"
+            << fallout.to_string();
+
+  // ---- 5: characterize ----
+  const auto points = lot_run.points();
+  const quality::QualityAnalyzer characterized =
+      quality::QualityAnalyzer::from_lot_data(
+          points, spec.yield,
+          quality::CharacterizationMethod::kLeastSquares);
+  std::cout << "\n" << characterized.report({0.01, 0.001}) << "\n";
+  std::cout << "(virtual-lot ground truth: n0 = "
+            << util::format_double(lot_run.lot.realized_n0(), 2) << ")\n";
+
+  // ---- 6: decide ----
+  const double coverage_now = lot_run.final_coverage();
+  const double target_reject = 0.005;
+  const double needed =
+      characterized.required_coverage(target_reject);
+  std::cout << "\nCurrent program coverage: "
+            << util::format_percent(coverage_now, 1)
+            << "  ->  predicted reject rate "
+            << util::format_probability(
+                   characterized.reject_rate(coverage_now))
+            << "\nTarget reject rate " << target_reject << "  ->  needs "
+            << util::format_percent(needed, 1) << " coverage: "
+            << (coverage_now >= needed
+                    ? "current program is sufficient."
+                    : "test development must close the gap.")
+            << "\n";
+  return 0;
+}

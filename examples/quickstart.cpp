@@ -1,0 +1,42 @@
+// Quickstart: the model in one page.
+//
+// You know (or have estimated) two things about a product:
+//   * its manufacturing yield y, and
+//   * n0, the average number of stuck-at-equivalent faults on a defective
+//     chip (characterized from a lot — see process_characterization.cpp).
+//
+// The QualityAnalyzer then answers the planning questions: what reject
+// rate does a given stuck-at coverage buy, and what coverage does a target
+// quality level require — compared against the older Wadsack and
+// Williams-Brown rules that demand near-perfect coverage.
+#include <iostream>
+
+#include "core/quality_analyzer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsiq;
+
+  // The paper's Section 7 product: an LSI chip with 7% yield whose lot
+  // characterization gave n0 = 8.
+  const quality::QualityAnalyzer product(/*yield=*/0.07, /*n0=*/8.0);
+
+  std::cout << product.report({0.01, 0.005, 0.001}) << "\n";
+
+  // What does the test program you already have deliver?
+  util::TextTable table({"stuck-at coverage", "field reject rate", "DPPM"});
+  for (const double f : {0.50, 0.80, 0.90, 0.95, 0.99}) {
+    table.add_row({util::format_percent(f, 0),
+                   util::format_probability(product.reject_rate(f)),
+                   util::format_double(product.dppm(f), 0)});
+  }
+  std::cout << "Quality delivered by a given coverage:\n"
+            << table.to_string();
+
+  std::cout << "\nThe paper's headline: this product needs "
+            << util::format_percent(product.required_coverage(0.01), 0)
+            << " coverage for 1% rejects where Wadsack's rule demanded "
+            << util::format_percent(product.wadsack_coverage(0.01), 0)
+            << ".\n";
+  return 0;
+}

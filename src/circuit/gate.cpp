@@ -1,0 +1,101 @@
+#include "circuit/gate.hpp"
+
+#include <limits>
+
+namespace lsiq::circuit {
+
+std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput:  return "INPUT";
+    case GateType::kBuf:    return "BUF";
+    case GateType::kNot:    return "NOT";
+    case GateType::kAnd:    return "AND";
+    case GateType::kNand:   return "NAND";
+    case GateType::kOr:     return "OR";
+    case GateType::kNor:    return "NOR";
+    case GateType::kXor:    return "XOR";
+    case GateType::kXnor:   return "XNOR";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kDff:    return "DFF";
+  }
+  return "?";
+}
+
+bool parse_gate_type(std::string_view keyword, GateType& out) {
+  // Uppercase compare without allocation.
+  auto equals_ci = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const char ca = (a[i] >= 'a' && a[i] <= 'z')
+                          ? static_cast<char>(a[i] - 'a' + 'A')
+                          : a[i];
+      if (ca != b[i]) return false;
+    }
+    return true;
+  };
+  struct Entry {
+    std::string_view keyword;
+    GateType type;
+  };
+  static constexpr Entry kEntries[] = {
+      {"BUF", GateType::kBuf},       {"BUFF", GateType::kBuf},
+      {"NOT", GateType::kNot},       {"INV", GateType::kNot},
+      {"AND", GateType::kAnd},       {"NAND", GateType::kNand},
+      {"OR", GateType::kOr},         {"NOR", GateType::kNor},
+      {"XOR", GateType::kXor},       {"XNOR", GateType::kXnor},
+      {"DFF", GateType::kDff},       {"CONST0", GateType::kConst0},
+      {"CONST1", GateType::kConst1},
+  };
+  for (const Entry& e : kEntries) {
+    if (equals_ci(keyword, e.keyword)) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_inverting(GateType type) noexcept {
+  switch (type) {
+    case GateType::kNot:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int min_fanin(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+int max_fanin(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    default:
+      return std::numeric_limits<int>::max();
+  }
+}
+
+}  // namespace lsiq::circuit

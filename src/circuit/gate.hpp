@@ -1,0 +1,70 @@
+// Gate-level primitives of the netlist data model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsiq::circuit {
+
+/// Identifier of a gate inside one Circuit. Dense, assigned in creation
+/// order, usable as a vector index everywhere (simulator state, fault lists).
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate".
+inline constexpr GateId kNoGate = 0xffffffffu;
+
+/// Supported gate functions.
+///
+/// kDff models a scan flip-flop under the full-scan test assumption used
+/// throughout the library: its output behaves as a pseudo primary input
+/// (controllable by the tester through the scan chain) and its data input as
+/// a pseudo primary output (observable through the scan chain). This is the
+/// standard reduction that lets combinational test generation and fault
+/// simulation cover sequential designs.
+enum class GateType : std::uint8_t {
+  kInput,   ///< primary input; no fanin
+  kBuf,     ///< identity; 1 fanin
+  kNot,     ///< inverter; 1 fanin
+  kAnd,     ///< >= 2 fanin
+  kNand,    ///< >= 2 fanin
+  kOr,      ///< >= 2 fanin
+  kNor,     ///< >= 2 fanin
+  kXor,     ///< parity; >= 2 fanin
+  kXnor,    ///< complemented parity; >= 2 fanin
+  kConst0,  ///< constant 0; no fanin
+  kConst1,  ///< constant 1; no fanin
+  kDff,     ///< scan flip-flop; 1 fanin (the D input)
+};
+
+/// Human-readable gate-type name ("NAND", "DFF", ...), matching the keywords
+/// of the ISCAS .bench format where one exists.
+std::string_view gate_type_name(GateType type);
+
+/// Inverse of gate_type_name; accepts the .bench aliases ("BUFF" for kBuf).
+/// Returns false if the keyword is unknown.
+bool parse_gate_type(std::string_view keyword, GateType& out);
+
+/// True for types whose output is the complement of the uncomplemented
+/// sibling (kNand/kNor/kXnor/kNot).
+bool is_inverting(GateType type) noexcept;
+
+/// Number of fanins the type requires: exact for fixed-arity types, the
+/// minimum (2) for the variadic ones. kInput/kConst0/kConst1 take 0.
+int min_fanin(GateType type) noexcept;
+
+/// Largest fanin the type accepts (1 for kBuf/kNot/kDff, unbounded for the
+/// variadic types, 0 for sources).
+int max_fanin(GateType type) noexcept;
+
+/// One gate record. Fanout and level are derived by Circuit::finalize().
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::string name;              ///< unique within the circuit
+  std::vector<GateId> fanin;     ///< driver gates, in port order
+  std::vector<GateId> fanout;    ///< reader gates (derived)
+  std::uint32_t level = 0;       ///< logic depth from inputs (derived)
+};
+
+}  // namespace lsiq::circuit

@@ -1,0 +1,692 @@
+#include "circuit/generators.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::circuit {
+
+namespace {
+
+/// One-bit full adder; returns {sum, carry_out}. 5 gates.
+struct BitPair {
+  GateId sum;
+  GateId carry;
+};
+
+BitPair full_adder(Circuit& c, GateId a, GateId b, GateId cin,
+                   const std::string& prefix) {
+  const GateId axb = c.add_gate(GateType::kXor, {a, b}, prefix + "_axb");
+  const GateId sum = c.add_gate(GateType::kXor, {axb, cin}, prefix + "_s");
+  const GateId ab = c.add_gate(GateType::kAnd, {a, b}, prefix + "_ab");
+  const GateId cx = c.add_gate(GateType::kAnd, {axb, cin}, prefix + "_cx");
+  const GateId cout = c.add_gate(GateType::kOr, {ab, cx}, prefix + "_co");
+  return {sum, cout};
+}
+
+/// Half adder; returns {sum, carry_out}. 2 gates.
+BitPair half_adder(Circuit& c, GateId a, GateId b, const std::string& prefix) {
+  const GateId sum = c.add_gate(GateType::kXor, {a, b}, prefix + "_s");
+  const GateId cout = c.add_gate(GateType::kAnd, {a, b}, prefix + "_co");
+  return {sum, cout};
+}
+
+/// Ripple adder over equal-width vectors with carry-in; returns sum bits and
+/// the final carry.
+std::vector<GateId> ripple_add(Circuit& c, const std::vector<GateId>& a,
+                               const std::vector<GateId>& b, GateId cin,
+                               const std::string& prefix, GateId* cout_out) {
+  LSIQ_EXPECT(a.size() == b.size(), "ripple_add: operand width mismatch");
+  std::vector<GateId> sums;
+  sums.reserve(a.size());
+  GateId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string bit_prefix = prefix + "_fa" + std::to_string(i);
+    BitPair r{};
+    if (carry == kNoGate) {
+      r = half_adder(c, a[i], b[i], bit_prefix);
+    } else {
+      r = full_adder(c, a[i], b[i], carry, bit_prefix);
+    }
+    sums.push_back(r.sum);
+    carry = r.carry;
+  }
+  if (cout_out != nullptr) *cout_out = carry;
+  return sums;
+}
+
+}  // namespace
+
+Circuit make_c17() {
+  Circuit c("c17");
+  const GateId g1 = c.add_input("G1");
+  const GateId g2 = c.add_input("G2");
+  const GateId g3 = c.add_input("G3");
+  const GateId g6 = c.add_input("G6");
+  const GateId g7 = c.add_input("G7");
+  const GateId g10 = c.add_gate(GateType::kNand, {g1, g3}, "G10");
+  const GateId g11 = c.add_gate(GateType::kNand, {g3, g6}, "G11");
+  const GateId g16 = c.add_gate(GateType::kNand, {g2, g11}, "G16");
+  const GateId g19 = c.add_gate(GateType::kNand, {g11, g7}, "G19");
+  const GateId g22 = c.add_gate(GateType::kNand, {g10, g16}, "G22");
+  const GateId g23 = c.add_gate(GateType::kNand, {g16, g19}, "G23");
+  c.mark_output(g22);
+  c.mark_output(g23);
+  c.finalize();
+  return c;
+}
+
+Circuit make_ripple_carry_adder(int width) {
+  LSIQ_EXPECT(width >= 1, "adder width must be >= 1");
+  Circuit c("rca" + std::to_string(width));
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    b.push_back(c.add_input("b" + std::to_string(i)));
+  }
+  const GateId cin = c.add_input("cin");
+  GateId cout = kNoGate;
+  const std::vector<GateId> sums = ripple_add(c, a, b, cin, "add", &cout);
+  for (int i = 0; i < width; ++i) {
+    c.mark_output(sums[static_cast<std::size_t>(i)]);
+  }
+  c.mark_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit make_array_multiplier(int width) {
+  LSIQ_EXPECT(width >= 2, "multiplier width must be >= 2");
+  Circuit c("mult" + std::to_string(width));
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    b.push_back(c.add_input("b" + std::to_string(i)));
+  }
+
+  // Shift-and-add over explicit bit vectors: no constant padding, so the
+  // fault universe carries no structurally redundant constant-input faults
+  // (important: the quality experiments measure coverage against this
+  // universe). After processing row r, `acc` holds the bits of
+  // (a * b[0..r]) — bits [0, r) of it are final product bits.
+  auto pp = [&](int row, int j) {
+    return c.add_gate(GateType::kAnd,
+                      {a[static_cast<std::size_t>(j)],
+                       b[static_cast<std::size_t>(row)]},
+                      "pp" + std::to_string(row) + "_" + std::to_string(j));
+  };
+
+  std::vector<GateId> acc;
+  for (int j = 0; j < width; ++j) {
+    acc.push_back(pp(0, j));
+  }
+
+  for (int row = 1; row < width; ++row) {
+    // Add (pp[row] << row) to acc. Bits below `row` are untouched; the
+    // overlap of acc[row..] with the new row is summed with half/full
+    // adders; the final carry extends the accumulator.
+    std::vector<GateId> high(acc.begin() + row, acc.end());
+    std::vector<GateId> sums;
+    GateId carry = kNoGate;
+    for (int j = 0; j < width; ++j) {
+      const std::string prefix =
+          "r" + std::to_string(row) + "_c" + std::to_string(j);
+      const GateId p = pp(row, j);
+      const bool have_high = static_cast<std::size_t>(j) < high.size();
+      BitPair bit{};
+      if (have_high && carry != kNoGate) {
+        bit = full_adder(c, high[static_cast<std::size_t>(j)], p, carry,
+                         prefix);
+      } else if (have_high) {
+        bit = half_adder(c, high[static_cast<std::size_t>(j)], p, prefix);
+      } else if (carry != kNoGate) {
+        bit = half_adder(c, p, carry, prefix);
+      } else {
+        sums.push_back(p);
+        continue;
+      }
+      sums.push_back(bit.sum);
+      carry = bit.carry;
+    }
+    acc.resize(static_cast<std::size_t>(row));
+    acc.insert(acc.end(), sums.begin(), sums.end());
+    if (carry != kNoGate) {
+      acc.push_back(carry);
+    }
+  }
+
+  LSIQ_EXPECT(acc.size() == static_cast<std::size_t>(2 * width),
+              "multiplier accumulator width mismatch");
+  for (const GateId bit : acc) {
+    c.mark_output(bit);
+  }
+  c.finalize();
+  return c;
+}
+
+Circuit make_majority(int inputs) {
+  LSIQ_EXPECT(inputs >= 3 && inputs <= 9 && inputs % 2 == 1,
+              "majority requires an odd input count in [3, 9]");
+  Circuit c("maj" + std::to_string(inputs));
+  std::vector<GateId> in;
+  for (int i = 0; i < inputs; ++i) {
+    in.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  const int need = (inputs + 1) / 2;
+
+  // Enumerate all C(inputs, need) minimal product terms.
+  std::vector<GateId> terms;
+  std::vector<int> pick(static_cast<std::size_t>(need));
+  for (int i = 0; i < need; ++i) pick[static_cast<std::size_t>(i)] = i;
+  int term_index = 0;
+  for (;;) {
+    std::vector<GateId> fanin;
+    for (const int p : pick) fanin.push_back(in[static_cast<std::size_t>(p)]);
+    terms.push_back(c.add_gate(GateType::kAnd, fanin,
+                               "t" + std::to_string(term_index++)));
+    // Next combination in lexicographic order.
+    int i = need - 1;
+    while (i >= 0 &&
+           pick[static_cast<std::size_t>(i)] == inputs - need + i) {
+      --i;
+    }
+    if (i < 0) break;
+    ++pick[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < need; ++j) {
+      pick[static_cast<std::size_t>(j)] =
+          pick[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  const GateId out = c.add_gate(GateType::kOr, terms, "maj_out");
+  c.mark_output(out);
+  c.finalize();
+  return c;
+}
+
+Circuit make_parity_tree(int inputs) {
+  LSIQ_EXPECT(inputs >= 2, "parity tree requires >= 2 inputs");
+  Circuit c("parity" + std::to_string(inputs));
+  std::vector<GateId> layer;
+  for (int i = 0; i < inputs; ++i) {
+    layer.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  int id = 0;
+  while (layer.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(c.add_gate(GateType::kXor, {layer[i], layer[i + 1]},
+                                "p" + std::to_string(id++)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  c.mark_output(layer.front());
+  c.finalize();
+  return c;
+}
+
+Circuit make_mux_tree(int select_bits) {
+  LSIQ_EXPECT(select_bits >= 1 && select_bits <= 8,
+              "mux tree requires select_bits in [1, 8]");
+  Circuit c("mux" + std::to_string(select_bits));
+  const int leaves = 1 << select_bits;
+  std::vector<GateId> data;
+  for (int i = 0; i < leaves; ++i) {
+    data.push_back(c.add_input("d" + std::to_string(i)));
+  }
+  std::vector<GateId> sel;
+  std::vector<GateId> sel_n;
+  for (int i = 0; i < select_bits; ++i) {
+    sel.push_back(c.add_input("s" + std::to_string(i)));
+  }
+  for (int i = 0; i < select_bits; ++i) {
+    sel_n.push_back(c.add_gate(GateType::kNot,
+                               {sel[static_cast<std::size_t>(i)]},
+                               "sn" + std::to_string(i)));
+  }
+
+  std::vector<GateId> layer = data;
+  int id = 0;
+  for (int bit = 0; bit < select_bits; ++bit) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::string p = "m" + std::to_string(id++);
+      const GateId lo = c.add_gate(
+          GateType::kAnd, {layer[i], sel_n[static_cast<std::size_t>(bit)]},
+          p + "_lo");
+      const GateId hi = c.add_gate(
+          GateType::kAnd, {layer[i + 1], sel[static_cast<std::size_t>(bit)]},
+          p + "_hi");
+      next.push_back(c.add_gate(GateType::kOr, {lo, hi}, p + "_o"));
+    }
+    layer = std::move(next);
+  }
+  c.mark_output(layer.front());
+  c.finalize();
+  return c;
+}
+
+Circuit make_decoder(int address_bits) {
+  LSIQ_EXPECT(address_bits >= 1 && address_bits <= 8,
+              "decoder requires address_bits in [1, 8]");
+  Circuit c("dec" + std::to_string(address_bits));
+  std::vector<GateId> addr;
+  for (int i = 0; i < address_bits; ++i) {
+    addr.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  const GateId enable = c.add_input("en");
+  std::vector<GateId> addr_n;
+  for (int i = 0; i < address_bits; ++i) {
+    addr_n.push_back(c.add_gate(GateType::kNot,
+                                {addr[static_cast<std::size_t>(i)]},
+                                "an" + std::to_string(i)));
+  }
+  const int rows = 1 << address_bits;
+  for (int row = 0; row < rows; ++row) {
+    std::vector<GateId> fanin;
+    for (int bit = 0; bit < address_bits; ++bit) {
+      const bool one = ((row >> bit) & 1) != 0;
+      fanin.push_back(one ? addr[static_cast<std::size_t>(bit)]
+                          : addr_n[static_cast<std::size_t>(bit)]);
+    }
+    fanin.push_back(enable);
+    const GateId out =
+        c.add_gate(GateType::kAnd, fanin, "y" + std::to_string(row));
+    c.mark_output(out);
+  }
+  c.finalize();
+  return c;
+}
+
+Circuit make_comparator(int width) {
+  LSIQ_EXPECT(width >= 1, "comparator width must be >= 1");
+  Circuit c("cmp" + std::to_string(width));
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    b.push_back(c.add_input("b" + std::to_string(i)));
+  }
+
+  // Per-bit equality, then prefix products from the MSB down.
+  std::vector<GateId> eq;
+  for (int i = 0; i < width; ++i) {
+    eq.push_back(c.add_gate(GateType::kXnor,
+                            {a[static_cast<std::size_t>(i)],
+                             b[static_cast<std::size_t>(i)]},
+                            "eq" + std::to_string(i)));
+  }
+  // eq_all[i] = all bits above i are equal (for i = width-1 this is "true";
+  // model it by just omitting the term).
+  std::vector<GateId> gt_terms;
+  std::vector<GateId> lt_terms;
+  GateId prefix_eq = kNoGate;
+  for (int i = width - 1; i >= 0; --i) {
+    const GateId ai = a[static_cast<std::size_t>(i)];
+    const GateId bi = b[static_cast<std::size_t>(i)];
+    const GateId not_b =
+        c.add_gate(GateType::kNot, {bi}, "nb" + std::to_string(i));
+    const GateId not_a =
+        c.add_gate(GateType::kNot, {ai}, "na" + std::to_string(i));
+    GateId gt_here = c.add_gate(GateType::kAnd, {ai, not_b},
+                                "gtb" + std::to_string(i));
+    GateId lt_here = c.add_gate(GateType::kAnd, {not_a, bi},
+                                "ltb" + std::to_string(i));
+    if (prefix_eq != kNoGate) {
+      gt_here = c.add_gate(GateType::kAnd, {gt_here, prefix_eq},
+                           "gtp" + std::to_string(i));
+      lt_here = c.add_gate(GateType::kAnd, {lt_here, prefix_eq},
+                           "ltp" + std::to_string(i));
+    }
+    gt_terms.push_back(gt_here);
+    lt_terms.push_back(lt_here);
+    prefix_eq = (prefix_eq == kNoGate)
+                    ? eq[static_cast<std::size_t>(i)]
+                    : c.add_gate(GateType::kAnd,
+                                 {prefix_eq, eq[static_cast<std::size_t>(i)]},
+                                 "eqp" + std::to_string(i));
+  }
+  const GateId gt =
+      gt_terms.size() == 1
+          ? gt_terms.front()
+          : c.add_gate(GateType::kOr, gt_terms, "gt");
+  const GateId lt =
+      lt_terms.size() == 1
+          ? lt_terms.front()
+          : c.add_gate(GateType::kOr, lt_terms, "lt");
+  c.mark_output(lt);
+  c.mark_output(prefix_eq);  // eq output
+  c.mark_output(gt);
+  c.finalize();
+  return c;
+}
+
+Circuit make_alu(int width) {
+  LSIQ_EXPECT(width >= 1, "ALU width must be >= 1");
+  Circuit c("alu" + std::to_string(width));
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    b.push_back(c.add_input("b" + std::to_string(i)));
+  }
+  const GateId op0 = c.add_input("op0");
+  const GateId op1 = c.add_input("op1");
+  const GateId op2 = c.add_input("op2");
+  const GateId cin = c.add_input("cin");
+
+  const GateId nop0 = c.add_gate(GateType::kNot, {op0}, "nop0");
+  const GateId nop1 = c.add_gate(GateType::kNot, {op1}, "nop1");
+  const GateId nop2 = c.add_gate(GateType::kNot, {op2}, "nop2");
+
+  // Opcode one-hot lines: 000 AND, 001 OR, 010 XOR, 011 NOR,
+  // 100 ADD, 101 SUB, 110 PASS-A, 111 NOT-A.
+  auto sel = [&](bool b2, bool b1, bool b0, const std::string& name) {
+    return c.add_gate(GateType::kAnd,
+                      {b2 ? op2 : nop2, b1 ? op1 : nop1, b0 ? op0 : nop0},
+                      name);
+  };
+  const GateId is_and = sel(false, false, false, "is_and");
+  const GateId is_or = sel(false, false, true, "is_or");
+  const GateId is_xor = sel(false, true, false, "is_xor");
+  const GateId is_nor = sel(false, true, true, "is_nor");
+  const GateId is_add = sel(true, false, false, "is_add");
+  const GateId is_sub = sel(true, false, true, "is_sub");
+  const GateId is_pass = sel(true, true, false, "is_pass");
+  const GateId is_nota = sel(true, true, true, "is_nota");
+
+  // Adder operand: b for ADD, ~b for SUB; carry-in forced for SUB.
+  std::vector<GateId> b_eff;
+  for (int i = 0; i < width; ++i) {
+    const GateId nb = c.add_gate(GateType::kNot,
+                                 {b[static_cast<std::size_t>(i)]},
+                                 "addnb" + std::to_string(i));
+    const GateId pick_b =
+        c.add_gate(GateType::kAnd,
+                   {b[static_cast<std::size_t>(i)], is_add},
+                   "pb" + std::to_string(i));
+    const GateId pick_nb = c.add_gate(GateType::kAnd, {nb, is_sub},
+                                      "pnb" + std::to_string(i));
+    b_eff.push_back(
+        c.add_gate(GateType::kOr, {pick_b, pick_nb}, "be" + std::to_string(i)));
+  }
+  const GateId sub_cin = c.add_gate(GateType::kOr,
+                                    {c.add_gate(GateType::kAnd, {cin, is_add},
+                                                "cin_add"),
+                                     is_sub},
+                                    "cin_eff");
+  GateId cout = kNoGate;
+  const std::vector<GateId> sum =
+      ripple_add(c, a, b_eff, sub_cin, "alu_add", &cout);
+
+  for (int i = 0; i < width; ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    const std::string n = std::to_string(i);
+    const GateId and_i = c.add_gate(GateType::kAnd, {a[ui], b[ui]}, "fand" + n);
+    const GateId or_i = c.add_gate(GateType::kOr, {a[ui], b[ui]}, "for" + n);
+    const GateId xor_i = c.add_gate(GateType::kXor, {a[ui], b[ui]}, "fxor" + n);
+    const GateId nor_i = c.add_gate(GateType::kNor, {a[ui], b[ui]}, "fnor" + n);
+    const GateId nota_i = c.add_gate(GateType::kNot, {a[ui]}, "fnota" + n);
+
+    std::vector<GateId> terms = {
+        c.add_gate(GateType::kAnd, {and_i, is_and}, "m_and" + n),
+        c.add_gate(GateType::kAnd, {or_i, is_or}, "m_or" + n),
+        c.add_gate(GateType::kAnd, {xor_i, is_xor}, "m_xor" + n),
+        c.add_gate(GateType::kAnd, {nor_i, is_nor}, "m_nor" + n),
+        c.add_gate(GateType::kAnd, {sum[ui], is_add}, "m_add" + n),
+        c.add_gate(GateType::kAnd, {sum[ui], is_sub}, "m_sub" + n),
+        c.add_gate(GateType::kAnd, {a[ui], is_pass}, "m_pass" + n),
+        c.add_gate(GateType::kAnd, {nota_i, is_nota}, "m_nota" + n),
+    };
+    const GateId y = c.add_gate(GateType::kOr, terms, "y" + n);
+    c.mark_output(y);
+  }
+  c.mark_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit make_scan_accumulator(int width) {
+  LSIQ_EXPECT(width >= 1, "accumulator width must be >= 1");
+  Circuit c("acc" + std::to_string(width));
+  std::vector<GateId> a;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  std::vector<GateId> state;
+  for (int i = 0; i < width; ++i) {
+    state.push_back(c.add_dff("s" + std::to_string(i)));
+  }
+  GateId cout = kNoGate;
+  const std::vector<GateId> sum =
+      ripple_add(c, a, state, kNoGate, "acc", &cout);
+  for (int i = 0; i < width; ++i) {
+    c.connect_dff(state[static_cast<std::size_t>(i)],
+                  sum[static_cast<std::size_t>(i)]);
+    c.mark_output(sum[static_cast<std::size_t>(i)]);
+  }
+  c.mark_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit make_carry_select_adder(int width, int block) {
+  LSIQ_EXPECT(width >= 1, "adder width must be >= 1");
+  LSIQ_EXPECT(block >= 1 && block <= width, "block size must be in [1, width]");
+  Circuit c("csa" + std::to_string(width) + "b" + std::to_string(block));
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    b.push_back(c.add_input("b" + std::to_string(i)));
+  }
+  const GateId cin = c.add_input("cin");
+
+  // 2:1 mux as AND/OR network.
+  auto mux = [&](GateId sel, GateId when0, GateId when1,
+                 const std::string& name) {
+    const GateId nsel = c.add_gate(GateType::kNot, {sel}, name + "_ns");
+    const GateId lo = c.add_gate(GateType::kAnd, {when0, nsel}, name + "_lo");
+    const GateId hi = c.add_gate(GateType::kAnd, {when1, sel}, name + "_hi");
+    return c.add_gate(GateType::kOr, {lo, hi}, name + "_o");
+  };
+
+  std::vector<GateId> sums(static_cast<std::size_t>(width));
+  GateId carry = cin;
+  for (int base = 0; base < width; base += block) {
+    const int bits = std::min(block, width - base);
+    const std::string tag = "blk" + std::to_string(base);
+    const std::vector<GateId> aa(a.begin() + base, a.begin() + base + bits);
+    const std::vector<GateId> bb(b.begin() + base, b.begin() + base + bits);
+    if (base == 0) {
+      // First block: the real carry-in is a primary input; ripple directly.
+      GateId cout = kNoGate;
+      const std::vector<GateId> s =
+          ripple_add(c, aa, bb, carry, tag, &cout);
+      for (int i = 0; i < bits; ++i) {
+        sums[static_cast<std::size_t>(base + i)] = s[static_cast<std::size_t>(i)];
+      }
+      carry = cout;
+      continue;
+    }
+    // Speculative block: compute both carry hypotheses, select afterwards.
+    const GateId zero = c.add_gate(GateType::kConst0, {}, tag + "_c0");
+    const GateId one = c.add_gate(GateType::kConst1, {}, tag + "_c1");
+    GateId cout0 = kNoGate;
+    GateId cout1 = kNoGate;
+    const std::vector<GateId> s0 =
+        ripple_add(c, aa, bb, zero, tag + "_h0", &cout0);
+    const std::vector<GateId> s1 =
+        ripple_add(c, aa, bb, one, tag + "_h1", &cout1);
+    for (int i = 0; i < bits; ++i) {
+      sums[static_cast<std::size_t>(base + i)] =
+          mux(carry, s0[static_cast<std::size_t>(i)],
+              s1[static_cast<std::size_t>(i)],
+              tag + "_m" + std::to_string(i));
+    }
+    carry = mux(carry, cout0, cout1, tag + "_mc");
+  }
+
+  for (const GateId s : sums) {
+    c.mark_output(s);
+  }
+  c.mark_output(carry);
+  c.finalize();
+  return c;
+}
+
+Circuit make_barrel_rotator(int width) {
+  LSIQ_EXPECT(width >= 2 && (width & (width - 1)) == 0 && width <= 64,
+              "barrel rotator width must be a power of two in [2, 64]");
+  Circuit c("rot" + std::to_string(width));
+  std::vector<GateId> data;
+  for (int i = 0; i < width; ++i) {
+    data.push_back(c.add_input("d" + std::to_string(i)));
+  }
+  int stages = 0;
+  while ((1 << stages) < width) ++stages;
+  std::vector<GateId> shift;
+  for (int s = 0; s < stages; ++s) {
+    shift.push_back(c.add_input("s" + std::to_string(s)));
+  }
+
+  auto mux = [&](GateId sel, GateId when0, GateId when1,
+                 const std::string& name) {
+    const GateId nsel = c.add_gate(GateType::kNot, {sel}, name + "_ns");
+    const GateId lo = c.add_gate(GateType::kAnd, {when0, nsel}, name + "_lo");
+    const GateId hi = c.add_gate(GateType::kAnd, {when1, sel}, name + "_hi");
+    return c.add_gate(GateType::kOr, {lo, hi}, name + "_o");
+  };
+
+  // Stage s rotates left by 2^s when shift[s] is set: output bit i takes
+  // input bit (i - 2^s) mod width.
+  std::vector<GateId> layer = data;
+  for (int s = 0; s < stages; ++s) {
+    const int amount = 1 << s;
+    std::vector<GateId> next(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      const int from = ((i - amount) % width + width) % width;
+      next[static_cast<std::size_t>(i)] =
+          mux(shift[static_cast<std::size_t>(s)],
+              layer[static_cast<std::size_t>(i)],
+              layer[static_cast<std::size_t>(from)],
+              "st" + std::to_string(s) + "_b" + std::to_string(i));
+    }
+    layer = std::move(next);
+  }
+  for (const GateId bit : layer) {
+    c.mark_output(bit);
+  }
+  c.finalize();
+  return c;
+}
+
+Circuit make_random_dag(const RandomDagSpec& spec) {
+  LSIQ_EXPECT(spec.inputs >= 2, "random dag requires >= 2 inputs");
+  LSIQ_EXPECT(spec.gates >= 1, "random dag requires >= 1 gate");
+  LSIQ_EXPECT(spec.max_fanin >= 2, "random dag requires max_fanin >= 2");
+  LSIQ_EXPECT(spec.inverter_fraction >= 0.0 && spec.inverter_fraction < 1.0,
+              "inverter_fraction must be in [0, 1)");
+
+  util::Rng rng(spec.seed);
+  Circuit c("rand_i" + std::to_string(spec.inputs) + "_g" +
+            std::to_string(spec.gates) + "_s" + std::to_string(spec.seed));
+
+  std::vector<GateId> nodes;
+  std::vector<bool> consumed;
+  for (int i = 0; i < spec.inputs; ++i) {
+    nodes.push_back(c.add_input("x" + std::to_string(i)));
+    consumed.push_back(false);
+  }
+
+  static constexpr GateType kVariadic[] = {GateType::kAnd, GateType::kNand,
+                                           GateType::kOr, GateType::kNor,
+                                           GateType::kXor, GateType::kXnor};
+
+  for (int g = 0; g < spec.gates; ++g) {
+    const bool unary = rng.uniform() < spec.inverter_fraction;
+    GateType type;
+    int fanin_count;
+    if (unary) {
+      type = rng.bernoulli(0.8) ? GateType::kNot : GateType::kBuf;
+      fanin_count = 1;
+    } else {
+      type = kVariadic[rng.uniform_below(std::size(kVariadic))];
+      fanin_count = 2 + static_cast<int>(rng.uniform_below(
+                            static_cast<std::uint64_t>(spec.max_fanin - 1)));
+    }
+
+    // Prefer yet-unconsumed nodes so the DAG stays connected and inputs do
+    // not dangle; fall back to uniform choice for reconvergence.
+    std::vector<GateId> fanin;
+    for (int k = 0; k < fanin_count; ++k) {
+      GateId pick = kNoGate;
+      if (rng.bernoulli(0.5)) {
+        std::vector<GateId> unconsumed;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (!consumed[i]) unconsumed.push_back(nodes[i]);
+        }
+        if (!unconsumed.empty()) {
+          pick = unconsumed[rng.uniform_below(unconsumed.size())];
+        }
+      }
+      if (pick == kNoGate) {
+        pick = nodes[rng.uniform_below(nodes.size())];
+      }
+      if (std::find(fanin.begin(), fanin.end(), pick) != fanin.end()) {
+        // Duplicate pin; retry once with a uniform pick, else accept a
+        // smaller gate.
+        pick = nodes[rng.uniform_below(nodes.size())];
+        if (std::find(fanin.begin(), fanin.end(), pick) != fanin.end()) {
+          continue;
+        }
+      }
+      fanin.push_back(pick);
+    }
+    if (static_cast<int>(fanin.size()) < min_fanin(type)) {
+      // Degenerate draw; demote to an inverter on the sole pin.
+      if (fanin.empty()) fanin.push_back(nodes[rng.uniform_below(nodes.size())]);
+      type = GateType::kNot;
+      fanin.resize(1);
+    }
+
+    const GateId id = c.add_gate(type, fanin);
+    for (const GateId f : fanin) {
+      consumed[f] = true;
+    }
+    nodes.push_back(id);
+    consumed.push_back(false);
+  }
+
+  // Everything still unconsumed becomes (or feeds) an output.
+  bool marked_any = false;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (consumed[i]) continue;
+    GateId sink = nodes[i];
+    if (c.gate(sink).type == GateType::kInput) {
+      sink = c.add_gate(GateType::kBuf, {sink});
+    }
+    c.mark_output(sink);
+    marked_any = true;
+  }
+  LSIQ_EXPECT(marked_any, "random dag produced no outputs");
+  c.finalize();
+  return c;
+}
+
+}  // namespace lsiq::circuit

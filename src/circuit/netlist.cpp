@@ -1,0 +1,232 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace lsiq::circuit {
+
+Circuit::Circuit(std::string name) : name_(std::move(name)) {}
+
+void Circuit::require_finalized(const char* what) const {
+  if (!finalized_) {
+    throw Error(std::string(what) + " requires a finalized circuit");
+  }
+}
+
+void Circuit::require_not_finalized(const char* what) const {
+  if (finalized_) {
+    throw Error(std::string(what) + " is not allowed after finalize()");
+  }
+}
+
+GateId Circuit::add_input(const std::string& name) {
+  require_not_finalized("add_input");
+  LSIQ_EXPECT(!name.empty(), "primary inputs must be named");
+  LSIQ_EXPECT(by_name_.find(name) == by_name_.end(),
+              "duplicate gate name: " + name);
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = GateType::kInput;
+  g.name = name;
+  gates_.push_back(std::move(g));
+  by_name_.emplace(name, id);
+  primary_inputs_.push_back(id);
+  is_output_.push_back(false);
+  return id;
+}
+
+GateId Circuit::add_gate(GateType type, const std::vector<GateId>& fanin,
+                         const std::string& name) {
+  require_not_finalized("add_gate");
+  LSIQ_EXPECT(type != GateType::kInput, "use add_input for primary inputs");
+  const int lo = min_fanin(type);
+  const int hi = max_fanin(type);
+  LSIQ_EXPECT(static_cast<int>(fanin.size()) >= lo &&
+                  static_cast<int>(fanin.size()) <= hi,
+              std::string("bad fanin count for ") +
+                  std::string(gate_type_name(type)));
+  for (const GateId f : fanin) {
+    LSIQ_EXPECT(f < gates_.size(), "fanin id out of range");
+  }
+
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = type;
+  g.name = name.empty() ? "g" + std::to_string(id) : name;
+  LSIQ_EXPECT(by_name_.find(g.name) == by_name_.end(),
+              "duplicate gate name: " + g.name);
+  g.fanin = fanin;
+  by_name_.emplace(g.name, id);
+  gates_.push_back(std::move(g));
+  is_output_.push_back(false);
+  if (type == GateType::kDff) {
+    flip_flops_.push_back(id);
+  }
+  return id;
+}
+
+GateId Circuit::add_dff(const std::string& name) {
+  require_not_finalized("add_dff");
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = GateType::kDff;
+  g.name = name.empty() ? "g" + std::to_string(id) : name;
+  LSIQ_EXPECT(by_name_.find(g.name) == by_name_.end(),
+              "duplicate gate name: " + g.name);
+  by_name_.emplace(g.name, id);
+  gates_.push_back(std::move(g));
+  is_output_.push_back(false);
+  flip_flops_.push_back(id);
+  return id;
+}
+
+void Circuit::connect_dff(GateId dff, GateId driver) {
+  require_not_finalized("connect_dff");
+  LSIQ_EXPECT(dff < gates_.size(), "connect_dff: dff id out of range");
+  LSIQ_EXPECT(driver < gates_.size(), "connect_dff: driver id out of range");
+  Gate& g = gates_[dff];
+  LSIQ_EXPECT(g.type == GateType::kDff, "connect_dff: gate is not a DFF");
+  LSIQ_EXPECT(g.fanin.empty(), "connect_dff: DFF already connected");
+  g.fanin.push_back(driver);
+}
+
+void Circuit::mark_output(GateId id) {
+  require_not_finalized("mark_output");
+  LSIQ_EXPECT(id < gates_.size(), "mark_output: id out of range");
+  LSIQ_EXPECT(!is_output_[id], "gate marked as output twice: " +
+                                   gates_[id].name);
+  is_output_[id] = true;
+  primary_outputs_.push_back(id);
+}
+
+void Circuit::finalize() {
+  require_not_finalized("finalize");
+  LSIQ_EXPECT(!gates_.empty(), "finalize: circuit is empty");
+
+  for (const GateId ff : flip_flops_) {
+    if (gates_[ff].fanin.size() != 1) {
+      throw Error("finalize: flip-flop " + gates_[ff].name +
+                  " has no connected D input");
+    }
+  }
+
+  // Derive fanout lists.
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (const GateId f : gates_[id].fanin) {
+      gates_[f].fanout.push_back(id);
+    }
+  }
+
+  // Levelize with Kahn's algorithm. DFF outputs are level-0 sources under
+  // the full-scan model, so a DFF never contributes to a combinational
+  // cycle; its fanin edge is still checked for dangling references but is
+  // excluded from the level graph.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (gates_[id].type == GateType::kDff) continue;
+    pending[id] = static_cast<std::uint32_t>(gates_[id].fanin.size());
+  }
+  std::queue<GateId> ready;
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (pending[id] == 0) {
+      gates_[id].level = 0;
+      ready.push(id);
+    }
+  }
+
+  topo_order_.clear();
+  topo_order_.reserve(gates_.size());
+  while (!ready.empty()) {
+    const GateId id = ready.front();
+    ready.pop();
+    topo_order_.push_back(id);
+    for (const GateId reader : gates_[id].fanout) {
+      if (gates_[reader].type == GateType::kDff) continue;
+      gates_[reader].level =
+          std::max(gates_[reader].level, gates_[id].level + 1);
+      if (--pending[reader] == 0) {
+        ready.push(reader);
+      }
+    }
+  }
+  if (topo_order_.size() != gates_.size()) {
+    throw Error("finalize: circuit " + name_ +
+                " contains a combinational cycle");
+  }
+
+  // Full-scan views.
+  pattern_inputs_ = primary_inputs_;
+  pattern_inputs_.insert(pattern_inputs_.end(), flip_flops_.begin(),
+                         flip_flops_.end());
+  LSIQ_EXPECT(!pattern_inputs_.empty(),
+              "finalize: circuit has no controllable inputs");
+
+  observed_points_ = primary_outputs_;
+  for (const GateId ff : flip_flops_) {
+    observed_points_.push_back(gates_[ff].fanin.front());
+  }
+  if (observed_points_.empty()) {
+    throw Error("finalize: circuit " + name_ + " has no observable outputs");
+  }
+
+  finalized_ = true;
+}
+
+const Gate& Circuit::gate(GateId id) const {
+  LSIQ_EXPECT(id < gates_.size(), "gate id out of range");
+  return gates_[id];
+}
+
+const std::vector<GateId>& Circuit::pattern_inputs() const {
+  require_finalized("pattern_inputs");
+  return pattern_inputs_;
+}
+
+const std::vector<GateId>& Circuit::observed_points() const {
+  require_finalized("observed_points");
+  return observed_points_;
+}
+
+const std::vector<GateId>& Circuit::topological_order() const {
+  require_finalized("topological_order");
+  return topo_order_;
+}
+
+GateId Circuit::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+CircuitStats Circuit::stats() const {
+  require_finalized("stats");
+  CircuitStats s;
+  s.gates = gates_.size();
+  s.primary_inputs = primary_inputs_.size();
+  s.primary_outputs = primary_outputs_.size();
+  s.flip_flops = flip_flops_.size();
+  std::size_t fanout_total = 0;
+  for (const Gate& g : gates_) {
+    s.depth = std::max<std::size_t>(s.depth, g.level);
+    s.literals += g.fanin.size();
+    s.max_fanout = std::max(s.max_fanout, g.fanout.size());
+    fanout_total += g.fanout.size();
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+      case GateType::kDff:
+        break;
+      default:
+        ++s.combinational_gates;
+    }
+  }
+  s.avg_fanout =
+      s.gates == 0 ? 0.0
+                   : static_cast<double>(fanout_total) /
+                         static_cast<double>(s.gates);
+  return s;
+}
+
+}  // namespace lsiq::circuit

@@ -1,0 +1,119 @@
+// The Circuit container: a levelized gate-level netlist.
+//
+// A Circuit is built incrementally (add_input / add_gate / mark_output) and
+// then sealed with finalize(), which derives fanout lists, levelizes the
+// graph, verifies structural invariants, and freezes the topology. All
+// downstream consumers (simulators, fault enumeration, ATPG) require a
+// finalized circuit; they index per-gate state densely by GateId.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace lsiq::circuit {
+
+/// Summary counters for reporting and sizing (see Circuit::stats()).
+struct CircuitStats {
+  std::size_t gates = 0;            ///< total nodes incl. inputs and DFFs
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t flip_flops = 0;
+  std::size_t combinational_gates = 0;  ///< excludes inputs, constants, DFFs
+  std::size_t depth = 0;            ///< maximum level
+  std::size_t literals = 0;         ///< total fanin pins
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(std::string name = "circuit");
+
+  // ---- construction (pre-finalize) ----
+
+  /// Add a primary input. Name must be unique and non-empty.
+  GateId add_input(const std::string& name);
+
+  /// Add a gate of the given type driven by `fanin` (all previously added).
+  /// An empty name is auto-generated from the id. Returns the new id.
+  GateId add_gate(GateType type, const std::vector<GateId>& fanin,
+                  const std::string& name = "");
+
+  /// Add a scan flip-flop whose D input is not known yet. Sequential .bench
+  /// netlists commonly define a flip-flop before the gate that feeds it
+  /// (feedback loops), so construction is split: add_dff() now,
+  /// connect_dff() once the driver exists. finalize() rejects circuits with
+  /// unconnected flip-flops.
+  GateId add_dff(const std::string& name = "");
+
+  /// Connect the D input of a flip-flop created with add_dff().
+  void connect_dff(GateId dff, GateId driver);
+
+  /// Declare an existing gate to be a primary output. A gate may be marked
+  /// at most once; inputs may be marked (wire-through pins exist in ISCAS
+  /// netlists).
+  void mark_output(GateId id);
+
+  /// Derive fanouts and levels, check invariants (acyclic, arity, unique
+  /// names), and freeze the circuit. Throws lsiq::Error on violations.
+  void finalize();
+
+  // ---- observers (post-construction; most require finalized()) ----
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  [[nodiscard]] std::size_t gate_count() const noexcept {
+    return gates_.size();
+  }
+  [[nodiscard]] const Gate& gate(GateId id) const;
+
+  [[nodiscard]] const std::vector<GateId>& primary_inputs() const noexcept {
+    return primary_inputs_;
+  }
+  [[nodiscard]] const std::vector<GateId>& primary_outputs() const noexcept {
+    return primary_outputs_;
+  }
+  [[nodiscard]] const std::vector<GateId>& flip_flops() const noexcept {
+    return flip_flops_;
+  }
+
+  /// Pattern inputs under the full-scan model: primary inputs followed by
+  /// flip-flop outputs. The simulator reads one pattern bit per entry.
+  [[nodiscard]] const std::vector<GateId>& pattern_inputs() const;
+
+  /// Observed outputs under the full-scan model: primary outputs followed by
+  /// flip-flop data inputs (the driver gate of each DFF).
+  [[nodiscard]] const std::vector<GateId>& observed_points() const;
+
+  /// Gates in non-decreasing level order (inputs first). Valid after
+  /// finalize(); simulation and fault propagation walk this order.
+  [[nodiscard]] const std::vector<GateId>& topological_order() const;
+
+  /// Lookup by unique name; returns kNoGate when absent.
+  [[nodiscard]] GateId find(const std::string& name) const;
+
+  [[nodiscard]] CircuitStats stats() const;
+
+ private:
+  void require_finalized(const char* what) const;
+  void require_not_finalized(const char* what) const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> primary_inputs_;
+  std::vector<GateId> primary_outputs_;
+  std::vector<GateId> flip_flops_;
+  std::vector<GateId> pattern_inputs_;
+  std::vector<GateId> observed_points_;
+  std::vector<GateId> topo_order_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::vector<bool> is_output_;
+  bool finalized_ = false;
+};
+
+}  // namespace lsiq::circuit

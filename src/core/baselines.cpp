@@ -1,0 +1,37 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::quality {
+
+double wadsack_reject_rate(double f, double y) {
+  LSIQ_EXPECT(f >= 0.0 && f <= 1.0, "coverage f must be in [0, 1]");
+  LSIQ_EXPECT(y >= 0.0 && y <= 1.0, "yield y must be in [0, 1]");
+  return (1.0 - y) * (1.0 - f);
+}
+
+double wadsack_required_coverage(double r, double y) {
+  LSIQ_EXPECT(r >= 0.0 && r < 1.0, "reject rate must be in [0, 1)");
+  LSIQ_EXPECT(y >= 0.0 && y < 1.0,
+              "wadsack_required_coverage requires y in [0, 1)");
+  return util::clamp01(1.0 - r / (1.0 - y));
+}
+
+double williams_brown_defect_level(double f, double y) {
+  LSIQ_EXPECT(f >= 0.0 && f <= 1.0, "coverage f must be in [0, 1]");
+  LSIQ_EXPECT(y > 0.0 && y <= 1.0,
+              "williams_brown_defect_level requires y in (0, 1]");
+  return 1.0 - std::pow(y, 1.0 - f);
+}
+
+double williams_brown_required_coverage(double r, double y) {
+  LSIQ_EXPECT(r >= 0.0 && r < 1.0, "reject rate must be in [0, 1)");
+  LSIQ_EXPECT(y > 0.0 && y < 1.0,
+              "williams_brown_required_coverage requires y in (0, 1)");
+  return util::clamp01(1.0 - std::log1p(-r) / std::log(y));
+}
+
+}  // namespace lsiq::quality

@@ -1,0 +1,30 @@
+// Baseline quality models the paper argues against or that later became
+// standard reference points.
+//
+// Wadsack (BSTJ 1978, the paper's ref [5]) assumed at most the trivial
+// relation between escapes and coverage, giving r = (1-y)(1-f). Section 7
+// shows it demands 99% / 99.9% coverage where the Poisson model needs
+// 80% / 95% — the paper's headline comparison.
+//
+// Williams & Brown (contemporaneous, IEEE TC 1981) give the defect level
+// DL = 1 - y^(1-f); it behaves like a multi-fault model with n tied to the
+// yield instead of a free n0. Included to make the comparison three-way.
+#pragma once
+
+namespace lsiq::quality {
+
+/// Wadsack's reject rate: r = (1-y)(1-f).
+double wadsack_reject_rate(double f, double y);
+
+/// Coverage Wadsack's model demands for reject rate r: f = 1 - r/(1-y),
+/// clamped to [0, 1] (0 when untested product already meets the target).
+double wadsack_required_coverage(double r, double y);
+
+/// Williams-Brown defect level: DL(f) = 1 - y^(1-f).
+double williams_brown_defect_level(double f, double y);
+
+/// Coverage Williams-Brown demands for defect level r:
+/// f = 1 - ln(1-r)/ln(y). y in (0, 1); clamped to [0, 1].
+double williams_brown_required_coverage(double r, double y);
+
+}  // namespace lsiq::quality

@@ -1,0 +1,69 @@
+#include "core/coverage_requirement.hpp"
+
+#include "core/reject_model.hpp"
+#include "util/brent.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::quality {
+
+namespace {
+
+double invert_monotone_reject(double r_target, double at_zero,
+                              const std::function<double(double)>& reject) {
+  LSIQ_EXPECT(r_target > 0.0 && r_target < 1.0,
+              "required coverage needs r_target in (0, 1)");
+  if (at_zero <= r_target) {
+    return 0.0;  // even untested product is good enough
+  }
+  // reject(f) - r_target changes sign on [0, 1]: positive at 0 (checked),
+  // and reject(1) = 0 < r_target.
+  const util::RootResult root = util::find_root_brent(
+      [&](double f) { return reject(f) - r_target; }, 0.0, 1.0, 1e-13);
+  if (!root.converged) {
+    throw NumericError("required_fault_coverage: root search diverged");
+  }
+  return util::clamp01(root.x);
+}
+
+}  // namespace
+
+double required_fault_coverage(double r_target, double y, double n0) {
+  LSIQ_EXPECT(y > 0.0 && y <= 1.0,
+              "required_fault_coverage needs yield in (0, 1] — at zero "
+              "yield no shipped chip is good at any coverage");
+  return invert_monotone_reject(
+      r_target, field_reject_rate(0.0, y, n0),
+      [&](double f) { return field_reject_rate(f, y, n0); });
+}
+
+double required_fault_coverage_mixed(double r_target, double y, double n0,
+                                     double alpha) {
+  LSIQ_EXPECT(y > 0.0 && y <= 1.0,
+              "required_fault_coverage_mixed needs yield in (0, 1]");
+  return invert_monotone_reject(
+      r_target, field_reject_rate_mixed(0.0, y, n0, alpha),
+      [&](double f) { return field_reject_rate_mixed(f, y, n0, alpha); });
+}
+
+RequirementCurve requirement_curve(double r_target, double n0,
+                                   std::size_t points) {
+  LSIQ_EXPECT(points >= 2, "requirement_curve needs >= 2 points");
+  RequirementCurve curve;
+  curve.reject_target = r_target;
+  curve.n0 = n0;
+  // Exclude both endpoints: y=0 ships nothing, y=1 needs no testing.
+  const std::vector<double> ys =
+      util::linspace(1.0 / static_cast<double>(points + 1),
+                     static_cast<double>(points) /
+                         static_cast<double>(points + 1),
+                     points);
+  curve.yields = ys;
+  curve.coverages.reserve(points);
+  for (const double y : ys) {
+    curve.coverages.push_back(required_fault_coverage(r_target, y, n0));
+  }
+  return curve;
+}
+
+}  // namespace lsiq::quality

@@ -1,0 +1,36 @@
+// Required fault coverage for a target field reject rate (Section 6).
+//
+// Eq. 8 is monotone decreasing in f, so "what coverage do I need for
+// r <= r_target?" has a unique answer found by bracketed root search.
+// The requirement_curve helper sweeps yield to regenerate Figs. 2-4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lsiq::quality {
+
+/// Smallest coverage f with field_reject_rate(f, y, n0) <= r_target.
+/// Returns 0 when even untested product meets the target (r(0) = 1-y <=
+/// r_target). r_target must be in (0, 1).
+double required_fault_coverage(double r_target, double y, double n0);
+
+/// Same under the gamma-mixed model.
+double required_fault_coverage_mixed(double r_target, double y, double n0,
+                                     double alpha);
+
+/// One curve of Figs. 2-4: required coverage as a function of yield for a
+/// fixed reject-rate target and n0.
+struct RequirementCurve {
+  double reject_target = 0.0;
+  double n0 = 1.0;
+  std::vector<double> yields;
+  std::vector<double> coverages;  ///< required f, parallel to `yields`
+};
+
+/// Sweep yield over (0, 1) with `points` samples (endpoints excluded: at
+/// y = 0 nothing ships, at y = 1 nothing is defective).
+RequirementCurve requirement_curve(double r_target, double n0,
+                                   std::size_t points = 99);
+
+}  // namespace lsiq::quality

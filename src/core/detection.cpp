@@ -1,0 +1,76 @@
+#include "core/detection.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::quality {
+
+namespace {
+
+void require_urn(unsigned n, unsigned m, unsigned N) {
+  LSIQ_EXPECT(N >= 1, "urn model requires N >= 1");
+  LSIQ_EXPECT(m <= N, "urn model requires m <= N");
+  LSIQ_EXPECT(n <= N, "urn model requires n <= N");
+}
+
+}  // namespace
+
+double q0_exact(unsigned n, unsigned m, unsigned N) {
+  require_urn(n, m, N);
+  if (n == 0) return 1.0;
+  if (m == 0) return 1.0;
+  if (n > N - m) return 0.0;  // more faults than uncovered sites
+  // log prod (N-m-i)/(N-i), i = 0..n-1 == log C(N-n, m) - log C(N, m).
+  util::KahanSum log_q;
+  for (unsigned i = 0; i < n; ++i) {
+    log_q.add(std::log(static_cast<double>(N - m - i)) -
+              std::log(static_cast<double>(N - i)));
+  }
+  return std::exp(log_q.value());
+}
+
+double q0_second_order(unsigned n, unsigned m, unsigned N) {
+  require_urn(n, m, N);
+  if (n == 0 || m == 0) return 1.0;
+  if (m == N) return 0.0;
+  const double f = static_cast<double>(m) / static_cast<double>(N);
+  const double nn = static_cast<double>(n);
+  const double correction = -f * nn * (nn - 1.0) /
+                            (2.0 * static_cast<double>(N) * (1.0 - f));
+  return std::pow(1.0 - f, nn) * std::exp(correction);
+}
+
+double q0_simple(unsigned n, double f) {
+  LSIQ_EXPECT(f >= 0.0 && f <= 1.0, "q0_simple requires f in [0, 1]");
+  return std::pow(1.0 - f, static_cast<double>(n));
+}
+
+double q0_simple_validity_ratio(unsigned n, unsigned m, unsigned N) {
+  require_urn(n, m, N);
+  if (m == 0) return 0.0;
+  if (m == N) return std::numeric_limits<double>::infinity();
+  const double f = static_cast<double>(m) / static_cast<double>(N);
+  const double budget = static_cast<double>(N) * (1.0 - f) / f;
+  return static_cast<double>(n) * static_cast<double>(n) / budget;
+}
+
+double qk_hypergeometric(unsigned k, unsigned n, unsigned m, unsigned N) {
+  require_urn(n, m, N);
+  LSIQ_EXPECT(k <= n, "qk requires k <= n");
+  // q_k(n) = C(n, k) C(N-n, m-k) / C(N, m); zero outside the support.
+  if (k > m) return 0.0;
+  if (m - k > N - n) return 0.0;
+  const double log_p =
+      util::log_binomial(static_cast<std::int64_t>(n),
+                         static_cast<std::int64_t>(k)) +
+      util::log_binomial(static_cast<std::int64_t>(N - n),
+                         static_cast<std::int64_t>(m - k)) -
+      util::log_binomial(static_cast<std::int64_t>(N),
+                         static_cast<std::int64_t>(m));
+  return std::exp(log_p);
+}
+
+}  // namespace lsiq::quality

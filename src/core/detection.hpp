@@ -1,0 +1,39 @@
+// Detection probabilities: the urn model of Section 4 and the Appendix.
+//
+// With N possible faults of which n are present, and tests covering m
+// faults (coverage f = m/N), the number of detected faults is
+// hypergeometric (Eq. 4). The chip escapes when zero of its n faults are
+// covered (Eq. 5 / A.1), for which the paper derives two approximations:
+//
+//   (A.1)  q0(n) = C(N-n, m) / C(N, m)            exact
+//   (A.2)  q0(n) ~= (1-f)^n * exp(-f n(n-1) / (2N(1-f)))
+//   (A.3)  q0(n) ~= (1-f)^n        valid while n^2 << N(1-f)/f
+//
+// Fig. 6 of the paper compares the three; bench/fig6_q0_approximations
+// regenerates that comparison.
+#pragma once
+
+namespace lsiq::quality {
+
+/// Exact escape probability (A.1), computed as the log-space product
+/// prod_{i=0}^{n-1} (N-m-i)/(N-i). Zero when n > N - m. Requires
+/// 0 <= m <= N, 0 <= n <= N, N >= 1.
+double q0_exact(unsigned n, unsigned m, unsigned N);
+
+/// Second-order approximation (A.2).
+double q0_second_order(unsigned n, unsigned m, unsigned N);
+
+/// Simple approximation (A.3): (1-f)^n — the form used throughout the
+/// paper's closed-form analysis.
+double q0_simple(unsigned n, double f);
+
+/// The validity figure of (A.3): n^2 / (N(1-f)/f). Small (<< 1) means
+/// (A.3) is trustworthy; the Appendix states the condition as
+/// n << sqrt(N(1-f)/f). Returns +infinity when f == 1.
+double q0_simple_validity_ratio(unsigned n, unsigned m, unsigned N);
+
+/// Hypergeometric probability of detecting exactly k of the chip's n
+/// faults with tests covering m of N possible faults (Eq. 4).
+double qk_hypergeometric(unsigned k, unsigned n, unsigned m, unsigned N);
+
+}  // namespace lsiq::quality

@@ -1,0 +1,261 @@
+#include "core/estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/reject_model.hpp"
+#include "util/brent.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lsiq::quality {
+
+namespace {
+
+void require_points(const std::vector<CoveragePoint>& points) {
+  LSIQ_EXPECT(!points.empty(), "estimation requires at least one point");
+  for (const CoveragePoint& p : points) {
+    LSIQ_EXPECT(p.coverage >= 0.0 && p.coverage <= 1.0,
+                "coverage out of [0, 1]");
+    LSIQ_EXPECT(p.fraction_failed >= 0.0 && p.fraction_failed <= 1.0,
+                "fraction failed out of [0, 1]");
+  }
+}
+
+double sse_for(const std::vector<CoveragePoint>& points, double yield,
+               double n0) {
+  util::KahanSum acc;
+  for (const CoveragePoint& p : points) {
+    const double err =
+        reject_fraction(p.coverage, yield, n0) - p.fraction_failed;
+    acc.add(err * err);
+  }
+  return acc.value();
+}
+
+}  // namespace
+
+SlopeEstimate estimate_n0_slope(const std::vector<CoveragePoint>& points,
+                                double yield, double max_coverage) {
+  require_points(points);
+  LSIQ_EXPECT(yield >= 0.0 && yield < 1.0,
+              "slope estimator requires yield in [0, 1)");
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const CoveragePoint& p : points) {
+    if (p.coverage <= max_coverage && p.coverage > 0.0) {
+      xs.push_back(p.coverage);
+      ys.push_back(p.fraction_failed);
+    }
+  }
+  if (xs.empty()) {
+    // Fall back to the single earliest strobe, exactly the paper's
+    // P'(0) ~= 0.41 / 0.05 computation.
+    const CoveragePoint first = *std::min_element(
+        points.begin(), points.end(),
+        [](const CoveragePoint& a, const CoveragePoint& b) {
+          return a.coverage < b.coverage;
+        });
+    LSIQ_EXPECT(first.coverage > 0.0,
+                "slope estimator needs a strobe with positive coverage");
+    xs.push_back(first.coverage);
+    ys.push_back(first.fraction_failed);
+  }
+
+  SlopeEstimate estimate;
+  estimate.p_prime_zero = util::regression_through_origin(xs, ys);
+  estimate.n0 = std::max(1.0, estimate.p_prime_zero / (1.0 - yield));
+  estimate.points_used = xs.size();
+  return estimate;
+}
+
+int estimate_n0_discrete(const std::vector<CoveragePoint>& points,
+                         double yield, int n0_max) {
+  require_points(points);
+  LSIQ_EXPECT(n0_max >= 1, "estimate_n0_discrete requires n0_max >= 1");
+  int best = 1;
+  double best_sse = sse_for(points, yield, 1.0);
+  for (int n0 = 2; n0 <= n0_max; ++n0) {
+    const double sse = sse_for(points, yield, static_cast<double>(n0));
+    if (sse < best_sse) {
+      best_sse = sse;
+      best = n0;
+    }
+  }
+  return best;
+}
+
+FitResult estimate_n0_least_squares(const std::vector<CoveragePoint>& points,
+                                    double yield, double n0_hi) {
+  require_points(points);
+  LSIQ_EXPECT(n0_hi > 1.0, "estimate_n0_least_squares requires n0_hi > 1");
+  const util::MinimizeResult min = util::minimize_brent(
+      [&](double n0) { return sse_for(points, yield, n0); }, 1.0, n0_hi);
+  FitResult result;
+  result.n0 = min.x;
+  result.sse = min.fx;
+  result.converged = min.converged;
+  return result;
+}
+
+MleResult estimate_n0_mle(const std::vector<double>& strobe_coverage,
+                          const std::vector<std::size_t>& first_fail_counts,
+                          std::size_t passed_count, double yield,
+                          double n0_hi) {
+  LSIQ_EXPECT(strobe_coverage.size() == first_fail_counts.size(),
+              "estimate_n0_mle: strobe/count size mismatch");
+  LSIQ_EXPECT(!strobe_coverage.empty(), "estimate_n0_mle: no strobes");
+  for (std::size_t i = 0; i < strobe_coverage.size(); ++i) {
+    LSIQ_EXPECT(strobe_coverage[i] > 0.0 && strobe_coverage[i] <= 1.0,
+                "estimate_n0_mle: strobe coverage out of (0, 1]");
+    if (i > 0) {
+      LSIQ_EXPECT(strobe_coverage[i] > strobe_coverage[i - 1],
+                  "estimate_n0_mle: strobes must be increasing");
+    }
+  }
+
+  auto negative_log_likelihood = [&](double n0) {
+    util::KahanSum nll;
+    double prev = 0.0;  // P(0) = 0
+    for (std::size_t i = 0; i < strobe_coverage.size(); ++i) {
+      const double cell =
+          reject_fraction(strobe_coverage[i], yield, n0) - prev;
+      prev = reject_fraction(strobe_coverage[i], yield, n0);
+      if (first_fail_counts[i] > 0) {
+        // Guard against degenerate cells; a zero cell with observations is
+        // infinitely unlikely.
+        if (cell <= 0.0) return 1e30;
+        nll.add(-static_cast<double>(first_fail_counts[i]) * std::log(cell));
+      }
+    }
+    const double survivor = 1.0 - prev;
+    if (passed_count > 0) {
+      if (survivor <= 0.0) return 1e30;
+      nll.add(-static_cast<double>(passed_count) * std::log(survivor));
+    }
+    return nll.value();
+  };
+
+  const util::MinimizeResult min =
+      util::minimize_brent(negative_log_likelihood, 1.0, n0_hi);
+  MleResult result;
+  result.n0 = min.x;
+  result.log_likelihood = -min.fx;
+  result.converged = min.converged;
+  return result;
+}
+
+BootstrapInterval bootstrap_n0_interval(
+    const std::vector<double>& strobe_coverage,
+    const std::vector<std::size_t>& first_fail_counts,
+    std::size_t passed_count, double yield, std::size_t replicates,
+    double confidence, std::uint64_t seed) {
+  LSIQ_EXPECT(strobe_coverage.size() == first_fail_counts.size(),
+              "bootstrap_n0_interval: strobe/count size mismatch");
+  LSIQ_EXPECT(!strobe_coverage.empty(), "bootstrap_n0_interval: no strobes");
+  LSIQ_EXPECT(replicates >= 10,
+              "bootstrap_n0_interval requires >= 10 replicates");
+  LSIQ_EXPECT(confidence > 0.0 && confidence < 1.0,
+              "bootstrap_n0_interval: confidence in (0, 1)");
+
+  std::size_t chip_count = passed_count;
+  for (const std::size_t c : first_fail_counts) chip_count += c;
+  LSIQ_EXPECT(chip_count > 0, "bootstrap_n0_interval: empty lot");
+
+  auto points_from_counts =
+      [&](const std::vector<std::size_t>& counts) {
+        std::vector<CoveragePoint> points;
+        points.reserve(strobe_coverage.size());
+        std::size_t cumulative = 0;
+        for (std::size_t i = 0; i < strobe_coverage.size(); ++i) {
+          cumulative += counts[i];
+          points.push_back(CoveragePoint{
+              strobe_coverage[i],
+              static_cast<double>(cumulative) /
+                  static_cast<double>(chip_count)});
+        }
+        return points;
+      };
+
+  BootstrapInterval interval;
+  interval.replicates = replicates;
+  interval.point =
+      estimate_n0_least_squares(points_from_counts(first_fail_counts), yield)
+          .n0;
+
+  // Empirical CDF over categories (bins + survivor class) for resampling.
+  std::vector<double> cdf(first_fail_counts.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < first_fail_counts.size(); ++i) {
+    running += static_cast<double>(first_fail_counts[i]) /
+               static_cast<double>(chip_count);
+    cdf[i] = running;
+  }
+
+  util::Rng rng(seed);
+  std::vector<double> estimates;
+  estimates.reserve(replicates);
+  std::vector<std::size_t> resampled(first_fail_counts.size());
+  for (std::size_t r = 0; r < replicates; ++r) {
+    std::fill(resampled.begin(), resampled.end(), 0);
+    for (std::size_t chip = 0; chip < chip_count; ++chip) {
+      const double u = rng.uniform();
+      for (std::size_t i = 0; i < cdf.size(); ++i) {
+        if (u < cdf[i]) {
+          ++resampled[i];
+          break;
+        }
+      }
+      // u beyond the last bin: a passing chip; contributes no bin count.
+    }
+    estimates.push_back(
+        estimate_n0_least_squares(points_from_counts(resampled), yield).n0);
+  }
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.lower = util::percentile(estimates, alpha * 100.0);
+  interval.upper = util::percentile(std::move(estimates),
+                                    (1.0 - alpha) * 100.0);
+  return interval;
+}
+
+JointFit estimate_yield_and_n0(const std::vector<CoveragePoint>& points,
+                               double n0_hi, int rounds) {
+  require_points(points);
+  LSIQ_EXPECT(rounds >= 1, "estimate_yield_and_n0 requires rounds >= 1");
+
+  // Initialize yield from the plateau of the fallout curve: the largest
+  // observed fraction failed bounds 1 - y from below.
+  double max_failed = 0.0;
+  for (const CoveragePoint& p : points) {
+    max_failed = std::max(max_failed, p.fraction_failed);
+  }
+  JointFit fit;
+  fit.yield = util::clamp01(1.0 - max_failed);
+  fit.n0 = 2.0;
+
+  double prev_sse = 1e300;
+  for (int round = 0; round < rounds; ++round) {
+    const util::MinimizeResult n0_step = util::minimize_brent(
+        [&](double n0) { return sse_for(points, fit.yield, n0); }, 1.0,
+        n0_hi);
+    fit.n0 = n0_step.x;
+    const util::MinimizeResult y_step = util::minimize_brent(
+        [&](double y) { return sse_for(points, y, fit.n0); }, 0.0,
+        1.0 - 1e-9);
+    fit.yield = y_step.x;
+    fit.sse = y_step.fx;
+    if (std::abs(prev_sse - fit.sse) <=
+        1e-14 * std::max(1.0, std::abs(fit.sse))) {
+      fit.converged = true;
+      break;
+    }
+    prev_sse = fit.sse;
+  }
+  return fit;
+}
+
+}  // namespace lsiq::quality

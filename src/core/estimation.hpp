@@ -1,0 +1,111 @@
+// Determination of n0 from production-lot test data (Section 5).
+//
+// The experimental procedure: apply an ordered pattern set to a lot,
+// record each chip's first failing pattern, convert pattern indices to
+// cumulative fault coverage via the simulator's coverage curve, and plot
+// the cumulative fraction of rejected chips against coverage. Four
+// estimators recover n0 from those (coverage, fraction-failed) points:
+//
+//   * initial slope (Eq. 10): n0 ~= P'(0) / (1-y), with P'(0) read from
+//     the earliest strobes — the paper's quick estimate (8.2/0.93 = 8.8
+//     in Section 7);
+//   * discrete curve fit over integer n0, the paper's Fig. 5 procedure;
+//   * continuous least squares (Brent on the SSE);
+//   * maximum likelihood on the binned first-fail counts (multinomial).
+//
+// When the yield itself is unknown, a joint (y, n0) least-squares fit is
+// provided; the paper notes P'(0) alone is then a safe (pessimistic)
+// stand-in for n0.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace lsiq::quality {
+
+/// One experimental point: tests up to cumulative coverage `coverage`
+/// rejected `fraction_failed` of the lot (Table 1's columns 1 and 3).
+struct CoveragePoint {
+  double coverage = 0.0;
+  double fraction_failed = 0.0;
+};
+
+struct SlopeEstimate {
+  double p_prime_zero = 0.0;  ///< estimated P'(0)
+  double n0 = 1.0;            ///< P'(0) / (1 - y)
+  std::size_t points_used = 0;
+};
+
+/// Initial-slope estimator. Uses regression through the origin over the
+/// points with coverage <= max_coverage (at least the first point).
+SlopeEstimate estimate_n0_slope(const std::vector<CoveragePoint>& points,
+                                double yield, double max_coverage = 0.10);
+
+/// The paper's Fig. 5 procedure: best integer n0 in [1, n0_max] by sum of
+/// squared errors against P(f; y, n0).
+int estimate_n0_discrete(const std::vector<CoveragePoint>& points,
+                         double yield, int n0_max = 30);
+
+struct FitResult {
+  double n0 = 1.0;
+  double sse = 0.0;        ///< sum of squared errors at the optimum
+  bool converged = false;
+};
+
+/// Continuous least-squares fit of n0 over [1, n0_hi].
+FitResult estimate_n0_least_squares(const std::vector<CoveragePoint>& points,
+                                    double yield, double n0_hi = 100.0);
+
+struct MleResult {
+  double n0 = 1.0;
+  double log_likelihood = 0.0;
+  bool converged = false;
+};
+
+/// Maximum-likelihood estimate from binned first-fail data.
+/// `strobe_coverage` holds the cumulative coverage at each strobe (strictly
+/// increasing); `first_fail_counts[i]` is the number of chips whose first
+/// failure occurred at strobe i; `passed_count` chips passed every strobe.
+/// The likelihood is multinomial with cell probabilities
+/// P(f_i) - P(f_{i-1}) and survivor mass 1 - P(f_last).
+MleResult estimate_n0_mle(const std::vector<double>& strobe_coverage,
+                          const std::vector<std::size_t>& first_fail_counts,
+                          std::size_t passed_count, double yield,
+                          double n0_hi = 100.0);
+
+struct BootstrapInterval {
+  double point = 1.0;   ///< estimate on the original data
+  double lower = 1.0;   ///< lower percentile bound
+  double upper = 1.0;   ///< upper percentile bound
+  std::size_t replicates = 0;
+};
+
+/// Percentile-bootstrap confidence interval for the least-squares n0.
+///
+/// The paper reports a single n0 with no uncertainty; a 277-chip lot has
+/// real sampling error, quantified here by resampling chips with
+/// replacement from the observed first-fail histogram (the same binned
+/// data the MLE consumes: `first_fail_counts[i]` chips first failed at
+/// strobe i, `passed_count` passed everything) and refitting each
+/// replicate.
+BootstrapInterval bootstrap_n0_interval(
+    const std::vector<double>& strobe_coverage,
+    const std::vector<std::size_t>& first_fail_counts,
+    std::size_t passed_count, double yield, std::size_t replicates = 200,
+    double confidence = 0.95, std::uint64_t seed = 1);
+
+struct JointFit {
+  double yield = 0.0;
+  double n0 = 1.0;
+  double sse = 0.0;
+  bool converged = false;
+};
+
+/// Least-squares fit of (y, n0) together for the case where the process
+/// yield is not known independently. Alternating one-dimensional Brent
+/// minimizations (the SSE is well-behaved in each coordinate).
+JointFit estimate_yield_and_n0(const std::vector<CoveragePoint>& points,
+                               double n0_hi = 100.0, int rounds = 40);
+
+}  // namespace lsiq::quality

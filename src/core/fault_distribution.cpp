@@ -1,0 +1,88 @@
+#include "core/fault_distribution.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::quality {
+
+FaultDistribution::FaultDistribution(double yield, double n0)
+    : yield_(yield), n0_(n0) {
+  LSIQ_EXPECT(yield >= 0.0 && yield <= 1.0,
+              "FaultDistribution requires yield in [0, 1]");
+  LSIQ_EXPECT(n0 >= 1.0, "FaultDistribution requires n0 >= 1");
+}
+
+double FaultDistribution::pmf(unsigned n) const {
+  if (n == 0) return yield_;
+  return (1.0 - yield_) * defective_pmf(n);
+}
+
+double FaultDistribution::defective_pmf(unsigned n) const {
+  if (n == 0) return 0.0;
+  const double lambda = n0_ - 1.0;
+  const auto k = static_cast<double>(n - 1);
+  if (lambda == 0.0) return n == 1 ? 1.0 : 0.0;
+  const double log_p = k * std::log(lambda) - lambda -
+                       util::log_factorial(static_cast<std::int64_t>(n) - 1);
+  return std::exp(log_p);
+}
+
+double FaultDistribution::cdf(unsigned n) const {
+  util::KahanSum acc;
+  for (unsigned k = 0; k <= n; ++k) {
+    acc.add(pmf(k));
+  }
+  return util::clamp01(acc.value());
+}
+
+double FaultDistribution::mean() const { return (1.0 - yield_) * n0_; }
+
+double FaultDistribution::variance() const {
+  // On a defective chip n = 1 + K, K ~ Poisson(n0 - 1):
+  //   E[n | defective]   = n0
+  //   E[n^2 | defective] = Var(K) + (E[K] + 1)^2 = (n0 - 1) + n0^2
+  // Unconditionally E[n] = (1-y) n0, E[n^2] = (1-y) ((n0-1) + n0^2).
+  const double second_moment = (1.0 - yield_) * ((n0_ - 1.0) + n0_ * n0_);
+  const double m = mean();
+  return second_moment - m * m;
+}
+
+unsigned FaultDistribution::sample(util::Rng& rng) const {
+  if (rng.bernoulli(yield_)) return 0;
+  return 1 + static_cast<unsigned>(rng.poisson(n0_ - 1.0));
+}
+
+MixedFaultDistribution::MixedFaultDistribution(double yield, double n0,
+                                               double alpha)
+    : yield_(yield), n0_(n0), alpha_(alpha) {
+  LSIQ_EXPECT(yield >= 0.0 && yield <= 1.0,
+              "MixedFaultDistribution requires yield in [0, 1]");
+  LSIQ_EXPECT(n0 >= 1.0, "MixedFaultDistribution requires n0 >= 1");
+  LSIQ_EXPECT(alpha > 0.0, "MixedFaultDistribution requires alpha > 0");
+}
+
+double MixedFaultDistribution::pmf(unsigned n) const {
+  if (n == 0) return yield_;
+  const double mean_extra = n0_ - 1.0;
+  if (mean_extra == 0.0) return n == 1 ? 1.0 - yield_ : 0.0;
+  // Negative binomial pmf for k = n - 1 extra faults.
+  const auto k = static_cast<double>(n - 1);
+  const double p = mean_extra / (mean_extra + alpha_);
+  const double log_pmf =
+      util::log_gamma(k + alpha_) -
+      util::log_factorial(static_cast<std::int64_t>(n) - 1) -
+      util::log_gamma(alpha_) + alpha_ * std::log1p(-p) + k * std::log(p);
+  return (1.0 - yield_) * std::exp(log_pmf);
+}
+
+double MixedFaultDistribution::mean() const { return (1.0 - yield_) * n0_; }
+
+unsigned MixedFaultDistribution::sample(util::Rng& rng) const {
+  if (rng.bernoulli(yield_)) return 0;
+  if (n0_ == 1.0) return 1;
+  return 1 + static_cast<unsigned>(rng.negative_binomial(n0_ - 1.0, alpha_));
+}
+
+}  // namespace lsiq::quality

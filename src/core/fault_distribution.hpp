@@ -1,0 +1,80 @@
+// The paper's fault-distribution model (Section 3).
+//
+// A chip is fault-free with probability y (the yield). A defective chip
+// carries n >= 1 single-stuck-type-equivalent faults, with n following a
+// Poisson density shifted right by one unit (Eq. 1):
+//
+//     p(n) = (1-y) * (n0-1)^(n-1) / (n-1)! * exp(-(n0-1)),   n = 1, 2, ...
+//     p(0) = y
+//
+// where n0 is the average number of faults on a *defective* chip — the
+// model's key parameter, determined experimentally (Section 5). The
+// unconditional mean is n_av = (1-y) * n0 (Eq. 2).
+//
+// A gamma-mixed variant (negative-binomial fault counts) is provided as the
+// extension pointed to by the paper's reference [15] (Griffin's "mixed
+// Poisson" model): it lets the per-chip fault mean itself vary chip to chip.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace lsiq::quality {
+
+class FaultDistribution {
+ public:
+  /// yield in [0, 1]; n0 >= 1 (a defective chip has at least one fault).
+  FaultDistribution(double yield, double n0);
+
+  [[nodiscard]] double yield() const noexcept { return yield_; }
+  [[nodiscard]] double n0() const noexcept { return n0_; }
+
+  /// p(n), Eq. 1 (p(0) = yield).
+  [[nodiscard]] double pmf(unsigned n) const;
+
+  /// P(N <= n).
+  [[nodiscard]] double cdf(unsigned n) const;
+
+  /// n_av = (1-y) * n0, Eq. 2.
+  [[nodiscard]] double mean() const;
+
+  /// Variance of the fault count (shifted-Poisson mixture with the zero
+  /// spike): Var = (1-y)*(n0-1) + y*(1-y)*n0^2 + (1-y)*... computed in
+  /// closed form; exposed mostly for distribution tests.
+  [[nodiscard]] double variance() const;
+
+  /// pmf of n conditioned on the chip being defective (n >= 1).
+  [[nodiscard]] double defective_pmf(unsigned n) const;
+
+  /// Draw a per-chip fault count: 0 with probability y, else
+  /// 1 + Poisson(n0 - 1). The wafer simulator's ground truth.
+  [[nodiscard]] unsigned sample(util::Rng& rng) const;
+
+ private:
+  double yield_;
+  double n0_;
+};
+
+/// Gamma-mixed (negative binomial) variant: on a defective chip,
+/// n = 1 + M with M ~ NegBin(shape=alpha, mean=n0-1). alpha -> infinity
+/// recovers the shifted Poisson.
+class MixedFaultDistribution {
+ public:
+  MixedFaultDistribution(double yield, double n0, double alpha);
+
+  [[nodiscard]] double yield() const noexcept { return yield_; }
+  [[nodiscard]] double n0() const noexcept { return n0_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  [[nodiscard]] double pmf(unsigned n) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] unsigned sample(util::Rng& rng) const;
+
+ private:
+  double yield_;
+  double n0_;
+  double alpha_;
+};
+
+}  // namespace lsiq::quality

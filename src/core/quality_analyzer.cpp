@@ -1,0 +1,113 @@
+#include "core/quality_analyzer.hpp"
+
+#include <sstream>
+
+#include "core/baselines.hpp"
+#include "core/coverage_requirement.hpp"
+#include "core/reject_model.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace lsiq::quality {
+
+QualityAnalyzer::QualityAnalyzer(double yield, double n0)
+    : QualityAnalyzer(yield, n0, CharacterizationMethod::kGiven) {}
+
+QualityAnalyzer::QualityAnalyzer(double yield, double n0,
+                                 CharacterizationMethod method)
+    : yield_(yield), n0_(n0), method_(method) {
+  LSIQ_EXPECT(yield > 0.0 && yield < 1.0,
+              "QualityAnalyzer requires yield in (0, 1)");
+  LSIQ_EXPECT(n0 >= 1.0, "QualityAnalyzer requires n0 >= 1");
+}
+
+QualityAnalyzer QualityAnalyzer::from_lot_data(
+    const std::vector<CoveragePoint>& points, double yield,
+    CharacterizationMethod method) {
+  switch (method) {
+    case CharacterizationMethod::kSlope: {
+      const SlopeEstimate estimate = estimate_n0_slope(points, yield);
+      return QualityAnalyzer(yield, estimate.n0, method);
+    }
+    case CharacterizationMethod::kDiscreteFit: {
+      const int n0 = estimate_n0_discrete(points, yield);
+      return QualityAnalyzer(yield, static_cast<double>(n0), method);
+    }
+    case CharacterizationMethod::kLeastSquares: {
+      const FitResult fit = estimate_n0_least_squares(points, yield);
+      return QualityAnalyzer(yield, fit.n0, method);
+    }
+    case CharacterizationMethod::kGiven:
+      break;
+  }
+  throw Error("from_lot_data: method must be an estimator");
+}
+
+QualityAnalyzer QualityAnalyzer::from_lot_data_unknown_yield(
+    const std::vector<CoveragePoint>& points) {
+  const JointFit fit = estimate_yield_and_n0(points);
+  return QualityAnalyzer(fit.yield, fit.n0,
+                         CharacterizationMethod::kLeastSquares);
+}
+
+double QualityAnalyzer::reject_rate(double coverage) const {
+  return field_reject_rate(coverage, yield_, n0_);
+}
+
+double QualityAnalyzer::dppm(double coverage) const {
+  return reject_rate(coverage) * 1e6;
+}
+
+double QualityAnalyzer::escape_yield_at(double coverage) const {
+  return escape_yield(coverage, yield_, n0_);
+}
+
+double QualityAnalyzer::tester_fallout(double coverage) const {
+  return reject_fraction(coverage, yield_, n0_);
+}
+
+double QualityAnalyzer::required_coverage(double reject_target) const {
+  return required_fault_coverage(reject_target, yield_, n0_);
+}
+
+double QualityAnalyzer::wadsack_coverage(double reject_target) const {
+  return wadsack_required_coverage(reject_target, yield_);
+}
+
+double QualityAnalyzer::williams_brown_coverage(double reject_target) const {
+  return williams_brown_required_coverage(reject_target, yield_);
+}
+
+std::string QualityAnalyzer::report(
+    const std::vector<double>& reject_targets) const {
+  std::ostringstream out;
+  out << "Product characterization (" << method_name(method_) << ")\n"
+      << "  yield y  = " << util::format_double(yield_, 4) << "\n"
+      << "  n0       = " << util::format_double(n0_, 2)
+      << "  (mean faults on a defective chip)\n"
+      << "  n_av     = " << util::format_double((1.0 - yield_) * n0_, 2)
+      << "  (mean faults per chip, Eq. 2)\n\n";
+
+  util::TextTable table({"target r", "required f (this model)",
+                         "Wadsack [5]", "Williams-Brown"});
+  for (const double r : reject_targets) {
+    table.add_row({util::format_probability(r),
+                   util::format_percent(required_coverage(r)),
+                   util::format_percent(wadsack_coverage(r)),
+                   util::format_percent(williams_brown_coverage(r))});
+  }
+  out << table.to_string();
+  return out.str();
+}
+
+std::string method_name(CharacterizationMethod method) {
+  switch (method) {
+    case CharacterizationMethod::kGiven:        return "given parameters";
+    case CharacterizationMethod::kSlope:        return "initial-slope estimate";
+    case CharacterizationMethod::kDiscreteFit:  return "discrete curve fit";
+    case CharacterizationMethod::kLeastSquares: return "least-squares fit";
+  }
+  return "?";
+}
+
+}  // namespace lsiq::quality

@@ -1,0 +1,84 @@
+// High-level facade tying the model together.
+//
+// A QualityAnalyzer represents one characterized product: (yield, n0),
+// either given directly or fitted from lot data via the Section 5
+// procedure. It answers the questions a test engineer asks:
+// "what reject rate does my current coverage buy?", "what coverage do I
+// need for 1000 DPPM?", and "what do the older models claim?".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/estimation.hpp"
+
+namespace lsiq::quality {
+
+/// How n0 was obtained, for reporting.
+enum class CharacterizationMethod {
+  kGiven,         ///< parameters supplied directly
+  kSlope,         ///< Eq. 10 initial slope
+  kDiscreteFit,   ///< Fig. 5 family-of-curves fit (integer n0)
+  kLeastSquares,  ///< continuous SSE fit
+};
+
+class QualityAnalyzer {
+ public:
+  /// Known parameters (e.g. from a previous characterization).
+  QualityAnalyzer(double yield, double n0);
+
+  /// Characterize from lot data: (coverage, cumulative fraction failed)
+  /// points and an independently known yield. `method` selects the
+  /// estimator (kGiven is invalid here).
+  static QualityAnalyzer from_lot_data(
+      const std::vector<CoveragePoint>& points, double yield,
+      CharacterizationMethod method = CharacterizationMethod::kLeastSquares);
+
+  /// Characterize when the yield is unknown: joint (y, n0) fit.
+  static QualityAnalyzer from_lot_data_unknown_yield(
+      const std::vector<CoveragePoint>& points);
+
+  [[nodiscard]] double yield() const noexcept { return yield_; }
+  [[nodiscard]] double n0() const noexcept { return n0_; }
+  [[nodiscard]] CharacterizationMethod method() const noexcept {
+    return method_;
+  }
+
+  /// Field reject rate at a given stuck-at coverage (Eq. 8).
+  [[nodiscard]] double reject_rate(double coverage) const;
+
+  /// Reject rate expressed in defective parts per million shipped.
+  [[nodiscard]] double dppm(double coverage) const;
+
+  /// Probability a defective chip ships (Eq. 7).
+  [[nodiscard]] double escape_yield_at(double coverage) const;
+
+  /// Fraction of the lot the tester rejects at a coverage (Eq. 9).
+  [[nodiscard]] double tester_fallout(double coverage) const;
+
+  /// Coverage needed for a target reject rate (Section 6).
+  [[nodiscard]] double required_coverage(double reject_target) const;
+
+  /// Coverage the Wadsack [5] model would demand for the same target.
+  [[nodiscard]] double wadsack_coverage(double reject_target) const;
+
+  /// Coverage the Williams-Brown model would demand for the same target.
+  [[nodiscard]] double williams_brown_coverage(double reject_target) const;
+
+  /// Multi-line human-readable summary (used by examples).
+  [[nodiscard]] std::string report(
+      const std::vector<double>& reject_targets = {0.01, 0.005,
+                                                   0.001}) const;
+
+ private:
+  QualityAnalyzer(double yield, double n0, CharacterizationMethod method);
+
+  double yield_;
+  double n0_;
+  CharacterizationMethod method_;
+};
+
+/// Short name for a characterization method ("least-squares fit", ...).
+std::string method_name(CharacterizationMethod method);
+
+}  // namespace lsiq::quality

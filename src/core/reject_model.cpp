@@ -1,0 +1,116 @@
+#include "core/reject_model.hpp"
+
+#include <cmath>
+
+#include "core/detection.hpp"
+#include "core/fault_distribution.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::quality {
+
+namespace {
+
+void require_domain(double f, double y, double n0) {
+  LSIQ_EXPECT(f >= 0.0 && f <= 1.0, "coverage f must be in [0, 1]");
+  LSIQ_EXPECT(y >= 0.0 && y <= 1.0, "yield y must be in [0, 1]");
+  LSIQ_EXPECT(n0 >= 1.0, "n0 must be >= 1");
+}
+
+}  // namespace
+
+double escape_yield(double f, double y, double n0) {
+  require_domain(f, y, n0);
+  return (1.0 - f) * (1.0 - y) * std::exp(-(n0 - 1.0) * f);
+}
+
+double escape_yield_exact(double f, double y, double n0, unsigned N) {
+  require_domain(f, y, n0);
+  LSIQ_EXPECT(N >= 1, "escape_yield_exact requires N >= 1");
+  const auto m = static_cast<unsigned>(
+      std::lround(f * static_cast<double>(N)));
+  const FaultDistribution dist(y, n0);
+
+  // Sum q0_exact(n) p(n) for n >= 1 until the remaining Poisson tail is
+  // negligible. q0 <= 1, so the truncated tail is bounded by the pmf tail;
+  // past the mode the pmf decays super-exponentially, so both cutoffs
+  // below leave a truncation error well under 1e-14 absolute.
+  util::KahanSum acc;
+  double tail = 1.0 - y;  // total defective mass not yet consumed
+  for (unsigned n = 1; n <= N; ++n) {
+    const double p = dist.pmf(n);
+    tail -= p;
+    acc.add(q0_exact(n, m, N) * p);
+    if (n > static_cast<unsigned>(n0) && (tail < 1e-15 || p < 1e-18)) {
+      break;
+    }
+  }
+  return acc.value();
+}
+
+double field_reject_rate(double f, double y, double n0) {
+  const double ybg = escape_yield(f, y, n0);
+  if (y + ybg == 0.0) return 0.0;  // nothing ships at all
+  return ybg / (y + ybg);
+}
+
+double field_reject_rate_exact(double f, double y, double n0, unsigned N) {
+  const double ybg = escape_yield_exact(f, y, n0, N);
+  if (y + ybg == 0.0) return 0.0;
+  return ybg / (y + ybg);
+}
+
+double reject_fraction(double f, double y, double n0) {
+  require_domain(f, y, n0);
+  return (1.0 - y) * (1.0 - (1.0 - f) * std::exp(-(n0 - 1.0) * f));
+}
+
+double reject_fraction_slope_at_zero(double y, double n0) {
+  require_domain(0.0, y, n0);
+  return (1.0 - y) * n0;
+}
+
+double reject_fraction_slope(double f, double y, double n0) {
+  require_domain(f, y, n0);
+  return (1.0 - y) * (1.0 + (1.0 - f) * (n0 - 1.0)) *
+         std::exp(-(n0 - 1.0) * f);
+}
+
+double yield_for_reject_rate(double f, double r, double n0) {
+  LSIQ_EXPECT(r >= 0.0 && r < 1.0, "reject rate must be in [0, 1)");
+  require_domain(f, 0.5, n0);
+  const double escape_term = (1.0 - f) * std::exp(-(n0 - 1.0) * f);
+  const double numerator = (1.0 - r) * escape_term;
+  const double denominator = r + numerator;
+  if (denominator == 0.0) {
+    // f == 1 and r == 0: every shipped chip is good at any yield; Eq. 11
+    // is indeterminate. Return 0 (the curve's limit in the figures).
+    return 0.0;
+  }
+  return numerator / denominator;
+}
+
+double escape_yield_mixed(double f, double y, double n0, double alpha) {
+  require_domain(f, y, n0);
+  LSIQ_EXPECT(alpha > 0.0, "mixed model requires alpha > 0");
+  // E[(1-f)^(1+M)] with M ~ NegBin(alpha, mean n0-1): the NB probability
+  // generating function at z = 1-f is (1 + (n0-1)(1-z)/alpha)^-alpha.
+  const double pgf =
+      std::pow(1.0 + (n0 - 1.0) * f / alpha, -alpha);
+  return (1.0 - f) * (1.0 - y) * pgf;
+}
+
+double field_reject_rate_mixed(double f, double y, double n0, double alpha) {
+  const double ybg = escape_yield_mixed(f, y, n0, alpha);
+  if (y + ybg == 0.0) return 0.0;
+  return ybg / (y + ybg);
+}
+
+double reject_fraction_mixed(double f, double y, double n0, double alpha) {
+  require_domain(f, y, n0);
+  LSIQ_EXPECT(alpha > 0.0, "mixed model requires alpha > 0");
+  const double pgf = std::pow(1.0 + (n0 - 1.0) * f / alpha, -alpha);
+  return (1.0 - y) * (1.0 - (1.0 - f) * pgf);
+}
+
+}  // namespace lsiq::quality

@@ -1,0 +1,68 @@
+// The paper's central results: escape yield, field reject rate and tester
+// reject fraction as functions of fault coverage (Sections 4-6).
+//
+//   Ybg(f) = (1-f)(1-y) e^{-(n0-1) f}                          (Eq. 7)
+//   r(f)   = Ybg(f) / (y + Ybg(f))                             (Eq. 8)
+//   P(f)   = (1-y) [1 - (1-f) e^{-(n0-1) f}]                   (Eq. 9)
+//   P'(0)  = (1-y) n0                                          (Eq. 10)
+//   y(f,r) = (1-r)(1-f)e^{-(n0-1)f} / [r + (1-r)(1-f)e^{-(n0-1)f}] (Eq. 11)
+//
+// The closed forms use the simple escape approximation (A.3); the exact
+// variants evaluate Eq. 6 as a sum over the fault distribution with the
+// exact hypergeometric q0 (A.1), so the approximation error the paper
+// bounds in its Appendix can be measured (bench/ablation_approximations).
+//
+// Gamma-mixed variants (suffix _mixed) generalize the defective-chip fault
+// count to a negative binomial — the direction of the paper's ref [15].
+#pragma once
+
+namespace lsiq::quality {
+
+/// Probability that a manufactured chip is defective *and* passes tests
+/// with coverage f (Eq. 7). f, y in [0, 1]; n0 >= 1.
+double escape_yield(double f, double y, double n0);
+
+/// Eq. 6 evaluated exactly: sum_n q0_exact(n) p(n) over the shifted-Poisson
+/// fault distribution, with a universe of N faults (m = round(f N)). The
+/// series is truncated once the Poisson tail falls below 1e-18 relative.
+double escape_yield_exact(double f, double y, double n0, unsigned N);
+
+/// Field reject rate r(f) (Eq. 8): the fraction of shipped ("tested good")
+/// chips that are in fact defective.
+double field_reject_rate(double f, double y, double n0);
+
+/// Exact-sum counterpart of field_reject_rate.
+double field_reject_rate_exact(double f, double y, double n0, unsigned N);
+
+/// Tester reject fraction P(f) (Eq. 9): the fraction of all chips rejected
+/// by tests with coverage f. This is the curve fitted against lot data to
+/// determine n0 (Section 5, Fig. 5).
+double reject_fraction(double f, double y, double n0);
+
+/// dP/df at f = 0 (Eq. 10) — equals the unconditional mean fault count
+/// n_av = (1-y) n0, which is why the initial slope of the lot fallout
+/// curve estimates n0.
+double reject_fraction_slope_at_zero(double y, double n0);
+
+/// Derivative of P at arbitrary f (used by estimator diagnostics):
+/// P'(f) = (1-y) [1 + (1-f)(n0-1)] e^{-(n0-1) f}.
+double reject_fraction_slope(double f, double y, double n0);
+
+/// Eq. 11: the yield at which tests with coverage f deliver reject rate r.
+/// This is the form the paper plots in Figs. 2-4.
+double yield_for_reject_rate(double f, double r, double n0);
+
+// ---- gamma-mixed (negative binomial) extension ----
+
+/// Escape yield when the defective-chip fault count is 1 + NegBin with
+/// shape alpha and mean n0-1: Ybg = (1-f)(1-y) (1 + (n0-1) f / alpha)^-alpha.
+/// alpha -> infinity recovers escape_yield.
+double escape_yield_mixed(double f, double y, double n0, double alpha);
+
+/// Reject rate under the mixed model.
+double field_reject_rate_mixed(double f, double y, double n0, double alpha);
+
+/// Tester reject fraction under the mixed model.
+double reject_fraction_mixed(double f, double y, double n0, double alpha);
+
+}  // namespace lsiq::quality

@@ -1,0 +1,69 @@
+#include "fault/coverage.hpp"
+
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+
+CoverageCurve::CoverageCurve(std::vector<std::size_t> cumulative_covered,
+                             std::size_t universe_size)
+    : cumulative_(std::move(cumulative_covered)),
+      universe_size_(universe_size) {
+  LSIQ_EXPECT(universe_size_ > 0, "CoverageCurve: empty fault universe");
+  for (std::size_t t = 0; t < cumulative_.size(); ++t) {
+    LSIQ_EXPECT(cumulative_[t] <= universe_size_,
+                "CoverageCurve: covered count exceeds universe");
+    if (t > 0) {
+      LSIQ_EXPECT(cumulative_[t] >= cumulative_[t - 1],
+                  "CoverageCurve: cumulative count must be non-decreasing");
+    }
+  }
+}
+
+CoverageCurve CoverageCurve::from_first_detection(
+    const std::vector<std::int64_t>& first_detection,
+    const std::vector<std::size_t>& class_weights, std::size_t universe_size,
+    std::size_t pattern_count) {
+  LSIQ_EXPECT(first_detection.size() == class_weights.size(),
+              "from_first_detection: size mismatch");
+  std::vector<std::size_t> newly(pattern_count, 0);
+  for (std::size_t c = 0; c < first_detection.size(); ++c) {
+    const std::int64_t t = first_detection[c];
+    if (t < 0) continue;
+    LSIQ_EXPECT(static_cast<std::size_t>(t) < pattern_count,
+                "from_first_detection: detection index out of range");
+    newly[static_cast<std::size_t>(t)] += class_weights[c];
+  }
+  std::vector<std::size_t> cumulative(pattern_count, 0);
+  std::size_t running = 0;
+  for (std::size_t t = 0; t < pattern_count; ++t) {
+    running += newly[t];
+    cumulative[t] = running;
+  }
+  return CoverageCurve(std::move(cumulative), universe_size);
+}
+
+std::size_t CoverageCurve::covered_after(std::size_t patterns) const {
+  if (patterns > cumulative_.size()) patterns = cumulative_.size();
+  if (patterns == 0) return 0;  // also covers the empty curve
+  return cumulative_[patterns - 1];
+}
+
+double CoverageCurve::coverage_after(std::size_t patterns) const {
+  return static_cast<double>(covered_after(patterns)) /
+         static_cast<double>(universe_size_);
+}
+
+double CoverageCurve::final_coverage() const {
+  return coverage_after(cumulative_.size());
+}
+
+std::size_t CoverageCurve::patterns_for_coverage(double target) const {
+  LSIQ_EXPECT(target >= 0.0 && target <= 1.0,
+              "patterns_for_coverage: target outside [0,1]");
+  for (std::size_t t = 1; t <= cumulative_.size(); ++t) {
+    if (coverage_after(t) >= target) return t;
+  }
+  return cumulative_.size() + 1;
+}
+
+}  // namespace lsiq::fault

@@ -1,0 +1,58 @@
+// Cumulative fault-coverage curves.
+//
+// The paper's characterization procedure (Section 5) rests on the curve of
+// cumulative fault coverage versus applied-pattern count, produced by a
+// fault simulator evaluating the patterns *in tester order*. This type
+// holds that curve and answers both directions: coverage after t patterns,
+// and the first pattern index reaching a target coverage (used to place the
+// tester "strobes" of Table 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsiq::fault {
+
+class CoverageCurve {
+ public:
+  /// `cumulative_covered[t]` = universe faults covered by patterns 0..t
+  /// (weighted by equivalence-class size); `universe_size` is the paper's N.
+  CoverageCurve(std::vector<std::size_t> cumulative_covered,
+                std::size_t universe_size);
+
+  /// Build from per-class first-detection pattern indices (-1 = never) and
+  /// class weights.
+  static CoverageCurve from_first_detection(
+      const std::vector<std::int64_t>& first_detection,
+      const std::vector<std::size_t>& class_weights,
+      std::size_t universe_size, std::size_t pattern_count);
+
+  /// Number of patterns the curve covers.
+  [[nodiscard]] std::size_t pattern_count() const noexcept {
+    return cumulative_.size();
+  }
+
+  /// The universe size N.
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return universe_size_;
+  }
+
+  /// Faults covered by the first `patterns` patterns.
+  [[nodiscard]] std::size_t covered_after(std::size_t patterns) const;
+
+  /// Coverage fraction f = m/N after the first `patterns` patterns.
+  [[nodiscard]] double coverage_after(std::size_t patterns) const;
+
+  /// Final coverage of the whole set.
+  [[nodiscard]] double final_coverage() const;
+
+  /// Smallest pattern count t with coverage_after(t) >= target. Returns
+  /// pattern_count() + 1 when the target is never reached.
+  [[nodiscard]] std::size_t patterns_for_coverage(double target) const;
+
+ private:
+  std::vector<std::size_t> cumulative_;
+  std::size_t universe_size_;
+};
+
+}  // namespace lsiq::fault

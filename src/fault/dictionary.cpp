@@ -1,0 +1,119 @@
+#include "fault/dictionary.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "fault/fault_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+
+using circuit::Circuit;
+
+FaultDictionary FaultDictionary::build(const FaultList& faults,
+                                       const sim::PatternSet& patterns,
+                                       const StrobeSchedule* schedule) {
+  const Circuit& circuit = faults.circuit();
+  LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
+              "FaultDictionary: pattern width does not match circuit");
+  LSIQ_EXPECT(!patterns.empty(), "FaultDictionary: empty pattern set");
+  if (schedule != nullptr) {
+    LSIQ_EXPECT(schedule->point_count() == circuit.observed_points().size(),
+                "FaultDictionary: schedule must cover every observed point");
+  }
+
+  FaultDictionary dictionary;
+  dictionary.pattern_count_ = patterns.size();
+  dictionary.signatures_.assign(
+      faults.class_count(),
+      std::vector<std::uint64_t>(patterns.block_count(), 0));
+
+  sim::ParallelSimulator good_sim(circuit);
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    good_sim.simulate_block(patterns.block_words(b));
+    const std::uint64_t lane_mask = patterns.block_mask(b);
+    std::vector<std::uint64_t> point_masks;
+    const std::vector<std::uint64_t>* masks = nullptr;
+    if (schedule != nullptr && !schedule->is_full()) {
+      point_masks.resize(circuit.observed_points().size());
+      for (std::size_t i = 0; i < point_masks.size(); ++i) {
+        point_masks[i] = schedule->lane_mask(i, b);
+      }
+      masks = &point_masks;
+    }
+    for (std::size_t c = 0; c < faults.class_count(); ++c) {
+      const std::uint64_t word =
+          detect_word_for_fault(circuit, faults.representatives()[c],
+                                good_sim.values(), masks) &
+          lane_mask;
+      dictionary.signatures_[c][b] = word;
+    }
+  }
+  return dictionary;
+}
+
+const std::vector<std::uint64_t>& FaultDictionary::signature(
+    std::size_t class_index) const {
+  LSIQ_EXPECT(class_index < signatures_.size(),
+              "signature: class index out of range");
+  return signatures_[class_index];
+}
+
+bool FaultDictionary::detects(std::size_t class_index,
+                              std::size_t pattern) const {
+  LSIQ_EXPECT(pattern < pattern_count_, "detects: pattern out of range");
+  const auto& sig = signature(class_index);
+  return ((sig[pattern / 64] >> (pattern % 64)) & 1ULL) != 0;
+}
+
+std::vector<FaultDictionary::Candidate> FaultDictionary::diagnose(
+    const std::vector<bool>& failing_patterns, std::size_t top_k) const {
+  LSIQ_EXPECT(failing_patterns.size() == pattern_count_,
+              "diagnose: observation length mismatch");
+
+  // Pack the observation.
+  std::vector<std::uint64_t> observed((pattern_count_ + 63) / 64, 0);
+  bool any_fail = false;
+  for (std::size_t t = 0; t < pattern_count_; ++t) {
+    if (failing_patterns[t]) {
+      observed[t / 64] |= 1ULL << (t % 64);
+      any_fail = true;
+    }
+  }
+  if (!any_fail) return {};
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(signatures_.size());
+  for (std::size_t c = 0; c < signatures_.size(); ++c) {
+    std::size_t intersection = 0;
+    std::size_t set_union = 0;
+    for (std::size_t w = 0; w < observed.size(); ++w) {
+      intersection += static_cast<std::size_t>(
+          std::popcount(observed[w] & signatures_[c][w]));
+      set_union += static_cast<std::size_t>(
+          std::popcount(observed[w] | signatures_[c][w]));
+    }
+    if (set_union == 0) continue;  // never-detected class vs failing chip
+    candidates.push_back(Candidate{
+        c, static_cast<double>(intersection) /
+               static_cast<double>(set_union)});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  if (candidates.size() > top_k) candidates.resize(top_k);
+  return candidates;
+}
+
+std::size_t FaultDictionary::distinct_signature_count() const {
+  std::map<std::vector<std::uint64_t>, int> seen;
+  for (const auto& sig : signatures_) {
+    seen.emplace(sig, 0);
+  }
+  return seen.size();
+}
+
+}  // namespace lsiq::fault

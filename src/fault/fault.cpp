@@ -1,0 +1,24 @@
+#include "fault/fault.hpp"
+
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+
+std::string fault_name(const circuit::Circuit& circuit, const Fault& fault) {
+  const std::string base = circuit.gate(fault.gate).name;
+  const std::string site =
+      is_stem(fault) ? "/out" : "/in" + std::to_string(fault.pin);
+  return base + site + (fault.stuck_at_one ? " s-a-1" : " s-a-0");
+}
+
+circuit::GateId fault_line(const circuit::Circuit& circuit,
+                           const Fault& fault) {
+  if (is_stem(fault)) return fault.gate;
+  const auto& fanin = circuit.gate(fault.gate).fanin;
+  LSIQ_EXPECT(fault.pin >= 0 &&
+                  static_cast<std::size_t>(fault.pin) < fanin.size(),
+              "fault pin out of range");
+  return fanin[static_cast<std::size_t>(fault.pin)];
+}
+
+}  // namespace lsiq::fault

@@ -1,0 +1,37 @@
+// The single stuck-at fault model.
+//
+// A fault site is a (gate, pin) pair: pin == -1 is the gate's output line
+// (the "stem"), pin >= 0 is one input pin (a "branch" of the driving net's
+// fanout). Each site can be stuck-at-0 or stuck-at-1. This is the fault
+// model whose coverage figure the paper's analysis turns into a product
+// quality statement.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace lsiq::fault {
+
+struct Fault {
+  circuit::GateId gate = circuit::kNoGate;
+  std::int32_t pin = -1;      ///< -1 = output stem, >= 0 = input pin index
+  bool stuck_at_one = false;  ///< stuck value
+
+  friend auto operator<=>(const Fault&, const Fault&) = default;
+};
+
+/// True when the fault sits on the gate's output line.
+inline bool is_stem(const Fault& f) noexcept { return f.pin < 0; }
+
+/// Human-readable fault name, e.g. "G16/out s-a-1" or "G22/in0 s-a-0".
+std::string fault_name(const circuit::Circuit& circuit, const Fault& fault);
+
+/// The signal line the fault lives on: the gate itself for a stem fault,
+/// the driving gate for a branch fault.
+circuit::GateId fault_line(const circuit::Circuit& circuit,
+                           const Fault& fault);
+
+}  // namespace lsiq::fault

@@ -1,0 +1,209 @@
+#include "fault/fault_list.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+
+namespace {
+
+/// Union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Keep the smaller index as root so representatives are deterministic.
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+FaultList FaultList::full_universe(const Circuit& circuit) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "FaultList requires a finalized circuit");
+  FaultList list(circuit);
+
+  list.gate_offset_.resize(circuit.gate_count() + 1, 0);
+  for (GateId id = 0; id < circuit.gate_count(); ++id) {
+    list.gate_offset_[id] = list.faults_.size();
+    // Stem faults.
+    list.faults_.push_back(Fault{id, -1, false});
+    list.faults_.push_back(Fault{id, -1, true});
+    // Branch faults, one pair per input pin.
+    const Gate& g = circuit.gate(id);
+    for (std::int32_t pin = 0;
+         pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+      list.faults_.push_back(Fault{id, pin, false});
+      list.faults_.push_back(Fault{id, pin, true});
+    }
+  }
+  list.gate_offset_[circuit.gate_count()] = list.faults_.size();
+
+  list.collapse();
+  return list;
+}
+
+FaultList FaultList::checkpoints(const Circuit& circuit) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "FaultList requires a finalized circuit");
+  FaultList list(circuit);
+  list.gate_offset_.assign(circuit.gate_count() + 1, 0);
+
+  for (GateId id = 0; id < circuit.gate_count(); ++id) {
+    list.gate_offset_[id] = list.faults_.size();
+    const Gate& g = circuit.gate(id);
+    // Checkpoints: source outputs (primary and scan inputs) ...
+    if (g.type == GateType::kInput || g.type == GateType::kDff) {
+      list.faults_.push_back(Fault{id, -1, false});
+      list.faults_.push_back(Fault{id, -1, true});
+    }
+    // ... and branches of nets with fanout >= 2.
+    for (std::int32_t pin = 0;
+         pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+      const GateId driver = g.fanin[static_cast<std::size_t>(pin)];
+      if (circuit.gate(driver).fanout.size() >= 2) {
+        list.faults_.push_back(Fault{id, pin, false});
+        list.faults_.push_back(Fault{id, pin, true});
+      }
+    }
+  }
+  list.gate_offset_[circuit.gate_count()] = list.faults_.size();
+
+  // Checkpoint faults are pairwise non-equivalent by construction; classes
+  // are singletons.
+  list.class_of_.resize(list.faults_.size());
+  std::iota(list.class_of_.begin(), list.class_of_.end(), 0);
+  list.representatives_ = list.faults_;
+  list.class_sizes_.assign(list.faults_.size(), 1);
+  return list;
+}
+
+std::size_t FaultList::index_of(const Fault& fault) const {
+  if (fault.gate >= circuit_->gate_count()) return faults_.size();
+  for (std::size_t i = gate_offset_[fault.gate];
+       i < gate_offset_[fault.gate + 1]; ++i) {
+    if (faults_[i] == fault) return i;
+  }
+  return faults_.size();
+}
+
+void FaultList::collapse() {
+  DisjointSets sets(faults_.size());
+
+  auto unite = [&](const Fault& a, const Fault& b) {
+    const std::size_t ia = index_of(a);
+    const std::size_t ib = index_of(b);
+    LSIQ_EXPECT(ia < faults_.size() && ib < faults_.size(),
+                "collapse: fault missing from universe");
+    sets.unite(ia, ib);
+  };
+
+  for (GateId id = 0; id < circuit_->gate_count(); ++id) {
+    const Gate& g = circuit_->gate(id);
+
+    // Gate-local input/output equivalences.
+    switch (g.type) {
+      case GateType::kBuf:
+        unite(Fault{id, 0, false}, Fault{id, -1, false});
+        unite(Fault{id, 0, true}, Fault{id, -1, true});
+        break;
+      case GateType::kNot:
+        unite(Fault{id, 0, false}, Fault{id, -1, true});
+        unite(Fault{id, 0, true}, Fault{id, -1, false});
+        break;
+      case GateType::kAnd:
+        for (std::int32_t pin = 0;
+             pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+          unite(Fault{id, pin, false}, Fault{id, -1, false});
+        }
+        break;
+      case GateType::kNand:
+        for (std::int32_t pin = 0;
+             pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+          unite(Fault{id, pin, false}, Fault{id, -1, true});
+        }
+        break;
+      case GateType::kOr:
+        for (std::int32_t pin = 0;
+             pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+          unite(Fault{id, pin, true}, Fault{id, -1, true});
+        }
+        break;
+      case GateType::kNor:
+        for (std::int32_t pin = 0;
+             pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+          unite(Fault{id, pin, true}, Fault{id, -1, false});
+        }
+        break;
+      default:
+        break;  // XOR/XNOR, sources, constants: no gate-local equivalences
+    }
+
+    // Single-fanout nets: the branch is the same line as the stem.
+    for (std::int32_t pin = 0;
+         pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
+      const GateId driver = g.fanin[static_cast<std::size_t>(pin)];
+      if (circuit_->gate(driver).fanout.size() == 1) {
+        unite(Fault{id, pin, false}, Fault{driver, -1, false});
+        unite(Fault{id, pin, true}, Fault{driver, -1, true});
+      }
+    }
+  }
+
+  // Materialize classes in deterministic (root index) order.
+  std::vector<std::size_t> root_to_class(faults_.size(), faults_.size());
+  class_of_.resize(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const std::size_t root = sets.find(i);
+    if (root_to_class[root] == faults_.size()) {
+      root_to_class[root] = representatives_.size();
+      representatives_.push_back(faults_[root]);
+      class_sizes_.push_back(0);
+    }
+    class_of_[i] = root_to_class[root];
+    ++class_sizes_[root_to_class[root]];
+  }
+}
+
+std::size_t FaultList::class_size(std::size_t class_index) const {
+  LSIQ_EXPECT(class_index < class_sizes_.size(),
+              "class_size: index out of range");
+  return class_sizes_[class_index];
+}
+
+std::size_t FaultList::class_of(std::size_t fault_index) const {
+  LSIQ_EXPECT(fault_index < class_of_.size(),
+              "class_of: index out of range");
+  return class_of_[fault_index];
+}
+
+}  // namespace lsiq::fault

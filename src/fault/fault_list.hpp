@@ -1,0 +1,88 @@
+// Fault universe enumeration and structural equivalence collapsing.
+//
+// The paper's N — "total number of possible faults on a chip" — is the size
+// of this universe; its coverage f = m/N is computed against it. Collapsing
+// groups faults that no test can distinguish (classic structural
+// equivalence), so the simulators only carry one representative per class
+// while coverage is still accounted over the full universe via class sizes.
+//
+// Equivalence rules applied (union-find closure):
+//   * single-input gates:  in s-a-v  ==  out s-a-v (BUF) / out s-a-!v (NOT)
+//   * AND:  any in s-a-0  ==  out s-a-0      NAND:  any in s-a-0 == out s-a-1
+//   * OR:   any in s-a-1  ==  out s-a-1      NOR:   any in s-a-1 == out s-a-0
+//   * single-fanout nets:  branch s-a-v  ==  driver stem s-a-v
+// XOR/XNOR gates contribute no equivalences.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace lsiq::fault {
+
+/// NOTE ON LIFETIME: a FaultList refers to its Circuit by reference; the
+/// circuit must outlive the list and must not be moved after the list is
+/// built (moving a Circuit transfers its storage and leaves the reference
+/// dangling).
+class FaultList {
+ public:
+  /// Enumerate every stuck-at fault in the circuit (2 per stem + 2 per
+  /// input pin) and collapse equivalences.
+  static FaultList full_universe(const circuit::Circuit& circuit);
+
+  /// The checkpoint subset: faults on primary inputs (and scan outputs) and
+  /// on fanout branches. For fanout-free-region analysis and as a cheaper
+  /// ATPG target list.
+  static FaultList checkpoints(const circuit::Circuit& circuit);
+
+  /// Total faults enumerated before collapsing (the paper's N).
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return faults_.size();
+  }
+
+  /// Number of equivalence classes (faults actually simulated).
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return representatives_.size();
+  }
+
+  /// All enumerated faults, in deterministic order.
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+    return faults_;
+  }
+
+  /// One representative fault per equivalence class.
+  [[nodiscard]] const std::vector<Fault>& representatives() const noexcept {
+    return representatives_;
+  }
+
+  /// Number of universe faults collapsed into class `class_index` — the
+  /// weight used to convert detected classes into covered universe faults.
+  [[nodiscard]] std::size_t class_size(std::size_t class_index) const;
+
+  /// Class index of an enumerated fault.
+  [[nodiscard]] std::size_t class_of(std::size_t fault_index) const;
+
+  /// Index of a fault in faults(); returns fault_count() when the fault is
+  /// not part of this universe (e.g. pin of a source gate).
+  [[nodiscard]] std::size_t index_of(const Fault& fault) const;
+
+  [[nodiscard]] const circuit::Circuit& circuit() const noexcept {
+    return *circuit_;
+  }
+
+ private:
+  explicit FaultList(const circuit::Circuit& circuit) : circuit_(&circuit) {}
+  void collapse();
+
+  const circuit::Circuit* circuit_;
+  std::vector<Fault> faults_;
+  std::vector<std::size_t> class_of_;
+  std::vector<Fault> representatives_;
+  std::vector<std::size_t> class_sizes_;
+  /// Prefix offset per gate into faults_ (stem faults first, then pins).
+  std::vector<std::size_t> gate_offset_;
+};
+
+}  // namespace lsiq::fault

@@ -1,0 +1,401 @@
+#include "fault/fault_sim.hpp"
+
+#include <bit>
+
+#include "sim/parallel_sim.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+
+namespace {
+
+/// Event-driven faulty-machine propagation over one 64-pattern block.
+/// Scratch arrays are epoch-stamped so consecutive faults reuse them
+/// without clearing — the heart of the PPSFP inner loop.
+class Propagator {
+ public:
+  explicit Propagator(const Circuit& circuit)
+      : circuit_(&circuit),
+        faulty_(circuit.gate_count(), 0),
+        epoch_of_(circuit.gate_count(), 0),
+        queued_(circuit.gate_count(), 0) {
+    std::size_t depth = 0;
+    for (GateId id = 0; id < circuit.gate_count(); ++id) {
+      depth = std::max<std::size_t>(depth, circuit.gate(id).level);
+    }
+    buckets_.resize(depth + 1);
+  }
+
+  /// Detection word (bit p = pattern p of the block detects the fault).
+  /// `good` holds the good-machine words of every gate. `point_masks`,
+  /// when non-null, gives per observed point the lanes in which the tester
+  /// strobes it this block (strobe-schedule support); null means full
+  /// observability.
+  std::uint64_t detect_word(const Fault& fault,
+                            const std::vector<std::uint64_t>& good,
+                            const std::vector<std::uint64_t>* point_masks =
+                                nullptr) {
+    ++epoch_;
+    const std::uint64_t sv_word = fault.stuck_at_one ? ~0ULL : 0ULL;
+    const Gate& site_gate = circuit_->gate(fault.gate);
+
+    // A branch fault on a flip-flop's D pin never propagates through logic;
+    // it is captured directly at that flip-flop's pseudo primary output.
+    if (!is_stem(fault) && site_gate.type == GateType::kDff) {
+      const std::uint64_t diff = sv_word ^ good[site_gate.fanin.front()];
+      if (point_masks == nullptr) return diff;
+      return diff & (*point_masks)[dff_point_index(fault.gate)];
+    }
+
+    std::uint64_t faulty_site;
+    if (is_stem(fault)) {
+      faulty_site = sv_word;
+    } else {
+      faulty_site = sim::eval_gate_word_with_pin(*circuit_, fault.gate, good,
+                                                 fault.pin, sv_word);
+    }
+    if ((faulty_site ^ good[fault.gate]) == 0) {
+      return 0;  // fault effect never appears at the site in this block
+    }
+
+    set_faulty(fault.gate, faulty_site);
+    max_level_ = site_gate.level;
+    schedule_fanout(fault.gate);
+
+    // Level-ordered wave; every scheduled gate has level > its scheduler.
+    for (std::size_t level = site_gate.level; level <= max_level_; ++level) {
+      auto& bucket = buckets_[level];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const GateId id = bucket[i];
+        queued_[id] = 0;
+        const std::uint64_t value = eval_mixed(id, good);
+        if (value != good[id]) {
+          set_faulty(id, value);
+          schedule_fanout(id);
+        } else if (epoch_of_[id] == epoch_) {
+          // Reconvergence cancelled the effect; restore the good view.
+          faulty_[id] = value;
+        }
+      }
+      bucket.clear();
+    }
+
+    // Observation.
+    std::uint64_t detect = 0;
+    const auto& points = circuit_->observed_points();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const GateId point = points[i];
+      if (epoch_of_[point] != epoch_) continue;
+      std::uint64_t diff = faulty_[point] ^ good[point];
+      if (point_masks != nullptr) {
+        diff &= (*point_masks)[i];
+      }
+      detect |= diff;
+    }
+    return detect;
+  }
+
+ private:
+  /// Observed-point index of a flip-flop's pseudo primary output.
+  std::size_t dff_point_index(GateId dff) const {
+    const auto& ffs = circuit_->flip_flops();
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      if (ffs[i] == dff) {
+        return circuit_->primary_outputs().size() + i;
+      }
+    }
+    throw Error("dff_point_index: gate is not a registered flip-flop");
+  }
+  void set_faulty(GateId id, std::uint64_t value) {
+    faulty_[id] = value;
+    epoch_of_[id] = epoch_;
+  }
+
+  std::uint64_t operand(GateId id,
+                        const std::vector<std::uint64_t>& good) const {
+    return epoch_of_[id] == epoch_ ? faulty_[id] : good[id];
+  }
+
+  std::uint64_t eval_mixed(GateId id, const std::vector<std::uint64_t>& good) {
+    const Gate& g = circuit_->gate(id);
+    scratch_.resize(g.fanin.size());
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      scratch_[i] = operand(g.fanin[i], good);
+    }
+    // Inline word-level evaluation over the mixed operands (cheaper than
+    // routing through the id-indexed eval_gate_word interface).
+    switch (g.type) {
+      case GateType::kBuf:
+        return scratch_[0];
+      case GateType::kNot:
+        return ~scratch_[0];
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::uint64_t acc = scratch_[0];
+        for (std::size_t i = 1; i < scratch_.size(); ++i) acc &= scratch_[i];
+        return g.type == GateType::kNand ? ~acc : acc;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint64_t acc = scratch_[0];
+        for (std::size_t i = 1; i < scratch_.size(); ++i) acc |= scratch_[i];
+        return g.type == GateType::kNor ? ~acc : acc;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::uint64_t acc = scratch_[0];
+        for (std::size_t i = 1; i < scratch_.size(); ++i) acc ^= scratch_[i];
+        return g.type == GateType::kXnor ? ~acc : acc;
+      }
+      default:
+        throw Error("eval_mixed: unexpected gate type in propagation wave");
+    }
+  }
+
+  void schedule_fanout(GateId id) {
+    for (const GateId reader : circuit_->gate(id).fanout) {
+      const Gate& g = circuit_->gate(reader);
+      if (g.type == GateType::kDff) continue;  // capture boundary
+      if (queued_[reader] != 0) continue;
+      queued_[reader] = 1;
+      buckets_[g.level].push_back(reader);
+      max_level_ = std::max<std::size_t>(max_level_, g.level);
+    }
+  }
+
+  const Circuit* circuit_;
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> epoch_of_;
+  std::vector<char> queued_;
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<std::uint64_t> scratch_;
+  std::uint32_t epoch_ = 0;
+  std::size_t max_level_ = 0;
+};
+
+/// Full faulty-machine simulation of one block (every gate re-evaluated).
+/// Independent of the event-driven path on purpose: it is the oracle the
+/// fast engine is validated against.
+std::vector<std::uint64_t> simulate_faulty_block_full(
+    const Circuit& circuit, const Fault& fault,
+    const std::vector<std::uint64_t>& input_words) {
+  const std::uint64_t sv_word = fault.stuck_at_one ? ~0ULL : 0ULL;
+  std::vector<std::uint64_t> values(circuit.gate_count(), 0);
+
+  const auto& inputs = circuit.pattern_inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values[inputs[i]] = input_words[i];
+  }
+  if (is_stem(fault)) {
+    const GateType t = circuit.gate(fault.gate).type;
+    if (t == GateType::kInput || t == GateType::kDff) {
+      values[fault.gate] = sv_word;
+    }
+  }
+  for (const GateId id : circuit.topological_order()) {
+    const Gate& g = circuit.gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    if (!is_stem(fault) && id == fault.gate &&
+        g.type != GateType::kDff) {
+      values[id] = sim::eval_gate_word_with_pin(circuit, id, values,
+                                                fault.pin, sv_word);
+    } else {
+      values[id] = sim::eval_gate_word(circuit, id, values);
+    }
+    if (is_stem(fault) && id == fault.gate) {
+      values[id] = sv_word;
+    }
+  }
+  return values;
+}
+
+std::uint64_t observe_difference(const Circuit& circuit, const Fault& fault,
+                                 const std::vector<std::uint64_t>& faulty,
+                                 const std::vector<std::uint64_t>& good,
+                                 const std::vector<std::uint64_t>*
+                                     point_masks) {
+  const std::uint64_t sv_word = fault.stuck_at_one ? ~0ULL : 0ULL;
+  const auto& points = circuit.observed_points();
+  const std::size_t num_po = circuit.primary_outputs().size();
+  const bool dff_pin_fault =
+      !is_stem(fault) && circuit.gate(fault.gate).type == GateType::kDff;
+
+  std::uint64_t detect = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::uint64_t faulty_value = faulty[points[i]];
+    if (dff_pin_fault && i >= num_po &&
+        circuit.flip_flops()[i - num_po] == fault.gate) {
+      faulty_value = sv_word;  // the faulted scan capture sees the stuck value
+    }
+    std::uint64_t diff = faulty_value ^ good[points[i]];
+    if (point_masks != nullptr) {
+      diff &= (*point_masks)[i];
+    }
+    detect |= diff;
+  }
+  return detect;
+}
+
+/// Per-block strobe lane masks, or nullptr when the schedule is full (or
+/// absent) and masking can be skipped entirely.
+class ScheduleMasks {
+ public:
+  ScheduleMasks(const Circuit& circuit, const StrobeSchedule* schedule)
+      : schedule_(schedule != nullptr && !schedule->is_full() ? schedule
+                                                              : nullptr) {
+    if (schedule != nullptr) {
+      LSIQ_EXPECT(schedule->point_count() ==
+                      circuit.observed_points().size(),
+                  "strobe schedule must cover every observed point");
+    }
+    if (schedule_ != nullptr) {
+      masks_.resize(circuit.observed_points().size());
+    }
+  }
+
+  /// Masks for one block; nullptr means "everything strobed".
+  const std::vector<std::uint64_t>* for_block(std::size_t block) {
+    if (schedule_ == nullptr) return nullptr;
+    for (std::size_t i = 0; i < masks_.size(); ++i) {
+      masks_[i] = schedule_->lane_mask(i, block);
+    }
+    return &masks_;
+  }
+
+ private:
+  const StrobeSchedule* schedule_;
+  std::vector<std::uint64_t> masks_;
+};
+
+void finalize_result(const FaultList& faults, FaultSimResult& result) {
+  result.covered_faults = 0;
+  result.detected_classes = 0;
+  for (std::size_t c = 0; c < result.first_detection.size(); ++c) {
+    if (result.first_detection[c] >= 0) {
+      ++result.detected_classes;
+      result.covered_faults += faults.class_size(c);
+    }
+  }
+  result.coverage = static_cast<double>(result.covered_faults) /
+                    static_cast<double>(faults.fault_count());
+}
+
+}  // namespace
+
+CoverageCurve FaultSimResult::curve(const FaultList& faults,
+                                    std::size_t pattern_count) const {
+  std::vector<std::size_t> weights(faults.class_count());
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    weights[c] = faults.class_size(c);
+  }
+  return CoverageCurve::from_first_detection(
+      first_detection, weights, faults.fault_count(), pattern_count);
+}
+
+FaultSimResult simulate_serial(const FaultList& faults,
+                               const sim::PatternSet& patterns,
+                               const StrobeSchedule* schedule) {
+  const Circuit& circuit = faults.circuit();
+  LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
+              "simulate_serial: pattern width does not match circuit");
+  ScheduleMasks strobe_masks(circuit, schedule);
+
+  // Good-machine simulation, one pass, values retained per block.
+  sim::ParallelSimulator good_sim(circuit);
+  std::vector<std::vector<std::uint64_t>> good_blocks;
+  good_blocks.reserve(patterns.block_count());
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    good_sim.simulate_block(patterns.block_words(b));
+    good_blocks.push_back(good_sim.values());
+  }
+
+  FaultSimResult result;
+  result.first_detection.assign(faults.class_count(), -1);
+  for (std::size_t c = 0; c < faults.class_count(); ++c) {
+    const Fault& fault = faults.representatives()[c];
+    for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+      const std::vector<std::uint64_t> faulty = simulate_faulty_block_full(
+          circuit, fault, patterns.block_words(b));
+      const std::uint64_t detect =
+          observe_difference(circuit, fault, faulty, good_blocks[b],
+                             strobe_masks.for_block(b)) &
+          patterns.block_mask(b);
+      if (detect != 0) {
+        result.first_detection[c] =
+            static_cast<std::int64_t>(b * 64 + std::countr_zero(detect));
+        break;
+      }
+    }
+  }
+  finalize_result(faults, result);
+  return result;
+}
+
+std::uint64_t detect_word_for_fault(
+    const Circuit& circuit, const Fault& fault,
+    const std::vector<std::uint64_t>& good_values) {
+  Propagator propagator(circuit);
+  return propagator.detect_word(fault, good_values);
+}
+
+std::uint64_t detect_word_for_fault(
+    const Circuit& circuit, const Fault& fault,
+    const std::vector<std::uint64_t>& good_values,
+    const std::vector<std::uint64_t>* point_masks) {
+  Propagator propagator(circuit);
+  return propagator.detect_word(fault, good_values, point_masks);
+}
+
+FaultSimResult simulate_ppsfp(const FaultList& faults,
+                              const sim::PatternSet& patterns,
+                              const StrobeSchedule* schedule) {
+  const Circuit& circuit = faults.circuit();
+  LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
+              "simulate_ppsfp: pattern width does not match circuit");
+  ScheduleMasks strobe_masks(circuit, schedule);
+
+  FaultSimResult result;
+  result.first_detection.assign(faults.class_count(), -1);
+
+  sim::ParallelSimulator good_sim(circuit);
+  Propagator propagator(circuit);
+
+  // Live list, compacted in place as faults drop.
+  std::vector<std::uint32_t> live(faults.class_count());
+  for (std::size_t c = 0; c < live.size(); ++c) {
+    live[c] = static_cast<std::uint32_t>(c);
+  }
+
+  for (std::size_t b = 0; b < patterns.block_count() && !live.empty(); ++b) {
+    good_sim.simulate_block(patterns.block_words(b));
+    const std::vector<std::uint64_t>& good = good_sim.values();
+    const std::uint64_t mask = patterns.block_mask(b);
+    const std::vector<std::uint64_t>* point_masks = strobe_masks.for_block(b);
+
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const std::uint32_t c = live[i];
+      const std::uint64_t detect =
+          propagator.detect_word(faults.representatives()[c], good,
+                                 point_masks) &
+          mask;
+      if (detect != 0) {
+        result.first_detection[c] =
+            static_cast<std::int64_t>(b * 64 + std::countr_zero(detect));
+      } else {
+        live[kept++] = c;  // still undetected: keep simulating it
+      }
+    }
+    live.resize(kept);
+  }
+
+  finalize_result(faults, result);
+  return result;
+}
+
+}  // namespace lsiq::fault

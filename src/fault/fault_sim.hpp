@@ -1,0 +1,83 @@
+// Single stuck-at fault simulation.
+//
+// Two engines with one contract:
+//
+//   * simulate_serial — the reference implementation: for every fault, the
+//     whole circuit is re-simulated with the fault injected, block by
+//     block. O(faults x gates x blocks); trusted because it is simple.
+//     The test suite cross-checks the fast engine against it.
+//
+//   * simulate_ppsfp — parallel-pattern single-fault propagation, the
+//     production engine (same family of techniques as the paper's LAMP
+//     runs): good-machine simulation once per 64-pattern block, then for
+//     each still-undetected fault an event-driven faulty re-simulation
+//     forward from the fault site only, with fault dropping.
+//
+// Both return, per collapsed fault class, the index of the first pattern
+// that detects it — the raw material for coverage curves (Section 5) and
+// for the virtual tester's first-failing-pattern experiment (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "fault/coverage.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/strobe.hpp"
+#include "sim/pattern.hpp"
+
+namespace lsiq::fault {
+
+struct FaultSimResult {
+  /// Per collapsed class: first detecting pattern index, or -1 if the
+  /// pattern set never detects the class.
+  std::vector<std::int64_t> first_detection;
+
+  /// Universe faults covered (weighted by class size).
+  std::size_t covered_faults = 0;
+
+  /// Detected collapsed classes.
+  std::size_t detected_classes = 0;
+
+  /// Final coverage f = covered_faults / N over the full universe.
+  double coverage = 0.0;
+
+  /// Cumulative coverage versus pattern count.
+  [[nodiscard]] CoverageCurve curve(const FaultList& faults,
+                                    std::size_t pattern_count) const;
+};
+
+/// Reference engine (see header comment). Intended for small circuits.
+/// `schedule`, when given, restricts which observation points count at
+/// which pattern (see strobe.hpp); it must cover exactly
+/// circuit.observed_points().size() points.
+FaultSimResult simulate_serial(const FaultList& faults,
+                               const sim::PatternSet& patterns,
+                               const StrobeSchedule* schedule = nullptr);
+
+/// Production engine: PPSFP with fault dropping.
+FaultSimResult simulate_ppsfp(const FaultList& faults,
+                              const sim::PatternSet& patterns,
+                              const StrobeSchedule* schedule = nullptr);
+
+/// Detection words for one fault over one simulated block: bit p is set
+/// when pattern p of the block detects the fault. `good_values` must hold
+/// the good-machine words of every gate for this block (a completed
+/// ParallelSimulator::simulate_block). Exposed for the PPSFP inner loop and
+/// reused by the test generator to confirm its tests.
+std::uint64_t detect_word_for_fault(const circuit::Circuit& circuit,
+                                    const Fault& fault,
+                                    const std::vector<std::uint64_t>&
+                                        good_values);
+
+/// Strobe-aware variant: `point_masks` gives, per observed point, the
+/// lanes in which that point is strobed for this block (null = all).
+std::uint64_t detect_word_for_fault(const circuit::Circuit& circuit,
+                                    const Fault& fault,
+                                    const std::vector<std::uint64_t>&
+                                        good_values,
+                                    const std::vector<std::uint64_t>*
+                                        point_masks);
+
+}  // namespace lsiq::fault

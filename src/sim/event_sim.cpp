@@ -1,0 +1,115 @@
+#include "sim/event_sim.hpp"
+
+#include "sim/parallel_sim.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::sim {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+
+EventSimulator::EventSimulator(const Circuit& circuit)
+    : circuit_(&circuit),
+      values_(circuit.gate_count(), 0),
+      queued_(circuit.gate_count(), 0) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "EventSimulator requires a finalized circuit");
+  std::size_t max_level = 0;
+  for (GateId id = 0; id < circuit.gate_count(); ++id) {
+    max_level = std::max<std::size_t>(max_level, circuit.gate(id).level);
+  }
+  level_buckets_.resize(max_level + 1);
+}
+
+void EventSimulator::schedule_fanout(GateId id) {
+  for (const GateId reader : circuit_->gate(id).fanout) {
+    const Gate& g = circuit_->gate(reader);
+    if (g.type == GateType::kDff) continue;  // sources do not re-evaluate
+    if (queued_[reader] != 0) continue;
+    queued_[reader] = 1;
+    level_buckets_[g.level].push_back(reader);
+  }
+}
+
+void EventSimulator::propagate() {
+  for (std::size_t level = 0; level < level_buckets_.size(); ++level) {
+    auto& bucket = level_buckets_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId id = bucket[i];
+      queued_[id] = 0;
+      ++evaluations_;
+      const std::uint64_t next =
+          eval_gate_word(*circuit_, id, values_) & 1ULL;
+      if (next != values_[id]) {
+        values_[id] = next;
+        schedule_fanout(id);
+      }
+    }
+    bucket.clear();
+  }
+}
+
+void EventSimulator::apply(const std::vector<bool>& inputs) {
+  const auto& pattern_inputs = circuit_->pattern_inputs();
+  LSIQ_EXPECT(inputs.size() == pattern_inputs.size(),
+              "apply: wrong input count");
+  if (!initialized_) {
+    // First stimulus: force a full evaluation by scheduling every gate.
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      values_[pattern_inputs[i]] = inputs[i] ? 1 : 0;
+    }
+    for (const GateId id : circuit_->topological_order()) {
+      const Gate& g = circuit_->gate(id);
+      if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+      if (queued_[id] == 0) {
+        queued_[id] = 1;
+        level_buckets_[g.level].push_back(id);
+      }
+    }
+    initialized_ = true;
+    propagate();
+    return;
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const GateId id = pattern_inputs[i];
+    const bool v = inputs[i];
+    if ((values_[id] != 0) != v) {
+      values_[id] = v ? 1 : 0;
+      schedule_fanout(id);
+    }
+  }
+  propagate();
+}
+
+void EventSimulator::set_input(std::size_t input_index, bool value) {
+  const auto& pattern_inputs = circuit_->pattern_inputs();
+  LSIQ_EXPECT(input_index < pattern_inputs.size(),
+              "set_input: index out of range");
+  LSIQ_EXPECT(initialized_, "set_input requires a prior apply()");
+  const GateId id = pattern_inputs[input_index];
+  if ((values_[id] != 0) != value) {
+    values_[id] = value ? 1 : 0;
+    schedule_fanout(id);
+  }
+  propagate();
+}
+
+bool EventSimulator::value(GateId id) const {
+  LSIQ_EXPECT(id < values_.size(), "value: gate id out of range");
+  LSIQ_EXPECT(initialized_, "value requires a prior apply()");
+  return values_[id] != 0;
+}
+
+std::vector<bool> EventSimulator::observed_values() const {
+  LSIQ_EXPECT(initialized_, "observed_values requires a prior apply()");
+  std::vector<bool> out;
+  out.reserve(circuit_->observed_points().size());
+  for (const GateId id : circuit_->observed_points()) {
+    out.push_back(values_[id] != 0);
+  }
+  return out;
+}
+
+}  // namespace lsiq::sim

@@ -1,0 +1,56 @@
+// Event-driven two-valued simulator.
+//
+// Complements the compiled parallel simulator: instead of evaluating every
+// gate for every block, it propagates only from changed inputs, level by
+// level. Useful when consecutive stimuli differ in a few bits (scan-style
+// testing, incremental what-if analysis) and as an independent oracle the
+// test suite cross-checks the compiled simulator against. Also exposes
+// activity counters, which the performance benches report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace lsiq::sim {
+
+class EventSimulator {
+ public:
+  explicit EventSimulator(const circuit::Circuit& circuit);
+
+  /// Set all pattern inputs (order of Circuit::pattern_inputs()) and
+  /// propagate. Cheap when few bits changed since the previous call.
+  void apply(const std::vector<bool>& inputs);
+
+  /// Change a single pattern input and propagate.
+  void set_input(std::size_t input_index, bool value);
+
+  /// Current value of any gate.
+  [[nodiscard]] bool value(circuit::GateId id) const;
+
+  /// Values at the observed points, in Circuit::observed_points() order.
+  [[nodiscard]] std::vector<bool> observed_values() const;
+
+  /// Gate evaluations performed since construction (activity metric).
+  [[nodiscard]] std::uint64_t evaluation_count() const noexcept {
+    return evaluations_;
+  }
+
+ private:
+  void schedule_fanout(circuit::GateId id);
+  void propagate();
+
+  const circuit::Circuit* circuit_;
+  /// 0/1 per gate, stored as words so gate evaluation can share the
+  /// compiled simulator's word-level tables without conversion.
+  std::vector<std::uint64_t> values_;
+  std::vector<char> queued_;
+  /// One bucket of pending gates per level; processed in ascending order so
+  /// each gate is evaluated at most once per propagation wave.
+  std::vector<std::vector<circuit::GateId>> level_buckets_;
+  std::uint64_t evaluations_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace lsiq::sim

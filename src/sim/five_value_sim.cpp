@@ -1,0 +1,178 @@
+#include "sim/five_value_sim.hpp"
+
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace lsiq::sim {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+using circuit::kNoGate;
+
+FiveValueSimulator::FiveValueSimulator(const Circuit& circuit)
+    : circuit_(&circuit),
+      values_(circuit.gate_count(), kFiveX),
+      assignments_(circuit.pattern_inputs().size(), Tri::kX) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "FiveValueSimulator requires a finalized circuit");
+}
+
+void FiveValueSimulator::set_fault(GateId gate, int pin, bool stuck_at_one) {
+  LSIQ_EXPECT(gate < circuit_->gate_count(), "set_fault: gate out of range");
+  const Gate& g = circuit_->gate(gate);
+  LSIQ_EXPECT(pin >= -1 && pin < static_cast<int>(g.fanin.size()),
+              "set_fault: pin out of range");
+  fault_gate_ = gate;
+  fault_pin_ = pin;
+  stuck_at_one_ = stuck_at_one;
+  clear_assignments();
+}
+
+void FiveValueSimulator::clear_assignments() {
+  for (Tri& a : assignments_) a = Tri::kX;
+  for (FiveValue& v : values_) v = kFiveX;
+}
+
+void FiveValueSimulator::assign_input(std::size_t input_index, Tri value) {
+  LSIQ_EXPECT(input_index < assignments_.size(),
+              "assign_input: index out of range");
+  assignments_[input_index] = value;
+}
+
+Tri FiveValueSimulator::input_assignment(std::size_t input_index) const {
+  LSIQ_EXPECT(input_index < assignments_.size(),
+              "input_assignment: index out of range");
+  return assignments_[input_index];
+}
+
+GateId FiveValueSimulator::fault_line() const {
+  LSIQ_EXPECT(fault_gate_ != kNoGate, "no fault injected");
+  if (fault_pin_ < 0) return fault_gate_;
+  return circuit_->gate(fault_gate_).fanin[static_cast<std::size_t>(
+      fault_pin_)];
+}
+
+void FiveValueSimulator::imply() {
+  LSIQ_EXPECT(fault_gate_ != kNoGate, "imply: no fault injected");
+  const Tri sv = stuck_at_one_ ? Tri::kOne : Tri::kZero;
+
+  // Seed sources.
+  const auto& inputs = circuit_->pattern_inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Tri a = assignments_[i];
+    values_[inputs[i]] = FiveValue{a, a};
+  }
+
+  // Stem fault on a source: faulty rail pinned immediately.
+  auto pin_stem_if_faulted = [&](GateId id) {
+    if (id == fault_gate_ && fault_pin_ < 0) {
+      values_[id].faulty = sv;
+    }
+  };
+  for (const GateId id : inputs) pin_stem_if_faulted(id);
+
+  std::vector<FiveValue> operands;
+  for (const GateId id : circuit_->topological_order()) {
+    const Gate& g = circuit_->gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+
+    operands.resize(g.fanin.size());
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      operands[i] = values_[g.fanin[i]];
+    }
+    if (id == fault_gate_ && fault_pin_ >= 0) {
+      operands[static_cast<std::size_t>(fault_pin_)].faulty = sv;
+    }
+    values_[id] = eval_five_value(g.type, operands.data(),
+                                  static_cast<int>(operands.size()));
+    pin_stem_if_faulted(id);
+  }
+}
+
+const FiveValue& FiveValueSimulator::value(GateId id) const {
+  LSIQ_EXPECT(id < values_.size(), "value: gate id out of range");
+  return values_[id];
+}
+
+std::vector<GateId> FiveValueSimulator::d_frontier() const {
+  std::vector<GateId> frontier;
+  for (GateId id = 0; id < circuit_->gate_count(); ++id) {
+    const Gate& g = circuit_->gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    if (!has_x(values_[id])) continue;
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      FiveValue in = values_[g.fanin[k]];
+      if (id == fault_gate_ && fault_pin_ == static_cast<int>(k)) {
+        in.faulty = stuck_at_one_ ? Tri::kOne : Tri::kZero;
+      }
+      if (is_d_or_dbar(in)) {
+        frontier.push_back(id);
+        break;
+      }
+    }
+  }
+  return frontier;
+}
+
+FiveValue FiveValueSimulator::observed_value(std::size_t point_index) const {
+  const auto& points = circuit_->observed_points();
+  const GateId point = points[point_index];
+  FiveValue v = values_[point];
+  // A branch fault on a flip-flop's D pin is observed directly at that
+  // pseudo primary output: the scan capture sees the stuck value.
+  if (fault_gate_ != kNoGate && fault_pin_ == 0 &&
+      circuit_->gate(fault_gate_).type == GateType::kDff) {
+    const GateId driver = circuit_->gate(fault_gate_).fanin.front();
+    if (point == driver &&
+        point_index >= circuit_->primary_outputs().size()) {
+      v.faulty = stuck_at_one_ ? Tri::kOne : Tri::kZero;
+    }
+  }
+  return v;
+}
+
+bool FiveValueSimulator::fault_effect_observed() const {
+  const auto& points = circuit_->observed_points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (is_d_or_dbar(observed_value(i))) return true;
+  }
+  return false;
+}
+
+bool FiveValueSimulator::activation_possible() const {
+  const Tri good = values_[fault_line()].good;
+  const Tri sv = stuck_at_one_ ? Tri::kOne : Tri::kZero;
+  return good == Tri::kX || good != sv;
+}
+
+bool FiveValueSimulator::x_path_exists() const {
+  // BFS from D-frontier gates through X-valued gates to an observed point.
+  std::vector<char> visited(circuit_->gate_count(), 0);
+  std::vector<char> is_observed(circuit_->gate_count(), 0);
+  for (const GateId p : circuit_->observed_points()) is_observed[p] = 1;
+
+  std::queue<GateId> frontier;
+  for (const GateId id : d_frontier()) {
+    visited[id] = 1;
+    frontier.push(id);
+  }
+  while (!frontier.empty()) {
+    const GateId id = frontier.front();
+    frontier.pop();
+    if (is_observed[id]) return true;
+    for (const GateId reader : circuit_->gate(id).fanout) {
+      if (visited[reader] != 0) continue;
+      const Gate& g = circuit_->gate(reader);
+      if (g.type == GateType::kDff) continue;  // capture boundary
+      if (!has_x(values_[reader])) continue;
+      visited[reader] = 1;
+      frontier.push(reader);
+    }
+  }
+  return false;
+}
+
+}  // namespace lsiq::sim

@@ -1,0 +1,76 @@
+// Five-valued (D-calculus) circuit simulator with single stuck-at fault
+// injection — the evaluation engine behind the PODEM test generator.
+//
+// The simulator carries a (good, faulty) rail pair per gate. The injected
+// fault pins the faulty rail of its line to the stuck value; implication is
+// a full forward pass in topological order (simple, allocation-free, and
+// fast enough for the circuit sizes ATPG is asked to handle here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/logic_value.hpp"
+
+namespace lsiq::sim {
+
+class FiveValueSimulator {
+ public:
+  explicit FiveValueSimulator(const circuit::Circuit& circuit);
+
+  /// Inject the single stuck-at fault at (gate, pin). pin == -1 denotes the
+  /// gate output (stem); pin >= 0 denotes that input pin (branch). Clears
+  /// all input assignments.
+  void set_fault(circuit::GateId gate, int pin, bool stuck_at_one);
+
+  /// Reset every pattern input to X (keeps the injected fault).
+  void clear_assignments();
+
+  /// Assign a pattern input (index into Circuit::pattern_inputs()).
+  void assign_input(std::size_t input_index, Tri value);
+
+  [[nodiscard]] Tri input_assignment(std::size_t input_index) const;
+
+  /// Forward five-valued implication over the whole circuit.
+  void imply();
+
+  /// Value of a gate after imply().
+  [[nodiscard]] const FiveValue& value(circuit::GateId id) const;
+
+  /// Gates whose output is X while at least one input carries D/D'.
+  [[nodiscard]] std::vector<circuit::GateId> d_frontier() const;
+
+  /// True when a fault effect (D/D') has reached an observed point.
+  [[nodiscard]] bool fault_effect_observed() const;
+
+  /// True when the fault could still be activated: the good rail of the
+  /// faulted line is X or differs from the stuck value.
+  [[nodiscard]] bool activation_possible() const;
+
+  /// True when some D-frontier gate has a path of all-X gates to an
+  /// observed point (the classic X-path check).
+  [[nodiscard]] bool x_path_exists() const;
+
+  /// The signal the activation objective concerns: the faulted gate itself
+  /// for a stem fault, the driver of the faulted pin for a branch fault.
+  [[nodiscard]] circuit::GateId fault_line() const;
+
+  [[nodiscard]] bool stuck_at_one() const noexcept { return stuck_at_one_; }
+
+  [[nodiscard]] const circuit::Circuit& circuit() const noexcept {
+    return *circuit_;
+  }
+
+ private:
+  [[nodiscard]] FiveValue observed_value(std::size_t point_index) const;
+
+  const circuit::Circuit* circuit_;
+  std::vector<FiveValue> values_;
+  std::vector<Tri> assignments_;
+  circuit::GateId fault_gate_ = circuit::kNoGate;
+  int fault_pin_ = -1;
+  bool stuck_at_one_ = false;
+};
+
+}  // namespace lsiq::sim

@@ -1,0 +1,150 @@
+#include "sim/logic_value.hpp"
+
+#include "util/error.hpp"
+
+namespace lsiq::sim {
+
+using circuit::GateType;
+
+Tri tri_not(Tri a) noexcept {
+  switch (a) {
+    case Tri::kZero: return Tri::kOne;
+    case Tri::kOne:  return Tri::kZero;
+    default:         return Tri::kX;
+  }
+}
+
+Tri tri_and(Tri a, Tri b) noexcept {
+  if (a == Tri::kZero || b == Tri::kZero) return Tri::kZero;
+  if (a == Tri::kOne && b == Tri::kOne) return Tri::kOne;
+  return Tri::kX;
+}
+
+Tri tri_or(Tri a, Tri b) noexcept {
+  if (a == Tri::kOne || b == Tri::kOne) return Tri::kOne;
+  if (a == Tri::kZero && b == Tri::kZero) return Tri::kZero;
+  return Tri::kX;
+}
+
+Tri tri_xor(Tri a, Tri b) noexcept {
+  if (a == Tri::kX || b == Tri::kX) return Tri::kX;
+  return (a == b) ? Tri::kZero : Tri::kOne;
+}
+
+bool is_d_or_dbar(const FiveValue& v) noexcept {
+  return v.good != Tri::kX && v.faulty != Tri::kX && v.good != v.faulty;
+}
+
+bool has_x(const FiveValue& v) noexcept {
+  return v.good == Tri::kX || v.faulty == Tri::kX;
+}
+
+std::string_view five_value_name(const FiveValue& v) {
+  if (v == kFiveZero) return "0";
+  if (v == kFiveOne) return "1";
+  if (v == kFiveX) return "X";
+  if (v == kFiveD) return "D";
+  if (v == kFiveDbar) return "D'";
+  return "?";
+}
+
+Tri eval_tri(GateType type, const Tri* operands, int count) {
+  switch (type) {
+    case GateType::kConst0:
+      return Tri::kZero;
+    case GateType::kConst1:
+      return Tri::kOne;
+    case GateType::kBuf:
+      LSIQ_EXPECT(count == 1, "BUF arity");
+      return operands[0];
+    case GateType::kNot:
+      LSIQ_EXPECT(count == 1, "NOT arity");
+      return tri_not(operands[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      LSIQ_EXPECT(count >= 1, "AND arity");
+      Tri acc = operands[0];
+      for (int i = 1; i < count; ++i) acc = tri_and(acc, operands[i]);
+      return type == GateType::kNand ? tri_not(acc) : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      LSIQ_EXPECT(count >= 1, "OR arity");
+      Tri acc = operands[0];
+      for (int i = 1; i < count; ++i) acc = tri_or(acc, operands[i]);
+      return type == GateType::kNor ? tri_not(acc) : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      LSIQ_EXPECT(count >= 1, "XOR arity");
+      Tri acc = operands[0];
+      for (int i = 1; i < count; ++i) acc = tri_xor(acc, operands[i]);
+      return type == GateType::kXnor ? tri_not(acc) : acc;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  throw Error("eval_tri: sources are assigned, not evaluated");
+}
+
+namespace {
+
+/// Fold one rail of a five-valued evaluation without materializing operand
+/// arrays (fanin is unbounded for the variadic gate types).
+template <typename Project>
+Tri eval_rail(GateType type, const FiveValue* operands, int count,
+              Project rail) {
+  switch (type) {
+    case GateType::kConst0:
+      return Tri::kZero;
+    case GateType::kConst1:
+      return Tri::kOne;
+    case GateType::kBuf:
+      LSIQ_EXPECT(count == 1, "BUF arity");
+      return rail(operands[0]);
+    case GateType::kNot:
+      LSIQ_EXPECT(count == 1, "NOT arity");
+      return tri_not(rail(operands[0]));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      LSIQ_EXPECT(count >= 1, "AND arity");
+      Tri acc = rail(operands[0]);
+      for (int i = 1; i < count; ++i) acc = tri_and(acc, rail(operands[i]));
+      return type == GateType::kNand ? tri_not(acc) : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      LSIQ_EXPECT(count >= 1, "OR arity");
+      Tri acc = rail(operands[0]);
+      for (int i = 1; i < count; ++i) acc = tri_or(acc, rail(operands[i]));
+      return type == GateType::kNor ? tri_not(acc) : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      LSIQ_EXPECT(count >= 1, "XOR arity");
+      Tri acc = rail(operands[0]);
+      for (int i = 1; i < count; ++i) acc = tri_xor(acc, rail(operands[i]));
+      return type == GateType::kXnor ? tri_not(acc) : acc;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  throw Error("eval_five_value: sources are assigned, not evaluated");
+}
+
+}  // namespace
+
+FiveValue eval_five_value(GateType type, const FiveValue* operands,
+                          int count) {
+  // Evaluate each rail independently; the D-calculus tables are exactly the
+  // product of the three-valued tables on (good, faulty).
+  return FiveValue{
+      eval_rail(type, operands, count,
+                [](const FiveValue& v) { return v.good; }),
+      eval_rail(type, operands, count,
+                [](const FiveValue& v) { return v.faulty; })};
+}
+
+}  // namespace lsiq::sim

@@ -1,0 +1,61 @@
+// Logic value algebras.
+//
+// Two engines share these definitions:
+//   * the pattern simulators use plain two-valued logic packed 64 patterns
+//     to a machine word (word ops live in parallel_sim), and
+//   * the ATPG uses the classic five-valued D-calculus {0, 1, X, D, D'}
+//     (Roth), implemented here as a pair of three-valued rails
+//     (good machine, faulty machine) so that every gate type — including
+//     XOR — gets a correct table for free.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "circuit/gate.hpp"
+
+namespace lsiq::sim {
+
+/// Three-valued (Kleene) logic: the building block of the D-calculus.
+enum class Tri : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+Tri tri_not(Tri a) noexcept;
+Tri tri_and(Tri a, Tri b) noexcept;
+Tri tri_or(Tri a, Tri b) noexcept;
+Tri tri_xor(Tri a, Tri b) noexcept;
+
+/// Five-valued composite value: a good-machine rail and a faulty-machine
+/// rail. kD means good = 1 / faulty = 0; kDbar the reverse.
+struct FiveValue {
+  Tri good = Tri::kX;
+  Tri faulty = Tri::kX;
+
+  friend bool operator==(const FiveValue&, const FiveValue&) = default;
+};
+
+inline constexpr FiveValue kFiveZero{Tri::kZero, Tri::kZero};
+inline constexpr FiveValue kFiveOne{Tri::kOne, Tri::kOne};
+inline constexpr FiveValue kFiveX{Tri::kX, Tri::kX};
+inline constexpr FiveValue kFiveD{Tri::kOne, Tri::kZero};
+inline constexpr FiveValue kFiveDbar{Tri::kZero, Tri::kOne};
+
+/// True when the value carries a fault effect (good and faulty rails are
+/// both known and differ).
+bool is_d_or_dbar(const FiveValue& v) noexcept;
+
+/// True when either rail is X.
+bool has_x(const FiveValue& v) noexcept;
+
+/// "0", "1", "X", "D", "D'" or "g/f" for mixed partially-known values.
+std::string_view five_value_name(const FiveValue& v);
+
+/// Evaluate a gate of the given type over five-valued operands.
+/// `operands`/`count` follow the gate's fanin order. Not valid for kInput /
+/// kDff (those are assigned, not evaluated).
+FiveValue eval_five_value(circuit::GateType type, const FiveValue* operands,
+                          int count);
+
+/// Evaluate over three-valued operands (used for good-machine implication).
+Tri eval_tri(circuit::GateType type, const Tri* operands, int count);
+
+}  // namespace lsiq::sim

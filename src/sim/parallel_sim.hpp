@@ -1,0 +1,65 @@
+// Compiled, levelized, 64-way parallel-pattern logic simulator.
+//
+// One machine word per net carries bit p = the net's value under pattern p
+// of the current block, so a single pass over the topological order
+// evaluates 64 patterns. This is the classic parallel-pattern technique the
+// 1981-era simulators (LAMP among them) used, and it is the engine under
+// both the coverage-curve computation and the PPSFP fault simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace lsiq::sim {
+
+/// Evaluate one gate over word-level fanin values taken from `values`
+/// (indexed by GateId). Not valid for kInput/kDff (sources).
+std::uint64_t eval_gate_word(const circuit::Circuit& circuit,
+                             circuit::GateId id,
+                             const std::vector<std::uint64_t>& values);
+
+/// Same, but the fanin at `pin` reads `forced` instead of its driver value.
+/// This is how input-pin (branch) stuck-at faults are injected.
+std::uint64_t eval_gate_word_with_pin(const circuit::Circuit& circuit,
+                                      circuit::GateId id,
+                                      const std::vector<std::uint64_t>& values,
+                                      int pin, std::uint64_t forced);
+
+class ParallelSimulator {
+ public:
+  explicit ParallelSimulator(const circuit::Circuit& circuit);
+
+  /// Simulate one block of up to 64 patterns. `input_words` has one word per
+  /// pattern input (see Circuit::pattern_inputs()); bit p of each word is
+  /// that input's value under pattern p. All 64 lanes are computed; the
+  /// caller masks the lanes it populated.
+  void simulate_block(const std::vector<std::uint64_t>& input_words);
+
+  /// Word-level value of a gate after simulate_block.
+  [[nodiscard]] std::uint64_t value(circuit::GateId id) const;
+
+  /// All gate values (indexed by GateId) after simulate_block.
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const noexcept {
+    return values_;
+  }
+
+  /// Values at the observed points (primary outputs then flip-flop D pins),
+  /// in Circuit::observed_points() order.
+  [[nodiscard]] std::vector<std::uint64_t> observed_values() const;
+
+  /// Convenience: simulate a single pattern (bit vector over
+  /// pattern_inputs()) and return the observed outputs.
+  std::vector<bool> simulate_single(const std::vector<bool>& inputs);
+
+  [[nodiscard]] const circuit::Circuit& circuit() const noexcept {
+    return *circuit_;
+  }
+
+ private:
+  const circuit::Circuit* circuit_;
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace lsiq::sim

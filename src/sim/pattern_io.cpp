@@ -1,0 +1,104 @@
+#include "sim/pattern_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lsiq::sim {
+
+void write_patterns(const PatternSet& patterns, std::ostream& out) {
+  out << "# lsiq patterns inputs=" << patterns.input_count() << "\n";
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    for (std::size_t i = 0; i < patterns.input_count(); ++i) {
+      out << (patterns.bit(p, i) ? '1' : '0');
+    }
+    out << "\n";
+  }
+}
+
+std::string write_patterns_string(const PatternSet& patterns) {
+  std::ostringstream out;
+  write_patterns(patterns, out);
+  return out.str();
+}
+
+PatternSet read_patterns(std::istream& in) {
+  std::string line;
+  std::size_t input_count = 0;
+  bool have_header = false;
+  int line_no = 0;
+
+  // Header: first non-empty line must carry inputs=N.
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] != '#') {
+      throw ParseError("patterns line 1: missing '# lsiq patterns' header");
+    }
+    const std::string key = "inputs=";
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) {
+      throw ParseError("patterns header lacks inputs=N");
+    }
+    try {
+      input_count = std::stoul(line.substr(at + key.size()));
+    } catch (const std::exception&) {
+      throw ParseError("patterns header: malformed inputs=N");
+    }
+    have_header = true;
+    break;
+  }
+  if (!have_header || input_count == 0) {
+    throw ParseError("patterns: empty stream or inputs=0");
+  }
+
+  PatternSet patterns(input_count);
+  std::vector<bool> bits(input_count);
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.size() != input_count) {
+      throw ParseError("patterns line " + std::to_string(line_no) +
+                       ": expected " + std::to_string(input_count) +
+                       " bits, got " + std::to_string(line.size()));
+    }
+    for (std::size_t i = 0; i < input_count; ++i) {
+      if (line[i] == '0') {
+        bits[i] = false;
+      } else if (line[i] == '1') {
+        bits[i] = true;
+      } else {
+        throw ParseError("patterns line " + std::to_string(line_no) +
+                         ": invalid character '" + line[i] + "'");
+      }
+    }
+    patterns.append(bits);
+  }
+  return patterns;
+}
+
+PatternSet read_patterns_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_patterns(in);
+}
+
+void write_patterns_file(const PatternSet& patterns,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open pattern file for writing: " + path);
+  }
+  write_patterns(patterns, out);
+}
+
+PatternSet read_patterns_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open pattern file: " + path);
+  }
+  return read_patterns(in);
+}
+
+}  // namespace lsiq::sim

@@ -1,0 +1,37 @@
+// Plain-text pattern set serialization.
+//
+// Format (one pattern per line, LSB-first input order, '#' comments):
+//
+//     # lsiq patterns inputs=5
+//     01101
+//     11100
+//
+// Deliberately trivial so pattern sets round-trip through version control
+// and diff cleanly; the bit-packed PatternSet remains the in-memory form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/pattern.hpp"
+
+namespace lsiq::sim {
+
+/// Write a pattern set; inverse of read_patterns.
+void write_patterns(const PatternSet& patterns, std::ostream& out);
+
+/// Serialize to a string.
+std::string write_patterns_string(const PatternSet& patterns);
+
+/// Parse a pattern set. Throws lsiq::ParseError on malformed input
+/// (missing header, ragged lines, characters outside {0,1}).
+PatternSet read_patterns(std::istream& in);
+
+/// Parse from a string.
+PatternSet read_patterns_string(const std::string& text);
+
+/// Write to / read from a file path.
+void write_patterns_file(const PatternSet& patterns, const std::string& path);
+PatternSet read_patterns_file(const std::string& path);
+
+}  // namespace lsiq::sim

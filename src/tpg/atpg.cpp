@@ -1,0 +1,143 @@
+#include "tpg/atpg.hpp"
+
+#include <algorithm>
+
+#include "sim/parallel_sim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::tpg {
+
+using fault::Fault;
+using fault::FaultList;
+using fault::FaultSimResult;
+using sim::PatternSet;
+
+AtpgResult generate_tests(const FaultList& faults,
+                          const AtpgOptions& options) {
+  const circuit::Circuit& circuit = faults.circuit();
+  const std::size_t input_count = circuit.pattern_inputs().size();
+
+  AtpgResult result{PatternSet(input_count)};
+  std::vector<char> detected(faults.class_count(), 0);
+
+  // ---- Phase 1: random patterns ----
+  if (options.random_patterns > 0) {
+    util::Rng rng(options.seed);
+    PatternSet random_set(input_count);
+    random_set.append_random(options.random_patterns, rng);
+    const FaultSimResult sim_result =
+        fault::simulate_ppsfp(faults, random_set);
+    // Keep only the patterns that first-detected something (cheap static
+    // compaction of the random phase), preserving order.
+    std::vector<char> keep(random_set.size(), 0);
+    for (std::size_t c = 0; c < faults.class_count(); ++c) {
+      if (sim_result.first_detection[c] >= 0) {
+        detected[c] = 1;
+        keep[static_cast<std::size_t>(sim_result.first_detection[c])] = 1;
+      }
+    }
+    for (std::size_t p = 0; p < random_set.size(); ++p) {
+      if (keep[p] != 0) {
+        result.patterns.append(random_set.pattern(p));
+      }
+    }
+  }
+
+  // ---- Phase 2: PODEM on the survivors, with fault dropping ----
+  sim::ParallelSimulator good_sim(circuit);
+  std::size_t redundant_faults = 0;  // weighted by class size
+  for (std::size_t c = 0; c < faults.class_count(); ++c) {
+    if (detected[c] != 0) continue;
+    const Fault& target = faults.representatives()[c];
+    const PodemResult podem = generate_test(circuit, target, options.podem);
+    switch (podem.status) {
+      case TestStatus::kUntestable:
+        ++result.redundant_classes;
+        redundant_faults += faults.class_size(c);
+        continue;
+      case TestStatus::kAborted:
+        ++result.aborted_classes;
+        continue;
+      case TestStatus::kDetected:
+        break;
+    }
+
+    // Simulate the new pattern against every remaining fault and drop all
+    // detections (the generated pattern usually covers several).
+    std::vector<std::uint64_t> words(input_count);
+    for (std::size_t i = 0; i < input_count; ++i) {
+      words[i] = podem.pattern[i] ? 1ULL : 0ULL;
+    }
+    good_sim.simulate_block(words);
+    bool detected_target = false;
+    for (std::size_t c2 = c; c2 < faults.class_count(); ++c2) {
+      if (detected[c2] != 0) continue;
+      const std::uint64_t word = fault::detect_word_for_fault(
+          circuit, faults.representatives()[c2], good_sim.values());
+      if ((word & 1ULL) != 0) {
+        detected[c2] = 1;
+        if (c2 == c) detected_target = true;
+      }
+    }
+    // PODEM guarantees detection; a miss here would be an engine bug.
+    LSIQ_EXPECT(detected_target,
+                "generate_tests: PODEM pattern failed confirmation for " +
+                    fault::fault_name(circuit, target));
+    result.patterns.append(podem.pattern);
+  }
+
+  std::size_t covered = 0;
+  for (std::size_t c = 0; c < faults.class_count(); ++c) {
+    if (detected[c] != 0) {
+      ++result.detected_classes;
+      covered += faults.class_size(c);
+    }
+  }
+
+  result.coverage = static_cast<double>(covered) /
+                    static_cast<double>(faults.fault_count());
+  // Effective coverage drops proven-redundant faults from the denominator
+  // (Section 1: redundant faults "could be ignored" given a redundancy
+  // proof — PODEM exhausting its decision tree is that proof).
+  const double effective_denominator =
+      static_cast<double>(faults.fault_count() - redundant_faults);
+  result.effective_coverage =
+      effective_denominator > 0.0
+          ? static_cast<double>(covered) / effective_denominator
+          : 1.0;
+  return result;
+}
+
+PatternSet reverse_order_compact(const FaultList& faults,
+                                 const PatternSet& patterns) {
+  const circuit::Circuit& circuit = faults.circuit();
+  if (patterns.empty()) return patterns;
+
+  // Reverse the pattern order, fault-simulate with dropping, and keep the
+  // patterns that first-detect at least one class.
+  PatternSet reversed(patterns.input_count());
+  for (std::size_t p = patterns.size(); p > 0; --p) {
+    reversed.append(patterns.pattern(p - 1));
+  }
+  const FaultSimResult sim_result = fault::simulate_ppsfp(faults, reversed);
+
+  std::vector<char> keep_reversed(reversed.size(), 0);
+  for (std::size_t c = 0; c < faults.class_count(); ++c) {
+    if (sim_result.first_detection[c] >= 0) {
+      keep_reversed[static_cast<std::size_t>(
+          sim_result.first_detection[c])] = 1;
+    }
+  }
+  PatternSet out(patterns.input_count());
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::size_t reversed_index = patterns.size() - 1 - p;
+    if (keep_reversed[reversed_index] != 0) {
+      out.append(patterns.pattern(p));
+    }
+  }
+  LSIQ_EXPECT(circuit.finalized(), "reverse_order_compact: internal");
+  return out;
+}
+
+}  // namespace lsiq::tpg

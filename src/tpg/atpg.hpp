@@ -1,0 +1,49 @@
+// Complete test-generation flows.
+//
+// The standard two-phase recipe: a random-pattern phase knocks out the easy
+// faults cheaply, then PODEM targets each survivor — producing a test or a
+// proof of redundancy. The resulting ordered pattern set is exactly what
+// the paper's Section 5 procedure consumes: patterns in tester-application
+// order with a cumulative coverage curve from the fault simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/pattern.hpp"
+#include "tpg/podem.hpp"
+
+namespace lsiq::tpg {
+
+struct AtpgOptions {
+  /// Patterns to try in the random phase (0 disables it).
+  std::size_t random_patterns = 256;
+  std::uint64_t seed = 1;
+  PodemOptions podem;
+};
+
+struct AtpgResult {
+  sim::PatternSet patterns;
+  std::size_t detected_classes = 0;
+  std::size_t redundant_classes = 0;   ///< proven untestable
+  std::size_t aborted_classes = 0;     ///< backtrack limit hit
+  /// Coverage over the full universe, f = m/N (the paper's figure of merit).
+  double coverage = 0.0;
+  /// Coverage with proven-redundant faults removed from the denominator —
+  /// the "if complete design verification could be achieved, the undetected
+  /// faults could be ignored as redundant" figure of Section 1.
+  double effective_coverage = 0.0;
+};
+
+/// Random phase + PODEM phase with fault dropping after every new pattern.
+AtpgResult generate_tests(const fault::FaultList& faults,
+                          const AtpgOptions& options = {});
+
+/// Reverse-order static compaction: re-fault-simulate the set in reverse
+/// and keep only patterns that detect a fault not detected by a later one.
+/// Returns the compacted set (original order preserved among survivors).
+sim::PatternSet reverse_order_compact(const fault::FaultList& faults,
+                                      const sim::PatternSet& patterns);
+
+}  // namespace lsiq::tpg

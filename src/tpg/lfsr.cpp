@@ -1,0 +1,89 @@
+#include "tpg/lfsr.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::tpg {
+
+namespace {
+
+/// Maximal-length feedback masks (taps at the positions of the polynomial's
+/// nonzero coefficients, excluding x^width). Standard published taps.
+std::uint64_t taps_for_width(int width) {
+  switch (width) {
+    case 8:  return 0xB8ULL;                // x^8 + x^6 + x^5 + x^4 + 1
+    case 16: return 0xB400ULL;              // x^16 + x^14 + x^13 + x^11 + 1
+    case 24: return 0xE10000ULL;            // x^24 + x^23 + x^22 + x^17 + 1
+    case 32: return 0x80200003ULL;          // x^32 + x^22 + x^2 + x + 1
+    case 48: return 0xC00000180000ULL;      // x^48 + x^47 + x^21 + x^20 + 1
+    case 64: return 0xD800000000000000ULL;  // x^64 + x^63 + x^61 + x^60 + 1
+    default:
+      throw Error("Lfsr: unsupported width " + std::to_string(width) +
+                  " (use 8, 16, 24, 32, 48 or 64)");
+  }
+}
+
+}  // namespace
+
+Lfsr::Lfsr(int width, std::uint64_t seed)
+    : width_(width),
+      taps_(taps_for_width(width)),
+      mask_(width == 64 ? ~0ULL : ((1ULL << width) - 1)),
+      state_(seed & mask_) {
+  if (state_ == 0) {
+    state_ = 1;  // the all-zero state is the one fixed point; avoid it
+  }
+}
+
+bool Lfsr::next_bit() {
+  const bool out = (state_ & 1ULL) != 0;
+  state_ >>= 1;
+  if (out) {
+    state_ ^= taps_;
+  }
+  state_ &= mask_;
+  return out;
+}
+
+std::uint64_t Lfsr::period() const noexcept {
+  if (width_ == 64) return ~0ULL;  // 2^64 - 1
+  return (1ULL << width_) - 1;
+}
+
+sim::PatternSet lfsr_patterns(std::size_t input_count, std::size_t count,
+                              std::uint64_t seed, int width) {
+  LSIQ_EXPECT(input_count > 0, "lfsr_patterns: input_count must be > 0");
+  Lfsr lfsr(width, seed);
+  sim::PatternSet patterns(input_count);
+  std::vector<bool> p(input_count);
+  for (std::size_t n = 0; n < count; ++n) {
+    for (std::size_t i = 0; i < input_count; ++i) {
+      p[i] = lfsr.next_bit();
+    }
+    patterns.append(p);
+  }
+  return patterns;
+}
+
+sim::PatternSet random_walk_patterns(std::size_t input_count,
+                                     std::size_t count,
+                                     std::size_t flips_per_step,
+                                     std::uint64_t seed) {
+  LSIQ_EXPECT(input_count > 0, "random_walk_patterns: input_count > 0");
+  LSIQ_EXPECT(flips_per_step >= 1 && flips_per_step <= input_count,
+              "random_walk_patterns: flips_per_step in [1, input_count]");
+  util::Rng rng(seed);
+  sim::PatternSet patterns(input_count);
+  std::vector<bool> state(input_count, false);
+  for (std::size_t n = 0; n < count; ++n) {
+    patterns.append(state);
+    for (const std::uint64_t bit :
+         rng.sample_without_replacement(input_count, flips_per_step)) {
+      state[static_cast<std::size_t>(bit)] =
+          !state[static_cast<std::size_t>(bit)];
+    }
+  }
+  return patterns;
+}
+
+}  // namespace lsiq::tpg

@@ -1,0 +1,256 @@
+#include "tpg/podem.hpp"
+
+#include <algorithm>
+
+#include "sim/five_value_sim.hpp"
+#include "tpg/scoap.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::tpg {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+using sim::FiveValue;
+using sim::FiveValueSimulator;
+using sim::Tri;
+
+namespace {
+
+/// A requested (signal, value) pair to be traced back to a primary input.
+struct Objective {
+  GateId gate = circuit::kNoGate;
+  Tri value = Tri::kX;
+};
+
+/// One entry of the PODEM decision stack.
+struct Decision {
+  std::size_t input_index;
+  Tri value;
+  bool flipped;  ///< both branches tried?
+};
+
+bool x_good(const FiveValueSimulator& simulator, GateId id) {
+  return sim::has_x(simulator.value(id));
+}
+
+/// Map a gate type onto (core, inverting): NAND -> AND core + inversion etc.
+bool inverting_core(GateType type) {
+  return type == GateType::kNot || type == GateType::kNand ||
+         type == GateType::kNor || type == GateType::kXnor;
+}
+
+/// Non-controlling value of the gate's core function (AND -> 1, OR -> 0).
+/// XOR has none; 1 is returned as an arbitrary-but-fixed choice.
+Tri non_controlling(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return Tri::kOne;
+    case GateType::kOr:
+    case GateType::kNor:
+      return Tri::kZero;
+    default:
+      return Tri::kOne;
+  }
+}
+
+/// Choose the next objective, or return false when the search state is a
+/// dead end that requires backtracking.
+bool pick_objective(const FiveValueSimulator& simulator,
+                    const Circuit& circuit, Objective& objective) {
+  // Phase 1: activation. The good machine must drive the faulted line to
+  // the opposite of the stuck value.
+  const GateId line = simulator.fault_line();
+  const FiveValue line_value = simulator.value(line);
+  const Tri sv = simulator.stuck_at_one() ? Tri::kOne : Tri::kZero;
+  if (line_value.good == Tri::kX) {
+    objective = {line, sim::tri_not(sv)};
+    return true;
+  }
+  if (line_value.good == sv) {
+    return false;  // activation impossible under current assignments
+  }
+
+  // Phase 2: propagation. Drive one D-frontier gate's unknown side input to
+  // its non-controlling value. Prefer the frontier gate closest to an
+  // output (highest level) — the classic distance heuristic.
+  const std::vector<GateId> frontier = simulator.d_frontier();
+  if (frontier.empty()) {
+    return false;
+  }
+  GateId best = frontier.front();
+  for (const GateId id : frontier) {
+    if (circuit.gate(id).level > circuit.gate(best).level) {
+      best = id;
+    }
+  }
+  const Gate& g = circuit.gate(best);
+  for (const GateId in : g.fanin) {
+    if (x_good(simulator, in)) {
+      objective = {in, non_controlling(g.type)};
+      return true;
+    }
+  }
+  return false;  // no X side input: frontier gate cannot be sensitized now
+}
+
+/// Trace an objective back to an unassigned pattern input, returning the
+/// (input index, value) decision to try.
+bool backtrace(const FiveValueSimulator& simulator, const Circuit& circuit,
+               const TestabilityMeasures* scoap, Objective objective,
+               std::size_t& input_index_out, Tri& value_out) {
+  GateId id = objective.gate;
+  Tri v = objective.value;
+
+  // Difficulty of driving `gate` to `value`: SCOAP controllability when
+  // available, logic level otherwise.
+  auto cost = [&](GateId gate, Tri value) -> std::uint64_t {
+    if (scoap != nullptr) {
+      return value == Tri::kZero ? scoap->cc0[gate] : scoap->cc1[gate];
+    }
+    return circuit.gate(gate).level;
+  };
+
+  // Levels strictly decrease along the walk, so this terminates.
+  for (;;) {
+    const Gate& g = circuit.gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) {
+      const auto& inputs = circuit.pattern_inputs();
+      const auto it = std::find(inputs.begin(), inputs.end(), id);
+      LSIQ_EXPECT(it != inputs.end(), "backtrace: source is not an input");
+      input_index_out = static_cast<std::size_t>(it - inputs.begin());
+      value_out = v;
+      return true;
+    }
+    if (inverting_core(g.type)) {
+      v = sim::tri_not(v);
+    }
+
+    // Choose an X fanin. If v is the controlling-side requirement (one
+    // input suffices), take the easiest; if every input must comply, take
+    // the hardest first to fail fast.
+    const bool controlling_request = (v != non_controlling(g.type));
+    GateId chosen = circuit::kNoGate;
+    for (const GateId in : g.fanin) {
+      if (!x_good(simulator, in)) continue;
+      if (chosen == circuit::kNoGate) {
+        chosen = in;
+        continue;
+      }
+      const std::uint64_t cost_in = cost(in, v);
+      const std::uint64_t cost_ch = cost(chosen, v);
+      if ((controlling_request && cost_in < cost_ch) ||
+          (!controlling_request && cost_in > cost_ch)) {
+        chosen = in;
+      }
+    }
+    if (chosen == circuit::kNoGate) {
+      return false;  // no X path toward inputs from this objective
+    }
+    id = chosen;
+  }
+}
+
+}  // namespace
+
+PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
+                          const PodemOptions& options) {
+  LSIQ_EXPECT(circuit.finalized(), "generate_test: circuit not finalized");
+  PodemResult result;
+
+  FiveValueSimulator simulator(circuit);
+  simulator.set_fault(fault.gate, fault.pin, fault.stuck_at_one);
+  simulator.imply();
+
+  std::vector<Decision> stack;
+  const std::size_t input_count = circuit.pattern_inputs().size();
+
+  auto dead_end = [&]() {
+    // The current assignment cannot be extended to a test.
+    if (!simulator.activation_possible()) return true;
+    if (simulator.fault_effect_observed()) return false;
+    const FiveValue line = simulator.value(simulator.fault_line());
+    const bool activated = sim::is_d_or_dbar(line) ||
+                           (!sim::has_x(line) &&
+                            line.good != (simulator.stuck_at_one()
+                                              ? Tri::kOne
+                                              : Tri::kZero));
+    if (activated && simulator.d_frontier().empty()) return true;
+    if (activated && !simulator.x_path_exists()) return true;
+    return false;
+  };
+
+  auto backtrack = [&]() -> bool {
+    ++result.backtracks;
+    while (!stack.empty()) {
+      Decision& top = stack.back();
+      if (!top.flipped) {
+        top.flipped = true;
+        top.value = sim::tri_not(top.value);
+        simulator.assign_input(top.input_index, top.value);
+        simulator.imply();
+        return true;
+      }
+      simulator.assign_input(top.input_index, Tri::kX);
+      stack.pop_back();
+    }
+    simulator.imply();
+    return false;  // decision tree exhausted
+  };
+
+  for (;;) {
+    if (simulator.fault_effect_observed()) {
+      result.status = TestStatus::kDetected;
+      break;
+    }
+    if (result.backtracks > options.max_backtracks) {
+      result.status = TestStatus::kAborted;
+      break;
+    }
+
+    bool need_backtrack = dead_end();
+    Objective objective;
+    std::size_t input_index = 0;
+    Tri value = Tri::kX;
+    if (!need_backtrack) {
+      need_backtrack = !pick_objective(simulator, circuit, objective) ||
+                       !backtrace(simulator, circuit, options.scoap,
+                                  objective, input_index, value);
+    }
+
+    if (need_backtrack) {
+      if (!backtrack()) {
+        result.status = TestStatus::kUntestable;
+        break;
+      }
+      continue;
+    }
+
+    ++result.decisions;
+    stack.push_back(Decision{input_index, value, false});
+    simulator.assign_input(input_index, value);
+    simulator.imply();
+  }
+
+  // Export the cube and a fully specified pattern.
+  result.cube.assign(input_count, -1);
+  if (result.status == TestStatus::kDetected) {
+    util::Rng fill(options.fill_seed);
+    result.pattern.assign(input_count, false);
+    for (std::size_t i = 0; i < input_count; ++i) {
+      const Tri a = simulator.input_assignment(i);
+      if (a == Tri::kX) {
+        result.pattern[i] = options.random_fill ? fill.bernoulli(0.5) : false;
+      } else {
+        result.cube[i] = (a == Tri::kOne) ? 1 : 0;
+        result.pattern[i] = (a == Tri::kOne);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lsiq::tpg

@@ -1,0 +1,54 @@
+// PODEM (Path-Oriented DEcision Making) deterministic test generation.
+//
+// Goel's algorithm: decisions are made only at primary inputs; a five-valued
+// forward implication after each decision either proves the fault effect at
+// an output, shows the decision dead (no activation, empty D-frontier or no
+// X-path), or asks for the next objective. Exhausting the decision tree is a
+// *proof of redundancy* — exactly the redundant-fault phenomenon the paper
+// cites as a reason 100% coverage is unattainable in practice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace lsiq::tpg {
+
+enum class TestStatus {
+  kDetected,    ///< a test pattern was found
+  kUntestable,  ///< decision tree exhausted: the fault is redundant
+  kAborted,     ///< backtrack limit hit before a verdict
+};
+
+struct PodemOptions {
+  int max_backtracks = 20000;
+  /// X bits of the final cube are filled pseudo-randomly from this seed
+  /// (deterministic); set random_fill=false to fill with zeros instead.
+  std::uint64_t fill_seed = 0x5eedULL;
+  bool random_fill = true;
+  /// Optional SCOAP measures (see scoap.hpp): when set, backtrace chooses
+  /// fanins by controllability cost instead of logic level — usually fewer
+  /// backtracks on reconvergent structures. Must outlive the call.
+  const struct TestabilityMeasures* scoap = nullptr;
+};
+
+struct PodemResult {
+  TestStatus status = TestStatus::kAborted;
+  /// Complete input pattern (over Circuit::pattern_inputs()); only
+  /// meaningful when status == kDetected.
+  std::vector<bool> pattern;
+  /// The test cube before X-fill: one entry per pattern input,
+  /// -1 = don't-care, 0/1 = required value.
+  std::vector<int> cube;
+  int backtracks = 0;
+  int decisions = 0;
+};
+
+/// Generate a test for a single stuck-at fault.
+PodemResult generate_test(const circuit::Circuit& circuit,
+                          const fault::Fault& fault,
+                          const PodemOptions& options = {});
+
+}  // namespace lsiq::tpg

@@ -1,0 +1,224 @@
+#include "tpg/scoap.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lsiq::tpg {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+
+namespace {
+
+std::uint32_t saturating_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t sum =
+      static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b);
+  return sum >= kScoapInfinity ? kScoapInfinity
+                               : static_cast<std::uint32_t>(sum);
+}
+
+/// Fold an n-ary XOR's controllability pairwise: to produce parity p over
+/// (sub-result, next input), choose the cheaper of the two value splits.
+void xor_fold(std::uint32_t& c0, std::uint32_t& c1, std::uint32_t in0,
+              std::uint32_t in1) {
+  const std::uint32_t next0 =
+      std::min(saturating_add(c0, in0), saturating_add(c1, in1));
+  const std::uint32_t next1 =
+      std::min(saturating_add(c0, in1), saturating_add(c1, in0));
+  c0 = next0;
+  c1 = next1;
+}
+
+}  // namespace
+
+TestabilityMeasures compute_scoap(const Circuit& circuit) {
+  LSIQ_EXPECT(circuit.finalized(), "compute_scoap requires finalize()");
+  TestabilityMeasures m;
+  m.cc0.assign(circuit.gate_count(), kScoapInfinity);
+  m.cc1.assign(circuit.gate_count(), kScoapInfinity);
+  m.observability.assign(circuit.gate_count(), kScoapInfinity);
+
+  // ---- forward pass: controllability ----
+  for (const GateId id : circuit.topological_order()) {
+    const Gate& g = circuit.gate(id);
+    std::uint32_t& c0 = m.cc0[id];
+    std::uint32_t& c1 = m.cc1[id];
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kDff:  // scan-loadable: as controllable as a PI
+        c0 = 1;
+        c1 = 1;
+        break;
+      case GateType::kConst0:
+        c0 = 0;
+        c1 = kScoapInfinity;  // can never be 1
+        break;
+      case GateType::kConst1:
+        c0 = kScoapInfinity;
+        c1 = 0;
+        break;
+      case GateType::kBuf:
+        c0 = saturating_add(m.cc0[g.fanin[0]], 1);
+        c1 = saturating_add(m.cc1[g.fanin[0]], 1);
+        break;
+      case GateType::kNot:
+        c0 = saturating_add(m.cc1[g.fanin[0]], 1);
+        c1 = saturating_add(m.cc0[g.fanin[0]], 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        // AND core: 1 needs every input 1; 0 needs the cheapest input 0.
+        std::uint32_t all_one = 0;
+        std::uint32_t min_zero = kScoapInfinity;
+        for (const GateId in : g.fanin) {
+          all_one = saturating_add(all_one, m.cc1[in]);
+          min_zero = std::min(min_zero, m.cc0[in]);
+        }
+        const std::uint32_t core1 = saturating_add(all_one, 1);
+        const std::uint32_t core0 = saturating_add(min_zero, 1);
+        if (g.type == GateType::kAnd) {
+          c0 = core0;
+          c1 = core1;
+        } else {
+          c0 = core1;
+          c1 = core0;
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint32_t all_zero = 0;
+        std::uint32_t min_one = kScoapInfinity;
+        for (const GateId in : g.fanin) {
+          all_zero = saturating_add(all_zero, m.cc0[in]);
+          min_one = std::min(min_one, m.cc1[in]);
+        }
+        const std::uint32_t core0 = saturating_add(all_zero, 1);
+        const std::uint32_t core1 = saturating_add(min_one, 1);
+        if (g.type == GateType::kOr) {
+          c0 = core0;
+          c1 = core1;
+        } else {
+          c0 = core1;
+          c1 = core0;
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::uint32_t x0 = m.cc0[g.fanin[0]];
+        std::uint32_t x1 = m.cc1[g.fanin[0]];
+        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
+          xor_fold(x0, x1, m.cc0[g.fanin[i]], m.cc1[g.fanin[i]]);
+        }
+        const std::uint32_t core0 = saturating_add(x0, 1);
+        const std::uint32_t core1 = saturating_add(x1, 1);
+        if (g.type == GateType::kXor) {
+          c0 = core0;
+          c1 = core1;
+        } else {
+          c0 = core1;
+          c1 = core0;
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- backward pass: observability ----
+  for (const GateId point : circuit.observed_points()) {
+    m.observability[point] = 0;
+  }
+  const auto& order = circuit.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = circuit.gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) {
+      // Sources propagate observability to nothing; their own value was
+      // set above if they are observed / computed from fanout below.
+    }
+    const std::uint32_t out_obs = m.observability[id];
+    if (out_obs >= kScoapInfinity && g.fanin.empty()) continue;
+
+    // Observability of each fanin through this gate: the gate must pass
+    // the value (side inputs at non-controlling values) and the output
+    // must itself be observable.
+    for (std::size_t pin = 0; pin < g.fanin.size(); ++pin) {
+      std::uint32_t through = kScoapInfinity;
+      switch (g.type) {
+        case GateType::kBuf:
+        case GateType::kNot:
+          through = saturating_add(out_obs, 1);
+          break;
+        case GateType::kAnd:
+        case GateType::kNand: {
+          std::uint32_t side = 0;
+          for (std::size_t other = 0; other < g.fanin.size(); ++other) {
+            if (other == pin) continue;
+            side = saturating_add(side, m.cc1[g.fanin[other]]);
+          }
+          through = saturating_add(saturating_add(out_obs, side), 1);
+          break;
+        }
+        case GateType::kOr:
+        case GateType::kNor: {
+          std::uint32_t side = 0;
+          for (std::size_t other = 0; other < g.fanin.size(); ++other) {
+            if (other == pin) continue;
+            side = saturating_add(side, m.cc0[g.fanin[other]]);
+          }
+          through = saturating_add(saturating_add(out_obs, side), 1);
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor: {
+          // Side inputs must be at known values; the cheaper of 0/1 per
+          // side input.
+          std::uint32_t side = 0;
+          for (std::size_t other = 0; other < g.fanin.size(); ++other) {
+            if (other == pin) continue;
+            side = saturating_add(
+                side, std::min(m.cc0[g.fanin[other]], m.cc1[g.fanin[other]]));
+          }
+          through = saturating_add(saturating_add(out_obs, side), 1);
+          break;
+        }
+        case GateType::kDff:
+          // D pin: captured by scan; already seeded as an observed point
+          // (the driver carries observability 0 from the seeding loop).
+          through = out_obs;
+          break;
+        default:
+          break;  // sources have no pins
+      }
+      std::uint32_t& in_obs = m.observability[g.fanin[pin]];
+      in_obs = std::min(in_obs, through);  // stem observability: best branch
+    }
+  }
+  return m;
+}
+
+std::uint32_t fault_detection_cost(const Circuit& circuit,
+                                   const TestabilityMeasures& measures,
+                                   const fault::Fault& fault) {
+  const GateId line = fault_line(circuit, fault);
+  // Activation: drive the line opposite to the stuck value.
+  const std::uint32_t activation = fault.stuck_at_one
+                                       ? measures.cc0[line]
+                                       : measures.cc1[line];
+  // Observation: the stem's observability; a branch must additionally pass
+  // through its own gate, which the backward pass already folded into the
+  // stem minimum — use the faulted gate's output observability plus side
+  // conditions approximated by the stem value.
+  std::uint32_t observation = measures.observability[line];
+  if (!is_stem(fault)) {
+    observation = std::max(observation,
+                           measures.observability[fault.gate]);
+  }
+  return saturating_add(activation, observation);
+}
+
+}  // namespace lsiq::tpg

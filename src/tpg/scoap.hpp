@@ -1,0 +1,44 @@
+// SCOAP testability measures (Goldstein 1979).
+//
+// Combinational controllability CC0/CC1 (how hard is it to drive a line to
+// 0/1) and observability CO (how hard to propagate the line to an output),
+// computed structurally in one forward and one backward pass. Used here
+// for three things: ranking faults by expected detection difficulty,
+// steering PODEM's backtrace (PodemOptions::use_scoap via AtpgOptions),
+// and explaining *why* random-pattern coverage curves flatten — the
+// hard-fault tail is exactly the high-SCOAP tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace lsiq::tpg {
+
+/// Saturating cost ceiling: anything at or above this is "effectively
+/// untestable by structural reasoning" (e.g. lines behind constants).
+inline constexpr std::uint32_t kScoapInfinity = 1u << 30;
+
+struct TestabilityMeasures {
+  /// Cost of driving each gate's output to 0 / 1 (indexed by GateId).
+  std::vector<std::uint32_t> cc0;
+  std::vector<std::uint32_t> cc1;
+  /// Cost of observing each gate's output at some observed point.
+  std::vector<std::uint32_t> observability;
+};
+
+/// Compute all three measures. Inputs (and scan flip-flop outputs) have
+/// controllability 1; observed points have observability 0; all costs
+/// saturate at kScoapInfinity.
+TestabilityMeasures compute_scoap(const circuit::Circuit& circuit);
+
+/// SCOAP detection-cost estimate for a stuck-at fault: controllability of
+/// the opposite value on its line plus the line's observability (for a
+/// branch fault, observation through that pin's gate).
+std::uint32_t fault_detection_cost(const circuit::Circuit& circuit,
+                                   const TestabilityMeasures& measures,
+                                   const fault::Fault& fault);
+
+}  // namespace lsiq::tpg

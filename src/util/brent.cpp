@@ -1,0 +1,210 @@
+#include "util/brent.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+
+RootResult find_root_brent(const std::function<double(double)>& f, double lo,
+                           double hi, double x_tol, int max_iterations) {
+  LSIQ_EXPECT(lo < hi, "find_root_brent requires lo < hi");
+  LSIQ_EXPECT(x_tol > 0.0, "find_root_brent requires x_tol > 0");
+
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+
+  RootResult result;
+  if (fa == 0.0) {
+    result = {a, 0.0, 0, true};
+    return result;
+  }
+  if (fb == 0.0) {
+    result = {b, 0.0, 0, true};
+    return result;
+  }
+  if ((fa > 0.0) == (fb > 0.0)) {
+    throw NumericError("find_root_brent: f(lo) and f(hi) have the same sign");
+  }
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+
+    const double tol =
+        2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) +
+        0.5 * x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0) {
+      result = {b, fb, iter, true};
+      return result;
+    }
+
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation (secant when only two
+      // distinct points are available).
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) {
+        q = -q;
+      } else {
+        p = -p;
+      }
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;  // interpolation rejected: bisect
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+
+    a = b;
+    fa = fb;
+    if (std::abs(d) > tol) {
+      b += d;
+    } else {
+      b += (m > 0.0 ? tol : -tol);
+    }
+    fb = f(b);
+    result.iterations = iter;
+  }
+
+  result.x = b;
+  result.fx = fb;
+  result.converged = false;
+  return result;
+}
+
+MinimizeResult minimize_brent(const std::function<double(double)>& f,
+                              double lo, double hi, double x_tol,
+                              int max_iterations) {
+  LSIQ_EXPECT(lo < hi, "minimize_brent requires lo < hi");
+  LSIQ_EXPECT(x_tol > 0.0, "minimize_brent requires x_tol > 0");
+
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+
+  double a = lo;
+  double b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  MinimizeResult result;
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 =
+        x_tol * std::abs(x) + std::numeric_limits<double>::epsilon();
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      result = {x, fx, iter, true};
+      return result;
+    }
+
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Fit a parabola through (v, fv), (w, fw), (x, fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (xm > x ? tol1 : -tol1);
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm ? a - x : b - x);
+      d = kGolden * e;
+    }
+
+    const double u =
+        (std::abs(d) >= tol1 ? x + d : x + (d > 0.0 ? tol1 : -tol1));
+    const double fu = f(u);
+
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+    result.iterations = iter;
+  }
+
+  result.x = x;
+  result.fx = fx;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace lsiq::util

@@ -1,0 +1,46 @@
+// Scalar root finding and minimization (Brent's methods).
+//
+// The model layer needs two inversions that have no closed form:
+//   * required fault coverage: solve r(f) = r_target for f in [0, 1]
+//     (Eq. 8 of the paper, monotone decreasing in f), and
+//   * continuous n0 estimation: minimize a least-squares objective over n0.
+// Brent's algorithms are derivative-free, bracketing, and converge
+// superlinearly — exactly right for these smooth one-dimensional problems.
+#pragma once
+
+#include <functional>
+
+namespace lsiq::util {
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;          ///< abscissa of the root
+  double fx = 0.0;         ///< residual f(x) at the returned point
+  int iterations = 0;      ///< iterations consumed
+  bool converged = false;  ///< true when |f(x)| or bracket met tolerance
+};
+
+/// Find x in [lo, hi] with f(x) = 0 using Brent's method.
+///
+/// Preconditions: lo < hi and f(lo), f(hi) have opposite signs (a zero at an
+/// endpoint is accepted). Throws NumericError if the bracket is invalid.
+RootResult find_root_brent(const std::function<double(double)>& f, double lo,
+                           double hi, double x_tol = 1e-12,
+                           int max_iterations = 200);
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  double x = 0.0;          ///< abscissa of the minimum
+  double fx = 0.0;         ///< objective value at x
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize f over [lo, hi] using Brent's parabolic/golden-section method.
+/// f must be unimodal on the interval for a global result; otherwise a local
+/// minimum is returned.
+MinimizeResult minimize_brent(const std::function<double(double)>& f,
+                              double lo, double hi, double x_tol = 1e-10,
+                              int max_iterations = 200);
+
+}  // namespace lsiq::util

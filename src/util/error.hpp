@@ -1,0 +1,55 @@
+// Error handling primitives shared by all lsiq libraries.
+//
+// The library reports precondition violations and domain errors by throwing;
+// callers that feed it untrusted input (file parsers, CLI tools) catch
+// lsiq::Error at the boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lsiq {
+
+/// Base class of all exceptions thrown by lsiq libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A function argument violated a documented precondition.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input data (netlist file, pattern file, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine failed to converge or left its valid domain.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* cond, const char* file,
+                                          int line, const std::string& msg) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": contract `" + cond + "` violated: " + msg);
+}
+}  // namespace detail
+
+}  // namespace lsiq
+
+/// Precondition check. Always on: the model code is not hot enough for the
+/// branch to matter, and silent domain errors in probability code are far
+/// more expensive than the check.
+#define LSIQ_EXPECT(cond, msg)                                           \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::lsiq::detail::contract_failure(#cond, __FILE__, __LINE__, msg);  \
+    }                                                                    \
+  } while (false)

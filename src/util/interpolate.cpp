@@ -1,0 +1,45 @@
+#include "util/interpolate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs,
+                                       std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  LSIQ_EXPECT(xs_.size() == ys_.size(), "interpolator: size mismatch");
+  LSIQ_EXPECT(!xs_.empty(), "interpolator: empty input");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    LSIQ_EXPECT(xs_[i] > xs_[i - 1],
+                "interpolator: x values must be strictly increasing");
+  }
+}
+
+double LinearInterpolator::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] * (1.0 - w) + ys_[hi] * w;
+}
+
+double LinearInterpolator::inverse(double y) const {
+  if (y <= ys_.front()) return xs_.front();
+  if (y >= ys_.back()) return xs_.back();
+  // ys_ is assumed non-decreasing for inversion; find the first segment
+  // whose upper value reaches y.
+  const auto it = std::lower_bound(ys_.begin(), ys_.end(), y);
+  const std::size_t hi = static_cast<std::size_t>(it - ys_.begin());
+  if (hi == 0) return xs_.front();
+  const std::size_t lo = hi - 1;
+  const double span = ys_[hi] - ys_[lo];
+  if (span <= 0.0) return xs_[hi];  // flat segment: earliest x reaching y
+  const double w = (y - ys_[lo]) / span;
+  return xs_[lo] * (1.0 - w) + xs_[hi] * w;
+}
+
+}  // namespace lsiq::util

@@ -1,0 +1,34 @@
+// Piecewise-linear interpolation over monotone abscissae.
+//
+// The fault simulator produces a cumulative coverage curve as a step/broken
+// line in (pattern index, coverage); the estimation procedure needs to read
+// that curve at arbitrary points and to invert it ("first pattern reaching
+// coverage 0.05"). Both directions live here.
+#pragma once
+
+#include <vector>
+
+namespace lsiq::util {
+
+/// Piecewise-linear function through (x_i, y_i) with strictly increasing x.
+/// Evaluation outside [x_front, x_back] clamps to the end values (curves we
+/// interpolate — coverage, CDFs — are saturating).
+class LinearInterpolator {
+ public:
+  LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Smallest x with value(x) >= y, assuming y values are non-decreasing.
+  /// Returns x_back when y exceeds the final value.
+  [[nodiscard]] double inverse(double y) const;
+
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace lsiq::util

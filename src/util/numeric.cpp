@@ -1,0 +1,102 @@
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+
+double log_gamma(double x) {
+  LSIQ_EXPECT(x > 0.0, "log_gamma requires x > 0");
+  return std::lgamma(x);
+}
+
+double log_factorial(std::int64_t n) {
+  LSIQ_EXPECT(n >= 0, "log_factorial requires n >= 0");
+  // Small-n cache: factorial arguments in the fault-count pmf are almost
+  // always < 64, and table lookup keeps the pmf loop branch-light.
+  static const std::vector<double> cache = [] {
+    std::vector<double> c(64);
+    c[0] = 0.0;
+    for (std::size_t i = 1; i < c.size(); ++i) {
+      c[i] = c[i - 1] + std::log(static_cast<double>(i));
+    }
+    return c;
+  }();
+  if (static_cast<std::size_t>(n) < cache.size()) {
+    return cache[static_cast<std::size_t>(n)];
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  LSIQ_EXPECT(n >= 0, "log_binomial requires n >= 0");
+  LSIQ_EXPECT(k >= 0 && k <= n, "log_binomial requires 0 <= k <= n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_sum_exp(double a, double b) {
+  if (std::isinf(a) && a < 0.0) return b;
+  if (std::isinf(b) && b < 0.0) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log1m_exp(double x) {
+  LSIQ_EXPECT(x < 0.0, "log1m_exp requires x < 0");
+  // Split at log(2) per Maechler's note: use log(-expm1(x)) near zero and
+  // log1p(-exp(x)) for very negative x.
+  constexpr double kLog2 = 0.6931471805599453;
+  if (x > -kLog2) {
+    return std::log(-std::expm1(x));
+  }
+  return std::log1p(-std::exp(x));
+}
+
+double clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+
+bool almost_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= abs_tol + rel_tol * scale;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  LSIQ_EXPECT(count >= 2, "linspace requires count >= 2");
+  std::vector<double> xs(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    xs[i] = lo + step * static_cast<double>(i);
+  }
+  xs.back() = hi;  // avoid accumulated rounding on the endpoint
+  return xs;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  LSIQ_EXPECT(lo > 0.0 && hi > lo, "logspace requires 0 < lo < hi");
+  std::vector<double> xs = linspace(std::log(lo), std::log(hi), count);
+  for (double& x : xs) x = std::exp(x);
+  xs.back() = hi;
+  return xs;
+}
+
+void KahanSum::add(double x) noexcept {
+  // Neumaier variant: also compensates when |x| > |sum_|.
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    compensation_ += (sum_ - t) + x;
+  } else {
+    compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+double kahan_total(const std::vector<double>& xs) {
+  KahanSum acc;
+  for (double x : xs) acc.add(x);
+  return acc.value();
+}
+
+}  // namespace lsiq::util

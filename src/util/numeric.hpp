@@ -1,0 +1,62 @@
+// Numeric building blocks used throughout the model code.
+//
+// Probability expressions in the paper (hypergeometric densities, Poisson
+// tails) overflow naive factorial arithmetic long before the interesting
+// parameter range (N ~ 10^4..10^5 faults), so everything here is phrased in
+// log space with explicit compensated summation where series are involved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsiq::util {
+
+/// Natural log of the gamma function. Domain: x > 0.
+double log_gamma(double x);
+
+/// log(n!) for integer n >= 0.
+double log_factorial(std::int64_t n);
+
+/// log of the binomial coefficient C(n, k). Requires 0 <= k <= n.
+double log_binomial(std::int64_t n, std::int64_t k);
+
+/// Numerically careful log(exp(a) + exp(b)).
+double log_sum_exp(double a, double b);
+
+/// log(1 - exp(x)) for x < 0, stable for x near 0 and for very negative x.
+double log1m_exp(double x);
+
+/// Clamp a value into [0, 1]; used to de-noise probabilities assembled from
+/// differences of nearly equal terms.
+double clamp01(double p);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12);
+
+/// `count` evenly spaced values covering [lo, hi] inclusive. count >= 2.
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// `count` log-spaced values covering [lo, hi] inclusive. Requires
+/// 0 < lo < hi and count >= 2.
+std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+/// Kahan–Neumaier compensated accumulator. Probability series in the model
+/// (e.g. the exact escape-yield sum, Eq. 6) mix terms spanning ~20 orders of
+/// magnitude; plain += loses the small tail that the reject rate is made of.
+class KahanSum {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
+  void reset() noexcept { sum_ = 0.0; compensation_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sum of a vector using compensated accumulation.
+double kahan_total(const std::vector<double>& xs);
+
+}  // namespace lsiq::util

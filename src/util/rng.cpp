@@ -1,0 +1,228 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  LSIQ_EXPECT(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  LSIQ_EXPECT(bound > 0, "uniform_below requires bound > 0");
+  // Rejection from the top of the range kills modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  LSIQ_EXPECT(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0,1]");
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) {
+  LSIQ_EXPECT(sigma >= 0.0, "normal requires sigma >= 0");
+  return mean + sigma * normal();
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  LSIQ_EXPECT(mean >= 0.0, "poisson requires mean >= 0");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  // Transformed rejection with squeeze (Hörmann's PTRS), exact for large
+  // means and far faster than Knuth's O(mean) loop.
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    double u = uniform() - 0.5;
+    const double v = uniform();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) {
+      return static_cast<std::uint64_t>(k);
+    }
+    if (k < 0.0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    const double log_accept = std::log(v * inv_alpha / (a / (us * us) + b));
+    if (log_accept <= k * std::log(mean) - mean - log_factorial(
+                                                     static_cast<std::int64_t>(
+                                                         k))) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+double Rng::gamma(double shape, double scale) {
+  LSIQ_EXPECT(shape > 0.0, "gamma requires shape > 0");
+  LSIQ_EXPECT(scale > 0.0, "gamma requires scale > 0");
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return scale * d * v;
+    }
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+std::uint64_t Rng::negative_binomial(double mean, double shape) {
+  LSIQ_EXPECT(mean >= 0.0, "negative_binomial requires mean >= 0");
+  LSIQ_EXPECT(shape > 0.0, "negative_binomial requires shape > 0");
+  if (mean == 0.0) return 0;
+  const double lambda = gamma(shape, mean / shape);
+  return poisson(lambda);
+}
+
+std::uint64_t Rng::hypergeometric(std::uint64_t population,
+                                  std::uint64_t successes,
+                                  std::uint64_t draws) {
+  LSIQ_EXPECT(successes <= population,
+              "hypergeometric requires successes <= population");
+  LSIQ_EXPECT(draws <= population,
+              "hypergeometric requires draws <= population");
+  // Symmetry: drawing the smaller of (draws, population - draws) halves work.
+  if (draws > population - draws) {
+    const std::uint64_t complement =
+        hypergeometric(population, successes, population - draws);
+    return successes - complement;
+  }
+  // Sequential urn simulation. Our call sites keep draws modest (pattern
+  // blocks, per-chip fault placement), so O(draws) is fine and exact.
+  std::uint64_t black = successes;
+  std::uint64_t total = population;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    if (black == 0) break;
+    if (uniform_below(total) < black) {
+      ++hits;
+      --black;
+    }
+    --total;
+  }
+  return hits;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(
+    std::uint64_t population, std::uint64_t k) {
+  LSIQ_EXPECT(k <= population,
+              "sample_without_replacement requires k <= population");
+  // Floyd's algorithm: expected O(k) with a small hash set.
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k);
+  for (std::uint64_t j = population - k; j < population; ++j) {
+    const std::uint64_t t = uniform_below(j + 1);
+    bool seen = false;
+    for (const std::uint64_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  return chosen;
+}
+
+Rng Rng::split() {
+  // Two raw words build the child's seed; the parent state advances so that
+  // successive splits are independent.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 31));
+}
+
+}  // namespace lsiq::util

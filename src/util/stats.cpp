@@ -1,0 +1,143 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  LSIQ_EXPECT(xs.size() == ys.size(), "linear_regression: size mismatch");
+  LSIQ_EXPECT(xs.size() >= 2, "linear_regression requires >= 2 points");
+
+  const double n = static_cast<double>(xs.size());
+  KahanSum sx;
+  KahanSum sy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx.add(xs[i]);
+    sy.add(ys[i]);
+  }
+  const double mean_x = sx.value() / n;
+  const double mean_y = sy.value() / n;
+
+  KahanSum sxx;
+  KahanSum sxy;
+  KahanSum syy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx.add(dx * dx);
+    sxy.add(dx * dy);
+    syy.add(dy * dy);
+  }
+  LSIQ_EXPECT(sxx.value() > 0.0, "linear_regression: all x identical");
+
+  LinearFit fit;
+  fit.slope = sxy.value() / sxx.value();
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy.value() > 0.0) {
+    const double ss_res = syy.value() - fit.slope * sxy.value();
+    fit.r_squared = clamp01(1.0 - ss_res / syy.value());
+  } else {
+    fit.r_squared = 1.0;  // constant y fitted exactly
+  }
+  return fit;
+}
+
+double regression_through_origin(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) {
+  LSIQ_EXPECT(xs.size() == ys.size(),
+              "regression_through_origin: size mismatch");
+  LSIQ_EXPECT(!xs.empty(), "regression_through_origin requires >= 1 point");
+  KahanSum sxy;
+  KahanSum sxx;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy.add(xs[i] * ys[i]);
+    sxx.add(xs[i] * xs[i]);
+  }
+  LSIQ_EXPECT(sxx.value() > 0.0, "regression_through_origin: all x zero");
+  return sxy.value() / sxx.value();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  LSIQ_EXPECT(!xs.empty(), "percentile of empty sample");
+  LSIQ_EXPECT(p >= 0.0 && p <= 100.0, "percentile requires p in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double w = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - w) + xs[hi] * w;
+}
+
+double ks_statistic(std::vector<double> sample,
+                    const std::vector<double>& model_cdf_at_sorted_sample) {
+  LSIQ_EXPECT(sample.size() == model_cdf_at_sorted_sample.size(),
+              "ks_statistic: size mismatch");
+  LSIQ_EXPECT(!sample.empty(), "ks_statistic of empty sample");
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double cdf = model_cdf_at_sorted_sample[i];
+    const double upper = static_cast<double>(i + 1) / n - cdf;
+    const double lower = cdf - static_cast<double>(i) / n;
+    d = std::max({d, upper, lower});
+  }
+  return d;
+}
+
+double chi_square_statistic(const std::vector<double>& observed,
+                            const std::vector<double>& expected) {
+  LSIQ_EXPECT(observed.size() == expected.size(),
+              "chi_square_statistic: size mismatch");
+  KahanSum chi2;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] < 1e-12) continue;
+    const double diff = observed[i] - expected[i];
+    chi2.add(diff * diff / expected[i]);
+  }
+  return chi2.value();
+}
+
+std::pair<double, double> wilson_interval(std::size_t successes,
+                                          std::size_t trials, double z) {
+  LSIQ_EXPECT(trials > 0, "wilson_interval requires trials > 0");
+  LSIQ_EXPECT(successes <= trials,
+              "wilson_interval requires successes <= trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {clamp01(center - half), clamp01(center + half)};
+}
+
+}  // namespace lsiq::util

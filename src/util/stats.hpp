@@ -1,0 +1,73 @@
+// Descriptive statistics, regression and goodness-of-fit helpers.
+//
+// Used by the estimation layer (fitting P(f) curves to lot data, Fig. 5),
+// by the wafer experiments (empirical reject rates with uncertainty), and by
+// the test suite (distribution checks on the samplers).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lsiq::util {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// the long Monte-Carlo streams produced by the wafer simulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Fit a line to (x, y) pairs. Requires at least two points with distinct x.
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// Least squares fit of y = slope * x (line through the origin). Used for
+/// the paper's initial-slope estimate of P'(0) over the first few strobes.
+double regression_through_origin(const std::vector<double>& xs,
+                                 const std::vector<double>& ys);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics. The input is copied and sorted.
+double percentile(std::vector<double> xs, double p);
+
+/// Two-sided Kolmogorov–Smirnov statistic between a sample and a model CDF
+/// evaluated at the sample points. Returns sup |F_empirical - F_model|.
+double ks_statistic(std::vector<double> sample,
+                    const std::vector<double>& model_cdf_at_sorted_sample);
+
+/// Pearson chi-square statistic for observed vs expected counts. Bins with
+/// expected < 1e-12 are skipped. Sizes must match.
+double chi_square_statistic(const std::vector<double>& observed,
+                            const std::vector<double>& expected);
+
+/// Wilson score interval for a binomial proportion: given `successes` out of
+/// `trials`, the interval covering the true rate with ~95% confidence
+/// (z = 1.96). Used to put error bars on empirical reject rates.
+std::pair<double, double> wilson_interval(std::size_t successes,
+                                          std::size_t trials,
+                                          double z = 1.959963984540054);
+
+}  // namespace lsiq::util

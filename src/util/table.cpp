@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+
+TextTable::TextTable(std::vector<std::string> headers, Align alignment)
+    : headers_(std::move(headers)), alignment_(alignment) {
+  LSIQ_EXPECT(!headers_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  LSIQ_EXPECT(cells.size() == headers_.size(),
+              "TextTable row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c != 0) out << "  ";
+      if (alignment_ == Align::kRight) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t rule_width = 2 * (headers_.size() - 1);
+  for (const std::size_t w : widths) rule_width += w;
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string format_double(double value, int decimals) {
+  LSIQ_EXPECT(decimals >= 0 && decimals <= 17,
+              "format_double: decimals out of range");
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_probability(double p) {
+  if (p != 0.0 && std::abs(p) < 1e-4) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3e", p);
+    return buffer;
+  }
+  return format_double(p, 5);
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace lsiq::util

@@ -1,0 +1,56 @@
+// Plain-text table and CSV rendering for the bench harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper as an
+// aligned text table (for eyeballing against the original) plus an optional
+// CSV block (for replotting). Formatting lives here so the benches stay
+// focused on the experiment itself.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lsiq::util {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Minimal aligned-text table builder.
+///
+///     TextTable t({"f", "r(f)"});
+///     t.add_row({format_double(f, 2), format_double(r, 5)});
+///     std::cout << t.to_string();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     Align alignment = Align::kRight);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule and two-space column gutters.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting — cells must not contain commas).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  Align alignment_;
+};
+
+/// Fixed-point decimal rendering ("0.0146" style, no scientific notation).
+std::string format_double(double value, int decimals);
+
+/// Render a probability either fixed-point or, below 10^-4, in scientific
+/// notation so small reject rates stay readable.
+std::string format_probability(double p);
+
+/// Percentage with the given number of decimals, e.g. 0.85 -> "85.0%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace lsiq::util

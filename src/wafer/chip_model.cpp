@@ -1,0 +1,138 @@
+#include "wafer/chip_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::wafer {
+
+namespace {
+
+/// Map distinct universe fault indices to a sorted, deduplicated class set.
+std::vector<std::uint32_t> to_class_set(
+    const fault::FaultList& faults,
+    const std::vector<std::uint64_t>& universe_indices) {
+  std::vector<std::uint32_t> classes;
+  classes.reserve(universe_indices.size());
+  for (const std::uint64_t u : universe_indices) {
+    classes.push_back(static_cast<std::uint32_t>(
+        faults.class_of(static_cast<std::size_t>(u))));
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+}  // namespace
+
+double ChipLot::realized_yield() const {
+  if (chips.empty()) return 0.0;
+  std::size_t good = 0;
+  for (const Chip& c : chips) {
+    if (!c.defective()) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(chips.size());
+}
+
+double ChipLot::realized_n0() const {
+  std::size_t defective = 0;
+  std::size_t faults = 0;
+  for (const Chip& c : chips) {
+    if (c.defective()) {
+      ++defective;
+      faults += c.fault_classes.size();
+    }
+  }
+  if (defective == 0) return 0.0;
+  return static_cast<double>(faults) / static_cast<double>(defective);
+}
+
+ChipLot generate_lot(const fault::FaultList& faults,
+                     const quality::FaultDistribution& distribution,
+                     std::size_t chip_count, std::uint64_t seed) {
+  LSIQ_EXPECT(chip_count > 0, "generate_lot requires chip_count > 0");
+  const std::size_t universe = faults.fault_count();
+  LSIQ_EXPECT(universe > 0, "generate_lot requires a non-empty universe");
+
+  util::Rng rng(seed);
+  ChipLot lot;
+  lot.true_yield = distribution.yield();
+  lot.true_n0 = distribution.n0();
+  lot.chips.reserve(chip_count);
+
+  for (std::size_t i = 0; i < chip_count; ++i) {
+    const unsigned n = std::min<unsigned>(
+        distribution.sample(rng), static_cast<unsigned>(universe));
+    Chip chip;
+    if (n > 0) {
+      chip.fault_classes =
+          to_class_set(faults, rng.sample_without_replacement(universe, n));
+    }
+    lot.chips.push_back(std::move(chip));
+  }
+  return lot;
+}
+
+ChipLot generate_physical_lot(const fault::FaultList& faults,
+                              const PhysicalLotSpec& spec) {
+  LSIQ_EXPECT(spec.chip_count > 0,
+              "generate_physical_lot requires chip_count > 0");
+  LSIQ_EXPECT(spec.defects_per_chip >= 0.0,
+              "generate_physical_lot requires defects_per_chip >= 0");
+  LSIQ_EXPECT(spec.variance_ratio >= 0.0,
+              "generate_physical_lot requires variance_ratio >= 0");
+  LSIQ_EXPECT(spec.extra_faults_per_defect >= 0.0,
+              "generate_physical_lot requires extra_faults_per_defect >= 0");
+  const std::size_t universe = faults.fault_count();
+  LSIQ_EXPECT(universe > 0,
+              "generate_physical_lot requires a non-empty universe");
+
+  util::Rng rng(spec.seed);
+  ChipLot lot;
+  lot.chips.reserve(spec.chip_count);
+
+  for (std::size_t i = 0; i < spec.chip_count; ++i) {
+    const std::uint64_t defects =
+        spec.variance_ratio == 0.0
+            ? rng.poisson(spec.defects_per_chip)
+            : rng.negative_binomial(spec.defects_per_chip,
+                                    1.0 / spec.variance_ratio);
+    std::vector<std::uint64_t> universe_indices;
+    for (std::uint64_t d = 0; d < defects; ++d) {
+      const std::uint64_t fault_count =
+          1 + rng.poisson(spec.extra_faults_per_defect);
+      if (spec.locality_window == 0) {
+        for (std::uint64_t k = 0; k < fault_count; ++k) {
+          universe_indices.push_back(rng.uniform_below(universe));
+        }
+      } else {
+        // All faults of this defect land inside a window around a random
+        // center — spatial locality of a single physical flaw.
+        const std::uint64_t center = rng.uniform_below(universe);
+        const std::uint64_t half = spec.locality_window / 2;
+        const std::uint64_t lo = center >= half ? center - half : 0;
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(lo + spec.locality_window, universe);
+        for (std::uint64_t k = 0; k < fault_count; ++k) {
+          universe_indices.push_back(lo + rng.uniform_below(hi - lo));
+        }
+      }
+    }
+    std::sort(universe_indices.begin(), universe_indices.end());
+    universe_indices.erase(
+        std::unique(universe_indices.begin(), universe_indices.end()),
+        universe_indices.end());
+    Chip chip;
+    if (!universe_indices.empty()) {
+      chip.fault_classes = to_class_set(faults, universe_indices);
+    }
+    lot.chips.push_back(std::move(chip));
+  }
+
+  lot.true_yield = lot.realized_yield();
+  lot.true_n0 = lot.realized_n0();
+  return lot;
+}
+
+}  // namespace lsiq::wafer

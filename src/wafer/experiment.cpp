@@ -1,0 +1,72 @@
+#include "wafer/experiment.hpp"
+
+#include "util/error.hpp"
+
+namespace lsiq::wafer {
+
+std::vector<quality::CoveragePoint> ExperimentResult::points() const {
+  std::vector<quality::CoveragePoint> pts;
+  pts.reserve(table.size());
+  for (const StrobeRow& row : table) {
+    pts.push_back(
+        quality::CoveragePoint{row.actual_coverage, row.cumulative_fraction});
+  }
+  return pts;
+}
+
+ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
+                                          const sim::PatternSet& patterns,
+                                          const ExperimentSpec& spec) {
+  LSIQ_EXPECT(!patterns.empty(), "experiment requires a pattern set");
+  LSIQ_EXPECT(!spec.strobe_coverages.empty(),
+              "experiment requires at least one strobe");
+
+  // 1. Fault-simulate the ordered program (the LAMP step of Section 7),
+  // under the tester's strobe schedule when one is requested.
+  std::optional<fault::StrobeSchedule> schedule;
+  if (spec.progressive_strobe_step > 0) {
+    schedule = fault::StrobeSchedule::progressive(
+        faults.circuit().observed_points().size(),
+        spec.progressive_strobe_step);
+  }
+  fault::FaultSimResult fault_sim = fault::simulate_ppsfp(
+      faults, patterns, schedule.has_value() ? &*schedule : nullptr);
+  fault::CoverageCurve curve = fault_sim.curve(faults, patterns.size());
+
+  // 2. Manufacture the virtual lot.
+  ChipLot lot;
+  if (spec.physical.has_value()) {
+    lot = generate_physical_lot(faults, *spec.physical);
+  } else {
+    const quality::FaultDistribution distribution(spec.yield, spec.n0);
+    lot = generate_lot(faults, distribution, spec.chip_count, spec.seed);
+  }
+
+  // 3. Test it (the Sentry step of Section 7).
+  LotTestResult test = test_lot(lot, fault_sim, patterns.size());
+
+  // 4. Read out at the strobes.
+  ExperimentResult result{.table = {},
+                          .fault_sim = std::move(fault_sim),
+                          .curve = std::move(curve),
+                          .lot = std::move(lot),
+                          .test = std::move(test)};
+  for (const double target : spec.strobe_coverages) {
+    const std::size_t t = result.curve.patterns_for_coverage(target);
+    if (t > patterns.size()) {
+      throw Error("experiment: pattern set never reaches coverage " +
+                  std::to_string(target) + " (final coverage " +
+                  std::to_string(result.curve.final_coverage()) + ")");
+    }
+    StrobeRow row;
+    row.target_coverage = target;
+    row.actual_coverage = result.curve.coverage_after(t);
+    row.pattern_index = t;
+    row.cumulative_failed = result.test.failed_within(t);
+    row.cumulative_fraction = result.test.fraction_failed_within(t);
+    result.table.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace lsiq::wafer

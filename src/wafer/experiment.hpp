@@ -1,0 +1,77 @@
+// End-to-end chip-test experiments: the full Section 5 / Section 7 flow on
+// a virtual process line.
+//
+//   circuit -> fault universe -> ordered patterns -> fault simulation
+//           -> coverage curve -> virtual lot -> virtual tester
+//           -> Table-1-style strobe table -> n0 estimation
+//
+// Used by bench/table1_chip_test, bench/fig5_n0_determination and the
+// process_characterization example.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/estimation.hpp"
+#include "fault/coverage.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/pattern.hpp"
+#include "wafer/chip_model.hpp"
+#include "wafer/tester.hpp"
+
+namespace lsiq::wafer {
+
+/// One row of a Table-1-style readout.
+struct StrobeRow {
+  double target_coverage = 0.0;   ///< the requested strobe (Table 1 col. 1)
+  double actual_coverage = 0.0;   ///< curve value at the strobe pattern
+  std::size_t pattern_index = 0;  ///< patterns applied up to the strobe
+  std::size_t cumulative_failed = 0;
+  double cumulative_fraction = 0.0;
+};
+
+struct ExperimentSpec {
+  std::size_t chip_count = 277;   ///< the paper's lot size
+  double yield = 0.07;            ///< Section 7's estimated yield
+  double n0 = 8.0;                ///< ground-truth n0 for the virtual lot
+  std::uint64_t seed = 1981;
+  /// Strobe coverages for the readout; defaults to Table 1's checkpoints.
+  std::vector<double> strobe_coverages = {0.05, 0.08, 0.10, 0.15, 0.20,
+                                          0.30, 0.36, 0.45, 0.50, 0.65};
+  /// When set, the physical-defect generator is used instead of the
+  /// model-faithful one (ground-truth n0 then comes from the realization).
+  std::optional<PhysicalLotSpec> physical;
+  /// Tester observability bring-up: when > 0, observed point i is strobed
+  /// only from pattern i * progressive_strobe_step (see fault/strobe.hpp).
+  /// This emulates the 1981 functional-program behaviour in which coverage
+  /// rises gradually — the regime of the paper's Table 1. 0 = full
+  /// observability from pattern 0 (scan-style testing).
+  std::size_t progressive_strobe_step = 0;
+};
+
+struct ExperimentResult {
+  std::vector<StrobeRow> table;        ///< Table-1-style rows
+  fault::FaultSimResult fault_sim;     ///< per-class first detections
+  fault::CoverageCurve curve;          ///< cumulative coverage vs patterns
+  ChipLot lot;
+  LotTestResult test;
+
+  /// (coverage, fraction failed) points for the Section 5 estimators.
+  [[nodiscard]] std::vector<quality::CoveragePoint> points() const;
+
+  /// Final coverage of the full pattern program.
+  [[nodiscard]] double final_coverage() const {
+    return curve.final_coverage();
+  }
+};
+
+/// Run the full experiment. The pattern set must already be ordered as the
+/// tester would apply it. Throws if a strobe coverage is never reached by
+/// the pattern set.
+ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
+                                          const sim::PatternSet& patterns,
+                                          const ExperimentSpec& spec);
+
+}  // namespace lsiq::wafer

@@ -1,0 +1,80 @@
+#include "wafer/tester.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lsiq::wafer {
+
+std::size_t LotTestResult::failed_count() const {
+  std::size_t n = 0;
+  for (const ChipOutcome& o : outcomes) {
+    if (o.first_fail_pattern >= 0) ++n;
+  }
+  return n;
+}
+
+std::size_t LotTestResult::passed_count() const {
+  return outcomes.size() - failed_count();
+}
+
+std::size_t LotTestResult::shipped_defective_count() const {
+  std::size_t n = 0;
+  for (const ChipOutcome& o : outcomes) {
+    if (o.first_fail_pattern < 0 && o.defective) ++n;
+  }
+  return n;
+}
+
+double LotTestResult::empirical_reject_rate() const {
+  const std::size_t shipped = passed_count();
+  if (shipped == 0) return 0.0;
+  return static_cast<double>(shipped_defective_count()) /
+         static_cast<double>(shipped);
+}
+
+std::size_t LotTestResult::failed_within(std::size_t patterns) const {
+  std::size_t n = 0;
+  for (const ChipOutcome& o : outcomes) {
+    if (o.first_fail_pattern >= 0 &&
+        static_cast<std::size_t>(o.first_fail_pattern) < patterns) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double LotTestResult::fraction_failed_within(std::size_t patterns) const {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(failed_within(patterns)) /
+         static_cast<double>(outcomes.size());
+}
+
+LotTestResult test_lot(const ChipLot& lot,
+                       const fault::FaultSimResult& fault_sim,
+                       std::size_t pattern_count) {
+  LSIQ_EXPECT(pattern_count > 0, "test_lot requires pattern_count > 0");
+  LotTestResult result;
+  result.pattern_count = pattern_count;
+  result.outcomes.reserve(lot.size());
+
+  for (const Chip& chip : lot.chips) {
+    ChipOutcome outcome;
+    outcome.defective = chip.defective();
+    std::int64_t first = -1;
+    for (const std::uint32_t cls : chip.fault_classes) {
+      LSIQ_EXPECT(cls < fault_sim.first_detection.size(),
+                  "test_lot: chip references an unknown fault class");
+      const std::int64_t t = fault_sim.first_detection[cls];
+      if (t < 0) continue;  // this fault is never detected by the program
+      if (first < 0 || t < first) first = t;
+    }
+    if (first >= 0 && static_cast<std::size_t>(first) < pattern_count) {
+      outcome.first_fail_pattern = first;
+    }
+    result.outcomes.push_back(outcome);
+  }
+  return result;
+}
+
+}  // namespace lsiq::wafer

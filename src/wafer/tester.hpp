@@ -1,0 +1,58 @@
+// The virtual tester ("Sentry"): ordered pattern application with
+// first-fail recording.
+//
+// Mirrors the protocol of Section 7: patterns are applied in a fixed
+// order; a chip is rejected at the first pattern it fails and sees no
+// further patterns; chips that pass everything ship. Because the lot
+// generator gives us ground truth, the tester also tallies what the 1981
+// experiment could not observe directly: how many *defective* chips
+// shipped — the empirical field reject rate that validates Eq. 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_sim.hpp"
+#include "wafer/chip_model.hpp"
+
+namespace lsiq::wafer {
+
+/// Per-chip test outcome.
+struct ChipOutcome {
+  std::int64_t first_fail_pattern = -1;  ///< -1 = passed every pattern
+  bool defective = false;                ///< ground truth
+};
+
+struct LotTestResult {
+  std::vector<ChipOutcome> outcomes;
+  std::size_t pattern_count = 0;
+
+  [[nodiscard]] std::size_t chip_count() const noexcept {
+    return outcomes.size();
+  }
+  [[nodiscard]] std::size_t failed_count() const;
+  [[nodiscard]] std::size_t passed_count() const;
+
+  /// Defective chips that passed all patterns (escapes).
+  [[nodiscard]] std::size_t shipped_defective_count() const;
+
+  /// Escapes / shipped — the measured counterpart of Eq. 8's r(f).
+  [[nodiscard]] double empirical_reject_rate() const;
+
+  /// Chips whose first failure happened before `patterns` patterns were
+  /// applied (the Table 1 "cumulative number of chips failed" column).
+  [[nodiscard]] std::size_t failed_within(std::size_t patterns) const;
+
+  /// failed_within as a fraction of the lot.
+  [[nodiscard]] double fraction_failed_within(std::size_t patterns) const;
+};
+
+/// Test every chip of the lot against an ordered pattern set, using the
+/// per-class first-detection indices from a completed fault simulation.
+/// A chip's first failing pattern is the earliest first-detection among
+/// its resident fault classes (single-fault-detection approximation).
+LotTestResult test_lot(const ChipLot& lot,
+                       const fault::FaultSimResult& fault_sim,
+                       std::size_t pattern_count);
+
+}  // namespace lsiq::wafer

@@ -1,0 +1,139 @@
+#include "wafer/wafer_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::wafer {
+
+WaferMap WaferMap::generate(const fault::FaultList& faults,
+                            const WaferSpec& spec) {
+  LSIQ_EXPECT(spec.wafer_diameter > 0.0, "wafer diameter must be positive");
+  LSIQ_EXPECT(spec.die_width > 0.0 && spec.die_height > 0.0,
+              "die dimensions must be positive");
+  LSIQ_EXPECT(spec.center_defect_density >= 0.0,
+              "defect density must be >= 0");
+  LSIQ_EXPECT(spec.edge_density_multiplier >= 0.0,
+              "edge multiplier must be >= 0");
+  LSIQ_EXPECT(spec.variance_ratio >= 0.0, "variance ratio must be >= 0");
+  const std::size_t universe = faults.fault_count();
+  LSIQ_EXPECT(universe > 0, "wafer map requires a non-empty fault universe");
+
+  const double radius = spec.wafer_diameter / 2.0;
+  const double die_area = spec.die_width * spec.die_height;
+  const int cols =
+      static_cast<int>(std::floor(spec.wafer_diameter / spec.die_width));
+  const int rows =
+      static_cast<int>(std::floor(spec.wafer_diameter / spec.die_height));
+  LSIQ_EXPECT(cols > 0 && rows > 0, "die larger than the wafer");
+
+  util::Rng rng(spec.seed);
+  WaferMap map;
+  map.spec_ = spec;
+
+  for (int gy = 0; gy < rows; ++gy) {
+    for (int gx = 0; gx < cols; ++gx) {
+      // Grid centered on the wafer.
+      const double cx =
+          (static_cast<double>(gx) - static_cast<double>(cols - 1) / 2.0) *
+          spec.die_width;
+      const double cy =
+          (static_cast<double>(gy) - static_cast<double>(rows - 1) / 2.0) *
+          spec.die_height;
+      // Keep only dies fully inside the circle: the farthest corner must
+      // be within the radius.
+      const double corner_x = std::abs(cx) + spec.die_width / 2.0;
+      const double corner_y = std::abs(cy) + spec.die_height / 2.0;
+      if (std::hypot(corner_x, corner_y) > radius) continue;
+
+      Die die;
+      die.grid_x = gx;
+      die.grid_y = gy;
+      die.center_x = cx;
+      die.center_y = cy;
+      die.radius_fraction = std::hypot(cx, cy) / radius;
+
+      // Radial density profile, then gamma-mixed per-die defect count.
+      const double rr = die.radius_fraction * die.radius_fraction;
+      const double density =
+          spec.center_defect_density *
+          (1.0 + (spec.edge_density_multiplier - 1.0) * rr);
+      const double lambda = density * die_area;
+      const std::uint64_t defects =
+          spec.variance_ratio == 0.0
+              ? rng.poisson(lambda)
+              : rng.negative_binomial(lambda > 0.0 ? lambda : 0.0,
+                                      1.0 / spec.variance_ratio);
+      die.defect_count = static_cast<std::size_t>(defects);
+
+      // Defects -> logical faults (uniform sites; locality handled by the
+      // physical lot generator when needed).
+      std::vector<std::uint32_t> classes;
+      for (std::uint64_t d = 0; d < defects; ++d) {
+        const std::uint64_t fault_count =
+            1 + rng.poisson(spec.extra_faults_per_defect);
+        for (std::uint64_t k = 0; k < fault_count; ++k) {
+          classes.push_back(static_cast<std::uint32_t>(faults.class_of(
+              static_cast<std::size_t>(rng.uniform_below(universe)))));
+        }
+      }
+      std::sort(classes.begin(), classes.end());
+      classes.erase(std::unique(classes.begin(), classes.end()),
+                    classes.end());
+      die.chip.fault_classes = std::move(classes);
+      map.dies_.push_back(std::move(die));
+    }
+  }
+  LSIQ_EXPECT(!map.dies_.empty(), "no dies fit inside the wafer");
+  return map;
+}
+
+double WaferMap::yield() const {
+  std::size_t good = 0;
+  for (const Die& die : dies_) {
+    if (!die.chip.defective()) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(dies_.size());
+}
+
+double WaferMap::mean_faults_per_defective_die() const {
+  std::size_t defective = 0;
+  std::size_t faults = 0;
+  for (const Die& die : dies_) {
+    if (die.chip.defective()) {
+      ++defective;
+      faults += die.chip.fault_classes.size();
+    }
+  }
+  if (defective == 0) return 0.0;
+  return static_cast<double>(faults) / static_cast<double>(defective);
+}
+
+double WaferMap::yield_in_annulus(double lo, double hi) const {
+  LSIQ_EXPECT(lo >= 0.0 && hi > lo, "yield_in_annulus: bad range");
+  std::size_t total = 0;
+  std::size_t good = 0;
+  for (const Die& die : dies_) {
+    if (die.radius_fraction >= lo && die.radius_fraction < hi) {
+      ++total;
+      if (!die.chip.defective()) ++good;
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(good) / static_cast<double>(total);
+}
+
+ChipLot WaferMap::to_lot() const {
+  ChipLot lot;
+  lot.chips.reserve(dies_.size());
+  for (const Die& die : dies_) {
+    lot.chips.push_back(die.chip);
+  }
+  lot.true_yield = lot.realized_yield();
+  lot.true_n0 = lot.realized_n0();
+  return lot;
+}
+
+}  // namespace lsiq::wafer

@@ -1,0 +1,80 @@
+// Spatial wafer model: dies on a circular wafer with a radially varying,
+// clustered defect density.
+//
+// Yield work since Stapper [10,12] models D0 as varying across the wafer
+// (edges are worse). This module generates whole virtual wafers: die grid
+// inside the circle, per-die defect counts from a gamma-mixed Poisson
+// whose mean follows a radial profile, and the resulting die lots feed the
+// same virtual-tester pipeline as the plain chip lots — letting the
+// experiments ask how spatial non-uniformity distorts the (yield, n0)
+// characterization the paper's procedure produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "wafer/chip_model.hpp"
+
+namespace lsiq::wafer {
+
+struct WaferSpec {
+  double wafer_diameter = 100.0;  ///< same length unit as die sizes
+  double die_width = 5.0;
+  double die_height = 5.0;
+  /// Mean defect density at the wafer center (defects per unit area).
+  double center_defect_density = 0.02;
+  /// Density multiplier at the wafer edge; the profile is
+  /// D(r) = D_center * (1 + (edge - 1) * (r/R)^2). 1.0 = uniform.
+  double edge_density_multiplier = 3.0;
+  /// Clustering (Eq. 3's X) applied per die on top of the radial mean.
+  double variance_ratio = 0.5;
+  /// Logical faults per defect = 1 + Poisson(extra_faults_per_defect).
+  double extra_faults_per_defect = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct Die {
+  int grid_x = 0;             ///< column index (0 at the left edge)
+  int grid_y = 0;             ///< row index
+  double center_x = 0.0;      ///< physical center, wafer center = (0, 0)
+  double center_y = 0.0;
+  double radius_fraction = 0; ///< distance from center / wafer radius
+  std::size_t defect_count = 0;
+  Chip chip;                  ///< resident fault classes
+};
+
+class WaferMap {
+ public:
+  /// Generate a wafer of dies for the given circuit's fault universe.
+  /// Only dies lying fully inside the wafer circle are produced.
+  static WaferMap generate(const fault::FaultList& faults,
+                           const WaferSpec& spec);
+
+  [[nodiscard]] const WaferSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<Die>& dies() const noexcept {
+    return dies_;
+  }
+  [[nodiscard]] std::size_t die_count() const noexcept {
+    return dies_.size();
+  }
+
+  /// Fraction of defect-free dies.
+  [[nodiscard]] double yield() const;
+
+  /// Mean faults per defective die (the spatial analogue of n0).
+  [[nodiscard]] double mean_faults_per_defective_die() const;
+
+  /// Yield of the dies whose radius_fraction lies in [lo, hi) — the radial
+  /// yield profile (edge dies yield worse when edge multiplier > 1).
+  [[nodiscard]] double yield_in_annulus(double lo, double hi) const;
+
+  /// Flatten into a ChipLot for the virtual tester pipeline.
+  [[nodiscard]] ChipLot to_lot() const;
+
+ private:
+  WaferSpec spec_;
+  std::vector<Die> dies_;
+};
+
+}  // namespace lsiq::wafer

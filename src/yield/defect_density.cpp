@@ -1,0 +1,37 @@
+#include "yield/defect_density.hpp"
+
+#include "util/error.hpp"
+#include "yield/models.hpp"
+
+namespace lsiq::yield_model {
+
+DefectModel::DefectModel(Process process, double area)
+    : process_(process), area_(area) {
+  LSIQ_EXPECT(process.defect_density >= 0.0,
+              "DefectModel requires D0 >= 0");
+  LSIQ_EXPECT(process.variance_ratio >= 0.0, "DefectModel requires X >= 0");
+  LSIQ_EXPECT(area > 0.0, "DefectModel requires area > 0");
+}
+
+double DefectModel::defects_per_chip() const {
+  return process_.defect_density * area_;
+}
+
+double DefectModel::yield() const {
+  return negative_binomial_yield(defects_per_chip(),
+                                 process_.variance_ratio);
+}
+
+DefectModel DefectModel::shrunk(double linear_factor) const {
+  LSIQ_EXPECT(linear_factor > 0.0, "shrunk requires a positive factor");
+  return DefectModel(process_, area_ * linear_factor * linear_factor);
+}
+
+DefectModel DefectModel::from_yield(double yield, double area,
+                                    double variance_ratio) {
+  LSIQ_EXPECT(area > 0.0, "from_yield requires area > 0");
+  const double lambda = defects_per_chip_for_yield(yield, variance_ratio);
+  return DefectModel(Process{lambda / area, variance_ratio}, area);
+}
+
+}  // namespace lsiq::yield_model

@@ -1,0 +1,46 @@
+// Defect-density characterization for a fabrication process.
+//
+// Packages the (D0, X, A) triple of Eq. 3 with conversions between areas,
+// densities and yields, so examples and the wafer simulator speak in
+// process terms ("0.8 defects/cm^2, clustering 0.5, 30 mm^2 die") rather
+// than raw lambdas. Also models the fine-line shrink scenario of Section 8:
+// scaling feature size changes area (and hence yield) while raising the
+// fault multiplicity per defect.
+#pragma once
+
+namespace lsiq::yield_model {
+
+struct Process {
+  double defect_density = 1.0;  ///< D0, defects per unit area
+  double variance_ratio = 0.5;  ///< X, normalized variance of D0 (Eq. 3)
+};
+
+class DefectModel {
+ public:
+  /// A process characterized by D0 and X, applied to a die of `area`.
+  DefectModel(Process process, double area);
+
+  [[nodiscard]] double area() const noexcept { return area_; }
+  [[nodiscard]] const Process& process() const noexcept { return process_; }
+
+  /// lambda = D0 * A, the mean defect count per chip.
+  [[nodiscard]] double defects_per_chip() const;
+
+  /// Chip yield from Eq. 3.
+  [[nodiscard]] double yield() const;
+
+  /// A new model for the same circuit shrunk by `linear_factor` < 1 in
+  /// feature size: area scales by the square of the factor (Section 8).
+  [[nodiscard]] DefectModel shrunk(double linear_factor) const;
+
+  /// Characterize a process from an observed yield (fixing X): returns the
+  /// model whose Eq. 3 yield matches.
+  static DefectModel from_yield(double yield, double area,
+                                double variance_ratio);
+
+ private:
+  Process process_;
+  double area_;
+};
+
+}  // namespace lsiq::yield_model

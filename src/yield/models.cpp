@@ -1,0 +1,130 @@
+#include "yield/models.hpp"
+
+#include <cmath>
+
+#include "util/brent.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+#include <algorithm>
+
+namespace lsiq::yield_model {
+
+namespace {
+
+void require_lambda(double lambda) {
+  LSIQ_EXPECT(lambda >= 0.0, "yield model requires defects_per_chip >= 0");
+}
+
+}  // namespace
+
+double poisson_yield(double defects_per_chip) {
+  require_lambda(defects_per_chip);
+  return std::exp(-defects_per_chip);
+}
+
+double murphy_yield(double defects_per_chip) {
+  require_lambda(defects_per_chip);
+  if (defects_per_chip == 0.0) return 1.0;
+  const double t = -std::expm1(-defects_per_chip) / defects_per_chip;
+  return t * t;
+}
+
+double seeds_yield(double defects_per_chip) {
+  require_lambda(defects_per_chip);
+  return std::exp(-std::sqrt(defects_per_chip));
+}
+
+double price_yield(double defects_per_chip) {
+  require_lambda(defects_per_chip);
+  return 1.0 / (1.0 + defects_per_chip);
+}
+
+double negative_binomial_yield(double defects_per_chip,
+                               double variance_ratio) {
+  require_lambda(defects_per_chip);
+  LSIQ_EXPECT(variance_ratio >= 0.0,
+              "negative_binomial_yield requires X >= 0");
+  if (variance_ratio == 0.0) {
+    return poisson_yield(defects_per_chip);  // X -> 0 limit
+  }
+  return std::pow(1.0 + variance_ratio * defects_per_chip,
+                  -1.0 / variance_ratio);
+}
+
+double defects_per_chip_for_yield(double yield, double variance_ratio) {
+  LSIQ_EXPECT(yield > 0.0 && yield <= 1.0,
+              "defects_per_chip_for_yield requires yield in (0, 1]");
+  LSIQ_EXPECT(variance_ratio >= 0.0,
+              "defects_per_chip_for_yield requires X >= 0");
+  if (yield == 1.0) return 0.0;
+  if (variance_ratio == 0.0) {
+    return -std::log(yield);
+  }
+  // Closed-form inversion of Eq. 3.
+  return (std::pow(yield, -variance_ratio) - 1.0) / variance_ratio;
+}
+
+double cluster_alpha(double variance_ratio) {
+  LSIQ_EXPECT(variance_ratio > 0.0, "cluster_alpha requires X > 0");
+  return 1.0 / variance_ratio;
+}
+
+double defect_count_pmf(unsigned k, double defects_per_chip,
+                        double variance_ratio) {
+  require_lambda(defects_per_chip);
+  LSIQ_EXPECT(variance_ratio >= 0.0, "defect_count_pmf requires X >= 0");
+  if (defects_per_chip == 0.0) return k == 0 ? 1.0 : 0.0;
+
+  if (variance_ratio == 0.0) {
+    // Poisson pmf in log space.
+    const double log_p = static_cast<double>(k) * std::log(defects_per_chip) -
+                         defects_per_chip -
+                         util::log_factorial(static_cast<std::int64_t>(k));
+    return std::exp(log_p);
+  }
+  // Negative binomial with shape alpha = 1/X and mean lambda:
+  // P(k) = C(k + alpha - 1, k) * (1-p)^alpha * p^k,  p = lambda/(lambda+alpha)
+  const double alpha = 1.0 / variance_ratio;
+  const double p = defects_per_chip / (defects_per_chip + alpha);
+  const double log_coeff = util::log_gamma(static_cast<double>(k) + alpha) -
+                           util::log_factorial(static_cast<std::int64_t>(k)) -
+                           util::log_gamma(alpha);
+  const double log_pmf = log_coeff + alpha * std::log1p(-p) +
+                         static_cast<double>(k) * std::log(p);
+  return std::exp(log_pmf);
+}
+
+ProcessEstimate estimate_process_from_defect_counts(
+    const std::vector<std::size_t>& defect_counts, double die_area) {
+  LSIQ_EXPECT(defect_counts.size() >= 2,
+              "process estimation requires >= 2 die counts");
+  LSIQ_EXPECT(die_area > 0.0, "process estimation requires die_area > 0");
+
+  const double n = static_cast<double>(defect_counts.size());
+  util::KahanSum sum;
+  for (const std::size_t k : defect_counts) {
+    sum.add(static_cast<double>(k));
+  }
+  const double mean = sum.value() / n;
+  LSIQ_EXPECT(mean > 0.0,
+              "process estimation requires at least one observed defect");
+
+  util::KahanSum squares;
+  for (const std::size_t k : defect_counts) {
+    const double d = static_cast<double>(k) - mean;
+    squares.add(d * d);
+  }
+  const double variance = squares.value() / (n - 1.0);
+
+  ProcessEstimate estimate;
+  estimate.mean_defects_per_chip = mean;
+  estimate.defect_density = mean / die_area;
+  // NB moments: var = m + X m^2  ->  X = (var - m) / m^2; an
+  // under-dispersed sample clamps to the Poisson boundary.
+  estimate.variance_ratio = std::max(0.0, (variance - mean) / (mean * mean));
+  estimate.sample_size = defect_counts.size();
+  return estimate;
+}
+
+}  // namespace lsiq::yield_model

@@ -1,0 +1,72 @@
+// Integrated-circuit yield models.
+//
+// The paper computes chip yield from Eq. 3,
+//     y = (1 + X * D0 * A)^(-1/X),
+// the clustered-defect (negative-binomial) formula of Stapper [10,12] and
+// Sredni [11], where D0 is the mean defect density, A the chip area and X
+// the normalized variance of D0. The classical alternatives from the
+// paper's reference list ([7] Murphy, [8] Seeds, [9] Price, plus the pure
+// Poisson limit) are implemented alongside for comparison and for the
+// fine-line scaling example; they all map the same "average defects per
+// chip" lambda = D0 * A to a yield.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lsiq::yield_model {
+
+/// Poisson model: y = exp(-lambda). The zero-clustering limit (X -> 0 in
+/// Eq. 3); pessimistic for large chips.
+double poisson_yield(double defects_per_chip);
+
+/// Murphy's model [7]: y = ((1 - e^-lambda) / lambda)^2 — triangular
+/// approximation to a bell-shaped defect-density distribution.
+double murphy_yield(double defects_per_chip);
+
+/// Seeds' model [8]: y = exp(-sqrt(lambda)) — strong clustering,
+/// optimistic for large chips.
+double seeds_yield(double defects_per_chip);
+
+/// Price's model [9] (Bose-Einstein statistics): y = 1 / (1 + lambda).
+double price_yield(double defects_per_chip);
+
+/// Eq. 3 of the paper / negative-binomial model [10-12]:
+/// y = (1 + X * lambda)^(-1/X), lambda = D0 * A, X = normalized variance
+/// of the defect density. X -> 0 recovers the Poisson model; X = 1
+/// recovers Price's model.
+double negative_binomial_yield(double defects_per_chip,
+                               double variance_ratio);
+
+/// Invert negative_binomial_yield for lambda at a given X: the average
+/// defects per chip implied by an observed yield. Used to characterize a
+/// process from measured yield.
+double defects_per_chip_for_yield(double yield, double variance_ratio);
+
+/// Clustering parameter alpha = 1/X of the equivalent negative-binomial
+/// distribution of per-chip defect counts.
+double cluster_alpha(double variance_ratio);
+
+/// Probability that a chip carries exactly k defects under the
+/// gamma-mixed Poisson (negative-binomial) defect model of Eq. 3.
+/// negative_binomial_yield(lambda, X) == defect_count_pmf(0, lambda, X).
+double defect_count_pmf(unsigned k, double defects_per_chip,
+                        double variance_ratio);
+
+/// Process parameters estimated from inspection data.
+struct ProcessEstimate {
+  double defect_density = 0.0;  ///< D0 (defects per unit area)
+  double variance_ratio = 0.0;  ///< X of Eq. 3 (0 = Poisson-compatible)
+  double mean_defects_per_chip = 0.0;
+  std::size_t sample_size = 0;
+};
+
+/// Method-of-moments fit of the Eq. 3 parameters (D0, X) from per-die
+/// defect counts, as produced by optical inspection (or the wafer-map
+/// simulator): mean m = D0*A; X = (var - m) / m^2, clamped at 0 when the
+/// sample is under-dispersed. Requires at least two counts and a positive
+/// mean.
+ProcessEstimate estimate_process_from_defect_counts(
+    const std::vector<std::size_t>& defect_counts, double die_area);
+
+}  // namespace lsiq::yield_model

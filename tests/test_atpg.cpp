@@ -1,0 +1,135 @@
+// Tests for the complete ATPG flow and static compaction.
+#include "tpg/atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "fault/fault_sim.hpp"
+
+namespace lsiq::tpg {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+using fault::FaultList;
+
+TEST(Atpg, FullCoverageOnC17) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  EXPECT_EQ(r.detected_classes, faults.class_count());
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  EXPECT_EQ(r.redundant_classes, 0u);
+  EXPECT_EQ(r.aborted_classes, 0u);
+  // Confirm with an independent full fault simulation of the final set.
+  const fault::FaultSimResult check = simulate_ppsfp(faults, r.patterns);
+  EXPECT_DOUBLE_EQ(check.coverage, 1.0);
+}
+
+class AtpgOnCircuits : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtpgOnCircuits, ReachesFullEffectiveCoverage) {
+  Circuit c = [&]() -> Circuit {
+    switch (GetParam()) {
+      case 0: return circuit::make_ripple_carry_adder(4);
+      case 1: return circuit::make_alu(2);
+      case 2: return circuit::make_decoder(3);
+      case 3: return circuit::make_comparator(4);
+      default: return circuit::make_parity_tree(12);
+    }
+  }();
+  const FaultList faults = FaultList::full_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  EXPECT_EQ(r.aborted_classes, 0u) << "no aborts expected at default budget";
+  EXPECT_DOUBLE_EQ(r.effective_coverage, 1.0);
+  // Cross-check: fault-simulating the produced set reproduces the coverage.
+  const fault::FaultSimResult check = simulate_ppsfp(faults, r.patterns);
+  EXPECT_NEAR(check.coverage, r.coverage, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, AtpgOnCircuits,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Atpg, DeterministicPhaseAloneClosesTheFaultSet) {
+  // Disable the random phase: PODEM with per-pattern dropping must still
+  // reach full coverage.
+  const Circuit c = circuit::make_mux_tree(3);
+  const FaultList faults = FaultList::full_universe(c);
+  AtpgOptions options;
+  options.random_patterns = 0;
+  const AtpgResult r = generate_tests(faults, options);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  EXPECT_GT(r.patterns.size(), 0u);
+}
+
+TEST(Atpg, RedundantFaultsAreReportedNotCounted) {
+  // z = AND(a, OR(a, b)): the OR's b-pin s-a-1 is redundant.
+  Circuit c("mask");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId o = c.add_gate(GateType::kOr, {a, b}, "o");
+  const GateId z = c.add_gate(GateType::kAnd, {a, o}, "z");
+  c.mark_output(z);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  EXPECT_GE(r.redundant_classes, 1u);
+  EXPECT_LT(r.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(r.effective_coverage, 1.0)
+      << "with redundancies excluded the set is complete (Section 1)";
+}
+
+TEST(Atpg, RandomPhaseShrinksDeterministicWork) {
+  const Circuit c = circuit::make_ripple_carry_adder(8);
+  const FaultList faults = FaultList::full_universe(c);
+  AtpgOptions with_random;
+  with_random.random_patterns = 256;
+  AtpgOptions without_random;
+  without_random.random_patterns = 0;
+  const AtpgResult a = generate_tests(faults, with_random);
+  const AtpgResult b = generate_tests(faults, without_random);
+  EXPECT_DOUBLE_EQ(a.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(b.coverage, 1.0);
+  // Both work; this documents that the flow functions in both modes.
+}
+
+TEST(Compaction, PreservesCoverageAndNeverGrows) {
+  const Circuit c = circuit::make_alu(3);
+  const FaultList faults = FaultList::full_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  const double before = simulate_ppsfp(faults, r.patterns).coverage;
+
+  const sim::PatternSet compacted =
+      reverse_order_compact(faults, r.patterns);
+  EXPECT_LE(compacted.size(), r.patterns.size());
+  const double after = simulate_ppsfp(faults, compacted).coverage;
+  EXPECT_DOUBLE_EQ(after, before);
+}
+
+TEST(Compaction, EmptySetPassesThrough) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  const sim::PatternSet empty(c.pattern_inputs().size());
+  const sim::PatternSet out = reverse_order_compact(faults, empty);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Compaction, DropsDuplicatedPatterns) {
+  // A set with every pattern duplicated compacts to at most half.
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  sim::PatternSet doubled(r.patterns.input_count());
+  for (std::size_t p = 0; p < r.patterns.size(); ++p) {
+    doubled.append(r.patterns.pattern(p));
+    doubled.append(r.patterns.pattern(p));
+  }
+  const sim::PatternSet compacted = reverse_order_compact(faults, doubled);
+  EXPECT_LE(compacted.size(), r.patterns.size());
+  EXPECT_DOUBLE_EQ(simulate_ppsfp(faults, compacted).coverage,
+                   simulate_ppsfp(faults, r.patterns).coverage);
+}
+
+}  // namespace
+}  // namespace lsiq::tpg

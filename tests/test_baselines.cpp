@@ -1,0 +1,112 @@
+// Tests for the Wadsack [5] and Williams-Brown baseline models, including
+// the paper's Section 7 comparison numbers.
+#include "core/baselines.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/reject_model.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::quality {
+namespace {
+
+TEST(Wadsack, RejectRateIsBilinear) {
+  EXPECT_NEAR(wadsack_reject_rate(0.9, 0.07), 0.93 * 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(wadsack_reject_rate(1.0, 0.07), 0.0);
+  EXPECT_NEAR(wadsack_reject_rate(0.0, 0.07), 0.93, 1e-12);
+}
+
+TEST(Wadsack, PaperSection7RequiredCoverages) {
+  // "From this formula, for r = 0.01, y = 0.07, we get f = 99 percent and
+  // for r = 0.001, f = 99.9 percent."
+  EXPECT_NEAR(wadsack_required_coverage(0.01, 0.07), 0.98925, 1e-4);
+  EXPECT_NEAR(wadsack_required_coverage(0.001, 0.07), 0.99892, 1e-4);
+}
+
+TEST(Wadsack, RequiredCoverageRoundTrips) {
+  for (const double y : {0.07, 0.3, 0.8}) {
+    for (const double r : {0.01, 0.001}) {
+      const double f = wadsack_required_coverage(r, y);
+      EXPECT_NEAR(wadsack_reject_rate(f, y), r, 1e-10);
+    }
+  }
+}
+
+TEST(Wadsack, ClampsWhenTargetIsLoose) {
+  // y = 0.995: untested reject rate 0.005 < 0.01 target, so f = 0.
+  EXPECT_DOUBLE_EQ(wadsack_required_coverage(0.01, 0.995), 0.0);
+}
+
+TEST(Wadsack, RelatesToPoissonModelAtN0One) {
+  // With n0 = 1 the models share the same escape yield (1-f)(1-y); they
+  // differ only in normalization. Wadsack divides escapes by all chips,
+  // Eq. 8 by shipped chips: r_ours = wadsack / (y + wadsack).
+  for (const double y : {0.07, 0.3, 0.8}) {
+    for (const double f : {0.2, 0.9, 0.99}) {
+      const double w = wadsack_reject_rate(f, y);
+      EXPECT_NEAR(field_reject_rate(f, y, 1.0), w / (y + w), 1e-12)
+          << "y=" << y << " f=" << f;
+    }
+  }
+}
+
+TEST(WilliamsBrown, DefectLevelIdentities) {
+  // DL(1) = 0; DL(0) = 1 - y.
+  EXPECT_DOUBLE_EQ(williams_brown_defect_level(1.0, 0.3), 0.0);
+  EXPECT_NEAR(williams_brown_defect_level(0.0, 0.3), 0.7, 1e-12);
+  // Spot value: y = 0.5, f = 0.5 -> 1 - sqrt(0.5).
+  EXPECT_NEAR(williams_brown_defect_level(0.5, 0.5),
+              1.0 - std::sqrt(0.5), 1e-12);
+}
+
+TEST(WilliamsBrown, MonotoneDecreasingInCoverage) {
+  double prev = 1.0;
+  for (double f = 0.0; f <= 1.0 + 1e-12; f += 0.05) {
+    const double dl = williams_brown_defect_level(std::min(f, 1.0), 0.07);
+    EXPECT_LE(dl, prev);
+    prev = dl;
+  }
+}
+
+TEST(WilliamsBrown, RequiredCoverageRoundTrips) {
+  for (const double y : {0.07, 0.3, 0.8}) {
+    for (const double r : {0.01, 0.001}) {
+      const double f = williams_brown_required_coverage(r, y);
+      EXPECT_NEAR(williams_brown_defect_level(f, y), r, 1e-10);
+    }
+  }
+}
+
+TEST(WilliamsBrown, DemandsEvenMoreThanWadsack) {
+  // DL ~ -(1-f) ln(y) while Wadsack's r ~ (1-f)(1-y); since -ln(y) > 1-y,
+  // Williams-Brown is the strictest of the single-parameter models.
+  for (const double y : {0.07, 0.3, 0.8}) {
+    const double wb = williams_brown_required_coverage(0.01, y);
+    const double wadsack = wadsack_required_coverage(0.01, y);
+    EXPECT_GT(wb, wadsack) << "y=" << y;
+  }
+  EXPECT_NEAR(williams_brown_required_coverage(0.01, 0.07), 0.9962, 1e-3);
+}
+
+TEST(Baselines, ComparisonAtPaperOperatingPoint) {
+  // Section 7 headline: with n0 = 8 the Poisson model is satisfied by ~80%
+  // coverage, while both baselines predict an order of magnitude worse
+  // quality at that same coverage.
+  const double ours = field_reject_rate(0.80, 0.07, 8.0);
+  EXPECT_NEAR(ours, 0.01, 0.002);
+  EXPECT_GT(wadsack_reject_rate(0.80, 0.07), 0.1);
+  EXPECT_GT(williams_brown_defect_level(0.80, 0.07), 0.2);
+}
+
+TEST(Baselines, DomainChecks) {
+  EXPECT_THROW(wadsack_reject_rate(1.5, 0.5), ContractViolation);
+  EXPECT_THROW(wadsack_required_coverage(0.01, 1.0), ContractViolation);
+  EXPECT_THROW(williams_brown_defect_level(0.5, 0.0), ContractViolation);
+  EXPECT_THROW(williams_brown_required_coverage(0.01, 1.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::quality

@@ -1,0 +1,163 @@
+// Unit tests for the .bench reader/writer.
+#include "circuit/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::circuit {
+namespace {
+
+const char* kC17Text = R"(
+# c17 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  const Circuit c = read_bench_string(kC17Text, "c17");
+  EXPECT_EQ(c.primary_inputs().size(), 5u);
+  EXPECT_EQ(c.primary_outputs().size(), 2u);
+  EXPECT_EQ(c.stats().combinational_gates, 6u);
+  EXPECT_NE(c.find("G16"), kNoGate);
+  EXPECT_EQ(c.gate(c.find("G16")).type, GateType::kNand);
+}
+
+TEST(BenchIo, ForwardReferencesAllowed) {
+  // G2 is used in the first assignment but defined afterwards.
+  const char* text = R"(
+INPUT(A)
+OUTPUT(Y)
+Y = AND(A, G2)
+G2 = NOT(A)
+)";
+  const Circuit c = read_bench_string(text);
+  EXPECT_EQ(c.stats().combinational_gates, 2u);
+}
+
+TEST(BenchIo, SequentialFeedbackThroughDff) {
+  // Classic loop: the flip-flop's next state depends on its own output.
+  const char* text = R"(
+INPUT(EN)
+OUTPUT(Q)
+Q = DFF(D)
+D = NAND(EN, Q)
+)";
+  const Circuit c = read_bench_string(text, "toggle");
+  EXPECT_EQ(c.flip_flops().size(), 1u);
+  EXPECT_EQ(c.pattern_inputs().size(), 2u);   // EN + Q
+  EXPECT_EQ(c.observed_points().size(), 2u);  // Q (marked) + D driver
+}
+
+TEST(BenchIo, AcceptsAliasesAndCase) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+n = inv(a)
+y = buff(n)
+)";
+  const Circuit c = read_bench_string(text);
+  EXPECT_EQ(c.gate(c.find("n")).type, GateType::kNot);
+  EXPECT_EQ(c.gate(c.find("y")).type, GateType::kBuf);
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = NOT(a)\n";
+  EXPECT_NO_THROW(read_bench_string(text));
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Circuit original = make_c17();
+  const std::string text = write_bench_string(original);
+  const Circuit reparsed = read_bench_string(text, "c17");
+  EXPECT_EQ(reparsed.gate_count(), original.gate_count());
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  for (GateId id = 0; id < original.gate_count(); ++id) {
+    const Gate& g = original.gate(id);
+    const GateId rid = reparsed.find(g.name);
+    ASSERT_NE(rid, kNoGate) << g.name;
+    EXPECT_EQ(reparsed.gate(rid).type, g.type);
+    EXPECT_EQ(reparsed.gate(rid).fanin.size(), g.fanin.size());
+  }
+}
+
+TEST(BenchIo, RoundTripSequentialCircuit) {
+  const char* text = R"(
+INPUT(EN)
+OUTPUT(Q)
+Q = DFF(D)
+D = NAND(EN, Q)
+)";
+  const Circuit c = read_bench_string(text, "toggle");
+  const Circuit again = read_bench_string(write_bench_string(c), "toggle");
+  EXPECT_EQ(again.flip_flops().size(), 1u);
+  EXPECT_EQ(again.gate_count(), c.gate_count());
+}
+
+TEST(BenchIo, ErrorUndefinedOperand) {
+  const char* text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorUndefinedOutput) {
+  const char* text = "INPUT(a)\nOUTPUT(ghost)\nn = NOT(a)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorDoubleAssignment) {
+  const char* text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorInputAlsoAssigned) {
+  const char* text = "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorUnknownGateType) {
+  const char* text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorBadArity) {
+  const char* text = "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorCombinationalCycle) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = NOT(x)
+)";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIo, ErrorMalformedLine) {
+  EXPECT_THROW(read_bench_string("INPUT a\n"), ParseError);
+  EXPECT_THROW(read_bench_string("WIBBLE(a)\n"), ParseError);
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), ParseError);
+}
+
+}  // namespace
+}  // namespace lsiq::circuit

@@ -1,0 +1,112 @@
+// Unit tests for util/brent: root finding and scalar minimization.
+#include "util/brent.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+namespace {
+
+TEST(FindRoot, LinearFunction) {
+  const RootResult r =
+      find_root_brent([](double x) { return 2.0 * x - 1.0; }, -10.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.5, 1e-10);
+}
+
+TEST(FindRoot, CubicWithFlatRegion) {
+  const RootResult r =
+      find_root_brent([](double x) { return x * x * x; }, -1.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.0, 1e-6);
+}
+
+TEST(FindRoot, TranscendentalCosEqualsX) {
+  // Dottie number: cos(x) = x.
+  const RootResult r =
+      find_root_brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(FindRoot, RootAtBracketEndpoint) {
+  const RootResult lo =
+      find_root_brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(lo.converged);
+  EXPECT_DOUBLE_EQ(lo.x, 0.0);
+  const RootResult hi =
+      find_root_brent([](double x) { return x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(hi.converged);
+  EXPECT_DOUBLE_EQ(hi.x, 1.0);
+}
+
+TEST(FindRoot, SteepExponential) {
+  // The shape of the reject-rate inversion: exp decay minus a tiny target.
+  const RootResult r = find_root_brent(
+      [](double x) { return std::exp(-20.0 * x) - 1e-6; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, -std::log(1e-6) / 20.0, 1e-9);
+}
+
+TEST(FindRoot, RejectsUnbracketedInterval) {
+  EXPECT_THROW(
+      find_root_brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      NumericError);
+}
+
+TEST(FindRoot, RejectsInvertedInterval) {
+  EXPECT_THROW(find_root_brent([](double x) { return x; }, 1.0, -1.0),
+               ContractViolation);
+}
+
+TEST(FindRoot, HighPrecisionTolerance) {
+  const RootResult r = find_root_brent(
+      [](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-14);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Minimize, Parabola) {
+  const MinimizeResult r = minimize_brent(
+      [](double x) { return (x - 3.0) * (x - 3.0) + 2.0; }, -10.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-7);
+  EXPECT_NEAR(r.fx, 2.0, 1e-12);
+}
+
+TEST(Minimize, AsymmetricValley) {
+  // f(x) = x^4 - x has its minimum at (1/4)^(1/3).
+  const MinimizeResult r = minimize_brent(
+      [](double x) { return x * x * x * x - x; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::cbrt(0.25), 1e-7);
+}
+
+TEST(Minimize, MinimumAtIntervalEdge) {
+  const MinimizeResult r =
+      minimize_brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.0, 1e-6);
+}
+
+TEST(Minimize, NegativeLogLikelihoodShape) {
+  // The MLE objective shape: -k log(p) - (n-k) log(1-p), optimum at k/n.
+  const MinimizeResult r = minimize_brent(
+      [](double p) {
+        return -30.0 * std::log(p) - 70.0 * std::log(1.0 - p);
+      },
+      1e-9, 1.0 - 1e-9);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.3, 1e-6);
+}
+
+TEST(Minimize, RejectsInvertedInterval) {
+  EXPECT_THROW(minimize_brent([](double x) { return x; }, 1.0, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::util

@@ -1,0 +1,71 @@
+// Unit tests for the CoverageCurve type.
+#include "fault/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+namespace {
+
+TEST(CoverageCurve, BasicQueries) {
+  const CoverageCurve curve({10, 25, 25, 40}, 100);
+  EXPECT_EQ(curve.pattern_count(), 4u);
+  EXPECT_EQ(curve.universe_size(), 100u);
+  EXPECT_EQ(curve.covered_after(0), 0u);
+  EXPECT_EQ(curve.covered_after(1), 10u);
+  EXPECT_EQ(curve.covered_after(3), 25u);
+  EXPECT_EQ(curve.covered_after(4), 40u);
+  EXPECT_EQ(curve.covered_after(99), 40u);  // clamps past the end
+  EXPECT_DOUBLE_EQ(curve.coverage_after(2), 0.25);
+  EXPECT_DOUBLE_EQ(curve.final_coverage(), 0.40);
+}
+
+TEST(CoverageCurve, PatternsForCoverageFindsEarliest) {
+  const CoverageCurve curve({10, 25, 25, 40}, 100);
+  EXPECT_EQ(curve.patterns_for_coverage(0.05), 1u);
+  EXPECT_EQ(curve.patterns_for_coverage(0.10), 1u);
+  EXPECT_EQ(curve.patterns_for_coverage(0.11), 2u);
+  EXPECT_EQ(curve.patterns_for_coverage(0.25), 2u);
+  EXPECT_EQ(curve.patterns_for_coverage(0.40), 4u);
+  // Never reached: pattern_count + 1 sentinel.
+  EXPECT_EQ(curve.patterns_for_coverage(0.41), 5u);
+}
+
+TEST(CoverageCurve, ZeroTargetNeedsOnePattern) {
+  const CoverageCurve curve({0, 5}, 10);
+  EXPECT_EQ(curve.patterns_for_coverage(0.0), 1u);
+}
+
+TEST(CoverageCurve, FromFirstDetectionAccumulatesWeights) {
+  // Three classes with weights 2, 3, 5; detected at patterns 1, 0, -1.
+  const CoverageCurve curve = CoverageCurve::from_first_detection(
+      {1, 0, -1}, {2, 3, 5}, 10, 3);
+  EXPECT_EQ(curve.covered_after(1), 3u);   // class 1 (weight 3) at t=0
+  EXPECT_EQ(curve.covered_after(2), 5u);   // + class 0 (weight 2) at t=1
+  EXPECT_EQ(curve.covered_after(3), 5u);   // class 2 never detected
+  EXPECT_DOUBLE_EQ(curve.final_coverage(), 0.5);
+}
+
+TEST(CoverageCurve, RejectsMalformedInput) {
+  EXPECT_THROW(CoverageCurve({5, 4}, 10), ContractViolation);   // decreasing
+  EXPECT_THROW(CoverageCurve({11}, 10), ContractViolation);     // > universe
+  EXPECT_THROW(CoverageCurve({1}, 0), ContractViolation);       // empty N
+  EXPECT_THROW((void)CoverageCurve({1}, 10).patterns_for_coverage(1.5),
+               ContractViolation);
+  EXPECT_THROW(CoverageCurve::from_first_detection({0}, {1, 2}, 3, 1),
+               ContractViolation);  // size mismatch
+  EXPECT_THROW(CoverageCurve::from_first_detection({5}, {1}, 3, 1),
+               ContractViolation);  // detection index out of range
+}
+
+TEST(CoverageCurve, EmptyCurveIsAllZero) {
+  const CoverageCurve curve({}, 10);
+  EXPECT_EQ(curve.pattern_count(), 0u);
+  EXPECT_EQ(curve.covered_after(5), 0u);
+  EXPECT_DOUBLE_EQ(curve.final_coverage(), 0.0);
+  EXPECT_EQ(curve.patterns_for_coverage(0.1), 1u);  // never reached
+}
+
+}  // namespace
+}  // namespace lsiq::fault

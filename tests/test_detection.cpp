@@ -1,0 +1,162 @@
+// Tests for the urn-model detection probabilities (Eq. 4-5, Appendix A.1-A.3)
+// including the Fig. 6 accuracy claims.
+#include "core/detection.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lsiq::quality {
+namespace {
+
+/// Brute-force q0 by the binomial-coefficient definition C(N-n,m)/C(N,m).
+double q0_reference(unsigned n, unsigned m, unsigned N) {
+  if (n > N - m) return 0.0;
+  return std::exp(util::log_binomial(N - n, m) - util::log_binomial(N, m));
+}
+
+TEST(Q0Exact, MatchesBinomialDefinition) {
+  for (const unsigned N : {10u, 100u, 1000u}) {
+    for (const unsigned m : {0u, N / 10, N / 2, N - 1, N}) {
+      for (const unsigned n : {0u, 1u, 2u, 5u, N / 10}) {
+        if (n > N) continue;
+        EXPECT_NEAR(q0_exact(n, m, N), q0_reference(n, m, N), 1e-10)
+            << "N=" << N << " m=" << m << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Q0Exact, BoundaryBehavior) {
+  EXPECT_DOUBLE_EQ(q0_exact(0, 50, 100), 1.0);   // no faults: always passes
+  EXPECT_DOUBLE_EQ(q0_exact(5, 0, 100), 1.0);    // no tests: always passes
+  EXPECT_DOUBLE_EQ(q0_exact(1, 100, 100), 0.0);  // full coverage: caught
+  EXPECT_DOUBLE_EQ(q0_exact(51, 50, 100), 0.0);  // pigeonhole: n > N - m
+}
+
+TEST(Q0Exact, TinyUrnHandComputed) {
+  // N=4, m=2, n=2: C(2,2)/C(4,2) = 1/6.
+  EXPECT_NEAR(q0_exact(2, 2, 4), 1.0 / 6.0, 1e-12);
+  // N=10, m=5, n=2: (5/10)(4/9) = 2/9.
+  EXPECT_NEAR(q0_exact(2, 5, 10), 2.0 / 9.0, 1e-12);
+}
+
+TEST(Q0Exact, DecreasesInBothArguments) {
+  const unsigned N = 500;
+  for (unsigned n = 1; n < 20; ++n) {
+    EXPECT_LT(q0_exact(n + 1, 100, N), q0_exact(n, 100, N));
+  }
+  for (unsigned m = 0; m < 400; m += 50) {
+    EXPECT_LT(q0_exact(5, m + 50, N), q0_exact(5, m, N));
+  }
+}
+
+TEST(Q0Approximations, Fig6SmallNAllThreeCoincide) {
+  // "For n <= 4, all three values are the same" (Appendix, Fig. 6) — a
+  // log-plot statement; numerically (A.3)'s relative error stays below 6%
+  // up to f = 0.9 and (A.2) below 1% everywhere on the grid (N = 1000 as
+  // in the figure).
+  const unsigned N = 1000;
+  for (unsigned m = 50; m <= 900; m += 50) {
+    const double f = static_cast<double>(m) / N;
+    for (unsigned n = 1; n <= 4; ++n) {
+      const double exact = q0_exact(n, m, N);
+      EXPECT_NEAR(q0_second_order(n, m, N), exact, 0.01 * exact + 1e-12);
+      EXPECT_NEAR(q0_simple(n, f), exact, 0.06 * exact + 1e-12);
+    }
+  }
+}
+
+TEST(Q0Approximations, Fig6SecondOrderStaysAccurateForLargerN) {
+  // "For larger n, the approximation (A.2) still coincides with the exact
+  // value (A.1)" — within a few percent over the figure's range.
+  const unsigned N = 1000;
+  for (const unsigned n : {10u, 20u, 31u}) {
+    for (unsigned m = 100; m <= 700; m += 100) {
+      const double exact = q0_exact(n, m, N);
+      if (exact < 1e-12) continue;
+      EXPECT_NEAR(q0_second_order(n, m, N) / exact, 1.0, 0.05)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Q0Approximations, Fig6SimpleFormOverestimates) {
+  // (1-f)^n > exact for n >= 2 (each later draw is harder to miss), and the
+  // error is "small but can be noticed" at larger n.
+  const unsigned N = 1000;
+  for (const unsigned n : {10u, 31u}) {
+    for (unsigned m = 100; m <= 700; m += 200) {
+      const double f = static_cast<double>(m) / N;
+      EXPECT_GT(q0_simple(n, f), q0_exact(n, m, N));
+    }
+  }
+}
+
+TEST(Q0Approximations, ValidityRatioTracksTheCondition) {
+  const unsigned N = 1000;
+  // n^2 << N(1-f)/f: small n & moderate f -> tiny ratio; large n & high f
+  // -> ratio above 1.
+  EXPECT_LT(q0_simple_validity_ratio(3, 500, N), 0.05);
+  EXPECT_GT(q0_simple_validity_ratio(100, 900, N), 1.0);
+  EXPECT_DOUBLE_EQ(q0_simple_validity_ratio(5, 0, N), 0.0);
+  EXPECT_TRUE(std::isinf(q0_simple_validity_ratio(5, N, N)));
+}
+
+TEST(QkHypergeometric, SumsToOneOverK) {
+  const unsigned N = 200;
+  const unsigned m = 60;
+  for (const unsigned n : {1u, 3u, 10u, 50u}) {
+    double total = 0.0;
+    for (unsigned k = 0; k <= n; ++k) {
+      total += qk_hypergeometric(k, n, m, N);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(QkHypergeometric, K0MatchesQ0Exact) {
+  const unsigned N = 300;
+  for (const unsigned m : {30u, 150u, 290u}) {
+    for (const unsigned n : {1u, 4u, 9u}) {
+      EXPECT_NEAR(qk_hypergeometric(0, n, m, N), q0_exact(n, m, N), 1e-12);
+    }
+  }
+}
+
+TEST(QkHypergeometric, MeanIsNF) {
+  // E[k] = n * m / N: the expected number of the chip's faults covered.
+  const unsigned N = 100;
+  const unsigned m = 40;
+  const unsigned n = 10;
+  double mean = 0.0;
+  for (unsigned k = 0; k <= n; ++k) {
+    mean += k * qk_hypergeometric(k, n, m, N);
+  }
+  EXPECT_NEAR(mean, static_cast<double>(n) * m / N, 1e-9);
+}
+
+TEST(QkHypergeometric, HandComputedCell) {
+  // N=10, m=5, n=3, k=1: C(3,1) C(7,4) / C(10,5) = 3*35/252 = 5/12.
+  EXPECT_NEAR(qk_hypergeometric(1, 3, 5, 10), 5.0 / 12.0, 1e-12);
+}
+
+TEST(QkHypergeometric, ZeroOutsideSupport) {
+  // Cannot detect more faults than tests cover (k > m) or leave more
+  // undetected than uncovered sites allow.
+  EXPECT_DOUBLE_EQ(qk_hypergeometric(6, 8, 5, 20), 0.0);  // k > m
+  EXPECT_DOUBLE_EQ(qk_hypergeometric(0, 5, 18, 20), 0.0);  // m-k > N-n
+}
+
+TEST(DetectionDomain, ContractChecks) {
+  EXPECT_THROW(q0_exact(5, 11, 10), ContractViolation);
+  EXPECT_THROW(q0_exact(11, 5, 10), ContractViolation);
+  EXPECT_THROW(q0_simple(2, 1.5), ContractViolation);
+  EXPECT_THROW(qk_hypergeometric(4, 3, 5, 10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::quality

@@ -1,0 +1,165 @@
+// Integration tests: the full Section 5/7 experiment pipeline on a virtual
+// process line, with ground-truth recovery and an Eq. 8 validation the
+// original paper could not perform.
+#include "wafer/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "core/reject_model.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace lsiq::wafer {
+namespace {
+
+using circuit::Circuit;
+using fault::FaultList;
+
+struct Setup {
+  const Circuit& circuit;
+  const FaultList& faults;
+  const sim::PatternSet& patterns;
+};
+
+/// An 8-bit multiplier driven by 600 LFSR patterns reaches well past the
+/// 65% coverage Table 1 needs. The circuit is a stable static so the
+/// FaultList's reference into it stays valid (see fault_list.hpp lifetime
+/// note).
+const Setup& setup() {
+  static const Circuit circuit = circuit::make_array_multiplier(8);
+  static const FaultList faults = FaultList::full_universe(circuit);
+  static const sim::PatternSet patterns =
+      tpg::lfsr_patterns(circuit.pattern_inputs().size(), 600, 1981);
+  static const Setup s{circuit, faults, patterns};
+  return s;
+}
+
+TEST(Experiment, StrobeTableIsWellFormed) {
+  ExperimentSpec spec;
+  spec.chip_count = 277;
+  spec.yield = 0.07;
+  spec.n0 = 8.0;
+  const ExperimentResult r =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+
+  ASSERT_EQ(r.table.size(), spec.strobe_coverages.size());
+  for (std::size_t i = 0; i < r.table.size(); ++i) {
+    const StrobeRow& row = r.table[i];
+    EXPECT_GE(row.actual_coverage, row.target_coverage);
+    EXPECT_GT(row.pattern_index, 0u);
+    if (i > 0) {
+      EXPECT_GE(row.pattern_index, r.table[i - 1].pattern_index);
+      EXPECT_GE(row.cumulative_failed, r.table[i - 1].cumulative_failed);
+    }
+    EXPECT_NEAR(row.cumulative_fraction,
+                static_cast<double>(row.cumulative_failed) / 277.0, 1e-12);
+  }
+  EXPECT_GE(r.final_coverage(), 0.65);
+}
+
+TEST(Experiment, LotMatchesRequestedGroundTruth) {
+  ExperimentSpec spec;
+  spec.chip_count = 5000;
+  spec.yield = 0.07;
+  spec.n0 = 8.0;
+  spec.seed = 7;
+  const ExperimentResult r =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  EXPECT_NEAR(r.lot.realized_yield(), 0.07, 0.012);
+  EXPECT_NEAR(r.lot.realized_n0(), 8.0, 0.15);
+}
+
+TEST(Experiment, EstimatorsRecoverGroundTruthOnLargeLot) {
+  ExperimentSpec spec;
+  spec.chip_count = 20000;  // large lot: sampling noise mostly gone
+  spec.yield = 0.20;
+  spec.n0 = 6.0;
+  spec.seed = 13;
+  const ExperimentResult r =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+
+  const auto points = r.points();
+  const int discrete = quality::estimate_n0_discrete(points, spec.yield);
+  EXPECT_NEAR(static_cast<double>(discrete), 6.0, 1.0);
+  const quality::FitResult ls =
+      quality::estimate_n0_least_squares(points, spec.yield);
+  EXPECT_NEAR(ls.n0, 6.0, 0.8);
+}
+
+TEST(Experiment, EmpiricalRejectRateMatchesEquation8) {
+  // The validation the 1981 authors could not do: with ground truth known,
+  // the measured escape rate of the virtual line must match r(f) at the
+  // program's final coverage, within binomial error.
+  ExperimentSpec spec;
+  spec.chip_count = 50000;
+  spec.yield = 0.30;
+  spec.n0 = 5.0;
+  spec.seed = 17;
+  const ExperimentResult r =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+
+  const double f = r.final_coverage();
+  const double predicted =
+      quality::field_reject_rate(f, spec.yield, spec.n0);
+  const double measured = r.test.empirical_reject_rate();
+  const auto [lo, hi] = util::wilson_interval(
+      r.test.shipped_defective_count(), r.test.passed_count());
+  EXPECT_GT(predicted, 0.0);
+  // The prediction must fall inside (a slightly widened) confidence band.
+  const double slack = 0.35 * predicted;
+  EXPECT_GE(predicted, lo - slack)
+      << "measured " << measured << " predicted " << predicted;
+  EXPECT_LE(predicted, hi + slack)
+      << "measured " << measured << " predicted " << predicted;
+}
+
+TEST(Experiment, PhysicalLotRunsEndToEnd) {
+  ExperimentSpec spec;
+  spec.chip_count = 2000;
+  PhysicalLotSpec physical;
+  physical.chip_count = 2000;
+  physical.defects_per_chip = 2.66;  // ~7% NB yield at X = 0.5
+  physical.variance_ratio = 0.5;
+  physical.extra_faults_per_defect = 2.0;
+  physical.seed = 19;
+  spec.physical = physical;
+  const ExperimentResult r =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  EXPECT_EQ(r.lot.size(), 2000u);
+  // Ground truth is the realization for physical lots.
+  EXPECT_DOUBLE_EQ(r.lot.true_n0, r.lot.realized_n0());
+  EXPECT_GT(r.lot.true_n0, 1.5);
+  // The fallout curve still rises and the estimators still run.
+  const auto points = r.points();
+  EXPECT_GT(points.back().fraction_failed, points.front().fraction_failed);
+  const quality::FitResult fit = quality::estimate_n0_least_squares(
+      points, r.lot.realized_yield());
+  EXPECT_GT(fit.n0, 1.0);
+}
+
+TEST(Experiment, UnreachableStrobeThrows) {
+  ExperimentSpec spec;
+  spec.strobe_coverages = {1.0};  // one stubborn fault class survives the LFSR program
+  EXPECT_THROW(
+      run_chip_test_experiment(setup().faults, setup().patterns, spec),
+      lsiq::Error);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  ExperimentSpec spec;
+  spec.chip_count = 277;
+  const ExperimentResult a =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  const ExperimentResult b =
+      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  ASSERT_EQ(a.table.size(), b.table.size());
+  for (std::size_t i = 0; i < a.table.size(); ++i) {
+    EXPECT_EQ(a.table[i].cumulative_failed, b.table[i].cumulative_failed);
+    EXPECT_EQ(a.table[i].pattern_index, b.table[i].pattern_index);
+  }
+}
+
+}  // namespace
+}  // namespace lsiq::wafer

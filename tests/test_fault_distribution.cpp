@@ -1,0 +1,177 @@
+// Tests for the shifted-Poisson fault distribution (Eq. 1-2) and its
+// gamma-mixed extension.
+#include "core/fault_distribution.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace lsiq::quality {
+namespace {
+
+TEST(FaultDistribution, PmfAtZeroIsYield) {
+  const FaultDistribution d(0.3, 5.0);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 0.3);
+}
+
+TEST(FaultDistribution, PmfSumsToOne) {
+  for (const double y : {0.07, 0.2, 0.8}) {
+    for (const double n0 : {1.0, 2.0, 8.0, 20.0}) {
+      const FaultDistribution d(y, n0);
+      double total = 0.0;
+      for (unsigned n = 0; n < 400; ++n) {
+        total += d.pmf(n);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << "y=" << y << " n0=" << n0;
+    }
+  }
+}
+
+TEST(FaultDistribution, Equation1SpotValues) {
+  // p(n) = (1-y) (n0-1)^(n-1) e^{-(n0-1)} / (n-1)!
+  const double y = 0.2;
+  const double n0 = 3.0;
+  const FaultDistribution d(y, n0);
+  EXPECT_NEAR(d.pmf(1), 0.8 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(d.pmf(2), 0.8 * 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(d.pmf(3), 0.8 * 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(d.pmf(4), 0.8 * (8.0 / 6.0) * std::exp(-2.0), 1e-12);
+}
+
+TEST(FaultDistribution, MeanIsEquation2) {
+  // n_av = (1-y) n0, the identity behind the slope estimator.
+  for (const double y : {0.07, 0.5, 0.93}) {
+    for (const double n0 : {1.0, 8.0, 12.0}) {
+      const FaultDistribution d(y, n0);
+      EXPECT_DOUBLE_EQ(d.mean(), (1.0 - y) * n0);
+      // Verify against the explicit sum.
+      double mean = 0.0;
+      for (unsigned n = 1; n < 300; ++n) {
+        mean += n * d.pmf(n);
+      }
+      EXPECT_NEAR(mean, d.mean(), 1e-8);
+    }
+  }
+}
+
+TEST(FaultDistribution, VarianceMatchesExplicitSum) {
+  const FaultDistribution d(0.3, 6.0);
+  double m2 = 0.0;
+  for (unsigned n = 1; n < 300; ++n) {
+    m2 += static_cast<double>(n) * n * d.pmf(n);
+  }
+  const double variance = m2 - d.mean() * d.mean();
+  EXPECT_NEAR(d.variance(), variance, 1e-8);
+}
+
+TEST(FaultDistribution, DefectivePmfIsNormalized) {
+  const FaultDistribution d(0.4, 4.5);
+  double total = 0.0;
+  for (unsigned n = 1; n < 200; ++n) {
+    total += d.defective_pmf(n);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(d.defective_pmf(0), 0.0);
+}
+
+TEST(FaultDistribution, DegenerateN0OneIsBernoulli) {
+  // n0 = 1: every defective chip has exactly one fault.
+  const FaultDistribution d(0.6, 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.4);
+  EXPECT_DOUBLE_EQ(d.pmf(2), 0.0);
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(d.sample(rng), 1u);
+  }
+}
+
+TEST(FaultDistribution, SampleMomentsMatchTheory) {
+  const FaultDistribution d(0.07, 8.0);
+  util::Rng rng(1981);
+  util::RunningStats stats;
+  std::size_t zeros = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const unsigned n = d.sample(rng);
+    if (n == 0) ++zeros;
+    stats.add(static_cast<double>(n));
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / draws, 0.07, 0.005);
+  EXPECT_NEAR(stats.mean(), d.mean(), 0.05);
+  EXPECT_NEAR(stats.variance(), d.variance(), 0.3);
+}
+
+TEST(FaultDistribution, CdfIsMonotoneAndSaturates) {
+  const FaultDistribution d(0.2, 8.0);
+  double prev = -1.0;
+  for (unsigned n = 0; n < 60; ++n) {
+    const double c = d.cdf(n);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(d.cdf(80), 1.0, 1e-9);
+}
+
+TEST(FaultDistribution, DomainChecks) {
+  EXPECT_THROW(FaultDistribution(-0.1, 2.0), ContractViolation);
+  EXPECT_THROW(FaultDistribution(1.1, 2.0), ContractViolation);
+  EXPECT_THROW(FaultDistribution(0.5, 0.5), ContractViolation);
+}
+
+TEST(MixedFaultDistribution, PmfSumsToOne) {
+  const MixedFaultDistribution d(0.2, 8.0, 2.0);
+  double total = 0.0;
+  for (unsigned n = 0; n < 2000; ++n) {
+    total += d.pmf(n);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(MixedFaultDistribution, MeanMatchesShiftedPoisson) {
+  const MixedFaultDistribution mixed(0.3, 6.0, 1.5);
+  const FaultDistribution pure(0.3, 6.0);
+  EXPECT_DOUBLE_EQ(mixed.mean(), pure.mean());
+}
+
+TEST(MixedFaultDistribution, LargeAlphaConvergesToShiftedPoisson) {
+  const MixedFaultDistribution mixed(0.2, 5.0, 1e7);
+  const FaultDistribution pure(0.2, 5.0);
+  for (unsigned n = 0; n < 30; ++n) {
+    EXPECT_NEAR(mixed.pmf(n), pure.pmf(n), 1e-5) << "n=" << n;
+  }
+}
+
+TEST(MixedFaultDistribution, SmallAlphaHasHeavierTail) {
+  const MixedFaultDistribution heavy(0.2, 5.0, 0.5);
+  const FaultDistribution pure(0.2, 5.0);
+  // Same mean, more mass far out in the tail.
+  double tail_heavy = 0.0;
+  double tail_pure = 0.0;
+  for (unsigned n = 20; n < 400; ++n) {
+    tail_heavy += heavy.pmf(n);
+    tail_pure += pure.pmf(n);
+  }
+  EXPECT_GT(tail_heavy, tail_pure * 10.0);
+}
+
+TEST(MixedFaultDistribution, SampleMeanMatches) {
+  const MixedFaultDistribution d(0.25, 6.0, 2.0);
+  util::Rng rng(11);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(static_cast<double>(d.sample(rng)));
+  }
+  EXPECT_NEAR(stats.mean(), d.mean(), 0.1);
+}
+
+TEST(MixedFaultDistribution, DomainChecks) {
+  EXPECT_THROW(MixedFaultDistribution(0.5, 2.0, 0.0), ContractViolation);
+  EXPECT_THROW(MixedFaultDistribution(0.5, 0.9, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::quality

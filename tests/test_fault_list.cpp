@@ -1,0 +1,191 @@
+// Tests for fault enumeration and structural equivalence collapsing.
+#include "fault/fault_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "fault/fault.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+
+TEST(FaultNaming, StemAndBranchNames) {
+  const Circuit c = circuit::make_c17();
+  const GateId g16 = c.find("G16");
+  EXPECT_EQ(fault_name(c, Fault{g16, -1, true}), "G16/out s-a-1");
+  EXPECT_EQ(fault_name(c, Fault{g16, 0, false}), "G16/in0 s-a-0");
+}
+
+TEST(FaultLine, StemIsSelfBranchIsDriver) {
+  const Circuit c = circuit::make_c17();
+  const GateId g16 = c.find("G16");
+  const GateId g11 = c.find("G11");
+  EXPECT_EQ(fault_line(c, Fault{g16, -1, false}), g16);
+  // G16 = NAND(G2, G11): pin 1 is driven by G11.
+  EXPECT_EQ(fault_line(c, Fault{g16, 1, false}), g11);
+}
+
+TEST(FaultUniverse, CountsMatchFormula) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  // 2 per gate output + 2 per input pin: 11 gates (5 PI + 6 NAND),
+  // 12 pins -> 22 + 24 = 46.
+  EXPECT_EQ(faults.fault_count(), 46u);
+  EXPECT_LT(faults.class_count(), faults.fault_count());
+}
+
+TEST(FaultUniverse, ClassSizesPartitionTheUniverse) {
+  const Circuit c = circuit::make_alu(4);
+  const FaultList faults = FaultList::full_universe(c);
+  std::size_t total = 0;
+  for (std::size_t cl = 0; cl < faults.class_count(); ++cl) {
+    EXPECT_GE(faults.class_size(cl), 1u);
+    total += faults.class_size(cl);
+  }
+  EXPECT_EQ(total, faults.fault_count());
+}
+
+TEST(FaultUniverse, ClassOfIsConsistentWithRepresentatives) {
+  const Circuit c = circuit::make_ripple_carry_adder(4);
+  const FaultList faults = FaultList::full_universe(c);
+  for (std::size_t i = 0; i < faults.fault_count(); ++i) {
+    const std::size_t cl = faults.class_of(i);
+    ASSERT_LT(cl, faults.class_count());
+    // The representative must itself map back to the same class.
+    const std::size_t rep_index =
+        faults.index_of(faults.representatives()[cl]);
+    ASSERT_LT(rep_index, faults.fault_count());
+    EXPECT_EQ(faults.class_of(rep_index), cl);
+  }
+}
+
+TEST(Collapsing, InverterChainCollapsesToOneClassPerPolarity) {
+  // a -> NOT -> NOT -> NOT -> y. Every fault on the chain is equivalent to
+  // a fault at the input (with alternating polarity): exactly 2 classes.
+  Circuit c("chain");
+  GateId prev = c.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = c.add_gate(GateType::kNot, {prev}, "n" + std::to_string(i));
+  }
+  c.mark_output(prev);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  // Universe: 4 stems * 2 + 3 pins * 2 = 14 faults; all collapse into the
+  // two polarity classes of the single line.
+  EXPECT_EQ(faults.fault_count(), 14u);
+  EXPECT_EQ(faults.class_count(), 2u);
+}
+
+TEST(Collapsing, AndGateInputSa0EquivalentToOutputSa0) {
+  Circuit c("and2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId y = c.add_gate(GateType::kAnd, {a, b}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  const std::size_t out_sa0 = faults.index_of(Fault{y, -1, false});
+  const std::size_t in0_sa0 = faults.index_of(Fault{y, 0, false});
+  const std::size_t in1_sa0 = faults.index_of(Fault{y, 1, false});
+  const std::size_t out_sa1 = faults.index_of(Fault{y, -1, true});
+  EXPECT_EQ(faults.class_of(out_sa0), faults.class_of(in0_sa0));
+  EXPECT_EQ(faults.class_of(out_sa0), faults.class_of(in1_sa0));
+  EXPECT_NE(faults.class_of(out_sa0), faults.class_of(out_sa1));
+  // Input pins s-a-1 of an AND are NOT equivalent to each other.
+  const std::size_t in0_sa1 = faults.index_of(Fault{y, 0, true});
+  const std::size_t in1_sa1 = faults.index_of(Fault{y, 1, true});
+  EXPECT_NE(faults.class_of(in0_sa1), faults.class_of(in1_sa1));
+}
+
+TEST(Collapsing, NandMapsInputSa0ToOutputSa1) {
+  Circuit c("nand2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId y = c.add_gate(GateType::kNand, {a, b}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  EXPECT_EQ(faults.class_of(faults.index_of(Fault{y, 0, false})),
+            faults.class_of(faults.index_of(Fault{y, -1, true})));
+}
+
+TEST(Collapsing, XorContributesNoGateLocalEquivalences) {
+  Circuit c("xor2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId y = c.add_gate(GateType::kXor, {a, b}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  // Universe: 3 stems * 2 + 2 pins * 2 = 10. Single-fanout nets merge the
+  // pin faults with the input stems (4 merges): 6 classes remain.
+  EXPECT_EQ(faults.fault_count(), 10u);
+  EXPECT_EQ(faults.class_count(), 6u);
+}
+
+TEST(Collapsing, FanoutBranchesStayDistinct) {
+  // s drives two gates: branch faults on the two pins must NOT merge.
+  Circuit c("fanout");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId s = c.add_gate(GateType::kBuf, {a}, "s");
+  const GateId g1 = c.add_gate(GateType::kXor, {s, b}, "g1");
+  const GateId g2 = c.add_gate(GateType::kXnor, {s, b}, "g2");
+  c.mark_output(g1);
+  c.mark_output(g2);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  EXPECT_NE(faults.class_of(faults.index_of(Fault{g1, 0, true})),
+            faults.class_of(faults.index_of(Fault{g2, 0, true})));
+}
+
+TEST(Checkpoints, ContainsInputsAndFanoutBranchesOnly) {
+  const Circuit c = circuit::make_c17();
+  const FaultList cps = FaultList::checkpoints(c);
+  // c17 checkpoints: 5 PIs (10 faults) + branches of nets with fanout >= 2.
+  // Fanout >= 2 nets: G3 (feeds G10, G11), G11 (feeds G16, G19),
+  // G16 (feeds G22, G23): 6 branch pins -> 12 faults. Total 22.
+  EXPECT_EQ(cps.fault_count(), 22u);
+  EXPECT_EQ(cps.class_count(), 22u);  // checkpoints are not collapsed
+}
+
+TEST(Checkpoints, SubsetOfFullUniverse) {
+  const Circuit c = circuit::make_alu(2);
+  const FaultList full = FaultList::full_universe(c);
+  const FaultList cps = FaultList::checkpoints(c);
+  EXPECT_LT(cps.fault_count(), full.fault_count());
+  for (const Fault& f : cps.faults()) {
+    EXPECT_LT(full.index_of(f), full.fault_count())
+        << fault_name(c, f) << " missing from the full universe";
+  }
+}
+
+TEST(FaultUniverse, SequentialCircuitIncludesDffPins) {
+  Circuit c("seq");
+  const GateId en = c.add_input("en");
+  const GateId ff = c.add_dff("ff");
+  const GateId d = c.add_gate(GateType::kNand, {en, ff}, "d");
+  c.connect_dff(ff, d);
+  c.mark_output(d);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  // The DFF D-pin faults exist in the universe.
+  EXPECT_LT(faults.index_of(Fault{ff, 0, false}), faults.fault_count());
+  EXPECT_LT(faults.index_of(Fault{ff, 0, true}), faults.fault_count());
+}
+
+TEST(FaultUniverse, IndexOfUnknownFaultReturnsEnd) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  // Pin 7 does not exist on a 2-input NAND.
+  EXPECT_EQ(faults.index_of(Fault{c.find("G16"), 7, false}),
+            faults.fault_count());
+}
+
+}  // namespace
+}  // namespace lsiq::fault

@@ -1,0 +1,259 @@
+// Fault-simulator tests: hand-checked detections on tiny circuits, the
+// serial-vs-PPSFP cross-check property over generated and random circuits,
+// and the scan-boundary special cases.
+#include "fault/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/parallel_sim.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::fault {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+using sim::PatternSet;
+
+/// All 2^n input patterns for a small circuit.
+PatternSet exhaustive_patterns(const Circuit& c) {
+  const std::size_t n = c.pattern_inputs().size();
+  PatternSet p(n);
+  for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+    std::vector<bool> bits(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bits[i] = ((x >> i) & 1ULL) != 0;
+    }
+    p.append(bits);
+  }
+  return p;
+}
+
+TEST(FaultSim, SingleAndGateHandChecked) {
+  Circuit c("and2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId y = c.add_gate(GateType::kAnd, {a, b}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+
+  // Patterns in order: 00, 01, 10, 11 (bit 0 = a, bit 1 = b).
+  const PatternSet patterns = exhaustive_patterns(c);
+  const FaultSimResult r = simulate_ppsfp(faults, patterns);
+
+  // y s-a-1 is detected by any pattern with y = 0: the first is 00.
+  const std::size_t y_sa1 = faults.class_of(faults.index_of(Fault{y, -1, true}));
+  EXPECT_EQ(r.first_detection[y_sa1], 0);
+  // y s-a-0 needs y = 1: only pattern 11 (index 3).
+  const std::size_t y_sa0 =
+      faults.class_of(faults.index_of(Fault{y, -1, false}));
+  EXPECT_EQ(r.first_detection[y_sa0], 3);
+  // a s-a-1 needs a=0, b=1 (good y=0, faulty y=1): pattern 10 (b=1,a=0) is
+  // index 2.
+  const std::size_t a_sa1 =
+      faults.class_of(faults.index_of(Fault{a, -1, true}));
+  EXPECT_EQ(r.first_detection[a_sa1], 2);
+  // Everything is detectable by the exhaustive set.
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+TEST(FaultSim, ExhaustivePatternsDetectAllC17Faults) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  const FaultSimResult r = simulate_ppsfp(faults, exhaustive_patterns(c));
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0) << "c17 has no redundant faults";
+}
+
+TEST(FaultSim, SerialMatchesPpsfpOnC17) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns = exhaustive_patterns(c);
+  const FaultSimResult serial = simulate_serial(faults, patterns);
+  const FaultSimResult ppsfp = simulate_ppsfp(faults, patterns);
+  ASSERT_EQ(serial.first_detection.size(), ppsfp.first_detection.size());
+  for (std::size_t cl = 0; cl < serial.first_detection.size(); ++cl) {
+    EXPECT_EQ(serial.first_detection[cl], ppsfp.first_detection[cl])
+        << fault_name(c, faults.representatives()[cl]);
+  }
+}
+
+class SerialVsPpsfp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialVsPpsfp, AgreeOnRandomCircuitsAndPatterns) {
+  circuit::RandomDagSpec spec;
+  spec.inputs = 10;
+  spec.gates = 120;
+  spec.seed = GetParam();
+  const Circuit c = make_random_dag(spec);
+  const FaultList faults = FaultList::full_universe(c);
+
+  util::Rng rng(GetParam() + 1000);
+  PatternSet patterns(c.pattern_inputs().size());
+  patterns.append_random(96, rng);  // 1.5 blocks
+
+  const FaultSimResult serial = simulate_serial(faults, patterns);
+  const FaultSimResult ppsfp = simulate_ppsfp(faults, patterns);
+  ASSERT_EQ(serial.first_detection.size(), ppsfp.first_detection.size());
+  for (std::size_t cl = 0; cl < serial.first_detection.size(); ++cl) {
+    EXPECT_EQ(serial.first_detection[cl], ppsfp.first_detection[cl])
+        << fault_name(c, faults.representatives()[cl]);
+  }
+  EXPECT_DOUBLE_EQ(serial.coverage, ppsfp.coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialVsPpsfp,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+TEST(FaultSim, SerialMatchesPpsfpOnSequentialCircuit) {
+  Circuit c("seq");
+  const GateId en = c.add_input("en");
+  const GateId d_in = c.add_input("d_in");
+  const GateId ff = c.add_dff("ff");
+  const GateId mux_lo =
+      c.add_gate(GateType::kAnd, {ff, en}, "hold");
+  const GateId en_n = c.add_gate(GateType::kNot, {en}, "en_n");
+  const GateId mux_hi = c.add_gate(GateType::kAnd, {d_in, en_n}, "load");
+  const GateId d = c.add_gate(GateType::kOr, {mux_lo, mux_hi}, "d");
+  c.connect_dff(ff, d);
+  c.mark_output(d);
+  c.finalize();
+
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns = exhaustive_patterns(c);
+  const FaultSimResult serial = simulate_serial(faults, patterns);
+  const FaultSimResult ppsfp = simulate_ppsfp(faults, patterns);
+  for (std::size_t cl = 0; cl < serial.first_detection.size(); ++cl) {
+    EXPECT_EQ(serial.first_detection[cl], ppsfp.first_detection[cl])
+        << fault_name(c, faults.representatives()[cl]);
+  }
+}
+
+TEST(FaultSim, DffPinFaultObservedAtScanCapture) {
+  // ff's D pin stuck: detectable exactly when the good D value differs.
+  Circuit c("scan");
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  const GateId d = c.add_gate(GateType::kBuf, {a}, "d");
+  c.connect_dff(ff, d);
+  const GateId out = c.add_gate(GateType::kBuf, {ff}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const FaultList faults = FaultList::full_universe(c);
+  const std::size_t pin_sa0_index = faults.index_of(Fault{ff, 0, false});
+  ASSERT_LT(pin_sa0_index, faults.fault_count());
+  const std::size_t cls = faults.class_of(pin_sa0_index);
+
+  // Patterns over [a, ff]: set a=1 so good D = 1 != 0 -> detected.
+  PatternSet patterns(2);
+  patterns.append({false, false});  // a=0: D good = 0 == stuck, no detect
+  patterns.append({true, false});   // a=1: detect here (index 1)
+  const FaultSimResult r = simulate_ppsfp(faults, patterns);
+  EXPECT_EQ(r.first_detection[cls], 1);
+  const FaultSimResult rs = simulate_serial(faults, patterns);
+  EXPECT_EQ(rs.first_detection[cls], 1);
+}
+
+TEST(FaultSim, UndetectableFaultStaysUndetected) {
+  // y = OR(a, CONST1) == 1 always: y s-a-1 is redundant.
+  Circuit c("red");
+  const GateId a = c.add_input("a");
+  const GateId one = c.add_gate(GateType::kConst1, {}, "one");
+  const GateId y = c.add_gate(GateType::kOr, {a, one}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  const FaultSimResult r = simulate_ppsfp(faults, exhaustive_patterns(c));
+  const std::size_t y_sa1 =
+      faults.class_of(faults.index_of(Fault{y, -1, true}));
+  EXPECT_EQ(r.first_detection[y_sa1], -1);
+  EXPECT_LT(r.coverage, 1.0);
+}
+
+TEST(FaultSim, CoverageCurveIsMonotone) {
+  const Circuit c = circuit::make_alu(4);
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns = tpg::lfsr_patterns(
+      c.pattern_inputs().size(), 300, 17);
+  const FaultSimResult r = simulate_ppsfp(faults, patterns);
+  const CoverageCurve curve = r.curve(faults, patterns.size());
+  double prev = 0.0;
+  for (std::size_t t = 1; t <= patterns.size(); ++t) {
+    const double f = curve.coverage_after(t);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(curve.final_coverage(), r.coverage);
+}
+
+TEST(FaultSim, FirstDetectionIndicesAreEarliest) {
+  // Re-simulating the prefix set must detect exactly the faults whose
+  // first_detection falls inside the prefix.
+  const Circuit c = circuit::make_ripple_carry_adder(4);
+  const FaultList faults = FaultList::full_universe(c);
+  util::Rng rng(5);
+  PatternSet patterns(c.pattern_inputs().size());
+  patterns.append_random(80, rng);
+  const FaultSimResult full = simulate_ppsfp(faults, patterns);
+
+  const std::size_t prefix_len = 40;
+  const FaultSimResult prefix =
+      simulate_ppsfp(faults, patterns.slice(0, prefix_len));
+  for (std::size_t cl = 0; cl < full.first_detection.size(); ++cl) {
+    if (full.first_detection[cl] >= 0 &&
+        static_cast<std::size_t>(full.first_detection[cl]) < prefix_len) {
+      EXPECT_EQ(prefix.first_detection[cl], full.first_detection[cl]);
+    } else {
+      EXPECT_EQ(prefix.first_detection[cl], -1);
+    }
+  }
+}
+
+TEST(FaultSim, DetectWordForFaultMatchesSingleLane) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  sim::ParallelSimulator good(c);
+  // One fully-specified pattern in lane 0.
+  std::vector<std::uint64_t> words(c.pattern_inputs().size());
+  words[0] = 1;  // G1 = 1, rest 0
+  good.simulate_block(words);
+  const FaultSimResult oracle = [&] {
+    PatternSet p(c.pattern_inputs().size());
+    p.append({true, false, false, false, false});
+    return simulate_serial(faults, p);
+  }();
+  for (std::size_t cl = 0; cl < faults.class_count(); ++cl) {
+    const std::uint64_t word = detect_word_for_fault(
+        c, faults.representatives()[cl], good.values());
+    EXPECT_EQ((word & 1ULL) != 0, oracle.first_detection[cl] == 0)
+        << fault_name(c, faults.representatives()[cl]);
+  }
+}
+
+TEST(FaultSim, WeightedCoverageUsesClassSizes) {
+  Circuit c("chain");
+  GateId prev = c.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = c.add_gate(GateType::kNot, {prev},
+                      "n" + std::to_string(i));
+  }
+  c.mark_output(prev);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+  ASSERT_EQ(faults.class_count(), 2u);
+  // One pattern (a=0) detects a s-a-1 (and equivalents): half the universe.
+  PatternSet p(1);
+  p.append({false});
+  const FaultSimResult r = simulate_ppsfp(faults, p);
+  EXPECT_EQ(r.detected_classes, 1u);
+  EXPECT_EQ(r.covered_faults, 7u);  // the 14-fault universe has 7+7 classes
+  EXPECT_DOUBLE_EQ(r.coverage, 0.5);
+}
+
+}  // namespace
+}  // namespace lsiq::fault

@@ -1,0 +1,194 @@
+// Tests for the D-calculus algebra and the five-valued fault simulator.
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/five_value_sim.hpp"
+#include "sim/logic_value.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+
+TEST(TriAlgebra, KleeneTables) {
+  EXPECT_EQ(tri_and(Tri::kOne, Tri::kOne), Tri::kOne);
+  EXPECT_EQ(tri_and(Tri::kZero, Tri::kX), Tri::kZero);  // 0 dominates
+  EXPECT_EQ(tri_and(Tri::kOne, Tri::kX), Tri::kX);
+  EXPECT_EQ(tri_or(Tri::kOne, Tri::kX), Tri::kOne);  // 1 dominates
+  EXPECT_EQ(tri_or(Tri::kZero, Tri::kX), Tri::kX);
+  EXPECT_EQ(tri_xor(Tri::kOne, Tri::kOne), Tri::kZero);
+  EXPECT_EQ(tri_xor(Tri::kOne, Tri::kX), Tri::kX);
+  EXPECT_EQ(tri_not(Tri::kX), Tri::kX);
+  EXPECT_EQ(tri_not(Tri::kZero), Tri::kOne);
+}
+
+TEST(FiveValue, ClassifiersAndNames) {
+  EXPECT_TRUE(is_d_or_dbar(kFiveD));
+  EXPECT_TRUE(is_d_or_dbar(kFiveDbar));
+  EXPECT_FALSE(is_d_or_dbar(kFiveOne));
+  EXPECT_FALSE(is_d_or_dbar(kFiveX));
+  EXPECT_TRUE(has_x(kFiveX));
+  EXPECT_FALSE(has_x(kFiveD));
+  EXPECT_EQ(five_value_name(kFiveD), "D");
+  EXPECT_EQ(five_value_name(kFiveDbar), "D'");
+  EXPECT_EQ(five_value_name(kFiveX), "X");
+}
+
+TEST(FiveValue, DPropagationThroughGates) {
+  // AND(D, 1) = D; AND(D, 0) = 0; OR(D, 0) = D; XOR(D, 1) = D'.
+  const FiveValue and_d1 =
+      eval_five_value(GateType::kAnd,
+                      std::array{kFiveD, kFiveOne}.data(), 2);
+  EXPECT_EQ(and_d1, kFiveD);
+  const FiveValue and_d0 =
+      eval_five_value(GateType::kAnd,
+                      std::array{kFiveD, kFiveZero}.data(), 2);
+  EXPECT_EQ(and_d0, kFiveZero);
+  const FiveValue or_d0 =
+      eval_five_value(GateType::kOr,
+                      std::array{kFiveD, kFiveZero}.data(), 2);
+  EXPECT_EQ(or_d0, kFiveD);
+  const FiveValue xor_d1 =
+      eval_five_value(GateType::kXor,
+                      std::array{kFiveD, kFiveOne}.data(), 2);
+  EXPECT_EQ(xor_d1, kFiveDbar);
+}
+
+TEST(FiveValue, DCollision) {
+  // AND(D, D') = 0 in both machines; XOR(D, D) = 0.
+  const FiveValue and_ddb =
+      eval_five_value(GateType::kAnd,
+                      std::array{kFiveD, kFiveDbar}.data(), 2);
+  EXPECT_EQ(and_ddb, kFiveZero);
+  const FiveValue xor_dd =
+      eval_five_value(GateType::kXor, std::array{kFiveD, kFiveD}.data(), 2);
+  EXPECT_EQ(xor_dd, kFiveZero);
+}
+
+Circuit two_nand_chain() {
+  // y = NAND(NAND(a, b), c)
+  Circuit c("chain");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId ci = c.add_input("c");
+  const GateId n1 = c.add_gate(GateType::kNand, {a, b}, "n1");
+  const GateId y = c.add_gate(GateType::kNand, {n1, ci}, "y");
+  c.mark_output(y);
+  c.finalize();
+  return c;
+}
+
+TEST(FiveValueSim, StemFaultActivatesAndPropagates) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  // n1 stuck-at-0: activate with a=b=1 (good n1 = 0... wait, NAND(1,1)=0).
+  // Use a=0 so good n1 = 1 != 0: activated. Propagate with c=1.
+  sim.set_fault(c.find("n1"), -1, false);
+  sim.assign_input(0, Tri::kZero);  // a = 0
+  sim.assign_input(1, Tri::kOne);   // b = 1
+  sim.assign_input(2, Tri::kOne);   // c = 1
+  sim.imply();
+  EXPECT_EQ(sim.value(c.find("n1")), kFiveD);  // good 1 / faulty 0
+  EXPECT_TRUE(sim.fault_effect_observed());
+  // y = NAND(D, 1) = D'.
+  EXPECT_EQ(sim.value(c.find("y")), kFiveDbar);
+}
+
+TEST(FiveValueSim, PinFaultIsLocalToTheBranch) {
+  // Fanout: stem s feeds both g1 and g2; a pin fault on g1's input must not
+  // disturb g2.
+  Circuit c("branch");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId s = c.add_gate(GateType::kBuf, {a}, "s");
+  const GateId g1 = c.add_gate(GateType::kAnd, {s, b}, "g1");
+  const GateId g2 = c.add_gate(GateType::kOr, {s, b}, "g2");
+  c.mark_output(g1);
+  c.mark_output(g2);
+  c.finalize();
+
+  FiveValueSimulator sim(c);
+  sim.set_fault(g1, 0, false);  // g1's s-pin stuck-at-0
+  sim.assign_input(0, Tri::kOne);   // a = 1 -> s = 1 (activates)
+  sim.assign_input(1, Tri::kOne);   // b = 1 (propagates through AND)
+  sim.imply();
+  EXPECT_EQ(sim.value(g1), kFiveD);
+  EXPECT_EQ(sim.value(g2), kFiveOne);  // unaffected branch
+  EXPECT_TRUE(sim.fault_effect_observed());
+}
+
+TEST(FiveValueSim, DFrontierTracksBlockedEffect) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  sim.set_fault(c.find("n1"), -1, false);
+  sim.assign_input(0, Tri::kZero);  // activate: good n1 = 1, faulty 0
+  sim.imply();
+  // c is X: the effect waits at gate y.
+  EXPECT_FALSE(sim.fault_effect_observed());
+  const auto frontier = sim.d_frontier();
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0], c.find("y"));
+  EXPECT_TRUE(sim.x_path_exists());
+}
+
+TEST(FiveValueSim, BlockedPropagationKillsXPath) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  sim.set_fault(c.find("n1"), -1, false);
+  sim.assign_input(0, Tri::kZero);  // activate
+  sim.assign_input(2, Tri::kZero);  // c = 0 forces y = 1: effect blocked
+  sim.imply();
+  EXPECT_FALSE(sim.fault_effect_observed());
+  EXPECT_TRUE(sim.d_frontier().empty());
+  EXPECT_FALSE(sim.x_path_exists());
+}
+
+TEST(FiveValueSim, ActivationImpossibleDetected) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  // n1 stuck-at-1; good n1 = NAND(a,b) = 1 unless a=b=1.
+  sim.set_fault(c.find("n1"), -1, true);
+  sim.assign_input(0, Tri::kZero);
+  sim.imply();
+  // good n1 == 1 == stuck value: activation impossible under a=0.
+  EXPECT_FALSE(sim.activation_possible());
+}
+
+TEST(FiveValueSim, FaultLineOfBranchFaultIsTheDriver) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  sim.set_fault(c.find("y"), 0, true);  // y's first pin (driven by n1)
+  EXPECT_EQ(sim.fault_line(), c.find("n1"));
+  sim.set_fault(c.find("n1"), -1, true);
+  EXPECT_EQ(sim.fault_line(), c.find("n1"));
+}
+
+TEST(FiveValueSim, InputStemFaultOnPrimaryInput) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  const GateId a = c.find("a");
+  sim.set_fault(a, -1, true);  // a stuck-at-1
+  sim.assign_input(0, Tri::kZero);  // good a = 0: activated
+  sim.assign_input(1, Tri::kOne);
+  sim.assign_input(2, Tri::kOne);
+  sim.imply();
+  EXPECT_EQ(sim.value(a), kFiveDbar);  // good 0 / faulty 1
+  EXPECT_TRUE(sim.fault_effect_observed());
+}
+
+TEST(FiveValueSim, AssignmentsResetOnSetFault) {
+  const Circuit c = two_nand_chain();
+  FiveValueSimulator sim(c);
+  sim.set_fault(c.find("n1"), -1, false);
+  sim.assign_input(0, Tri::kOne);
+  sim.set_fault(c.find("n1"), -1, true);
+  EXPECT_EQ(sim.input_assignment(0), Tri::kX);
+}
+
+}  // namespace
+}  // namespace lsiq::sim

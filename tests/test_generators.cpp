@@ -1,0 +1,472 @@
+// Functional verification of the structural circuit generators: every
+// generated netlist is simulated against its arithmetic/logic reference,
+// exhaustively where feasible and by random sampling otherwise.
+#include "circuit/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/pattern.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::circuit {
+namespace {
+
+using sim::ParallelSimulator;
+
+/// Run one fully specified pattern through the circuit; inputs are given in
+/// pattern-input order as the bits of `input_bits`.
+std::vector<bool> run(const Circuit& c, std::uint64_t input_bits) {
+  const std::size_t n = c.pattern_inputs().size();
+  std::vector<bool> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = ((input_bits >> i) & 1ULL) != 0;
+  }
+  ParallelSimulator sim(c);
+  return sim.simulate_single(in);
+}
+
+std::uint64_t bits_to_uint(const std::vector<bool>& bits, std::size_t first,
+                           std::size_t count) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (bits[first + i]) v |= (1ULL << i);
+  }
+  return v;
+}
+
+TEST(C17, MatchesNandLevelTruthTable) {
+  const Circuit c = make_c17();
+  ASSERT_EQ(c.pattern_inputs().size(), 5u);
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    const bool g1 = (x >> 0) & 1;
+    const bool g2 = (x >> 1) & 1;
+    const bool g3 = (x >> 2) & 1;
+    const bool g6 = (x >> 3) & 1;
+    const bool g7 = (x >> 4) & 1;
+    const bool g10 = !(g1 && g3);
+    const bool g11 = !(g3 && g6);
+    const bool g16 = !(g2 && g11);
+    const bool g19 = !(g11 && g7);
+    const bool g22 = !(g10 && g16);
+    const bool g23 = !(g16 && g19);
+    const std::vector<bool> out = run(c, x);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], g22) << "x=" << x;
+    EXPECT_EQ(out[1], g23) << "x=" << x;
+  }
+}
+
+class AdderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidth, AddsExhaustively) {
+  const int w = GetParam();
+  const Circuit c = make_ripple_carry_adder(w);
+  ASSERT_EQ(c.pattern_inputs().size(), static_cast<std::size_t>(2 * w + 1));
+  const std::uint64_t limit = 1ULL << w;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      for (std::uint64_t cin = 0; cin <= 1; ++cin) {
+        const std::uint64_t input =
+            a | (b << w) | (cin << (2 * w));
+        const std::vector<bool> out = run(c, input);
+        const std::uint64_t sum = bits_to_uint(out, 0, w);
+        const std::uint64_t cout = out[static_cast<std::size_t>(w)] ? 1 : 0;
+        EXPECT_EQ(sum | (cout << w), a + b + cin)
+            << "w=" << w << " a=" << a << " b=" << b << " cin=" << cin;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, AdderWidth, ::testing::Values(1, 2, 3, 4));
+
+TEST(Adder, WideAdderRandomSpotChecks) {
+  const int w = 16;
+  const Circuit c = make_ripple_carry_adder(w);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.uniform_below(1ULL << w);
+    const std::uint64_t b = rng.uniform_below(1ULL << w);
+    const std::uint64_t cin = rng.uniform_below(2);
+    const std::vector<bool> out = run(c, a | (b << w) | (cin << (2 * w)));
+    const std::uint64_t sum =
+        bits_to_uint(out, 0, w) | ((out[w] ? 1ULL : 0ULL) << w);
+    EXPECT_EQ(sum, a + b + cin);
+  }
+}
+
+class MultiplierWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierWidth, MultipliesExhaustively) {
+  const int w = GetParam();
+  const Circuit c = make_array_multiplier(w);
+  ASSERT_EQ(c.primary_outputs().size(), static_cast<std::size_t>(2 * w));
+  const std::uint64_t limit = 1ULL << w;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      const std::vector<bool> out = run(c, a | (b << w));
+      EXPECT_EQ(bits_to_uint(out, 0, static_cast<std::size_t>(2 * w)), a * b)
+          << "w=" << w << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, MultiplierWidth,
+                         ::testing::Values(2, 3, 4));
+
+TEST(Multiplier, EightBitRandomSpotChecks) {
+  const Circuit c = make_array_multiplier(8);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.uniform_below(256);
+    const std::uint64_t b = rng.uniform_below(256);
+    const std::vector<bool> out = run(c, a | (b << 8));
+    EXPECT_EQ(bits_to_uint(out, 0, 16), a * b);
+  }
+}
+
+TEST(Multiplier, SixteenBitSizeIsLsiScale) {
+  // The stand-in for the paper's 25k-transistor chip: check it is big.
+  const Circuit c = make_array_multiplier(16);
+  const CircuitStats s = c.stats();
+  EXPECT_GT(s.combinational_gates, 1200u);
+  EXPECT_EQ(s.primary_inputs, 32u);
+  EXPECT_EQ(s.primary_outputs, 32u);
+}
+
+class MajorityInputs : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajorityInputs, MatchesPopcountThreshold) {
+  const int n = GetParam();
+  const Circuit c = make_majority(n);
+  for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+    const int ones = __builtin_popcountll(x);
+    const std::vector<bool> out = run(c, x);
+    EXPECT_EQ(out[0], ones > n / 2) << "n=" << n << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddInputs, MajorityInputs,
+                         ::testing::Values(3, 5, 7));
+
+class ParityInputs : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParityInputs, MatchesXorReduction) {
+  const int n = GetParam();
+  const Circuit c = make_parity_tree(n);
+  const std::uint64_t limit =
+      n <= 12 ? (1ULL << n) : 4096;  // exhaustive when feasible
+  util::Rng rng(11);
+  for (std::uint64_t t = 0; t < limit; ++t) {
+    const std::uint64_t x =
+        n <= 12 ? t : rng.uniform_below(1ULL << n);
+    const std::vector<bool> out = run(c, x);
+    EXPECT_EQ(out[0], (__builtin_popcountll(x) & 1) != 0)
+        << "n=" << n << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParityInputs,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+class MuxSelectBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(MuxSelectBits, SelectsTheAddressedInput) {
+  const int s = GetParam();
+  const int leaves = 1 << s;
+  const Circuit c = make_mux_tree(s);
+  util::Rng rng(13);
+  const int trials = s <= 3 ? -1 : 500;  // exhaustive for small trees
+  if (trials < 0) {
+    for (std::uint64_t data = 0; data < (1ULL << leaves); ++data) {
+      for (std::uint64_t sel = 0; sel < (1ULL << s); ++sel) {
+        const std::vector<bool> out =
+            run(c, data | (sel << leaves));
+        EXPECT_EQ(out[0], ((data >> sel) & 1ULL) != 0);
+      }
+    }
+  } else {
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t data = rng.uniform_below(1ULL << leaves);
+      const std::uint64_t sel = rng.uniform_below(1ULL << s);
+      const std::vector<bool> out = run(c, data | (sel << leaves));
+      EXPECT_EQ(out[0], ((data >> sel) & 1ULL) != 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MuxSelectBits, ::testing::Values(1, 2, 3, 4));
+
+class DecoderBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderBits, OneHotWhenEnabled) {
+  const int n = GetParam();
+  const Circuit c = make_decoder(n);
+  for (std::uint64_t addr = 0; addr < (1ULL << n); ++addr) {
+    for (std::uint64_t en = 0; en <= 1; ++en) {
+      const std::vector<bool> out = run(c, addr | (en << n));
+      for (std::uint64_t row = 0; row < (1ULL << n); ++row) {
+        const bool expected = (en != 0) && (row == addr);
+        EXPECT_EQ(out[row], expected)
+            << "n=" << n << " addr=" << addr << " en=" << en;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecoderBits, ::testing::Values(1, 2, 3, 4));
+
+class ComparatorWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComparatorWidth, ThreeWayOutcome) {
+  const int w = GetParam();
+  const Circuit c = make_comparator(w);
+  const std::uint64_t limit = 1ULL << w;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      const std::vector<bool> out = run(c, a | (b << w));
+      ASSERT_EQ(out.size(), 3u);
+      EXPECT_EQ(out[0], a < b) << "a=" << a << " b=" << b;
+      EXPECT_EQ(out[1], a == b) << "a=" << a << " b=" << b;
+      EXPECT_EQ(out[2], a > b) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, ComparatorWidth,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Alu, AllOpcodesAgainstReference) {
+  const int w = 4;
+  const Circuit c = make_alu(w);
+  util::Rng rng(17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t a = rng.uniform_below(1ULL << w);
+    const std::uint64_t b = rng.uniform_below(1ULL << w);
+    const std::uint64_t op = rng.uniform_below(8);
+    const std::uint64_t cin = rng.uniform_below(2);
+    const std::uint64_t input =
+        a | (b << w) | (op << (2 * w)) | (cin << (2 * w + 3));
+    const std::vector<bool> out = run(c, input);
+    const std::uint64_t y = bits_to_uint(out, 0, static_cast<std::size_t>(w));
+    const std::uint64_t mask = (1ULL << w) - 1;
+    std::uint64_t expect = 0;
+    switch (op) {
+      case 0: expect = a & b; break;
+      case 1: expect = a | b; break;
+      case 2: expect = a ^ b; break;
+      case 3: expect = ~(a | b) & mask; break;
+      case 4: expect = (a + b + cin) & mask; break;
+      case 5: expect = (a + (~b & mask) + 1) & mask; break;
+      case 6: expect = a; break;
+      case 7: expect = ~a & mask; break;
+      default: break;
+    }
+    EXPECT_EQ(y, expect) << "op=" << op << " a=" << a << " b=" << b
+                         << " cin=" << cin;
+    if (op == 4) {
+      const bool cout = out[static_cast<std::size_t>(w)];
+      EXPECT_EQ(cout, ((a + b + cin) >> w) != 0);
+    }
+  }
+}
+
+class CarrySelectConfig
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CarrySelectConfig, AddsExhaustively) {
+  const auto [w, block] = GetParam();
+  const Circuit c = make_carry_select_adder(w, block);
+  const std::uint64_t limit = 1ULL << w;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      for (std::uint64_t cin = 0; cin <= 1; ++cin) {
+        const std::vector<bool> out =
+            run(c, a | (b << w) | (cin << (2 * w)));
+        const std::uint64_t sum =
+            bits_to_uint(out, 0, static_cast<std::size_t>(w)) |
+            ((out[static_cast<std::size_t>(w)] ? 1ULL : 0ULL) << w);
+        EXPECT_EQ(sum, a + b + cin)
+            << "w=" << w << " block=" << block << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, CarrySelectConfig,
+                         ::testing::Values(std::make_pair(4, 2),
+                                           std::make_pair(4, 4),
+                                           std::make_pair(5, 2),
+                                           std::make_pair(6, 3)));
+
+TEST(CarrySelect, WideRandomSpotChecks) {
+  const int w = 16;
+  const Circuit c = make_carry_select_adder(w, 4);
+  util::Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.uniform_below(1ULL << w);
+    const std::uint64_t b = rng.uniform_below(1ULL << w);
+    const std::uint64_t cin = rng.uniform_below(2);
+    const std::vector<bool> out = run(c, a | (b << w) | (cin << (2 * w)));
+    const std::uint64_t sum =
+        bits_to_uint(out, 0, w) | ((out[w] ? 1ULL : 0ULL) << w);
+    EXPECT_EQ(sum, a + b + cin);
+  }
+}
+
+class BarrelWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrelWidth, RotatesExhaustively) {
+  const int w = GetParam();
+  const Circuit c = make_barrel_rotator(w);
+  int stages = 0;
+  while ((1 << stages) < w) ++stages;
+  const std::uint64_t data_limit = 1ULL << w;
+  util::Rng rng(37);
+  const std::uint64_t trials = w <= 4 ? data_limit : 512;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t data =
+        w <= 4 ? t : rng.uniform_below(data_limit);
+    for (std::uint64_t shift = 0;
+         shift < (1ULL << stages); ++shift) {
+      const std::vector<bool> out =
+          run(c, data | (shift << w));
+      const std::uint64_t mask = data_limit - 1;
+      const std::uint64_t expect =
+          ((data << shift) | (data >> (w - shift))) & mask;
+      EXPECT_EQ(bits_to_uint(out, 0, static_cast<std::size_t>(w)),
+                shift == 0 ? data : expect)
+          << "w=" << w << " data=" << data << " shift=" << shift;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BarrelWidth, ::testing::Values(2, 4, 8, 16));
+
+class ScanAccumulatorWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanAccumulatorWidth, CombinationalFrameComputesSum) {
+  // Under the full-scan model the accumulator's single frame computes
+  // a + state; the sum drives both the outputs and the DFF D pins.
+  const int w = GetParam();
+  const Circuit c = make_scan_accumulator(w);
+  ASSERT_EQ(c.flip_flops().size(), static_cast<std::size_t>(w));
+  ASSERT_EQ(c.pattern_inputs().size(), static_cast<std::size_t>(2 * w));
+  const std::uint64_t limit = 1ULL << w;
+  util::Rng rng(41);
+  const std::uint64_t trials = w <= 4 ? limit * limit : 300;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t a =
+        w <= 4 ? (t % limit) : rng.uniform_below(limit);
+    const std::uint64_t s =
+        w <= 4 ? (t / limit) : rng.uniform_below(limit);
+    const std::vector<bool> out = run(c, a | (s << w));
+    // Outputs: sum bits then carry, followed by the DFF capture values
+    // (equal to the sum bits).
+    const std::uint64_t sum =
+        bits_to_uint(out, 0, static_cast<std::size_t>(w)) |
+        ((out[static_cast<std::size_t>(w)] ? 1ULL : 0ULL) << w);
+    EXPECT_EQ(sum, a + s) << "w=" << w << " a=" << a << " s=" << s;
+    for (int i = 0; i < w; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(w + 1 + i)],
+                out[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ScanAccumulatorWidth,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ScanAccumulator, FaultSimEnginesAgree) {
+  const Circuit c = make_scan_accumulator(4);
+  const auto faults = lsiq::fault::FaultList::full_universe(c);
+  util::Rng rng(43);
+  sim::PatternSet patterns(c.pattern_inputs().size());
+  patterns.append_random(96, rng);
+  const auto serial = lsiq::fault::simulate_serial(faults, patterns);
+  const auto ppsfp = lsiq::fault::simulate_ppsfp(faults, patterns);
+  for (std::size_t cl = 0; cl < serial.first_detection.size(); ++cl) {
+    EXPECT_EQ(serial.first_detection[cl], ppsfp.first_detection[cl]);
+  }
+}
+
+TEST(NewGenerators, RejectBadParameters) {
+  EXPECT_THROW(make_carry_select_adder(0, 1), ContractViolation);
+  EXPECT_THROW(make_carry_select_adder(4, 5), ContractViolation);
+  EXPECT_THROW(make_carry_select_adder(4, 0), ContractViolation);
+  EXPECT_THROW(make_barrel_rotator(3), ContractViolation);
+  EXPECT_THROW(make_barrel_rotator(128), ContractViolation);
+}
+
+TEST(RandomDag, IsValidAndDeterministic) {
+  RandomDagSpec spec;
+  spec.inputs = 12;
+  spec.gates = 150;
+  spec.seed = 42;
+  const Circuit a = make_random_dag(spec);
+  const Circuit b = make_random_dag(spec);
+  EXPECT_EQ(a.gate_count(), b.gate_count());
+  EXPECT_GT(a.primary_outputs().size(), 0u);
+  // Determinism: identical structure gate by gate.
+  for (GateId id = 0; id < a.gate_count(); ++id) {
+    EXPECT_EQ(a.gate(id).type, b.gate(id).type);
+    EXPECT_EQ(a.gate(id).fanin, b.gate(id).fanin);
+  }
+}
+
+TEST(RandomDag, DifferentSeedsGiveDifferentCircuits) {
+  RandomDagSpec spec_a;
+  spec_a.seed = 1;
+  RandomDagSpec spec_b;
+  spec_b.seed = 2;
+  const Circuit a = make_random_dag(spec_a);
+  const Circuit b = make_random_dag(spec_b);
+  bool any_difference = a.gate_count() != b.gate_count();
+  for (GateId id = 0; !any_difference && id < a.gate_count(); ++id) {
+    any_difference = a.gate(id).type != b.gate(id).type ||
+                     a.gate(id).fanin != b.gate(id).fanin;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomDag, EveryInputIsConsumed) {
+  RandomDagSpec spec;
+  spec.inputs = 10;
+  spec.gates = 80;
+  spec.seed = 3;
+  const Circuit c = make_random_dag(spec);
+  for (const GateId in : c.primary_inputs()) {
+    EXPECT_FALSE(c.gate(in).fanout.empty())
+        << "dangling input " << c.gate(in).name;
+  }
+}
+
+TEST(RandomDag, RejectsBadSpecs) {
+  RandomDagSpec too_few_inputs;
+  too_few_inputs.inputs = 1;
+  EXPECT_THROW(make_random_dag(too_few_inputs), ContractViolation);
+  RandomDagSpec no_gates;
+  no_gates.gates = 0;
+  EXPECT_THROW(make_random_dag(no_gates), ContractViolation);
+  RandomDagSpec narrow_fanin;
+  narrow_fanin.max_fanin = 1;
+  EXPECT_THROW(make_random_dag(narrow_fanin), ContractViolation);
+}
+
+TEST(Generators, RejectBadParameters) {
+  EXPECT_THROW(make_ripple_carry_adder(0), ContractViolation);
+  EXPECT_THROW(make_array_multiplier(1), ContractViolation);
+  EXPECT_THROW(make_majority(4), ContractViolation);
+  EXPECT_THROW(make_majority(11), ContractViolation);
+  EXPECT_THROW(make_parity_tree(1), ContractViolation);
+  EXPECT_THROW(make_mux_tree(0), ContractViolation);
+  EXPECT_THROW(make_decoder(9), ContractViolation);
+  EXPECT_THROW(make_comparator(0), ContractViolation);
+  EXPECT_THROW(make_alu(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::circuit

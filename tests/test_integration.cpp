@@ -1,0 +1,201 @@
+// Cross-module integration properties: chains that no single-module test
+// exercises end to end.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "core/detection.hpp"
+#include "core/estimation.hpp"
+#include "core/fault_distribution.hpp"
+#include "core/reject_model.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "tpg/atpg.hpp"
+#include "tpg/lfsr.hpp"
+#include "tpg/scoap.hpp"
+#include "util/rng.hpp"
+#include "wafer/experiment.hpp"
+#include "wafer/wafer_map.hpp"
+
+namespace lsiq {
+namespace {
+
+TEST(Integration, ExactEscapeYieldMatchesUrnMonteCarlo) {
+  // Eq. 6 with the exact hypergeometric q0 against a direct simulation of
+  // the urn experiment: N sites, m covered, chip fault counts from Eq. 1.
+  const unsigned N = 200;
+  const unsigned m = 120;
+  const double f = static_cast<double>(m) / N;
+  const double y = 0.3;
+  const double n0 = 5.0;
+
+  const quality::FaultDistribution dist(y, n0);
+  util::Rng rng(11);
+  std::size_t escapes = 0;
+  const int chips = 400000;
+  for (int i = 0; i < chips; ++i) {
+    const unsigned n = std::min(dist.sample(rng), N);
+    if (n == 0) continue;  // good chips are not escapes
+    bool all_uncovered = true;
+    for (const std::uint64_t site :
+         rng.sample_without_replacement(N, n)) {
+      if (site < m) {  // treat sites [0, m) as the covered ones
+        all_uncovered = false;
+        break;
+      }
+    }
+    if (all_uncovered) ++escapes;
+  }
+  const double measured = static_cast<double>(escapes) / chips;
+  const double exact = quality::escape_yield_exact(f, y, n0, N);
+  EXPECT_NEAR(measured, exact, 4.0 * std::sqrt(exact / chips) + 1e-4);
+}
+
+TEST(Integration, AtpgProgramDrivesTheFullExperiment) {
+  // ATPG builds the tester program; the experiment characterizes a lot
+  // with it; the estimators recover the ground truth.
+  const circuit::Circuit chip = circuit::make_array_multiplier(6);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+
+  tpg::AtpgOptions options;
+  options.random_patterns = 64;
+  options.seed = 3;
+  const tpg::AtpgResult atpg = generate_tests(faults, options);
+  ASSERT_GE(atpg.coverage, 0.99);
+
+  // Pad the deterministic program with extra random patterns so the
+  // fallout curve has room after full coverage is reached.
+  sim::PatternSet program = atpg.patterns;
+  util::Rng rng(5);
+  program.append_random(64, rng);
+
+  wafer::ExperimentSpec spec;
+  spec.chip_count = 20000;
+  spec.yield = 0.25;
+  spec.n0 = 5.0;
+  spec.seed = 21;
+  spec.strobe_coverages = {0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9};
+  const wafer::ExperimentResult result =
+      wafer::run_chip_test_experiment(faults, program, spec);
+
+  const quality::FitResult fit =
+      quality::estimate_n0_least_squares(result.points(), spec.yield);
+  EXPECT_NEAR(fit.n0, 5.0, 0.7);
+}
+
+TEST(Integration, ScoapGuidedAtpgClosesCarrySelectAdder) {
+  // The carry-select adder's speculative blocks hang off constants, which
+  // makes some faults redundant; the SCOAP-guided flow must close every
+  // non-redundant fault without aborts.
+  const circuit::Circuit chip = circuit::make_carry_select_adder(8, 4);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+  const tpg::TestabilityMeasures scoap = tpg::compute_scoap(chip);
+
+  tpg::AtpgOptions options;
+  options.random_patterns = 128;
+  options.podem.scoap = &scoap;
+  const tpg::AtpgResult result = generate_tests(faults, options);
+  EXPECT_EQ(result.aborted_classes, 0u);
+  EXPECT_DOUBLE_EQ(result.effective_coverage, 1.0);
+  EXPECT_GT(result.redundant_classes, 0u)
+      << "the constant-driven hypothesis adders should contain "
+         "provably-redundant faults";
+}
+
+TEST(Integration, WaferLotRunsTheSection5Procedure) {
+  // Wafer-map dies (spatial gradient) through the tester and estimators.
+  const circuit::Circuit chip = circuit::make_array_multiplier(6);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+  const sim::PatternSet program =
+      tpg::lfsr_patterns(chip.pattern_inputs().size(), 256, 31);
+  const fault::FaultSimResult graded = simulate_ppsfp(faults, program);
+  const fault::CoverageCurve curve = graded.curve(faults, program.size());
+
+  wafer::WaferSpec spec;
+  spec.wafer_diameter = 250.0;
+  spec.center_defect_density = 0.02;
+  spec.edge_density_multiplier = 3.0;
+  spec.extra_faults_per_defect = 1.5;
+  spec.seed = 9;
+  const wafer::WaferMap map = wafer::WaferMap::generate(faults, spec);
+  const wafer::ChipLot lot = map.to_lot();
+  const wafer::LotTestResult tested =
+      wafer::test_lot(lot, graded, program.size());
+
+  std::vector<quality::CoveragePoint> points;
+  for (const double target : {0.1, 0.2, 0.35, 0.5, 0.7, 0.9}) {
+    const std::size_t t = curve.patterns_for_coverage(target);
+    ASSERT_LE(t, program.size());
+    points.push_back(quality::CoveragePoint{
+        curve.coverage_after(t), tested.fraction_failed_within(t)});
+  }
+  const quality::FitResult fit =
+      quality::estimate_n0_least_squares(points, map.yield());
+  // Clustered spatial lots bias the fit low, but it must stay in a sane
+  // band around the realized value.
+  EXPECT_GT(fit.n0, 1.0);
+  EXPECT_LT(fit.n0, map.mean_faults_per_defective_die() + 1.0);
+}
+
+TEST(Integration, RandomWalkProgramRisesMoreSlowlyThanLfsr) {
+  // The functional-style random walk covers faults more slowly per
+  // pattern than LFSR noise — the property the Table 1 reproduction leans
+  // on (alongside strobe schedules).
+  const circuit::Circuit chip = circuit::make_alu(4);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+  const std::size_t count = 64;
+  const fault::FaultSimResult walk = simulate_ppsfp(
+      faults, tpg::random_walk_patterns(chip.pattern_inputs().size(), count,
+                                        1, 7));
+  const fault::FaultSimResult noise = simulate_ppsfp(
+      faults, tpg::lfsr_patterns(chip.pattern_inputs().size(), count, 7));
+  const fault::CoverageCurve walk_curve = walk.curve(faults, count);
+  const fault::CoverageCurve noise_curve = noise.curve(faults, count);
+  EXPECT_LT(walk_curve.coverage_after(16), noise_curve.coverage_after(16));
+}
+
+TEST(Integration, QkDistributionMatchesFaultSimulatorStatistics) {
+  // Eq. 4's hypergeometric detection-count distribution against measured
+  // per-chip detected-fault counts on a real circuit and program.
+  const circuit::Circuit chip = circuit::make_ripple_carry_adder(6);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+  const sim::PatternSet program =
+      tpg::lfsr_patterns(chip.pattern_inputs().size(), 48, 13);
+  const fault::FaultSimResult graded = simulate_ppsfp(faults, program);
+
+  // Covered-universe size m (weighted) and N.
+  const auto N = static_cast<unsigned>(faults.fault_count());
+  const auto m = static_cast<unsigned>(graded.covered_faults);
+
+  // Chips with exactly n = 4 faults drawn uniformly from the universe:
+  // the number of *covered* faults per chip is hypergeometric(k; n, m, N).
+  util::Rng rng(17);
+  const unsigned n = 4;
+  std::vector<std::size_t> histogram(n + 1, 0);
+  const int chips = 200000;
+  // Precompute per-universe-fault coverage flags.
+  std::vector<char> covered(faults.fault_count(), 0);
+  for (std::size_t u = 0; u < faults.fault_count(); ++u) {
+    covered[u] = graded.first_detection[faults.class_of(u)] >= 0 ? 1 : 0;
+  }
+  for (int i = 0; i < chips; ++i) {
+    unsigned k = 0;
+    for (const std::uint64_t site :
+         rng.sample_without_replacement(faults.fault_count(), n)) {
+      if (covered[static_cast<std::size_t>(site)] != 0) ++k;
+    }
+    ++histogram[k];
+  }
+  for (unsigned k = 0; k <= n; ++k) {
+    const double expected = quality::qk_hypergeometric(k, n, m, N);
+    const double measured =
+        static_cast<double>(histogram[k]) / static_cast<double>(chips);
+    EXPECT_NEAR(measured, expected,
+                4.0 * std::sqrt(expected / chips) + 1e-3)
+        << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace lsiq

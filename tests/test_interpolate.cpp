@@ -1,0 +1,75 @@
+// Unit tests for util/interpolate.
+#include "util/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+namespace {
+
+TEST(Interpolator, ExactAtKnots) {
+  const LinearInterpolator f({0.0, 1.0, 3.0}, {10.0, 20.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 0.0);
+}
+
+TEST(Interpolator, LinearBetweenKnots) {
+  const LinearInterpolator f({0.0, 2.0}, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(f(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 7.5);
+}
+
+TEST(Interpolator, ClampsOutsideDomain) {
+  const LinearInterpolator f({1.0, 2.0}, {5.0, 9.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 9.0);
+}
+
+TEST(Interpolator, SingleKnotIsConstant) {
+  const LinearInterpolator f({1.0}, {42.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 42.0);
+}
+
+TEST(Interpolator, InverseOfMonotoneCurve) {
+  const LinearInterpolator f({0.0, 10.0, 20.0}, {0.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(f.inverse(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.75), 15.0);
+}
+
+TEST(Interpolator, InverseClampsOutsideRange) {
+  const LinearInterpolator f({0.0, 1.0}, {0.2, 0.8});
+  EXPECT_DOUBLE_EQ(f.inverse(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.inverse(1.0), 1.0);
+}
+
+TEST(Interpolator, InverseOnFlatSegmentReturnsEarliestX) {
+  // Coverage curves plateau; the inverse should give the first pattern
+  // index reaching the plateau value.
+  const LinearInterpolator f({0.0, 1.0, 2.0, 3.0}, {0.0, 0.5, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(f.inverse(0.5), 1.0);
+}
+
+TEST(Interpolator, RoundTripThroughInverse) {
+  const LinearInterpolator f({0.0, 4.0, 8.0}, {0.0, 0.6, 1.0});
+  for (double y = 0.05; y < 1.0; y += 0.1) {
+    EXPECT_NEAR(f(f.inverse(y)), y, 1e-12);
+  }
+}
+
+TEST(Interpolator, RejectsMalformedInput) {
+  EXPECT_THROW(LinearInterpolator({}, {}), ContractViolation);
+  EXPECT_THROW(LinearInterpolator({0.0, 0.0}, {1.0, 2.0}),
+               ContractViolation);
+  EXPECT_THROW(LinearInterpolator({1.0, 0.0}, {1.0, 2.0}),
+               ContractViolation);
+  EXPECT_THROW(LinearInterpolator({0.0, 1.0}, {1.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::util

@@ -1,0 +1,212 @@
+// Unit tests for circuit/netlist: construction, finalize invariants,
+// levelization, and the full-scan views.
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::circuit {
+namespace {
+
+Circuit tiny_and_or() {
+  Circuit c("tiny");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate(GateType::kAnd, {a, b}, "x");
+  const GateId d = c.add_input("d");
+  const GateId y = c.add_gate(GateType::kOr, {x, d}, "y");
+  c.mark_output(y);
+  c.finalize();
+  return c;
+}
+
+TEST(Netlist, BasicCountsAndLookup) {
+  const Circuit c = tiny_and_or();
+  EXPECT_EQ(c.gate_count(), 5u);
+  EXPECT_EQ(c.primary_inputs().size(), 3u);
+  EXPECT_EQ(c.primary_outputs().size(), 1u);
+  EXPECT_EQ(c.find("x"), 2u);
+  EXPECT_EQ(c.find("nope"), kNoGate);
+}
+
+TEST(Netlist, FanoutDerivedFromFanin) {
+  const Circuit c = tiny_and_or();
+  const GateId a = c.find("a");
+  const GateId x = c.find("x");
+  ASSERT_EQ(c.gate(a).fanout.size(), 1u);
+  EXPECT_EQ(c.gate(a).fanout.front(), x);
+  EXPECT_EQ(c.gate(x).fanout.size(), 1u);
+}
+
+TEST(Netlist, LevelsIncreaseAlongEdges) {
+  const Circuit c = tiny_and_or();
+  for (GateId id = 0; id < c.gate_count(); ++id) {
+    for (const GateId f : c.gate(id).fanin) {
+      EXPECT_LT(c.gate(f).level, c.gate(id).level);
+    }
+  }
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Circuit c = tiny_and_or();
+  std::vector<std::size_t> position(c.gate_count());
+  const auto& order = c.topological_order();
+  ASSERT_EQ(order.size(), c.gate_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = i;
+  }
+  for (GateId id = 0; id < c.gate_count(); ++id) {
+    for (const GateId f : c.gate(id).fanin) {
+      EXPECT_LT(position[f], position[id]);
+    }
+  }
+}
+
+TEST(Netlist, StatsAreConsistent) {
+  const Circuit c = tiny_and_or();
+  const CircuitStats s = c.stats();
+  EXPECT_EQ(s.gates, 5u);
+  EXPECT_EQ(s.primary_inputs, 3u);
+  EXPECT_EQ(s.primary_outputs, 1u);
+  EXPECT_EQ(s.combinational_gates, 2u);
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.literals, 4u);  // two 2-input gates
+  EXPECT_EQ(s.flip_flops, 0u);
+}
+
+TEST(Netlist, AutoNamesAreGenerated) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId g = c.add_gate(GateType::kNot, {a});
+  EXPECT_EQ(c.gate(g).name, "g1");
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Circuit c;
+  c.add_input("a");
+  EXPECT_THROW(c.add_input("a"), ContractViolation);
+  const GateId a = c.find("a");
+  c.add_gate(GateType::kNot, {a}, "n");
+  EXPECT_THROW(c.add_gate(GateType::kNot, {a}, "n"), ContractViolation);
+}
+
+TEST(Netlist, ArityValidation) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  EXPECT_THROW(c.add_gate(GateType::kAnd, {a}, "bad_and"),
+               ContractViolation);
+  EXPECT_THROW(c.add_gate(GateType::kNot, {a, a}, "bad_not"),
+               ContractViolation);
+  EXPECT_NO_THROW(c.add_gate(GateType::kAnd, {a, a, a}, "and3"));
+}
+
+TEST(Netlist, FaninOutOfRangeRejected) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  EXPECT_THROW(c.add_gate(GateType::kNot, {a + 10}, "n"),
+               ContractViolation);
+}
+
+TEST(Netlist, MarkOutputTwiceRejected) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId n = c.add_gate(GateType::kNot, {a}, "n");
+  c.mark_output(n);
+  EXPECT_THROW(c.mark_output(n), ContractViolation);
+}
+
+TEST(Netlist, MutationAfterFinalizeRejected) {
+  Circuit c = tiny_and_or();
+  EXPECT_THROW(c.add_input("z"), Error);
+  EXPECT_THROW(c.mark_output(0), Error);
+  EXPECT_THROW(c.finalize(), Error);
+}
+
+TEST(Netlist, ObserversBeforeFinalizeRejected) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  c.mark_output(c.add_gate(GateType::kNot, {a}, "n"));
+  EXPECT_THROW((void)c.topological_order(), Error);
+  EXPECT_THROW((void)c.pattern_inputs(), Error);
+  EXPECT_THROW((void)c.stats(), Error);
+}
+
+TEST(Netlist, EmptyCircuitRejected) {
+  Circuit c;
+  EXPECT_THROW(c.finalize(), Error);
+}
+
+TEST(Netlist, CircuitWithoutOutputsRejected) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  c.add_gate(GateType::kNot, {a}, "n");
+  EXPECT_THROW(c.finalize(), Error);
+}
+
+TEST(Netlist, DffActsAsSourceAndSink) {
+  Circuit c("seq");
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  const GateId x = c.add_gate(GateType::kAnd, {a, ff}, "x");
+  c.connect_dff(ff, x);  // feedback loop through the flip-flop
+  c.mark_output(x);
+  c.finalize();
+
+  // Pattern inputs: PI a + flip-flop ff.
+  ASSERT_EQ(c.pattern_inputs().size(), 2u);
+  EXPECT_EQ(c.pattern_inputs()[0], a);
+  EXPECT_EQ(c.pattern_inputs()[1], ff);
+  // Observed: PO x + the flip-flop's D driver (also x).
+  ASSERT_EQ(c.observed_points().size(), 2u);
+  EXPECT_EQ(c.observed_points()[0], x);
+  EXPECT_EQ(c.observed_points()[1], x);
+  // The DFF is a level-0 source.
+  EXPECT_EQ(c.gate(ff).level, 0u);
+}
+
+TEST(Netlist, UnconnectedDffRejected) {
+  Circuit c;
+  c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  c.mark_output(ff);
+  EXPECT_THROW(c.finalize(), Error);
+}
+
+TEST(Netlist, ConnectDffValidation) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  EXPECT_THROW(c.connect_dff(a, a), ContractViolation);  // not a DFF
+  c.connect_dff(ff, a);
+  EXPECT_THROW(c.connect_dff(ff, a), ContractViolation);  // already wired
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  // a cycle without a flip-flop must be rejected; build it via
+  // two gates: x = AND(a, y), y = NOT(x) cannot be constructed through
+  // the normal API (ids must exist), so use a DFF-free self-loop through
+  // connect_dff misuse being impossible — instead check that finalize
+  // detects a cycle when fanin references create one artificially.
+  // The public API prevents cycles by construction (references must
+  // exist), so this test documents that property instead.
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId n1 = c.add_gate(GateType::kNot, {a}, "n1");
+  const GateId n2 = c.add_gate(GateType::kNot, {n1}, "n2");
+  c.mark_output(n2);
+  EXPECT_NO_THROW(c.finalize());
+}
+
+TEST(Netlist, ConstantGatesAreSources) {
+  Circuit c;
+  c.add_input("a");
+  const GateId one = c.add_gate(GateType::kConst1, {}, "one");
+  const GateId buf = c.add_gate(GateType::kBuf, {one}, "b");
+  c.mark_output(buf);
+  c.finalize();
+  EXPECT_EQ(c.gate(one).level, 0u);
+}
+
+}  // namespace
+}  // namespace lsiq::circuit

@@ -1,0 +1,209 @@
+// Unit tests for util/numeric: log-space helpers and compensated sums.
+#include "util/numeric.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+namespace {
+
+TEST(LogGamma, MatchesFactorialsAtIntegers) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerValue) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), ContractViolation);
+  EXPECT_THROW(log_gamma(-1.0), ContractViolation);
+}
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log_factorial(1), 0.0);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-12);
+}
+
+TEST(LogFactorial, LargeValuesViaLgamma) {
+  // 100! via Stirling-grade lgamma; reference value of ln(100!).
+  EXPECT_NEAR(log_factorial(100), 363.73937555556349, 1e-9);
+}
+
+TEST(LogFactorial, CacheBoundaryIsSeamless) {
+  // Values straddling the 64-entry cache must agree with lgamma.
+  for (std::int64_t n = 60; n <= 70; ++n) {
+    EXPECT_NEAR(log_factorial(n), std::lgamma(static_cast<double>(n) + 1.0),
+                1e-10)
+        << "n = " << n;
+  }
+}
+
+TEST(LogFactorial, RejectsNegative) {
+  EXPECT_THROW(log_factorial(-1), ContractViolation);
+}
+
+TEST(LogBinomial, SmallCasesExact) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(6, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(6, 6)), 1.0, 1e-12);
+}
+
+TEST(LogBinomial, SymmetryProperty) {
+  for (std::int64_t n = 1; n <= 40; ++n) {
+    for (std::int64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_binomial(n, k), log_binomial(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(LogBinomial, PascalIdentity) {
+  // C(n, k) = C(n-1, k-1) + C(n-1, k) in linear space.
+  for (std::int64_t n = 2; n <= 30; ++n) {
+    for (std::int64_t k = 1; k < n; ++k) {
+      const double lhs = std::exp(log_binomial(n, k));
+      const double rhs =
+          std::exp(log_binomial(n - 1, k - 1)) +
+          std::exp(log_binomial(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, 1e-6 * lhs);
+    }
+  }
+}
+
+TEST(LogBinomial, RejectsBadArguments) {
+  EXPECT_THROW(log_binomial(5, 6), ContractViolation);
+  EXPECT_THROW(log_binomial(5, -1), ContractViolation);
+  EXPECT_THROW(log_binomial(-2, 0), ContractViolation);
+}
+
+TEST(LogSumExp, BasicIdentities) {
+  EXPECT_NEAR(log_sum_exp(std::log(2.0), std::log(3.0)), std::log(5.0),
+              1e-12);
+  EXPECT_NEAR(log_sum_exp(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogSumExp, HandlesExtremeMagnitudeGap) {
+  // exp(-1000) is invisible next to exp(0).
+  EXPECT_NEAR(log_sum_exp(0.0, -1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_sum_exp(-1000.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(LogSumExp, NegativeInfinityIsIdentity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(log_sum_exp(ninf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_sum_exp(1.5, ninf), 1.5);
+}
+
+TEST(Log1mExp, MatchesNaiveInSafeRange) {
+  for (double x = -10.0; x < -0.01; x += 0.1) {
+    EXPECT_NEAR(log1m_exp(x), std::log(1.0 - std::exp(x)), 1e-12);
+  }
+}
+
+TEST(Log1mExp, StableNearZero) {
+  // 1 - e^-1e-12 ~ 1e-12; naive subtraction loses all digits.
+  EXPECT_NEAR(log1m_exp(-1e-12), std::log(1e-12), 1e-3);
+}
+
+TEST(Log1mExp, RejectsNonNegative) {
+  EXPECT_THROW(log1m_exp(0.0), ContractViolation);
+  EXPECT_THROW(log1m_exp(0.5), ContractViolation);
+}
+
+TEST(Clamp01, ClampsBothSides) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.25), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(1.25), 1.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+}
+
+TEST(AlmostEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 1e-13));
+  EXPECT_TRUE(almost_equal(1e6, 1e6 * (1.0 + 1e-10)));
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const std::vector<double> xs = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(xs.size(), 11u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_NEAR(xs[i] - xs[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(Linspace, TwoPointsDegenerate) {
+  const std::vector<double> xs = linspace(-3.0, 7.0, 2);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[0], -3.0);
+  EXPECT_DOUBLE_EQ(xs[1], 7.0);
+}
+
+TEST(Linspace, RejectsTooFewPoints) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), ContractViolation);
+}
+
+TEST(Logspace, GeometricSpacing) {
+  const std::vector<double> xs = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_NEAR(xs[0], 1.0, 1e-12);
+  EXPECT_NEAR(xs[1], 10.0, 1e-9);
+  EXPECT_NEAR(xs[2], 100.0, 1e-7);
+  EXPECT_NEAR(xs[3], 1000.0, 1e-9);
+}
+
+TEST(Logspace, RejectsBadRange) {
+  EXPECT_THROW(logspace(0.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(logspace(2.0, 1.0, 4), ContractViolation);
+}
+
+TEST(KahanSum, RecoversSmallTermsNextToLargeOnes) {
+  // 1 + 1e-16 * 1e4 accumulated naively loses the tail entirely.
+  KahanSum acc;
+  acc.add(1.0);
+  for (int i = 0; i < 10000; ++i) {
+    acc.add(1e-16);
+  }
+  EXPECT_NEAR(acc.value(), 1.0 + 1e-12, 1e-16);
+}
+
+TEST(KahanSum, NeumaierHandlesLargeAfterSmall) {
+  // Classic Kahan fails when the addend exceeds the running sum; the
+  // Neumaier variant must not.
+  KahanSum acc;
+  acc.add(1.0);
+  acc.add(1e100);
+  acc.add(1.0);
+  acc.add(-1e100);
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+}
+
+TEST(KahanSum, ResetClears) {
+  KahanSum acc;
+  acc.add(42.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(KahanTotal, MatchesExactSumOnAlternatingSeries) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i % 2 == 0 ? 0.1 : -0.1);
+  }
+  EXPECT_NEAR(kahan_total(xs), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace lsiq::util

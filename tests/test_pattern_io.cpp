@@ -1,0 +1,80 @@
+// Tests for the text pattern format.
+#include "sim/pattern_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::sim {
+namespace {
+
+TEST(PatternIo, RoundTripRandomSet) {
+  util::Rng rng(3);
+  PatternSet original(7);
+  original.append_random(123, rng);
+  const PatternSet reparsed =
+      read_patterns_string(write_patterns_string(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  ASSERT_EQ(reparsed.input_count(), original.input_count());
+  for (std::size_t p = 0; p < original.size(); ++p) {
+    EXPECT_EQ(reparsed.pattern(p), original.pattern(p));
+  }
+}
+
+TEST(PatternIo, WriteFormatIsStable) {
+  PatternSet p(3);
+  p.append({true, false, true});
+  p.append({false, false, true});
+  EXPECT_EQ(write_patterns_string(p),
+            "# lsiq patterns inputs=3\n101\n001\n");
+}
+
+TEST(PatternIo, EmptySetRoundTrips) {
+  PatternSet p(4);
+  const PatternSet reparsed =
+      read_patterns_string(write_patterns_string(p));
+  EXPECT_EQ(reparsed.size(), 0u);
+  EXPECT_EQ(reparsed.input_count(), 4u);
+}
+
+TEST(PatternIo, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "# lsiq patterns inputs=2\n\n# a comment\n10\n\n01\n";
+  const PatternSet p = read_patterns_string(text);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.bit(0, 0));
+  EXPECT_FALSE(p.bit(0, 1));
+}
+
+TEST(PatternIo, ParseErrors) {
+  EXPECT_THROW(read_patterns_string(""), ParseError);
+  EXPECT_THROW(read_patterns_string("10\n01\n"), ParseError);  // no header
+  EXPECT_THROW(read_patterns_string("# lsiq patterns\n10\n"), ParseError);
+  EXPECT_THROW(read_patterns_string("# lsiq patterns inputs=2\n101\n"),
+               ParseError);  // ragged line
+  EXPECT_THROW(read_patterns_string("# lsiq patterns inputs=2\n1x\n"),
+               ParseError);  // bad character
+  EXPECT_THROW(read_patterns_string("# lsiq patterns inputs=0\n"),
+               ParseError);
+}
+
+TEST(PatternIo, FileRoundTrip) {
+  util::Rng rng(9);
+  PatternSet original(5);
+  original.append_random(40, rng);
+  const std::string path = ::testing::TempDir() + "/lsiq_patterns.txt";
+  write_patterns_file(original, path);
+  const PatternSet reparsed = read_patterns_file(path);
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t p = 0; p < original.size(); ++p) {
+    EXPECT_EQ(reparsed.pattern(p), original.pattern(p));
+  }
+}
+
+TEST(PatternIo, MissingFileThrows) {
+  EXPECT_THROW(read_patterns_file("/nonexistent/dir/p.txt"), ParseError);
+}
+
+}  // namespace
+}  // namespace lsiq::sim

@@ -1,0 +1,204 @@
+// Tests for the central closed forms (Eq. 6-11): identities, monotonicity
+// properties, agreement of the closed forms with the exact sums, and the
+// gamma-mixed extension limits.
+#include "core/reject_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::quality {
+namespace {
+
+TEST(EscapeYield, ClosedFormSpotValues) {
+  // Ybg = (1-f)(1-y) e^{-(n0-1) f}.
+  EXPECT_NEAR(escape_yield(0.0, 0.3, 5.0), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(escape_yield(1.0, 0.3, 5.0), 0.0);
+  EXPECT_NEAR(escape_yield(0.5, 0.2, 3.0), 0.5 * 0.8 * std::exp(-1.0),
+              1e-12);
+}
+
+TEST(EscapeYield, N0OneReducesToWadsackForm) {
+  // With exactly one fault per defective chip the exponential vanishes:
+  // Ybg = (1-f)(1-y), the Wadsack expression.
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    EXPECT_NEAR(escape_yield(f, 0.4, 1.0), (1.0 - f) * 0.6, 1e-12);
+  }
+}
+
+TEST(EscapeYield, ExactSumAgreesWithClosedFormForLargeN) {
+  // The closed form uses q0 ~ (1-f)^n; with N = 10000 the exact Eq. 6 sum
+  // must agree to a small relative error over the paper's parameter range.
+  const unsigned N = 10000;
+  for (const double y : {0.07, 0.2, 0.8}) {
+    for (const double n0 : {2.0, 8.0, 10.0}) {
+      for (const double f : {0.05, 0.3, 0.6, 0.9}) {
+        const double closed = escape_yield(f, y, n0);
+        const double exact = escape_yield_exact(f, y, n0, N);
+        EXPECT_NEAR(exact / closed, 1.0, 0.02)
+            << "y=" << y << " n0=" << n0 << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(EscapeYield, ExactSumIsBelowClosedForm) {
+  // (1-f)^n overestimates q0, so the closed form overestimates Ybg.
+  const unsigned N = 2000;
+  for (const double f : {0.2, 0.5, 0.8}) {
+    EXPECT_LT(escape_yield_exact(f, 0.2, 10.0, N),
+              escape_yield(f, 0.2, 10.0));
+  }
+}
+
+TEST(FieldRejectRate, UntestedLotRejectRateIsDefectRate) {
+  // r(0) = 1 - y: shipping untested product.
+  for (const double y : {0.07, 0.5, 0.9}) {
+    EXPECT_NEAR(field_reject_rate(0.0, y, 6.0), 1.0 - y, 1e-12);
+  }
+}
+
+TEST(FieldRejectRate, FullCoverageShipsCleanly) {
+  for (const double y : {0.07, 0.5}) {
+    EXPECT_DOUBLE_EQ(field_reject_rate(1.0, y, 6.0), 0.0);
+  }
+}
+
+TEST(FieldRejectRate, MonotoneDecreasingInCoverage) {
+  for (const double y : {0.07, 0.2, 0.8}) {
+    for (const double n0 : {1.0, 2.0, 8.0}) {
+      double prev = 1.0;
+      for (double f = 0.0; f <= 1.0 + 1e-12; f += 0.05) {
+        const double r = field_reject_rate(std::min(f, 1.0), y, n0);
+        EXPECT_LE(r, prev + 1e-15);
+        prev = r;
+      }
+    }
+  }
+}
+
+TEST(FieldRejectRate, HigherN0LowersRejectAtFixedCoverage) {
+  // The paper's central observation: more faults per defective chip means
+  // defective chips are easier to catch.
+  for (double f = 0.1; f < 1.0; f += 0.2) {
+    EXPECT_LT(field_reject_rate(f, 0.2, 10.0),
+              field_reject_rate(f, 0.2, 2.0));
+  }
+}
+
+TEST(FieldRejectRate, HigherYieldLowersReject) {
+  for (double f = 0.1; f < 1.0; f += 0.2) {
+    EXPECT_LT(field_reject_rate(f, 0.8, 5.0),
+              field_reject_rate(f, 0.2, 5.0));
+  }
+}
+
+TEST(FieldRejectRate, ExactVariantAgreesForLargeN) {
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(field_reject_rate_exact(f, 0.2, 8.0, 20000),
+                field_reject_rate(f, 0.2, 8.0),
+                0.02 * field_reject_rate(f, 0.2, 8.0) + 1e-9);
+  }
+}
+
+TEST(RejectFraction, BoundaryValues) {
+  // P(0) = 0 (nothing rejected without tests), P(1) = 1 - y.
+  EXPECT_DOUBLE_EQ(reject_fraction(0.0, 0.3, 6.0), 0.0);
+  EXPECT_NEAR(reject_fraction(1.0, 0.3, 6.0), 0.7, 1e-12);
+}
+
+TEST(RejectFraction, ComplementOfEscapeAndYield) {
+  // Identity: P(f) = 1 - y - Ybg(f) (Section 5).
+  for (const double f : {0.05, 0.3, 0.7}) {
+    for (const double y : {0.07, 0.5}) {
+      EXPECT_NEAR(reject_fraction(f, y, 8.0),
+                  1.0 - y - escape_yield(f, y, 8.0), 1e-12);
+    }
+  }
+}
+
+TEST(RejectFraction, MonotoneIncreasingInCoverage) {
+  double prev = -1.0;
+  for (double f = 0.0; f <= 1.0 + 1e-12; f += 0.02) {
+    const double p = reject_fraction(std::min(f, 1.0), 0.07, 8.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RejectFractionSlope, Equation10Identity) {
+  // P'(0) = (1-y) n0 = n_av.
+  EXPECT_NEAR(reject_fraction_slope_at_zero(0.07, 8.0), 0.93 * 8.0, 1e-12);
+  EXPECT_NEAR(reject_fraction_slope_at_zero(0.5, 2.0), 1.0, 1e-12);
+}
+
+TEST(RejectFractionSlope, MatchesNumericalDerivative) {
+  const double y = 0.2;
+  const double n0 = 6.0;
+  for (const double f : {0.0, 0.1, 0.4, 0.8}) {
+    const double h = 1e-7;
+    const double numeric =
+        (reject_fraction(f + h, y, n0) - reject_fraction(f, y, n0)) / h;
+    EXPECT_NEAR(reject_fraction_slope(f, y, n0), numeric, 1e-5);
+  }
+}
+
+TEST(YieldForRejectRate, InvertsEquation8) {
+  // Eq. 11 gives the yield at which coverage f achieves reject r; feeding
+  // that yield back into Eq. 8 must return r.
+  for (const double n0 : {2.0, 8.0}) {
+    for (const double r : {0.01, 0.005, 0.001}) {
+      for (const double f : {0.3, 0.6, 0.9}) {
+        const double y = yield_for_reject_rate(f, r, n0);
+        ASSERT_GT(y, 0.0);
+        EXPECT_NEAR(field_reject_rate(f, y, n0), r, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(YieldForRejectRate, ZeroCoverageNeedsYieldOneMinusR) {
+  // r(0) = 1-y, so the yield achieving r without testing is 1-r.
+  EXPECT_NEAR(yield_for_reject_rate(0.0, 0.01, 5.0), 0.99, 1e-9);
+}
+
+TEST(MixedModel, AlphaInfinityRecoversPoissonForms) {
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(escape_yield_mixed(f, 0.2, 8.0, 1e9),
+                escape_yield(f, 0.2, 8.0), 1e-6);
+    EXPECT_NEAR(field_reject_rate_mixed(f, 0.2, 8.0, 1e9),
+                field_reject_rate(f, 0.2, 8.0), 1e-6);
+    EXPECT_NEAR(reject_fraction_mixed(f, 0.2, 8.0, 1e9),
+                reject_fraction(f, 0.2, 8.0), 1e-6);
+  }
+}
+
+TEST(MixedModel, HeavierTailRaisesEscapes) {
+  // Gamma mixing (small alpha) concentrates faults on fewer chips: more
+  // single-fault chips slip through, so escapes rise at fixed f, y, n0.
+  for (const double f : {0.3, 0.6, 0.9}) {
+    EXPECT_GT(escape_yield_mixed(f, 0.2, 8.0, 0.5),
+              escape_yield(f, 0.2, 8.0));
+  }
+}
+
+TEST(MixedModel, RejectFractionStaysAProbabilityComplement) {
+  for (const double f : {0.0, 0.4, 1.0}) {
+    const double p = reject_fraction_mixed(f, 0.3, 6.0, 1.5);
+    const double ybg = escape_yield_mixed(f, 0.3, 6.0, 1.5);
+    EXPECT_NEAR(p, 1.0 - 0.3 - ybg, 1e-12);
+  }
+}
+
+TEST(RejectModel, DomainChecks) {
+  EXPECT_THROW(escape_yield(-0.1, 0.5, 2.0), ContractViolation);
+  EXPECT_THROW(escape_yield(0.5, 1.5, 2.0), ContractViolation);
+  EXPECT_THROW(escape_yield(0.5, 0.5, 0.5), ContractViolation);
+  EXPECT_THROW(yield_for_reject_rate(0.5, 1.0, 2.0), ContractViolation);
+  EXPECT_THROW(escape_yield_mixed(0.5, 0.5, 2.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::quality

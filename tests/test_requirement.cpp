@@ -1,0 +1,103 @@
+// Tests for the required-coverage solver (Section 6, Figs. 2-4).
+#include "core/coverage_requirement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reject_model.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::quality {
+namespace {
+
+TEST(RequiredCoverage, RoundTripsThroughEquation8) {
+  for (const double y : {0.07, 0.2, 0.5, 0.9}) {
+    for (const double n0 : {1.0, 2.0, 8.0, 12.0}) {
+      for (const double r : {0.01, 0.005, 0.001}) {
+        const double f = required_fault_coverage(r, y, n0);
+        if (f == 0.0) {
+          EXPECT_LE(field_reject_rate(0.0, y, n0), r);
+        } else {
+          EXPECT_NEAR(field_reject_rate(f, y, n0), r, 1e-9)
+              << "y=" << y << " n0=" << n0 << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(RequiredCoverage, ZeroWhenUntestedProductSuffices) {
+  // y = 0.999: untested reject rate is 0.001 <= target 0.01.
+  EXPECT_DOUBLE_EQ(required_fault_coverage(0.01, 0.999, 5.0), 0.0);
+}
+
+TEST(RequiredCoverage, TighterTargetNeedsMoreCoverage) {
+  for (const double y : {0.07, 0.3}) {
+    const double f1 = required_fault_coverage(0.01, y, 8.0);
+    const double f2 = required_fault_coverage(0.001, y, 8.0);
+    EXPECT_GT(f2, f1);
+  }
+}
+
+TEST(RequiredCoverage, LargerN0NeedsLessCoverage) {
+  // Fig. 1's lesson: for LSI chips (large n0) lower coverage suffices.
+  for (const double r : {0.01, 0.001}) {
+    const double f_small = required_fault_coverage(r, 0.2, 2.0);
+    const double f_large = required_fault_coverage(r, 0.2, 10.0);
+    EXPECT_LT(f_large, f_small);
+  }
+}
+
+TEST(RequiredCoverage, MixedVariantRoundTrips) {
+  for (const double alpha : {0.5, 2.0, 50.0}) {
+    const double f = required_fault_coverage_mixed(0.005, 0.2, 8.0, alpha);
+    EXPECT_NEAR(field_reject_rate_mixed(f, 0.2, 8.0, alpha), 0.005, 1e-9);
+  }
+}
+
+TEST(RequiredCoverage, MixedNeedsMoreCoverageThanPure) {
+  // Heavier tails mean more escapes, hence a higher requirement.
+  const double pure = required_fault_coverage(0.005, 0.2, 8.0);
+  const double mixed = required_fault_coverage_mixed(0.005, 0.2, 8.0, 1.0);
+  EXPECT_GT(mixed, pure);
+}
+
+TEST(RequiredCoverage, DomainChecks) {
+  EXPECT_THROW(required_fault_coverage(0.0, 0.5, 2.0), ContractViolation);
+  EXPECT_THROW(required_fault_coverage(1.0, 0.5, 2.0), ContractViolation);
+  EXPECT_THROW(required_fault_coverage(0.01, 0.0, 2.0), ContractViolation);
+}
+
+TEST(RequirementCurve, CoversOpenYieldInterval) {
+  const RequirementCurve curve = requirement_curve(0.01, 8.0, 49);
+  ASSERT_EQ(curve.yields.size(), 49u);
+  ASSERT_EQ(curve.coverages.size(), 49u);
+  EXPECT_GT(curve.yields.front(), 0.0);
+  EXPECT_LT(curve.yields.back(), 1.0);
+  EXPECT_DOUBLE_EQ(curve.reject_target, 0.01);
+  EXPECT_DOUBLE_EQ(curve.n0, 8.0);
+}
+
+TEST(RequirementCurve, MonotoneDecreasingInYield) {
+  // Figs. 2-4: higher yield always relaxes the requirement.
+  for (const double r : {0.01, 0.005, 0.001}) {
+    for (const double n0 : {1.0, 4.0, 12.0}) {
+      const RequirementCurve curve = requirement_curve(r, n0, 99);
+      for (std::size_t i = 1; i < curve.coverages.size(); ++i) {
+        EXPECT_LE(curve.coverages[i], curve.coverages[i - 1] + 1e-9)
+            << "r=" << r << " n0=" << n0 << " at yield "
+            << curve.yields[i];
+      }
+    }
+  }
+}
+
+TEST(RequirementCurve, EveryPointSatisfiesTheTarget) {
+  const RequirementCurve curve = requirement_curve(0.005, 6.0, 25);
+  for (std::size_t i = 0; i < curve.yields.size(); ++i) {
+    EXPECT_LE(field_reject_rate(curve.coverages[i], curve.yields[i], 6.0),
+              0.005 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lsiq::quality

@@ -1,0 +1,177 @@
+// Unit tests for util/stats.
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+namespace {
+
+TEST(RunningStats, HandComputedMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleObservationHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, StableUnderLargeOffset) {
+  // Welford must survive values with a huge common offset.
+  RunningStats s;
+  for (const double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) {
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(LinearRegression, ExactLineRecovered) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearRegression, NoisyDataRSquaredBelowOne) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {0.1, 0.9, 2.2, 2.8, 4.1};
+  const LinearFit fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(LinearRegression, ConstantYGivesZeroSlope) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {5.0, 5.0, 5.0};
+  const LinearFit fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(LinearRegression, RejectsDegenerateInput) {
+  EXPECT_THROW(linear_regression({1.0}, {2.0}), ContractViolation);
+  EXPECT_THROW(linear_regression({1.0, 1.0}, {2.0, 3.0}), ContractViolation);
+  EXPECT_THROW(linear_regression({1.0, 2.0}, {2.0}), ContractViolation);
+}
+
+TEST(RegressionThroughOrigin, ExactProportionality) {
+  EXPECT_NEAR(regression_through_origin({1.0, 2.0, 4.0}, {3.0, 6.0, 12.0}),
+              3.0, 1e-12);
+}
+
+TEST(RegressionThroughOrigin, SinglePointIsRatio) {
+  // The paper's P'(0) = 0.41 / 0.05 single-strobe computation.
+  EXPECT_NEAR(regression_through_origin({0.05}, {0.41}), 8.2, 1e-12);
+}
+
+TEST(RegressionThroughOrigin, RejectsAllZeroX) {
+  EXPECT_THROW(regression_through_origin({0.0, 0.0}, {1.0, 2.0}),
+               ContractViolation);
+}
+
+TEST(Percentile, MedianAndQuartiles) {
+  const std::vector<double> xs = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_NEAR(percentile(xs, 25.0), 20.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(percentile(xs, 30.0), 3.0, 1e-12);
+}
+
+TEST(Percentile, RejectsBadArguments) {
+  EXPECT_THROW(percentile({}, 50.0), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, -1.0), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 101.0), ContractViolation);
+}
+
+TEST(KsStatistic, PerfectFitIsSmall) {
+  // Sample = model quantiles; the KS distance is bounded by 1/n.
+  std::vector<double> sample;
+  std::vector<double> cdf;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const double u = (i + 0.5) / n;
+    sample.push_back(u);
+    cdf.push_back(u);
+  }
+  EXPECT_LE(ks_statistic(sample, cdf), 0.5 / n + 1e-12);
+}
+
+TEST(KsStatistic, DetectsGrossMismatch) {
+  // Sample concentrated at 0.9 versus a uniform model.
+  std::vector<double> sample(50, 0.9);
+  std::vector<double> cdf(50, 0.9);  // uniform CDF evaluated at 0.9
+  EXPECT_NEAR(ks_statistic(sample, cdf), 0.9, 1e-9);
+}
+
+TEST(ChiSquare, ZeroForExactMatch) {
+  EXPECT_DOUBLE_EQ(
+      chi_square_statistic({10.0, 20.0, 30.0}, {10.0, 20.0, 30.0}), 0.0);
+}
+
+TEST(ChiSquare, HandComputedValue) {
+  // (12-10)^2/10 + (8-10)^2/10 = 0.8
+  EXPECT_NEAR(chi_square_statistic({12.0, 8.0}, {10.0, 10.0}), 0.8, 1e-12);
+}
+
+TEST(ChiSquare, SkipsEmptyExpectedCells) {
+  EXPECT_DOUBLE_EQ(chi_square_statistic({5.0, 0.0}, {5.0, 0.0}), 0.0);
+}
+
+TEST(WilsonInterval, CoversPointEstimate) {
+  const auto [lo, hi] = wilson_interval(30, 100);
+  EXPECT_LT(lo, 0.3);
+  EXPECT_GT(hi, 0.3);
+  EXPECT_GT(lo, 0.2);
+  EXPECT_LT(hi, 0.4);
+}
+
+TEST(WilsonInterval, ZeroSuccessesHasPositiveUpperBound) {
+  const auto [lo, hi] = wilson_interval(0, 50);
+  EXPECT_NEAR(lo, 0.0, 1e-12);
+  EXPECT_GT(hi, 0.0);
+  EXPECT_LT(hi, 0.15);
+}
+
+TEST(WilsonInterval, AllSuccesses) {
+  const auto [lo, hi] = wilson_interval(50, 50);
+  EXPECT_LT(lo, 1.0);
+  EXPECT_GT(lo, 0.85);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSampleSize) {
+  const auto [lo_small, hi_small] = wilson_interval(10, 100);
+  const auto [lo_big, hi_big] = wilson_interval(1000, 10000);
+  EXPECT_LT(hi_big - lo_big, hi_small - lo_small);
+}
+
+TEST(WilsonInterval, RejectsBadArguments) {
+  EXPECT_THROW(wilson_interval(1, 0), ContractViolation);
+  EXPECT_THROW(wilson_interval(5, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::util

@@ -1,0 +1,199 @@
+// Tests for tester strobe schedules and their effect on fault simulation.
+#include "fault/strobe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "fault/fault_sim.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::fault {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+using sim::PatternSet;
+
+TEST(StrobeSchedule, FullStrobesEverythingFromPatternZero) {
+  const StrobeSchedule s = StrobeSchedule::full(4);
+  EXPECT_TRUE(s.is_full());
+  EXPECT_EQ(s.point_count(), 4u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(s.strobed(p, 0));
+    EXPECT_EQ(s.lane_mask(p, 0), ~0ULL);
+    EXPECT_EQ(s.lane_mask(p, 5), ~0ULL);
+  }
+}
+
+TEST(StrobeSchedule, ProgressiveStartPatterns) {
+  const StrobeSchedule s = StrobeSchedule::progressive(3, 10);
+  EXPECT_FALSE(s.is_full());
+  EXPECT_TRUE(s.strobed(0, 0));
+  EXPECT_FALSE(s.strobed(1, 9));
+  EXPECT_TRUE(s.strobed(1, 10));
+  EXPECT_FALSE(s.strobed(2, 19));
+  EXPECT_TRUE(s.strobed(2, 20));
+}
+
+TEST(StrobeSchedule, LaneMaskBlockBoundaries) {
+  const StrobeSchedule s =
+      StrobeSchedule::from_start_patterns({0, 10, 64, 100});
+  // Point 0: always on.
+  EXPECT_EQ(s.lane_mask(0, 0), ~0ULL);
+  // Point 1: on from pattern 10 -> block 0 mask clears lanes 0..9.
+  EXPECT_EQ(s.lane_mask(1, 0), ~0ULL << 10);
+  EXPECT_EQ(s.lane_mask(1, 1), ~0ULL);
+  // Point 2: on from pattern 64 -> block 0 fully off, block 1 fully on.
+  EXPECT_EQ(s.lane_mask(2, 0), 0u);
+  EXPECT_EQ(s.lane_mask(2, 1), ~0ULL);
+  // Point 3: on from pattern 100 -> block 1 mask clears lanes 0..35.
+  EXPECT_EQ(s.lane_mask(3, 1), ~0ULL << 36);
+}
+
+TEST(StrobeSchedule, ConsistencyBetweenStrobedAndLaneMask) {
+  const StrobeSchedule s = StrobeSchedule::progressive(5, 7);
+  for (std::size_t point = 0; point < 5; ++point) {
+    for (std::size_t pattern = 0; pattern < 128; ++pattern) {
+      const bool by_mask =
+          ((s.lane_mask(point, pattern / 64) >> (pattern % 64)) & 1) != 0;
+      EXPECT_EQ(by_mask, s.strobed(point, pattern))
+          << "point " << point << " pattern " << pattern;
+    }
+  }
+}
+
+TEST(StrobeSchedule, DomainChecks) {
+  EXPECT_THROW(StrobeSchedule::full(0), ContractViolation);
+  EXPECT_THROW(StrobeSchedule::from_start_patterns({}), ContractViolation);
+  const StrobeSchedule s = StrobeSchedule::full(2);
+  EXPECT_THROW((void)s.strobed(2, 0), ContractViolation);
+  EXPECT_THROW((void)s.lane_mask(2, 0), ContractViolation);
+}
+
+TEST(StrobedFaultSim, FullScheduleMatchesUnscheduled) {
+  const Circuit c = circuit::make_alu(3);
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 150, 5);
+  const StrobeSchedule schedule =
+      StrobeSchedule::full(c.observed_points().size());
+
+  const FaultSimResult plain = simulate_ppsfp(faults, patterns);
+  const FaultSimResult scheduled =
+      simulate_ppsfp(faults, patterns, &schedule);
+  EXPECT_EQ(plain.first_detection, scheduled.first_detection);
+}
+
+TEST(StrobedFaultSim, SerialMatchesPpsfpUnderSchedule) {
+  circuit::RandomDagSpec spec;
+  spec.inputs = 10;
+  spec.gates = 120;
+  spec.seed = 321;
+  const Circuit c = make_random_dag(spec);
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 150, 9);
+  const StrobeSchedule schedule =
+      StrobeSchedule::progressive(c.observed_points().size(), 13);
+
+  const FaultSimResult serial =
+      simulate_serial(faults, patterns, &schedule);
+  const FaultSimResult ppsfp = simulate_ppsfp(faults, patterns, &schedule);
+  ASSERT_EQ(serial.first_detection.size(), ppsfp.first_detection.size());
+  for (std::size_t cl = 0; cl < serial.first_detection.size(); ++cl) {
+    EXPECT_EQ(serial.first_detection[cl], ppsfp.first_detection[cl])
+        << fault_name(c, faults.representatives()[cl]);
+  }
+}
+
+TEST(StrobedFaultSim, SchedulingOnlyDelaysDetection) {
+  const Circuit c = circuit::make_ripple_carry_adder(6);
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 200, 3);
+  const StrobeSchedule schedule =
+      StrobeSchedule::progressive(c.observed_points().size(), 17);
+
+  const FaultSimResult plain = simulate_ppsfp(faults, patterns);
+  const FaultSimResult scheduled =
+      simulate_ppsfp(faults, patterns, &schedule);
+  for (std::size_t cl = 0; cl < plain.first_detection.size(); ++cl) {
+    if (scheduled.first_detection[cl] >= 0) {
+      ASSERT_GE(plain.first_detection[cl], 0);
+      EXPECT_GE(scheduled.first_detection[cl], plain.first_detection[cl]);
+    }
+  }
+  EXPECT_LE(scheduled.covered_faults, plain.covered_faults);
+}
+
+TEST(StrobedFaultSim, SingleObservedPointConfinesDetection) {
+  // Two independent cones; only the first output is ever strobed, so
+  // faults in the second cone go undetected.
+  Circuit c("cones");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId y0 = c.add_gate(GateType::kNot, {a}, "y0");
+  const GateId y1 = c.add_gate(GateType::kNot, {b}, "y1");
+  c.mark_output(y0);
+  c.mark_output(y1);
+  c.finalize();
+  const FaultList faults = FaultList::full_universe(c);
+
+  PatternSet patterns(2);
+  patterns.append({false, false});
+  patterns.append({true, true});
+  // Point 1 (y1) starts beyond the end of the program.
+  const StrobeSchedule schedule =
+      StrobeSchedule::from_start_patterns({0, 1000});
+  const FaultSimResult r = simulate_ppsfp(faults, patterns, &schedule);
+
+  const std::size_t y0_sa0 =
+      faults.class_of(faults.index_of(Fault{y0, -1, false}));
+  const std::size_t y1_sa0 =
+      faults.class_of(faults.index_of(Fault{y1, -1, false}));
+  EXPECT_GE(r.first_detection[y0_sa0], 0);
+  EXPECT_EQ(r.first_detection[y1_sa0], -1);
+}
+
+TEST(StrobedFaultSim, DffPinFaultRespectsSchedule) {
+  // The pseudo primary output of a flip-flop follows the schedule too.
+  Circuit c("scan");
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  const GateId d = c.add_gate(GateType::kBuf, {a}, "d");
+  c.connect_dff(ff, d);
+  const GateId out = c.add_gate(GateType::kBuf, {ff}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const FaultList faults = FaultList::full_universe(c);
+  const std::size_t cls =
+      faults.class_of(faults.index_of(Fault{ff, 0, false}));
+
+  PatternSet patterns(2);
+  for (int i = 0; i < 6; ++i) {
+    patterns.append({true, false});  // a=1: good D = 1 differs from s-a-0
+  }
+  // Observed points: PO `out` (index 0) and ff's D capture (index 1).
+  // Delay the scan capture until pattern 4.
+  const StrobeSchedule schedule =
+      StrobeSchedule::from_start_patterns({0, 4});
+  const FaultSimResult r = simulate_ppsfp(faults, patterns, &schedule);
+  EXPECT_EQ(r.first_detection[cls], 4);
+  const FaultSimResult rs = simulate_serial(faults, patterns, &schedule);
+  EXPECT_EQ(rs.first_detection[cls], 4);
+}
+
+TEST(StrobedFaultSim, WrongPointCountRejected) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  PatternSet patterns(5);
+  patterns.append({true, false, true, false, true});
+  const StrobeSchedule bad = StrobeSchedule::full(1);  // c17 has 2 outputs
+  EXPECT_THROW(simulate_ppsfp(faults, patterns, &bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::fault

@@ -1,0 +1,86 @@
+// Unit tests for util/table formatting.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+namespace {
+
+TEST(TextTable, AlignsColumnsRight) {
+  TextTable t({"x", "value"});
+  t.add_row({"1", "10"});
+  t.add_row({"100", "2"});
+  const std::string s = t.to_string();
+  // Right alignment pads "1" to the width of "100".
+  EXPECT_NE(s.find("  1     10"), std::string::npos) << s;
+  EXPECT_NE(s.find("100      2"), std::string::npos) << s;
+}
+
+TEST(TextTable, HeaderRuleSpansAllColumns) {
+  TextTable t({"aa", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  // Rule of '-' characters: width 2 + 2 (gutter) + 2.
+  EXPECT_NE(s.find("------"), std::string::npos);
+}
+
+TEST(TextTable, LeftAlignmentOption) {
+  TextTable t({"name"}, Align::kLeft);
+  t.add_row({"ab"});
+  t.add_row({"abcd"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("ab  \n"), std::string::npos) << s;
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, RowCountTracksRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(FormatDouble, FixedPointRendering) {
+  EXPECT_EQ(format_double(0.0146, 4), "0.0146");
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+  EXPECT_EQ(format_double(0.999999, 2), "1.00");
+}
+
+TEST(FormatProbability, SwitchesToScientificForTinyValues) {
+  EXPECT_EQ(format_probability(0.25), "0.25000");
+  EXPECT_EQ(format_probability(0.001), "0.00100");
+  const std::string tiny = format_probability(5e-7);
+  EXPECT_NE(tiny.find('e'), std::string::npos) << tiny;
+}
+
+TEST(FormatProbability, ZeroStaysFixed) {
+  EXPECT_EQ(format_probability(0.0), "0.00000");
+}
+
+TEST(FormatPercent, RendersFractionTimesHundred) {
+  EXPECT_EQ(format_percent(0.85), "85.0%");
+  EXPECT_EQ(format_percent(0.051, 1), "5.1%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace lsiq::util

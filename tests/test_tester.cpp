@@ -1,0 +1,126 @@
+// Tests for the virtual tester (ordered pattern application, first-fail
+// recording, escape accounting).
+#include "wafer/tester.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace lsiq::wafer {
+namespace {
+
+/// Hand-built fault-sim result: class c detected first at pattern
+/// first_detection[c] (-1 = never).
+fault::FaultSimResult fake_sim(std::vector<std::int64_t> first_detection) {
+  fault::FaultSimResult r;
+  r.first_detection = std::move(first_detection);
+  return r;
+}
+
+Chip chip_with(std::vector<std::uint32_t> classes) {
+  Chip c;
+  c.fault_classes = std::move(classes);
+  return c;
+}
+
+TEST(Tester, FirstFailIsEarliestAmongResidentFaults) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({0, 2}));  // detections at 5 and 1
+  lot.chips.push_back(chip_with({1}));     // never detected
+  lot.chips.push_back(chip_with({}));      // good chip
+  const auto sim = fake_sim({5, -1, 1});
+
+  const LotTestResult result = test_lot(lot, sim, 10);
+  ASSERT_EQ(result.chip_count(), 3u);
+  EXPECT_EQ(result.outcomes[0].first_fail_pattern, 1);
+  EXPECT_EQ(result.outcomes[1].first_fail_pattern, -1);  // escape
+  EXPECT_TRUE(result.outcomes[1].defective);
+  EXPECT_EQ(result.outcomes[2].first_fail_pattern, -1);  // clean pass
+  EXPECT_FALSE(result.outcomes[2].defective);
+}
+
+TEST(Tester, CountsAndEscapeRate) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({0}));  // fails at 0
+  lot.chips.push_back(chip_with({1}));  // escapes
+  lot.chips.push_back(chip_with({}));   // good
+  lot.chips.push_back(chip_with({}));   // good
+  const auto sim = fake_sim({0, -1});
+
+  const LotTestResult result = test_lot(lot, sim, 4);
+  EXPECT_EQ(result.failed_count(), 1u);
+  EXPECT_EQ(result.passed_count(), 3u);
+  EXPECT_EQ(result.shipped_defective_count(), 1u);
+  EXPECT_NEAR(result.empirical_reject_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Tester, DetectionBeyondProgramLengthDoesNotFail) {
+  // A fault first detected at pattern 7 escapes a 5-pattern program.
+  ChipLot lot;
+  lot.chips.push_back(chip_with({0}));
+  const auto sim = fake_sim({7});
+  const LotTestResult result = test_lot(lot, sim, 5);
+  EXPECT_EQ(result.outcomes[0].first_fail_pattern, -1);
+  EXPECT_EQ(result.shipped_defective_count(), 1u);
+}
+
+TEST(Tester, FailedWithinIsMonotoneStepFunction) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({0}));  // fails at 2
+  lot.chips.push_back(chip_with({1}));  // fails at 2
+  lot.chips.push_back(chip_with({2}));  // fails at 7
+  const auto sim = fake_sim({2, 2, 7});
+  const LotTestResult result = test_lot(lot, sim, 10);
+
+  EXPECT_EQ(result.failed_within(0), 0u);
+  EXPECT_EQ(result.failed_within(2), 0u);   // first-fail index 2 needs t > 2
+  EXPECT_EQ(result.failed_within(3), 2u);
+  EXPECT_EQ(result.failed_within(7), 2u);
+  EXPECT_EQ(result.failed_within(8), 3u);
+  EXPECT_EQ(result.failed_within(100), 3u);
+  std::size_t prev = 0;
+  for (std::size_t t = 0; t <= 12; ++t) {
+    const std::size_t now = result.failed_within(t);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Tester, FractionFailedNormalizesByLotSize) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({0}));
+  lot.chips.push_back(chip_with({}));
+  lot.chips.push_back(chip_with({}));
+  lot.chips.push_back(chip_with({}));
+  const auto sim = fake_sim({0});
+  const LotTestResult result = test_lot(lot, sim, 1);
+  EXPECT_DOUBLE_EQ(result.fraction_failed_within(1), 0.25);
+}
+
+TEST(Tester, AllGoodLotShipsEverythingWithZeroRejects) {
+  ChipLot lot;
+  for (int i = 0; i < 10; ++i) {
+    lot.chips.push_back(chip_with({}));
+  }
+  const auto sim = fake_sim({});
+  const LotTestResult result = test_lot(lot, sim, 3);
+  EXPECT_EQ(result.failed_count(), 0u);
+  EXPECT_DOUBLE_EQ(result.empirical_reject_rate(), 0.0);
+}
+
+TEST(Tester, UnknownFaultClassRejected) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({5}));
+  const auto sim = fake_sim({0, 1});
+  EXPECT_THROW(test_lot(lot, sim, 3), ContractViolation);
+}
+
+TEST(Tester, ZeroPatternProgramRejected) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({}));
+  const auto sim = fake_sim({});
+  EXPECT_THROW(test_lot(lot, sim, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::wafer

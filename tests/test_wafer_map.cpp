@@ -1,0 +1,129 @@
+// Tests for the spatial wafer model.
+#include "wafer/wafer_map.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "util/error.hpp"
+#include "yield/models.hpp"
+
+namespace lsiq::wafer {
+namespace {
+
+const fault::FaultList& faults() {
+  static const circuit::Circuit circuit = circuit::make_alu(4);
+  static const fault::FaultList list =
+      fault::FaultList::full_universe(circuit);
+  return list;
+}
+
+TEST(WaferMap, DiesFitInsideTheCircle) {
+  WaferSpec spec;
+  spec.wafer_diameter = 100.0;
+  spec.die_width = 8.0;
+  spec.die_height = 6.0;
+  const WaferMap map = WaferMap::generate(faults(), spec);
+  EXPECT_GT(map.die_count(), 50u);
+  const double radius = spec.wafer_diameter / 2.0;
+  for (const Die& die : map.dies()) {
+    const double corner = std::hypot(std::abs(die.center_x) + 4.0,
+                                     std::abs(die.center_y) + 3.0);
+    EXPECT_LE(corner, radius + 1e-9);
+    EXPECT_GE(die.radius_fraction, 0.0);
+    EXPECT_LE(die.radius_fraction, 1.0);
+  }
+}
+
+TEST(WaferMap, GrossDieCountIsNearAreaRatio) {
+  WaferSpec spec;
+  spec.wafer_diameter = 200.0;
+  spec.die_width = 5.0;
+  spec.die_height = 5.0;
+  const WaferMap map = WaferMap::generate(faults(), spec);
+  // pi R^2 / die area ~ 1256; edge losses cost a modest fraction.
+  EXPECT_GT(map.die_count(), 1000u);
+  EXPECT_LT(map.die_count(), 1300u);
+}
+
+TEST(WaferMap, UniformDensityMatchesEquation3Yield) {
+  WaferSpec spec;
+  spec.wafer_diameter = 400.0;  // many dies for a tight estimate
+  spec.die_width = 5.0;
+  spec.die_height = 5.0;
+  spec.center_defect_density = 0.04;  // lambda = 1.0 per die
+  spec.edge_density_multiplier = 1.0;  // uniform
+  spec.variance_ratio = 0.5;
+  spec.seed = 5;
+  const WaferMap map = WaferMap::generate(faults(), spec);
+  const double expected =
+      yield_model::negative_binomial_yield(1.0, spec.variance_ratio);
+  EXPECT_NEAR(map.yield(), expected, 0.02);
+}
+
+TEST(WaferMap, EdgeDiesYieldWorseUnderRadialGradient) {
+  WaferSpec spec;
+  spec.wafer_diameter = 400.0;
+  spec.die_width = 5.0;
+  spec.die_height = 5.0;
+  spec.center_defect_density = 0.02;
+  spec.edge_density_multiplier = 5.0;
+  spec.seed = 7;
+  const WaferMap map = WaferMap::generate(faults(), spec);
+  const double inner = map.yield_in_annulus(0.0, 0.4);
+  const double outer = map.yield_in_annulus(0.7, 1.01);
+  EXPECT_GT(inner, outer + 0.05);
+}
+
+TEST(WaferMap, MultiFaultDefectsRaiseN0) {
+  WaferSpec sparse;
+  sparse.wafer_diameter = 300.0;
+  sparse.center_defect_density = 0.03;
+  sparse.extra_faults_per_defect = 0.0;
+  sparse.seed = 11;
+  WaferSpec dense = sparse;
+  dense.extra_faults_per_defect = 4.0;
+  const WaferMap a = WaferMap::generate(faults(), sparse);
+  const WaferMap b = WaferMap::generate(faults(), dense);
+  EXPECT_GT(b.mean_faults_per_defective_die(),
+            a.mean_faults_per_defective_die() + 1.0);
+}
+
+TEST(WaferMap, ToLotPreservesChipsAndGroundTruth) {
+  WaferSpec spec;
+  spec.seed = 13;
+  const WaferMap map = WaferMap::generate(faults(), spec);
+  const ChipLot lot = map.to_lot();
+  ASSERT_EQ(lot.size(), map.die_count());
+  EXPECT_DOUBLE_EQ(lot.true_yield, map.yield());
+  EXPECT_DOUBLE_EQ(lot.true_n0, map.mean_faults_per_defective_die());
+  for (std::size_t i = 0; i < lot.size(); ++i) {
+    EXPECT_EQ(lot.chips[i].fault_classes,
+              map.dies()[i].chip.fault_classes);
+  }
+}
+
+TEST(WaferMap, DeterministicPerSeed) {
+  WaferSpec spec;
+  spec.seed = 17;
+  const WaferMap a = WaferMap::generate(faults(), spec);
+  const WaferMap b = WaferMap::generate(faults(), spec);
+  ASSERT_EQ(a.die_count(), b.die_count());
+  for (std::size_t i = 0; i < a.die_count(); ++i) {
+    EXPECT_EQ(a.dies()[i].chip.fault_classes,
+              b.dies()[i].chip.fault_classes);
+  }
+}
+
+TEST(WaferMap, DomainChecks) {
+  WaferSpec bad;
+  bad.die_width = 0.0;
+  EXPECT_THROW(WaferMap::generate(faults(), bad), ContractViolation);
+  WaferSpec huge_die;
+  huge_die.die_width = 500.0;
+  EXPECT_THROW(WaferMap::generate(faults(), huge_die), Error);
+}
+
+}  // namespace
+}  // namespace lsiq::wafer
