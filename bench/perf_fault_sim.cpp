@@ -1,11 +1,18 @@
 // Performance suite for the simulation substrate (google-benchmark):
 // compiled parallel-pattern logic simulation, event-driven simulation,
-// serial vs PPSFP fault simulation, and PODEM.
+// serial vs PPSFP vs multi-threaded PPSFP fault simulation, and PODEM.
 //
-// The headline ablation is serial-vs-PPSFP: parallel-pattern single-fault
-// propagation with fault dropping is why grading a 1000-pattern program on
-// an LSI-scale circuit is interactive rather than an overnight job — the
-// engineering that made the paper's Section 5 procedure practical.
+// The headline ablation is serial vs PPSFP vs PPSFP-MT: parallel-pattern
+// single-fault propagation with fault dropping on the compiled netlist —
+// optionally fanned out over a worker pool — is why grading a
+// 1000-pattern program on an LSI-scale circuit is interactive rather than
+// an overnight job, the engineering that made the paper's Section 5
+// procedure practical.
+//
+// Trajectory tracking: regenerate the committed BENCH_fault_sim.json with
+//
+//   ./perf_fault_sim --benchmark_filter='FaultSim'
+//       --benchmark_out=BENCH_fault_sim.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include "circuit/generators.hpp"
@@ -104,20 +111,48 @@ void BM_FaultSim_Ppsfp(benchmark::State& state) {
 BENCHMARK(BM_FaultSim_Ppsfp)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+void BM_FaultSim_PpsfpMt(benchmark::State& state) {
+  const circuit::Circuit c = circuit_for(static_cast<int>(state.range(0)));
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const sim::PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 64, 3);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    const fault::FaultSimResult r =
+        simulate_ppsfp_mt(faults, patterns, nullptr, threads);
+    benchmark::DoNotOptimize(r.covered_faults);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.class_count()));
+  state.SetLabel(std::string(circuit_name(static_cast<int>(state.range(0)))) +
+                 " x " + std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_FaultSim_PpsfpMt)
+    ->Args({3, 1})->Args({3, 2})->Args({3, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FaultSim_GradeFullProgram(benchmark::State& state) {
-  // The Table 1 workload: grade a 1024-pattern program on the LSI stand-in.
+  // The Table 1 workload: grade a 1024-pattern program on the LSI
+  // stand-in. Arg 0 = serial compiled PPSFP; arg N > 0 = simulate_ppsfp_mt
+  // with N worker threads.
   const circuit::Circuit c = circuit::make_array_multiplier(16);
   const fault::FaultList faults = fault::FaultList::full_universe(c);
   const sim::PatternSet patterns =
       tpg::lfsr_patterns(c.pattern_inputs().size(), 1024, 1981);
+  const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    const fault::FaultSimResult r = simulate_ppsfp(faults, patterns);
+    const fault::FaultSimResult r =
+        threads == 0 ? simulate_ppsfp(faults, patterns)
+                     : simulate_ppsfp_mt(faults, patterns, nullptr, threads);
     benchmark::DoNotOptimize(r.coverage);
   }
-  state.SetLabel("mult16 x 1024 patterns");
+  state.SetLabel(threads == 0
+                     ? "mult16 x 1024 patterns, serial"
+                     : "mult16 x 1024 patterns, " + std::to_string(threads) +
+                           " threads");
 }
-BENCHMARK(BM_FaultSim_GradeFullProgram)->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
+BENCHMARK(BM_FaultSim_GradeFullProgram)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_Podem_PerFault(benchmark::State& state) {
   const circuit::Circuit c = circuit::make_alu(4);

@@ -69,6 +69,7 @@ int main() {
   spec.n0 = 8.0;
   spec.seed = 1981;
   spec.progressive_strobe_step = 24;  // output pin i strobed from pattern 24*i
+  spec.num_threads = 0;  // grade with one PPSFP worker per hardware thread
   const wafer::ExperimentResult result =
       wafer::run_chip_test_experiment(faults, program, spec);
 

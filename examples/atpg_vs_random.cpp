@@ -35,8 +35,11 @@ int main() {
   util::Rng rng(11);
   sim::PatternSet random_patterns(product.pattern_inputs().size());
   random_patterns.append_random(2048, rng);
+  // Grade the 2048-pattern program on the multi-threaded compiled engine
+  // (0 = one worker per hardware thread); results are bit-identical to the
+  // serial grader.
   const fault::FaultSimResult graded =
-      simulate_ppsfp(faults, random_patterns);
+      simulate_ppsfp_mt(faults, random_patterns, nullptr, 0);
   const fault::CoverageCurve curve =
       graded.curve(faults, random_patterns.size());
 

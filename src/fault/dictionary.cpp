@@ -31,8 +31,10 @@ FaultDictionary FaultDictionary::build(const FaultList& faults,
       std::vector<std::uint64_t>(patterns.block_count(), 0));
 
   sim::ParallelSimulator good_sim(circuit);
+  Propagator propagator(good_sim.compiled());
   for (std::size_t b = 0; b < patterns.block_count(); ++b) {
     good_sim.simulate_block(patterns.block_words(b));
+    propagator.begin_block(good_sim.values());
     const std::uint64_t lane_mask = patterns.block_mask(b);
     std::vector<std::uint64_t> point_masks;
     const std::vector<std::uint64_t>* masks = nullptr;
@@ -45,8 +47,8 @@ FaultDictionary FaultDictionary::build(const FaultList& faults,
     }
     for (std::size_t c = 0; c < faults.class_count(); ++c) {
       const std::uint64_t word =
-          detect_word_for_fault(circuit, faults.representatives()[c],
-                                good_sim.values(), masks) &
+          propagator.detect_word(faults.representatives()[c],
+                                 good_sim.values(), masks) &
           lane_mask;
       dictionary.signatures_[c][b] = word;
     }

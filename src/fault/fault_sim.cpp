@@ -1,186 +1,256 @@
 #include "fault/fault_sim.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/parallel_sim.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lsiq::fault {
 
 using circuit::Circuit;
+using circuit::CompiledCircuit;
 using circuit::Gate;
 using circuit::GateId;
 using circuit::GateType;
 
+// ---- Propagator ----
+//
+// Both kernels share the work_ scratch: a copy of the current block's
+// good-machine words (begin_block), locally overwritten with the faulty
+// machine while one fault is in flight. Keeping the scratch clean between
+// calls is what lets gate evaluation read a single value array with no
+// per-operand bookkeeping. All topology reads go through the compiled CSR
+// arrays.
+
 namespace {
 
-/// Event-driven faulty-machine propagation over one 64-pattern block.
-/// Scratch arrays are epoch-stamped so consecutive faults reuse them
-/// without clearing — the heart of the PPSFP inner loop.
-class Propagator {
- public:
-  explicit Propagator(const Circuit& circuit)
-      : circuit_(&circuit),
-        faulty_(circuit.gate_count(), 0),
-        epoch_of_(circuit.gate_count(), 0),
-        queued_(circuit.gate_count(), 0) {
-    std::size_t depth = 0;
-    for (GateId id = 0; id < circuit.gate_count(); ++id) {
-      depth = std::max<std::size_t>(depth, circuit.gate(id).level);
-    }
-    buckets_.resize(depth + 1);
+/// Validate a shared compiled view before member initializers touch it.
+std::shared_ptr<const CompiledCircuit> require_compiled(
+    std::shared_ptr<const CompiledCircuit> compiled, const char* who) {
+  if (compiled == nullptr) {
+    throw ContractViolation(std::string(who) +
+                            " requires a compiled circuit");
   }
+  return compiled;
+}
 
-  /// Detection word (bit p = pattern p of the block detects the fault).
-  /// `good` holds the good-machine words of every gate. `point_masks`,
-  /// when non-null, gives per observed point the lanes in which the tester
-  /// strobes it this block (strobe-schedule support); null means full
-  /// observability.
-  std::uint64_t detect_word(const Fault& fault,
-                            const std::vector<std::uint64_t>& good,
-                            const std::vector<std::uint64_t>* point_masks =
-                                nullptr) {
-    ++epoch_;
-    const std::uint64_t sv_word = fault.stuck_at_one ? ~0ULL : 0ULL;
-    const Gate& site_gate = circuit_->gate(fault.gate);
+}  // namespace
 
-    // A branch fault on a flip-flop's D pin never propagates through logic;
-    // it is captured directly at that flip-flop's pseudo primary output.
-    if (!is_stem(fault) && site_gate.type == GateType::kDff) {
-      const std::uint64_t diff = sv_word ^ good[site_gate.fanin.front()];
-      if (point_masks == nullptr) return diff;
-      return diff & (*point_masks)[dff_point_index(fault.gate)];
-    }
+Propagator::Propagator(const Circuit& circuit)
+    : Propagator(std::make_shared<const CompiledCircuit>(circuit)) {}
 
-    std::uint64_t faulty_site;
-    if (is_stem(fault)) {
-      faulty_site = sv_word;
+Propagator::Propagator(std::shared_ptr<const CompiledCircuit> compiled)
+    : compiled_(require_compiled(std::move(compiled), "Propagator")),
+      queued_(compiled_->node_count(), 0),
+      buckets_(compiled_->depth() + 1),
+      work_(compiled_->node_count(), 0) {
+  touched_.reserve(compiled_->node_count());
+}
+
+void Propagator::schedule_fanout(GateId id) {
+  const CompiledCircuit& c = *compiled_;
+  const GateId* readers = c.fanout(id);
+  const std::size_t count = c.fanout_count(id);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GateId reader = readers[i];
+    if (c.type(reader) == GateType::kDff) continue;  // capture boundary
+    if (queued_[reader] != 0) continue;
+    queued_[reader] = 1;
+    const std::size_t level = c.level(reader);
+    buckets_[level].push_back(reader);
+    max_level_ = std::max(max_level_, level);
+  }
+}
+
+void Propagator::begin_block(const std::vector<std::uint64_t>& good) {
+  LSIQ_EXPECT(good.size() == compiled_->node_count(),
+              "begin_block: good values must cover every gate");
+  work_.assign(good.begin(), good.end());
+  dirty_level_ = compiled_->depth() + 1;  // nothing written yet
+  block_synced_ = true;
+}
+
+/// Restore the good view over the resimulation dirty suffix, so the wave
+/// kernel can interleave with detect_word_resim on one scratch.
+void Propagator::sweep_clean(const std::uint64_t* good) {
+  const CompiledCircuit& c = *compiled_;
+  if (dirty_level_ > c.depth()) return;
+  const auto& order = c.eval_order();
+  for (std::size_t i = c.eval_level_begin(dirty_level_); i < order.size();
+       ++i) {
+    work_[order[i]] = good[order[i]];
+  }
+  dirty_level_ = c.depth() + 1;
+}
+
+bool Propagator::resolve_site(const Fault& fault, const std::uint64_t* good,
+                              const std::vector<std::uint64_t>* point_masks,
+                              std::uint64_t* result,
+                              std::uint64_t* faulty_site) const {
+  const CompiledCircuit& c = *compiled_;
+  const std::uint64_t sv_word = fault.stuck_at_one ? ~0ULL : 0ULL;
+
+  // A branch fault on a flip-flop's D pin never propagates through logic;
+  // it is captured directly at that flip-flop's pseudo primary output,
+  // whose index the compiled view keeps per gate (no flip_flops() scan).
+  if (!is_stem(fault) && c.type(fault.gate) == GateType::kDff) {
+    const std::uint64_t diff = sv_word ^ good[c.fanin(fault.gate)[0]];
+    if (point_masks == nullptr) {
+      *result = diff;
     } else {
-      faulty_site = sim::eval_gate_word_with_pin(*circuit_, fault.gate, good,
-                                                 fault.pin, sv_word);
+      const std::uint32_t point = c.point_index(fault.gate);
+      LSIQ_EXPECT(point != CompiledCircuit::kNoPoint,
+                  "resolve_site: DFF gate has no scan-capture point");
+      *result = diff & (*point_masks)[point];
     }
-    if ((faulty_site ^ good[fault.gate]) == 0) {
-      return 0;  // fault effect never appears at the site in this block
-    }
+    return true;
+  }
 
-    set_faulty(fault.gate, faulty_site);
-    max_level_ = site_gate.level;
-    schedule_fanout(fault.gate);
+  if (is_stem(fault)) {
+    *faulty_site = sv_word;
+  } else {
+    LSIQ_EXPECT(fault.pin >= 0 && static_cast<std::size_t>(fault.pin) <
+                                      c.fanin_count(fault.gate),
+                "resolve_site: fault pin out of range");
+    *faulty_site = c.eval_word_with_pin(fault.gate, good, fault.pin,
+                                        sv_word);
+  }
+  if ((*faulty_site ^ good[fault.gate]) == 0) {
+    *result = 0;  // fault effect never appears at the site in this block
+    return true;
+  }
+  return false;
+}
 
-    // Level-ordered wave; every scheduled gate has level > its scheduler.
-    for (std::size_t level = site_gate.level; level <= max_level_; ++level) {
-      auto& bucket = buckets_[level];
-      for (std::size_t i = 0; i < bucket.size(); ++i) {
-        const GateId id = bucket[i];
-        queued_[id] = 0;
-        const std::uint64_t value = eval_mixed(id, good);
-        if (value != good[id]) {
-          set_faulty(id, value);
-          schedule_fanout(id);
-        } else if (epoch_of_[id] == epoch_) {
-          // Reconvergence cancelled the effect; restore the good view.
-          faulty_[id] = value;
-        }
+std::uint64_t Propagator::detect_word(
+    const Fault& fault, const std::vector<std::uint64_t>& good_values,
+    const std::vector<std::uint64_t>* point_masks) {
+  LSIQ_EXPECT(block_synced_,
+              "detect_word: begin_block must follow every new good-machine "
+              "block");
+  const CompiledCircuit& c = *compiled_;
+  const std::uint64_t* good = good_values.data();
+
+  std::uint64_t resolved = 0;
+  std::uint64_t faulty_site = 0;
+  if (resolve_site(fault, good, point_masks, &resolved, &faulty_site)) {
+    return resolved;
+  }
+
+  sweep_clean(good);
+  std::uint64_t* work = work_.data();
+  const GateId site = fault.gate;
+  work[site] = faulty_site;
+  touched_.push_back(site);
+  const std::size_t site_level = c.level(site);
+  max_level_ = site_level;
+  schedule_fanout(site);
+
+  // Level-ordered wave; every scheduled gate has level > its scheduler.
+  // Untouched operands read their good value straight from work, so
+  // evaluation needs no faulty/good merge.
+  for (std::size_t level = site_level; level <= max_level_; ++level) {
+    auto& bucket = buckets_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId id = bucket[i];
+      queued_[id] = 0;
+      const std::uint64_t value = c.eval_word(id, work);
+      if (value != work[id]) {
+        // A gate is evaluated at most once per wave, so work[id] still
+        // holds the good value and the difference is a real fault effect.
+        work[id] = value;
+        touched_.push_back(id);
+        schedule_fanout(id);
       }
-      bucket.clear();
     }
+    bucket.clear();
+  }
 
-    // Observation.
-    std::uint64_t detect = 0;
-    const auto& points = circuit_->observed_points();
+  // Observation: untouched points satisfy work == good, contributing 0.
+  std::uint64_t detect = 0;
+  const auto& points = c.observed_points();
+  if (point_masks == nullptr) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      const GateId point = points[i];
-      if (epoch_of_[point] != epoch_) continue;
-      std::uint64_t diff = faulty_[point] ^ good[point];
-      if (point_masks != nullptr) {
-        diff &= (*point_masks)[i];
-      }
-      detect |= diff;
+      detect |= work[points[i]] ^ good[points[i]];
     }
-    return detect;
-  }
-
- private:
-  /// Observed-point index of a flip-flop's pseudo primary output.
-  std::size_t dff_point_index(GateId dff) const {
-    const auto& ffs = circuit_->flip_flops();
-    for (std::size_t i = 0; i < ffs.size(); ++i) {
-      if (ffs[i] == dff) {
-        return circuit_->primary_outputs().size() + i;
-      }
-    }
-    throw Error("dff_point_index: gate is not a registered flip-flop");
-  }
-  void set_faulty(GateId id, std::uint64_t value) {
-    faulty_[id] = value;
-    epoch_of_[id] = epoch_;
-  }
-
-  std::uint64_t operand(GateId id,
-                        const std::vector<std::uint64_t>& good) const {
-    return epoch_of_[id] == epoch_ ? faulty_[id] : good[id];
-  }
-
-  std::uint64_t eval_mixed(GateId id, const std::vector<std::uint64_t>& good) {
-    const Gate& g = circuit_->gate(id);
-    scratch_.resize(g.fanin.size());
-    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
-      scratch_[i] = operand(g.fanin[i], good);
-    }
-    // Inline word-level evaluation over the mixed operands (cheaper than
-    // routing through the id-indexed eval_gate_word interface).
-    switch (g.type) {
-      case GateType::kBuf:
-        return scratch_[0];
-      case GateType::kNot:
-        return ~scratch_[0];
-      case GateType::kAnd:
-      case GateType::kNand: {
-        std::uint64_t acc = scratch_[0];
-        for (std::size_t i = 1; i < scratch_.size(); ++i) acc &= scratch_[i];
-        return g.type == GateType::kNand ? ~acc : acc;
-      }
-      case GateType::kOr:
-      case GateType::kNor: {
-        std::uint64_t acc = scratch_[0];
-        for (std::size_t i = 1; i < scratch_.size(); ++i) acc |= scratch_[i];
-        return g.type == GateType::kNor ? ~acc : acc;
-      }
-      case GateType::kXor:
-      case GateType::kXnor: {
-        std::uint64_t acc = scratch_[0];
-        for (std::size_t i = 1; i < scratch_.size(); ++i) acc ^= scratch_[i];
-        return g.type == GateType::kXnor ? ~acc : acc;
-      }
-      default:
-        throw Error("eval_mixed: unexpected gate type in propagation wave");
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      detect |= (work[points[i]] ^ good[points[i]]) & (*point_masks)[i];
     }
   }
 
-  void schedule_fanout(GateId id) {
-    for (const GateId reader : circuit_->gate(id).fanout) {
-      const Gate& g = circuit_->gate(reader);
-      if (g.type == GateType::kDff) continue;  // capture boundary
-      if (queued_[reader] != 0) continue;
-      queued_[reader] = 1;
-      buckets_[g.level].push_back(reader);
-      max_level_ = std::max<std::size_t>(max_level_, g.level);
-    }
+  // Restore the good view for the next fault.
+  for (const GateId id : touched_) {
+    work[id] = good[id];
+  }
+  touched_.clear();
+  return detect;
+}
+
+std::uint64_t Propagator::detect_word_resim(
+    const Fault& fault, const std::vector<std::uint64_t>& good_values,
+    const std::vector<std::uint64_t>* point_masks) {
+  LSIQ_EXPECT(block_synced_,
+              "detect_word_resim: begin_block must follow every new "
+              "good-machine block");
+  const CompiledCircuit& c = *compiled_;
+  const std::uint64_t* good = good_values.data();
+
+  // Site evaluation reads the caller's good array (always clean; work_ may
+  // hold the previous fault's machine at levels >= dirty_level_).
+  std::uint64_t resolved = 0;
+  std::uint64_t faulty_site = 0;
+  if (resolve_site(fault, good, point_masks, &resolved, &faulty_site)) {
+    return resolved;
   }
 
-  const Circuit* circuit_;
-  std::vector<std::uint64_t> faulty_;
-  std::vector<std::uint32_t> epoch_of_;
-  std::vector<char> queued_;
-  std::vector<std::vector<GateId>> buckets_;
-  std::vector<std::uint64_t> scratch_;
-  std::uint32_t epoch_ = 0;
-  std::size_t max_level_ = 0;
-};
+  // One flat sweep over the level-sorted suffix recomputes the faulty
+  // machine: gates off the fault's cone re-derive their good values, gates
+  // on it their faulty ones. Starting at min(site level, dirty level)
+  // also overwrites everything the previous fault left behind, which is a
+  // no-op start when faults arrive sorted by non-increasing site level.
+  const GateId site = fault.gate;
+  const std::size_t site_level = c.level(site);
+  const std::size_t start_level = std::min(site_level, dirty_level_);
+  std::uint64_t* work = work_.data();
+  work[site] = faulty_site;
+  c.eval_suffix(start_level, work, site);
+  dirty_level_ = site_level;
+  // A source site (input or flip-flop stem) is never re-evaluated by any
+  // later sweep, so its injected value must be cleared by hand; evaluable
+  // sites are overwritten naturally once the next fault's sweep reaches
+  // them. Observation still sees the injected value: source points read
+  // work_ below, and the restore happens after the detect word is built.
+  const bool site_is_source =
+      c.type(site) == GateType::kInput || c.type(site) == GateType::kDff;
+
+  // Observation: untouched points satisfy work == good, so the diff is 0
+  // without any reached-set bookkeeping.
+  std::uint64_t detect = 0;
+  const auto& points = c.observed_points();
+  if (point_masks == nullptr) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      detect |= work[points[i]] ^ good[points[i]];
+    }
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      detect |= (work[points[i]] ^ good[points[i]]) & (*point_masks)[i];
+    }
+  }
+  if (site_is_source) {
+    work[site] = good[site];
+  }
+  return detect;
+}
+
+namespace {
 
 /// Full faulty-machine simulation of one block (every gate re-evaluated).
 /// Independent of the event-driven path on purpose: it is the oracle the
-/// fast engine is validated against.
+/// fast engines are validated against, so it deliberately walks the plain
+/// Circuit container rather than the compiled view.
 std::vector<std::uint64_t> simulate_faulty_block_full(
     const Circuit& circuit, const Fault& fault,
     const std::vector<std::uint64_t>& input_words) {
@@ -272,6 +342,25 @@ class ScheduleMasks {
   std::vector<std::uint64_t> masks_;
 };
 
+/// Live-fault work list for the PPSFP engines: every class index, sorted
+/// by non-increasing fault-site level (ties in class order). Suffix
+/// resimulation sweeps [site level, depth], so this order makes each
+/// fault's sweep exactly overwrite what the previous fault dirtied —
+/// detect words are order-independent, only the sweep start depends on it.
+std::vector<std::uint32_t> sorted_live_list(const FaultList& faults,
+                                            const CompiledCircuit& compiled) {
+  std::vector<std::uint32_t> live(faults.class_count());
+  for (std::size_t c = 0; c < live.size(); ++c) {
+    live[c] = static_cast<std::uint32_t>(c);
+  }
+  std::stable_sort(live.begin(), live.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return compiled.level(faults.representatives()[a].gate) >
+                            compiled.level(faults.representatives()[b].gate);
+                   });
+  return live;
+}
+
 void finalize_result(const FaultList& faults, FaultSimResult& result) {
   result.covered_faults = 0;
   result.detected_classes = 0;
@@ -340,6 +429,7 @@ std::uint64_t detect_word_for_fault(
     const Circuit& circuit, const Fault& fault,
     const std::vector<std::uint64_t>& good_values) {
   Propagator propagator(circuit);
+  propagator.begin_block(good_values);
   return propagator.detect_word(fault, good_values);
 }
 
@@ -348,6 +438,7 @@ std::uint64_t detect_word_for_fault(
     const std::vector<std::uint64_t>& good_values,
     const std::vector<std::uint64_t>* point_masks) {
   Propagator propagator(circuit);
+  propagator.begin_block(good_values);
   return propagator.detect_word(fault, good_values, point_masks);
 }
 
@@ -362,14 +453,14 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
   FaultSimResult result;
   result.first_detection.assign(faults.class_count(), -1);
 
-  sim::ParallelSimulator good_sim(circuit);
-  Propagator propagator(circuit);
+  // One compiled view shared by the good-machine simulator and the
+  // propagator.
+  auto compiled = std::make_shared<const CompiledCircuit>(circuit);
+  sim::ParallelSimulator good_sim(compiled);
+  Propagator propagator(compiled);
 
-  // Live list, compacted in place as faults drop.
-  std::vector<std::uint32_t> live(faults.class_count());
-  for (std::size_t c = 0; c < live.size(); ++c) {
-    live[c] = static_cast<std::uint32_t>(c);
-  }
+  // Live list in resimulation order, compacted in place as faults drop.
+  std::vector<std::uint32_t> live = sorted_live_list(faults, *compiled);
 
   for (std::size_t b = 0; b < patterns.block_count() && !live.empty(); ++b) {
     good_sim.simulate_block(patterns.block_words(b));
@@ -377,18 +468,87 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
     const std::uint64_t mask = patterns.block_mask(b);
     const std::vector<std::uint64_t>* point_masks = strobe_masks.for_block(b);
 
+    propagator.begin_block(good);
     std::size_t kept = 0;
     for (std::size_t i = 0; i < live.size(); ++i) {
       const std::uint32_t c = live[i];
       const std::uint64_t detect =
-          propagator.detect_word(faults.representatives()[c], good,
-                                 point_masks) &
+          propagator.detect_word_resim(faults.representatives()[c], good,
+                                       point_masks) &
           mask;
       if (detect != 0) {
         result.first_detection[c] =
             static_cast<std::int64_t>(b * 64 + std::countr_zero(detect));
       } else {
         live[kept++] = c;  // still undetected: keep simulating it
+      }
+    }
+    live.resize(kept);
+  }
+
+  finalize_result(faults, result);
+  return result;
+}
+
+FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
+                                 const sim::PatternSet& patterns,
+                                 const StrobeSchedule* schedule,
+                                 std::size_t num_threads) {
+  const Circuit& circuit = faults.circuit();
+  LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
+              "simulate_ppsfp_mt: pattern width does not match circuit");
+  ScheduleMasks strobe_masks(circuit, schedule);
+
+  FaultSimResult result;
+  result.first_detection.assign(faults.class_count(), -1);
+
+  auto compiled = std::make_shared<const CompiledCircuit>(circuit);
+  sim::ParallelSimulator good_sim(compiled);
+
+  util::ThreadPool pool(num_threads);
+  const std::size_t lanes = pool.size();
+  std::vector<Propagator> propagators;
+  propagators.reserve(lanes);
+  for (std::size_t t = 0; t < lanes; ++t) {
+    propagators.emplace_back(compiled);
+  }
+
+  // Live list in resimulation order; each lane takes a strided slice —
+  // still non-increasing in site level (the resim fast path), and far
+  // better balanced than contiguous chunks, whose per-fault sweep cost
+  // varies with site level. Detect words are written per live-list slot
+  // and folded into first_detection serially — the result bytes are
+  // independent of thread interleaving by construction.
+  std::vector<std::uint32_t> live = sorted_live_list(faults, *compiled);
+  std::vector<std::uint64_t> detects(live.size(), 0);
+
+  for (std::size_t b = 0; b < patterns.block_count() && !live.empty(); ++b) {
+    good_sim.simulate_block(patterns.block_words(b));
+    const std::vector<std::uint64_t>& good = good_sim.values();
+    const std::uint64_t mask = patterns.block_mask(b);
+    const std::vector<std::uint64_t>* point_masks = strobe_masks.for_block(b);
+
+    const std::size_t live_count = live.size();
+    pool.run([&](std::size_t lane) {
+      if (lane >= live_count) return;
+      Propagator& propagator = propagators[lane];
+      propagator.begin_block(good);
+      for (std::size_t i = lane; i < live_count; i += lanes) {
+        detects[i] =
+            propagator.detect_word_resim(faults.representatives()[live[i]],
+                                         good, point_masks) &
+            mask;
+      }
+    });
+
+    // Per-block fault-drop compaction, in live-list order.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < live_count; ++i) {
+      if (detects[i] != 0) {
+        result.first_detection[live[i]] = static_cast<std::int64_t>(
+            b * 64 + std::countr_zero(detects[i]));
+      } else {
+        live[kept++] = live[i];
       }
     }
     live.resize(kept);

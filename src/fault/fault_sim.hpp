@@ -1,26 +1,37 @@
 // Single stuck-at fault simulation.
 //
-// Two engines with one contract:
+// Three engines with one contract:
 //
 //   * simulate_serial — the reference implementation: for every fault, the
 //     whole circuit is re-simulated with the fault injected, block by
 //     block. O(faults x gates x blocks); trusted because it is simple.
-//     The test suite cross-checks the fast engine against it.
+//     The test suite cross-checks the fast engines against it.
 //
 //   * simulate_ppsfp — parallel-pattern single-fault propagation, the
 //     production engine (same family of techniques as the paper's LAMP
 //     runs): good-machine simulation once per 64-pattern block, then for
 //     each still-undetected fault an event-driven faulty re-simulation
-//     forward from the fault site only, with fault dropping.
+//     forward from the fault site only, with fault dropping. Runs on the
+//     compiled netlist (circuit/compiled.hpp), not the pointer-per-pin
+//     Circuit container.
 //
-// Both return, per collapsed fault class, the index of the first pattern
+//   * simulate_ppsfp_mt — the same computation fanned out over a
+//     persistent worker pool: each thread owns a Propagator and grades a
+//     strided slice of the live-fault list per block (stride keeps the
+//     per-lane work balanced, since per-fault cost varies with fault-site
+//     level). Per-fault detect words do not depend on evaluation order,
+//     so the result is bit-identical to simulate_ppsfp.
+//
+// All return, per collapsed fault class, the index of the first pattern
 // that detects it — the raw material for coverage curves (Section 5) and
 // for the virtual tester's first-failing-pattern experiment (Table 1).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "circuit/compiled.hpp"
 #include "circuit/netlist.hpp"
 #include "fault/coverage.hpp"
 #include "fault/fault_list.hpp"
@@ -48,6 +59,84 @@ struct FaultSimResult {
                                     std::size_t pattern_count) const;
 };
 
+/// Event-driven faulty-machine propagation over one 64-pattern block — the
+/// PPSFP inner loop, exposed as a reusable handle. Construction allocates
+/// O(gate_count) scratch; detect_word() reuses it across faults via epoch
+/// stamping, so one Propagator should be kept alive for a whole grading
+/// run (the fault dictionary and ATPG confirmation loops do exactly that).
+class Propagator {
+ public:
+  /// Compiles the circuit privately; prefer the shared-view constructor
+  /// when a compiled view already exists.
+  explicit Propagator(const circuit::Circuit& circuit);
+  explicit Propagator(
+      std::shared_ptr<const circuit::CompiledCircuit> compiled);
+
+  /// Sync the propagation scratch to a freshly simulated good-machine
+  /// block. REQUIRED before the first detect_word / detect_word_resim of
+  /// every block: good-value buffers are typically reused across blocks,
+  /// so the engine cannot detect a stale sync itself — a forgotten
+  /// begin_block after re-simulating into the same buffer reads the old
+  /// block's values. (The one-shot detect_word_for_fault wrappers do this
+  /// internally.)
+  void begin_block(const std::vector<std::uint64_t>& good);
+
+  /// Detection word for one fault (bit p = pattern p of the block detects
+  /// it). `good` holds the good-machine words of every gate for this block
+  /// (a completed ParallelSimulator::simulate_block over the same
+  /// circuit) and must be the buffer last passed to begin_block.
+  /// `point_masks`, when non-null, gives per observed point the lanes in
+  /// which the tester strobes it this block; null means full
+  /// observability. Event-driven: cost scales with the fault's cone, the
+  /// right kernel when effects die near the site.
+  std::uint64_t detect_word(const Fault& fault,
+                            const std::vector<std::uint64_t>& good,
+                            const std::vector<std::uint64_t>* point_masks =
+                                nullptr);
+
+  /// Same contract as detect_word, computed by levelized suffix
+  /// resimulation instead of an event-driven wave: every gate at
+  /// level >= the fault site's level is re-evaluated in one flat sweep.
+  /// ~4x less bookkeeping per touched gate, so it wins whenever fault
+  /// effects spread widely (the PPSFP block-grading regime); detect_word
+  /// wins when effects die near the site. Fastest when consecutive calls
+  /// are ordered by non-increasing site level — any order is correct, but
+  /// an out-of-order call pays an extra prefix sweep to clear stale state.
+  std::uint64_t detect_word_resim(const Fault& fault,
+                                  const std::vector<std::uint64_t>& good,
+                                  const std::vector<std::uint64_t>*
+                                      point_masks = nullptr);
+
+  [[nodiscard]] const std::shared_ptr<const circuit::CompiledCircuit>&
+  compiled() const noexcept {
+    return compiled_;
+  }
+
+ private:
+  /// Shared prologue of both kernels: DFF D-pin captures and faults whose
+  /// effect never appears at the site resolve to a final detect word
+  /// (returns true, sets `result`); otherwise sets `faulty_site` to the
+  /// word to inject and returns false.
+  bool resolve_site(const Fault& fault, const std::uint64_t* good,
+                    const std::vector<std::uint64_t>* point_masks,
+                    std::uint64_t* result, std::uint64_t* faulty_site) const;
+  void schedule_fanout(circuit::GateId id);
+  void sweep_clean(const std::uint64_t* good);
+
+  std::shared_ptr<const circuit::CompiledCircuit> compiled_;
+  std::vector<char> queued_;
+  std::vector<std::vector<circuit::GateId>> buckets_;
+  std::vector<circuit::GateId> touched_;
+  std::size_t max_level_ = 0;
+  /// Shared scratch of both kernels: the good-machine view of the current
+  /// block. detect_word writes its wave here and restores it via touched_
+  /// before returning; detect_word_resim leaves its machine in place at
+  /// levels >= dirty_level_ and lets the next sweep overwrite it.
+  std::vector<std::uint64_t> work_;
+  std::size_t dirty_level_ = 0;
+  bool block_synced_ = false;
+};
+
 /// Reference engine (see header comment). Intended for small circuits.
 /// `schedule`, when given, restricts which observation points count at
 /// which pattern (see strobe.hpp); it must cover exactly
@@ -56,16 +145,24 @@ FaultSimResult simulate_serial(const FaultList& faults,
                                const sim::PatternSet& patterns,
                                const StrobeSchedule* schedule = nullptr);
 
-/// Production engine: PPSFP with fault dropping.
+/// Production engine: PPSFP with fault dropping on the compiled netlist.
 FaultSimResult simulate_ppsfp(const FaultList& faults,
                               const sim::PatternSet& patterns,
                               const StrobeSchedule* schedule = nullptr);
 
+/// Multi-threaded PPSFP: per block, the live-fault list is partitioned
+/// across `num_threads` workers (0 = hardware concurrency), each with its
+/// own Propagator; fault dropping compacts the list after every block.
+/// Bit-identical to simulate_ppsfp and simulate_serial.
+FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
+                                 const sim::PatternSet& patterns,
+                                 const StrobeSchedule* schedule = nullptr,
+                                 std::size_t num_threads = 0);
+
 /// Detection words for one fault over one simulated block: bit p is set
-/// when pattern p of the block detects the fault. `good_values` must hold
-/// the good-machine words of every gate for this block (a completed
-/// ParallelSimulator::simulate_block). Exposed for the PPSFP inner loop and
-/// reused by the test generator to confirm its tests.
+/// when pattern p of the block detects the fault. Convenience wrappers
+/// that build a throwaway Propagator (three O(gate_count) allocations per
+/// call) — grading loops should hold a Propagator instead.
 std::uint64_t detect_word_for_fault(const circuit::Circuit& circuit,
                                     const Fault& fault,
                                     const std::vector<std::uint64_t>&

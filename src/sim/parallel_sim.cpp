@@ -87,24 +87,29 @@ std::uint64_t eval_gate_word_with_pin(const Circuit& circuit, GateId id,
 }
 
 ParallelSimulator::ParallelSimulator(const Circuit& circuit)
-    : circuit_(&circuit), values_(circuit.gate_count(), 0) {
-  LSIQ_EXPECT(circuit.finalized(),
-              "ParallelSimulator requires a finalized circuit");
-}
+    : ParallelSimulator(
+          std::make_shared<const circuit::CompiledCircuit>(circuit)) {}
+
+ParallelSimulator::ParallelSimulator(
+    std::shared_ptr<const circuit::CompiledCircuit> compiled)
+    : compiled_([&] {
+        // Checked before any member initializer dereferences the pointer.
+        LSIQ_EXPECT(compiled != nullptr,
+                    "ParallelSimulator requires a compiled circuit");
+        return std::move(compiled);
+      }()),
+      values_(compiled_->node_count(), 0) {}
 
 void ParallelSimulator::simulate_block(
     const std::vector<std::uint64_t>& input_words) {
-  const auto& inputs = circuit_->pattern_inputs();
+  const auto& inputs = compiled_->pattern_inputs();
   LSIQ_EXPECT(input_words.size() == inputs.size(),
               "simulate_block: one word per pattern input required");
+  std::uint64_t* values = values_.data();
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    values_[inputs[i]] = input_words[i];
+    values[inputs[i]] = input_words[i];
   }
-  for (const GateId id : circuit_->topological_order()) {
-    const Gate& g = circuit_->gate(id);
-    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
-    values_[id] = eval_gate_word(*circuit_, id, values_);
-  }
+  compiled_->eval_suffix(0, values);
 }
 
 std::uint64_t ParallelSimulator::value(GateId id) const {
@@ -113,7 +118,7 @@ std::uint64_t ParallelSimulator::value(GateId id) const {
 }
 
 std::vector<std::uint64_t> ParallelSimulator::observed_values() const {
-  const auto& points = circuit_->observed_points();
+  const auto& points = compiled_->observed_points();
   std::vector<std::uint64_t> out;
   out.reserve(points.size());
   for (const GateId id : points) {
@@ -124,7 +129,7 @@ std::vector<std::uint64_t> ParallelSimulator::observed_values() const {
 
 std::vector<bool> ParallelSimulator::simulate_single(
     const std::vector<bool>& inputs) {
-  const auto& pattern_inputs = circuit_->pattern_inputs();
+  const auto& pattern_inputs = compiled_->pattern_inputs();
   LSIQ_EXPECT(inputs.size() == pattern_inputs.size(),
               "simulate_single: wrong input count");
   std::vector<std::uint64_t> words(inputs.size());
@@ -133,8 +138,8 @@ std::vector<bool> ParallelSimulator::simulate_single(
   }
   simulate_block(words);
   std::vector<bool> out;
-  out.reserve(circuit_->observed_points().size());
-  for (const GateId id : circuit_->observed_points()) {
+  out.reserve(compiled_->observed_points().size());
+  for (const GateId id : compiled_->observed_points()) {
     out.push_back((values_[id] & 1ULL) != 0);
   }
   return out;

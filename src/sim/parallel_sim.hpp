@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "circuit/compiled.hpp"
 #include "circuit/netlist.hpp"
 
 namespace lsiq::sim {
@@ -29,7 +31,13 @@ std::uint64_t eval_gate_word_with_pin(const circuit::Circuit& circuit,
 
 class ParallelSimulator {
  public:
+  /// Compiles the circuit privately. When several engines simulate the same
+  /// circuit, compile once and use the shared-view constructor instead.
   explicit ParallelSimulator(const circuit::Circuit& circuit);
+
+  /// Share an existing compiled view (no recompilation).
+  explicit ParallelSimulator(
+      std::shared_ptr<const circuit::CompiledCircuit> compiled);
 
   /// Simulate one block of up to 64 patterns. `input_words` has one word per
   /// pattern input (see Circuit::pattern_inputs()); bit p of each word is
@@ -54,11 +62,16 @@ class ParallelSimulator {
   std::vector<bool> simulate_single(const std::vector<bool>& inputs);
 
   [[nodiscard]] const circuit::Circuit& circuit() const noexcept {
-    return *circuit_;
+    return compiled_->source();
+  }
+
+  [[nodiscard]] const std::shared_ptr<const circuit::CompiledCircuit>&
+  compiled() const noexcept {
+    return compiled_;
   }
 
  private:
-  const circuit::Circuit* circuit_;
+  std::shared_ptr<const circuit::CompiledCircuit> compiled_;
   std::vector<std::uint64_t> values_;
 };
 

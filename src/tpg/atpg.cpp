@@ -46,6 +46,7 @@ AtpgResult generate_tests(const FaultList& faults,
 
   // ---- Phase 2: PODEM on the survivors, with fault dropping ----
   sim::ParallelSimulator good_sim(circuit);
+  fault::Propagator propagator(good_sim.compiled());
   std::size_t redundant_faults = 0;  // weighted by class size
   for (std::size_t c = 0; c < faults.class_count(); ++c) {
     if (detected[c] != 0) continue;
@@ -70,11 +71,12 @@ AtpgResult generate_tests(const FaultList& faults,
       words[i] = podem.pattern[i] ? 1ULL : 0ULL;
     }
     good_sim.simulate_block(words);
+    propagator.begin_block(good_sim.values());
     bool detected_target = false;
     for (std::size_t c2 = c; c2 < faults.class_count(); ++c2) {
       if (detected[c2] != 0) continue;
-      const std::uint64_t word = fault::detect_word_for_fault(
-          circuit, faults.representatives()[c2], good_sim.values());
+      const std::uint64_t word = propagator.detect_word(
+          faults.representatives()[c2], good_sim.values());
       if ((word & 1ULL) != 0) {
         detected[c2] = 1;
         if (c2 == c) detected_target = true;

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lsiq::util {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t lane = 0; lane < thread_count; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) {
+        job_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace lsiq::util

@@ -29,8 +29,13 @@ ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
         faults.circuit().observed_points().size(),
         spec.progressive_strobe_step);
   }
-  fault::FaultSimResult fault_sim = fault::simulate_ppsfp(
-      faults, patterns, schedule.has_value() ? &*schedule : nullptr);
+  const fault::StrobeSchedule* strobes =
+      schedule.has_value() ? &*schedule : nullptr;
+  fault::FaultSimResult fault_sim =
+      spec.num_threads == 1
+          ? fault::simulate_ppsfp(faults, patterns, strobes)
+          : fault::simulate_ppsfp_mt(faults, patterns, strobes,
+                                     spec.num_threads);
   fault::CoverageCurve curve = fault_sim.curve(faults, patterns.size());
 
   // 2. Manufacture the virtual lot.

@@ -49,6 +49,10 @@ struct ExperimentSpec {
   /// rises gradually — the regime of the paper's Table 1. 0 = full
   /// observability from pattern 0 (scan-style testing).
   std::size_t progressive_strobe_step = 0;
+  /// Worker threads for the fault-grading step: 1 = in-process PPSFP,
+  /// 0 = one worker per hardware thread, n = exactly n workers. Any value
+  /// grades to bit-identical results (see fault/fault_sim.hpp).
+  std::size_t num_threads = 1;
 };
 
 struct ExperimentResult {

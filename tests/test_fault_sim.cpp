@@ -8,6 +8,7 @@
 #include "circuit/generators.hpp"
 #include "sim/parallel_sim.hpp"
 #include "tpg/lfsr.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace lsiq::fault {
@@ -233,6 +234,143 @@ TEST(FaultSim, DetectWordForFaultMatchesSingleLane) {
     EXPECT_EQ((word & 1ULL) != 0, oracle.first_detection[cl] == 0)
         << fault_name(c, faults.representatives()[cl]);
   }
+}
+
+/// Every engine must produce the identical FaultSimResult; this helper
+/// cross-checks serial, PPSFP, and PPSFP-MT at 1/2/8 threads, with or
+/// without a strobe schedule.
+void expect_engines_agree(const Circuit& c, const PatternSet& patterns,
+                          const StrobeSchedule* schedule) {
+  const FaultList faults = FaultList::full_universe(c);
+  const FaultSimResult serial = simulate_serial(faults, patterns, schedule);
+  const FaultSimResult ppsfp = simulate_ppsfp(faults, patterns, schedule);
+  ASSERT_EQ(serial.first_detection, ppsfp.first_detection) << c.name();
+  EXPECT_EQ(serial.covered_faults, ppsfp.covered_faults) << c.name();
+  EXPECT_DOUBLE_EQ(serial.coverage, ppsfp.coverage) << c.name();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const FaultSimResult mt =
+        simulate_ppsfp_mt(faults, patterns, schedule, threads);
+    ASSERT_EQ(serial.first_detection, mt.first_detection)
+        << c.name() << " with " << threads << " threads";
+    EXPECT_EQ(serial.covered_faults, mt.covered_faults) << c.name();
+    EXPECT_EQ(serial.detected_classes, mt.detected_classes) << c.name();
+    EXPECT_DOUBLE_EQ(serial.coverage, mt.coverage) << c.name();
+  }
+}
+
+TEST(FaultSimMt, BitIdenticalAcrossGeneratorCircuits) {
+  std::vector<Circuit> circuits;
+  circuits.push_back(circuit::make_c17());
+  circuits.push_back(circuit::make_ripple_carry_adder(4));
+  circuits.push_back(circuit::make_alu(4));
+  circuits.push_back(circuit::make_parity_tree(6));
+  circuits.push_back(circuit::make_mux_tree(2));
+  circuits.push_back(circuit::make_scan_accumulator(6));
+  util::Rng rng(42);
+  for (const Circuit& c : circuits) {
+    PatternSet patterns(c.pattern_inputs().size());
+    patterns.append_random(96, rng);  // 1.5 blocks
+    expect_engines_agree(c, patterns, nullptr);
+  }
+}
+
+TEST(FaultSimMt, BitIdenticalUnderPartialStrobeSchedule) {
+  std::vector<Circuit> circuits;
+  circuits.push_back(circuit::make_c17());
+  circuits.push_back(circuit::make_alu(4));
+  circuits.push_back(circuit::make_scan_accumulator(6));
+  util::Rng rng(43);
+  for (const Circuit& c : circuits) {
+    PatternSet patterns(c.pattern_inputs().size());
+    patterns.append_random(100, rng);
+    const StrobeSchedule schedule = StrobeSchedule::progressive(
+        c.observed_points().size(), 7);
+    expect_engines_agree(c, patterns, &schedule);
+  }
+}
+
+TEST(FaultSimMt, BitIdenticalOnRandomDags) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    circuit::RandomDagSpec spec;
+    spec.inputs = 10;
+    spec.gates = 100;
+    spec.seed = seed;
+    const Circuit c = make_random_dag(spec);
+    util::Rng rng(seed + 7);
+    PatternSet patterns(c.pattern_inputs().size());
+    patterns.append_random(80, rng);
+    expect_engines_agree(c, patterns, nullptr);
+  }
+}
+
+TEST(FaultSimMt, ThreadCountBeyondFaultCountIsSafe) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns = exhaustive_patterns(c);
+  const FaultSimResult few = simulate_ppsfp(faults, patterns);
+  // More lanes than live faults: the extra lanes idle, result unchanged.
+  const FaultSimResult many = simulate_ppsfp_mt(faults, patterns, nullptr,
+                                                64);
+  EXPECT_EQ(few.first_detection, many.first_detection);
+}
+
+TEST(FaultSimKernels, WaveAndResimDetectWordsAgree) {
+  // The Propagator's two kernels — event-driven wave and levelized suffix
+  // resimulation — must compute identical detect words for every fault,
+  // in any call order.
+  std::vector<Circuit> circuits;
+  circuits.push_back(circuit::make_c17());
+  circuits.push_back(circuit::make_alu(4));
+  circuits.push_back(circuit::make_scan_accumulator(6));
+  util::Rng rng(77);
+  for (const Circuit& c : circuits) {
+    const FaultList faults = FaultList::full_universe(c);
+    sim::ParallelSimulator good(c);
+    Propagator wave(good.compiled());
+    Propagator resim(good.compiled());
+    Propagator interleaved(good.compiled());
+    for (int block = 0; block < 2; ++block) {
+      std::vector<std::uint64_t> words(c.pattern_inputs().size());
+      for (auto& w : words) w = rng.next_u64();
+      good.simulate_block(words);
+      wave.begin_block(good.values());
+      resim.begin_block(good.values());
+      interleaved.begin_block(good.values());
+      for (std::size_t cl = 0; cl < faults.class_count(); ++cl) {
+        const Fault& fault = faults.representatives()[cl];
+        const std::uint64_t from_wave = wave.detect_word(fault, good.values());
+        const std::uint64_t from_resim =
+            resim.detect_word_resim(fault, good.values());
+        EXPECT_EQ(from_wave, from_resim)
+            << c.name() << " " << fault_name(c, fault);
+        // Alternating kernels on one propagator exercises the shared
+        // scratch's dirty-region handling.
+        const std::uint64_t mixed =
+            cl % 2 == 0 ? interleaved.detect_word(fault, good.values())
+                        : interleaved.detect_word_resim(fault, good.values());
+        EXPECT_EQ(mixed, from_wave)
+            << c.name() << " interleaved " << fault_name(c, fault);
+      }
+    }
+  }
+}
+
+TEST(FaultSimKernels, DetectWordRequiresBlockSync) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  sim::ParallelSimulator good(c);
+  std::vector<std::uint64_t> words(c.pattern_inputs().size(), 1);
+  good.simulate_block(words);
+  Propagator propagator(good.compiled());
+  EXPECT_THROW(propagator.detect_word(faults.representatives()[0],
+                                      good.values()),
+               ContractViolation);
+  EXPECT_THROW(propagator.detect_word_resim(faults.representatives()[0],
+                                            good.values()),
+               ContractViolation);
+  propagator.begin_block(good.values());
+  EXPECT_NO_THROW(propagator.detect_word(faults.representatives()[0],
+                                         good.values()));
 }
 
 TEST(FaultSim, WeightedCoverageUsesClassSizes) {
