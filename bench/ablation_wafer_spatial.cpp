@@ -84,8 +84,8 @@ int main() {
   std::vector<quality::CoveragePoint> points;
   for (const double target :
        {0.05, 0.10, 0.20, 0.30, 0.45, 0.60, 0.75, 0.90}) {
+    if (!curve.reaches(target)) break;
     const std::size_t t = curve.patterns_for_coverage(target);
-    if (t > program.size()) break;
     points.push_back(quality::CoveragePoint{
         curve.coverage_after(t),
         characterization.fraction_failed_within(t)});

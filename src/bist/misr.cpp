@@ -1,0 +1,44 @@
+#include "bist/misr.hpp"
+
+#include <cmath>
+
+#include "tpg/lfsr.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::bist {
+
+namespace {
+
+/// Width must be validated before the initializer list shifts by it.
+int require_width(int width) {
+  LSIQ_EXPECT(width >= 1 && width <= 64, "Misr: width must be in [1, 64]");
+  return width;
+}
+
+}  // namespace
+
+Misr::Misr(int width, std::uint64_t taps)
+    : width_(require_width(width)),
+      taps_(taps),
+      mask_(width == 64 ? ~0ULL : ((1ULL << width) - 1)) {
+  if (taps_ == 0) {
+    taps_ = tpg::maximal_taps(width);  // throws for unsupported widths
+  }
+  LSIQ_EXPECT((taps_ & ~mask_) == 0, "Misr: taps exceed the register width");
+}
+
+double misr_aliasing_probability(int width) {
+  LSIQ_EXPECT(width >= 1 && width <= 64,
+              "misr_aliasing_probability: width must be in [1, 64]");
+  return std::ldexp(1.0, -width);  // 2^-k
+}
+
+double expected_signature_coverage(double full_observation_coverage,
+                                   int width) {
+  LSIQ_EXPECT(full_observation_coverage >= 0.0 &&
+                  full_observation_coverage <= 1.0,
+              "expected_signature_coverage: coverage outside [0,1]");
+  return full_observation_coverage * (1.0 - misr_aliasing_probability(width));
+}
+
+}  // namespace lsiq::bist

@@ -1,0 +1,90 @@
+// Multi-input signature register (MISR) — the response compactor of a
+// logic-BIST architecture.
+//
+// A BIST tester does not observe circuit outputs pattern by pattern: an
+// on-chip LFSR drives pseudo-random patterns and a MISR folds every
+// response vector into a k-bit signature that is compared against the
+// fault-free signature once, at the end of the session. Compaction is
+// lossy — a faulty response stream can compact to the good signature
+// ("aliasing"), in which case the fault is covered by the patterns but
+// NOT by the test. The bist::BistSession grades that loss exactly; this
+// header holds the register itself plus the analytic 2^-k aliasing model
+// it is compared against.
+//
+// The register is a Galois LFSR (same convention as tpg::Lfsr, same
+// polynomial table) with the compacted response word XORed in after each
+// shift. Observation point i drives register stage i mod k — the classic
+// space-compaction wiring, under which two simultaneous error bits
+// landing on one stage cancel before they ever reach the register.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsiq::bist {
+
+class Misr {
+ public:
+  /// `width` k in [1, 64] is the signature length. `taps` == 0 selects
+  /// the standard maximal-length polynomial for the width (see
+  /// tpg::maximal_taps, which throws for unsupported widths); a non-zero
+  /// value is used as the feedback mask directly (low k bits), so any
+  /// custom polynomial/width pair is expressible.
+  explicit Misr(int width, std::uint64_t taps = 0);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t taps() const noexcept { return taps_; }
+
+  /// Current signature (low `width` bits).
+  [[nodiscard]] std::uint64_t signature() const noexcept { return state_; }
+
+  /// Reset the register to a known state (default: all-zero, the
+  /// conventional BIST session start).
+  void reset(std::uint64_t state = 0) noexcept { state_ = state & mask_; }
+
+  /// One capture cycle: Galois shift of the register followed by XOR of
+  /// the compacted response word.
+  void step(std::uint64_t compacted) noexcept {
+    state_ = next(state_, compacted);
+  }
+
+  /// Pure transition function: the state that follows `state` when
+  /// `compacted` is captured. Exposed separately because the register is
+  /// linear over GF(2): fault grading evolves one *difference* state per
+  /// fault through this function (good XOR faulty), with the error bits
+  /// as input, and never needs a Misr object per fault.
+  [[nodiscard]] std::uint64_t next(std::uint64_t state,
+                                   std::uint64_t compacted) const noexcept {
+    const bool out = (state & 1ULL) != 0;
+    state >>= 1;
+    if (out) state ^= taps_;
+    return (state ^ compacted) & mask_;
+  }
+
+  /// The register-input word that observation point `point` drives: a
+  /// single bit at stage point mod width.
+  [[nodiscard]] std::uint64_t input_bit(std::size_t point) const noexcept {
+    return 1ULL << (point % static_cast<std::size_t>(width_));
+  }
+
+ private:
+  int width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_ = 0;
+};
+
+/// Analytic aliasing model: the probability that a fault whose response
+/// stream differs from the good machine nevertheless compacts to the good
+/// signature in a width-k MISR. For error streams long and irregular
+/// enough to be effectively random over GF(2^k), every signature is
+/// equally likely, so the aliasing probability approaches 2^-k (Smith
+/// 1980); BistSession measures the exact value this approximates.
+double misr_aliasing_probability(int width);
+
+/// Expected signature coverage under the 2^-k model: of the fault mass a
+/// full-observation tester detects, the fraction 2^-k aliases away.
+double expected_signature_coverage(double full_observation_coverage,
+                                   int width);
+
+}  // namespace lsiq::bist

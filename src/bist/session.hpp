@@ -1,0 +1,82 @@
+// Logic-BIST session: LFSR pattern generation, MISR response compaction,
+// and exact signature-aliasing fault grading.
+//
+// The paper's quality model assumes the tester observes every output on
+// every pattern; BIST observes ONE k-bit signature per session. This
+// module measures what that costs. A session runs the configured LFSR
+// program through the compiled parallel-pattern simulator, folds the
+// good-machine responses into the reference signature, and grades every
+// collapsed fault class two ways:
+//
+//   * raw (full observation)  — some pattern makes some observed point
+//     differ: what simulate_ppsfp would report for the same patterns;
+//   * signature-detected      — the fault's end-of-session MISR signature
+//     differs from the good one.
+//
+// The gap between the two is the exact aliasing loss: errors cancelling
+// in space (two error bits entering one MISR stage in the same cycle) or
+// in time (the register's linear recurrence folding an error history back
+// onto the good signature). Because the MISR is linear over GF(2), each
+// fault is graded by evolving the signature *difference* with the
+// fault's per-point error words as input — zero state and zero errors
+// short-circuit, so undetected faults cost almost nothing beyond their
+// propagation check. The result feeds fault::CoverageCurve and the
+// quality stack (core::QualityAnalyzer), which turns the aliasing loss
+// into a DPPM statement à la Figures 1-4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bist/misr.hpp"
+#include "bist/result.hpp"
+#include "circuit/compiled.hpp"
+#include "fault/fault_list.hpp"
+#include "sim/pattern.hpp"
+
+namespace lsiq::bist {
+
+struct BistConfig {
+  /// LFSR patterns applied per session.
+  std::size_t pattern_count = 1024;
+  /// Pattern-generator register (see tpg::Lfsr widths) and seed.
+  int lfsr_width = 32;
+  std::uint64_t lfsr_seed = 1;
+  /// Signature register: width k sets the 2^-k aliasing regime; taps 0
+  /// selects the standard polynomial for the width (see bist::Misr).
+  int misr_width = 32;
+  std::uint64_t misr_taps = 0;
+  /// Grading worker threads (always a util::ThreadPool, even for 1):
+  /// 0 = one per hardware thread, n = exactly n. Every value produces
+  /// bit-identical results (each fault class is owned by exactly one
+  /// lane; nothing is reduced across lanes).
+  std::size_t num_threads = 1;
+};
+
+/// One configured BIST session over a fault universe. Compiles the
+/// circuit and generates the LFSR program at construction; run() grades
+/// it. The FaultList (and its Circuit) must outlive the session.
+class BistSession {
+ public:
+  BistSession(const fault::FaultList& faults, BistConfig config);
+
+  [[nodiscard]] const BistConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const sim::PatternSet& patterns() const noexcept {
+    return patterns_;
+  }
+
+  /// Grade the session with config().num_threads workers.
+  [[nodiscard]] BistResult run() const;
+
+  /// Same session, explicit worker count (bit-identical for any value).
+  [[nodiscard]] BistResult run(std::size_t num_threads) const;
+
+ private:
+  const fault::FaultList* faults_;
+  BistConfig config_;
+  std::shared_ptr<const circuit::CompiledCircuit> compiled_;
+  sim::PatternSet patterns_;
+};
+
+}  // namespace lsiq::bist

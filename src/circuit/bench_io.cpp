@@ -58,11 +58,18 @@ bool parse_call(const std::string& text, std::string& keyword,
   return !keyword.empty();
 }
 
+/// A signal named by an INPUT/OUTPUT directive, with the line that named
+/// it so later validation failures can point at the offending line.
+struct NamedSignal {
+  std::string name;
+  int line = 0;
+};
+
 }  // namespace
 
 Circuit read_bench(std::istream& in, const std::string& circuit_name) {
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+  std::vector<NamedSignal> input_names;
+  std::vector<NamedSignal> output_names;
   std::vector<Assignment> assignments;
   std::unordered_map<std::string, std::size_t> assignment_of;
 
@@ -84,9 +91,9 @@ Circuit read_bench(std::istream& in, const std::string& circuit_name) {
         fail(line_no, "expected INPUT(name), OUTPUT(name) or an assignment");
       }
       if (keyword == "INPUT") {
-        input_names.push_back(args.front());
+        input_names.push_back({args.front(), line_no});
       } else if (keyword == "OUTPUT") {
-        output_names.push_back(args.front());
+        output_names.push_back({args.front(), line_no});
       } else {
         fail(line_no, "unknown directive `" + keyword + "`");
       }
@@ -121,14 +128,16 @@ Circuit read_bench(std::istream& in, const std::string& circuit_name) {
   Circuit circuit(circuit_name);
   std::unordered_map<std::string, GateId> ids;
 
-  for (const std::string& name : input_names) {
-    if (ids.count(name) != 0) {
-      throw ParseError("input `" + name + "` declared twice");
+  for (const NamedSignal& input : input_names) {
+    if (ids.count(input.name) != 0) {
+      fail(input.line, "input `" + input.name + "` declared twice");
     }
-    if (assignment_of.count(name) != 0) {
-      throw ParseError("signal `" + name + "` is both INPUT and assigned");
+    const auto assigned = assignment_of.find(input.name);
+    if (assigned != assignment_of.end()) {
+      fail(assignments[assigned->second].line,
+           "signal `" + input.name + "` is both INPUT and assigned");
     }
-    ids.emplace(name, circuit.add_input(name));
+    ids.emplace(input.name, circuit.add_input(input.name));
   }
 
   // Flip-flops first: their outputs are level-0 sources, which breaks
@@ -196,13 +205,13 @@ Circuit read_bench(std::istream& in, const std::string& circuit_name) {
   }
 
   std::unordered_set<std::string> seen_outputs;
-  for (const std::string& name : output_names) {
-    const auto it = ids.find(name);
+  for (const NamedSignal& output : output_names) {
+    const auto it = ids.find(output.name);
     if (it == ids.end()) {
-      throw ParseError("OUTPUT `" + name + "` is never defined");
+      fail(output.line, "OUTPUT `" + output.name + "` is never defined");
     }
-    if (!seen_outputs.insert(name).second) {
-      throw ParseError("OUTPUT `" + name + "` declared twice");
+    if (!seen_outputs.insert(output.name).second) {
+      fail(output.line, "OUTPUT `" + output.name + "` declared twice");
     }
     circuit.mark_output(it->second);
   }

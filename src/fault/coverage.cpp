@@ -60,10 +60,27 @@ double CoverageCurve::final_coverage() const {
 std::size_t CoverageCurve::patterns_for_coverage(double target) const {
   LSIQ_EXPECT(target >= 0.0 && target <= 1.0,
               "patterns_for_coverage: target outside [0,1]");
-  for (std::size_t t = 1; t <= cumulative_.size(); ++t) {
-    if (coverage_after(t) >= target) return t;
+  // coverage_after(t) is a monotone transform of the non-decreasing
+  // cumulative array, so the predicate "coverage_after(t) >= target" is
+  // monotone in t and the first true position can be bisected. lo/hi
+  // bracket the answer in [1, size()+1]; hi starts at (and stays on, when
+  // the target is never reached) the sentinel, and mid < hi keeps every
+  // probe inside the curve.
+  std::size_t lo = 1;
+  std::size_t hi = cumulative_.size() + 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (coverage_after(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
   }
-  return cumulative_.size() + 1;
+  return lo;
+}
+
+bool CoverageCurve::reaches(double target) const {
+  return patterns_for_coverage(target) <= cumulative_.size();
 }
 
 }  // namespace lsiq::fault

@@ -46,9 +46,17 @@ class CoverageCurve {
   /// Final coverage of the whole set.
   [[nodiscard]] double final_coverage() const;
 
-  /// Smallest pattern count t with coverage_after(t) >= target. Returns
-  /// pattern_count() + 1 when the target is never reached.
+  /// Smallest pattern count t with coverage_after(t) >= target, found by
+  /// binary search over the non-decreasing cumulative array. Returns the
+  /// pattern_count() + 1 sentinel when the target is never reached; that
+  /// value is NOT a valid pattern count, so callers must test reaches()
+  /// (or compare against pattern_count()) before using it as an index.
   [[nodiscard]] std::size_t patterns_for_coverage(double target) const;
+
+  /// True when some prefix of the pattern set reaches `target` coverage,
+  /// i.e. patterns_for_coverage(target) returns a real pattern count and
+  /// not the pattern_count() + 1 sentinel.
+  [[nodiscard]] bool reaches(double target) const;
 
  private:
   std::vector<std::size_t> cumulative_;

@@ -245,6 +245,56 @@ std::uint64_t Propagator::detect_word_resim(
   return detect;
 }
 
+std::uint64_t Propagator::point_diff_words(
+    const Fault& fault, const std::vector<std::uint64_t>& good_values,
+    std::vector<std::uint64_t>& diffs) {
+  LSIQ_EXPECT(block_synced_,
+              "point_diff_words: begin_block must follow every new "
+              "good-machine block");
+  const CompiledCircuit& c = *compiled_;
+  const std::uint64_t* good = good_values.data();
+  const auto& points = c.observed_points();
+  diffs.assign(points.size(), 0);
+
+  std::uint64_t resolved = 0;
+  std::uint64_t faulty_site = 0;
+  if (resolve_site(fault, good, nullptr, &resolved, &faulty_site)) {
+    // Either the fault effect never appears at the site (resolved == 0,
+    // all diffs stay zero) or this is a DFF D-pin capture whose whole
+    // difference lands on that flip-flop's pseudo primary output.
+    if (resolved != 0) {
+      const std::uint32_t point = c.point_index(fault.gate);
+      LSIQ_EXPECT(point != CompiledCircuit::kNoPoint,
+                  "point_diff_words: DFF gate has no scan-capture point");
+      diffs[point] = resolved;
+    }
+    return resolved;
+  }
+
+  // Same suffix sweep as detect_word_resim (see there for the dirty-level
+  // bookkeeping); only the observation differs — per point instead of OR.
+  const GateId site = fault.gate;
+  const std::size_t site_level = c.level(site);
+  const std::size_t start_level = std::min(site_level, dirty_level_);
+  std::uint64_t* work = work_.data();
+  work[site] = faulty_site;
+  c.eval_suffix(start_level, work, site);
+  dirty_level_ = site_level;
+  const bool site_is_source =
+      c.type(site) == GateType::kInput || c.type(site) == GateType::kDff;
+
+  std::uint64_t detect = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t diff = work[points[i]] ^ good[points[i]];
+    diffs[i] = diff;
+    detect |= diff;
+  }
+  if (site_is_source) {
+    work[site] = good[site];
+  }
+  return detect;
+}
+
 namespace {
 
 /// Full faulty-machine simulation of one block (every gate re-evaluated).

@@ -107,6 +107,18 @@ class Propagator {
                                   const std::vector<std::uint64_t>*
                                       point_masks = nullptr);
 
+  /// Per-point difference words for one fault over the current block:
+  /// resizes `diffs` to observed_points().size() and sets bit p of
+  /// diffs[i] when pattern p of the block makes point i differ from the
+  /// good machine; returns the OR over points (exactly detect_word's
+  /// result with full observability). Signature compaction (bist::) needs
+  /// the per-point structure the OR throws away — two errors reaching one
+  /// MISR stage in the same cycle cancel. Suffix-resimulation kernel;
+  /// same begin_block and call-ordering contract as detect_word_resim.
+  std::uint64_t point_diff_words(const Fault& fault,
+                                 const std::vector<std::uint64_t>& good,
+                                 std::vector<std::uint64_t>& diffs);
+
   [[nodiscard]] const std::shared_ptr<const circuit::CompiledCircuit>&
   compiled() const noexcept {
     return compiled_;

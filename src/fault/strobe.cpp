@@ -1,5 +1,7 @@
 #include "fault/strobe.hpp"
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace lsiq::fault {
@@ -12,6 +14,12 @@ StrobeSchedule StrobeSchedule::full(std::size_t point_count) {
 StrobeSchedule StrobeSchedule::progressive(std::size_t point_count,
                                            std::size_t step) {
   LSIQ_EXPECT(point_count > 0, "StrobeSchedule requires >= 1 point");
+  // The largest start pattern is (point_count - 1) * step; a silent wrap
+  // would strobe late points from a tiny pattern index instead of never.
+  LSIQ_EXPECT(step == 0 ||
+                  point_count - 1 <=
+                      std::numeric_limits<std::size_t>::max() / step,
+              "progressive: point_count * step overflows size_t");
   std::vector<std::size_t> starts(point_count);
   for (std::size_t i = 0; i < point_count; ++i) {
     starts[i] = i * step;

@@ -5,12 +5,12 @@
 
 namespace lsiq::tpg {
 
-namespace {
-
 /// Maximal-length feedback masks (taps at the positions of the polynomial's
-/// nonzero coefficients, excluding x^width). Standard published taps.
-std::uint64_t taps_for_width(int width) {
+/// nonzero coefficients, excluding x^width). Standard published taps; the
+/// small widths exist for MISRs whose aliasing should be observable.
+std::uint64_t maximal_taps(int width) {
   switch (width) {
+    case 4:  return 0xCULL;                 // x^4 + x^3 + 1
     case 8:  return 0xB8ULL;                // x^8 + x^6 + x^5 + x^4 + 1
     case 16: return 0xB400ULL;              // x^16 + x^14 + x^13 + x^11 + 1
     case 24: return 0xE10000ULL;            // x^24 + x^23 + x^22 + x^17 + 1
@@ -18,16 +18,15 @@ std::uint64_t taps_for_width(int width) {
     case 48: return 0xC00000180000ULL;      // x^48 + x^47 + x^21 + x^20 + 1
     case 64: return 0xD800000000000000ULL;  // x^64 + x^63 + x^61 + x^60 + 1
     default:
-      throw Error("Lfsr: unsupported width " + std::to_string(width) +
-                  " (use 8, 16, 24, 32, 48 or 64)");
+      throw Error("maximal_taps: unsupported width " +
+                  std::to_string(width) +
+                  " (use 4, 8, 16, 24, 32, 48 or 64)");
   }
 }
 
-}  // namespace
-
 Lfsr::Lfsr(int width, std::uint64_t seed)
     : width_(width),
-      taps_(taps_for_width(width)),
+      taps_(maximal_taps(width)),
       mask_(width == 64 ? ~0ULL : ((1ULL << width) - 1)),
       state_(seed & mask_) {
   if (state_ == 0) {

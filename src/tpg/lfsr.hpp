@@ -12,11 +12,19 @@
 
 namespace lsiq::tpg {
 
+/// Maximal-length Galois feedback taps for a supported register width
+/// (4, 8, 16, 24, 32, 48, 64) — the polynomial table shared by Lfsr and
+/// bist::Misr. Taps are in the right-shift Galois convention: XORed into
+/// the register when the shifted-out bit is 1. Throws lsiq::Error for an
+/// unsupported width.
+std::uint64_t maximal_taps(int width);
+
 /// Galois LFSR over one machine word.
 class Lfsr {
  public:
-  /// width in {8, 16, 24, 32, 48, 64} selects a maximal-length polynomial;
-  /// seed must be non-zero in the low `width` bits (fixed up if not).
+  /// width in {4, 8, 16, 24, 32, 48, 64} selects a maximal-length
+  /// polynomial (see maximal_taps); seed must be non-zero in the low
+  /// `width` bits (fixed up if not).
   explicit Lfsr(int width = 32, std::uint64_t seed = 1);
 
   /// Advance one step and return the output bit (the bit shifted out).

@@ -57,12 +57,12 @@ ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
                           .lot = std::move(lot),
                           .test = std::move(test)};
   for (const double target : spec.strobe_coverages) {
-    const std::size_t t = result.curve.patterns_for_coverage(target);
-    if (t > patterns.size()) {
+    if (!result.curve.reaches(target)) {
       throw Error("experiment: pattern set never reaches coverage " +
                   std::to_string(target) + " (final coverage " +
                   std::to_string(result.curve.final_coverage()) + ")");
     }
+    const std::size_t t = result.curve.patterns_for_coverage(target);
     StrobeRow row;
     row.target_coverage = target;
     row.actual_coverage = result.curve.coverage_after(t);

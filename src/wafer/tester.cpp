@@ -77,4 +77,30 @@ LotTestResult test_lot(const ChipLot& lot,
   return result;
 }
 
+LotTestResult test_lot_bist(const ChipLot& lot,
+                            const bist::BistResult& bist) {
+  LSIQ_EXPECT(bist.pattern_count > 0,
+              "test_lot_bist requires a non-empty session");
+  const std::int64_t compare_at =
+      static_cast<std::int64_t>(bist.pattern_count) - 1;
+
+  LotTestResult result;
+  result.pattern_count = bist.pattern_count;
+  result.outcomes.reserve(lot.size());
+  for (const Chip& chip : lot.chips) {
+    ChipOutcome outcome;
+    outcome.defective = chip.defective();
+    for (const std::uint32_t cls : chip.fault_classes) {
+      LSIQ_EXPECT(cls < bist.fault_signatures.size(),
+                  "test_lot_bist: chip references an unknown fault class");
+      if (bist.fault_signatures[cls] != bist.good_signature) {
+        outcome.first_fail_pattern = compare_at;
+        break;
+      }
+    }
+    result.outcomes.push_back(outcome);
+  }
+  return result;
+}
+
 }  // namespace lsiq::wafer

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bist/result.hpp"
 #include "fault/fault_sim.hpp"
 #include "wafer/chip_model.hpp"
 
@@ -54,5 +55,17 @@ struct LotTestResult {
 LotTestResult test_lot(const ChipLot& lot,
                        const fault::FaultSimResult& fault_sim,
                        std::size_t pattern_count);
+
+/// BIST mode: the tester clocks the whole session and makes ONE pass/fail
+/// decision by comparing the chip's MISR signature against the good one.
+/// Under the single-fault-detection approximation a chip fails iff at
+/// least one resident fault class is signature-detected — faults the
+/// session raw-detects but aliases DO ship, which is exactly the quality
+/// loss the BIST analysis quantifies. Failing chips record the session's
+/// last pattern as first_fail_pattern (the signature compare happens
+/// there; BIST offers no earlier observability), so failed_within() is a
+/// step function at the session end.
+LotTestResult test_lot_bist(const ChipLot& lot,
+                            const bist::BistResult& bist);
 
 }  // namespace lsiq::wafer

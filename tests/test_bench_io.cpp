@@ -155,6 +155,72 @@ TEST(BenchIo, ErrorMalformedLine) {
   EXPECT_THROW(read_bench_string("WIBBLE(a)\n"), ParseError);
 }
 
+TEST(BenchIo, CrlfLineEndingsParse) {
+  // DOS-style files: the trailing \r must be stripped, not glued onto
+  // signal names.
+  const char* text =
+      "# header\r\nINPUT(a)\r\nINPUT(b)\r\nOUTPUT(y)\r\n"
+      "y = AND(a, b)\r\n";
+  const Circuit c = read_bench_string(text, "crlf");
+  EXPECT_EQ(c.primary_inputs().size(), 2u);
+  EXPECT_NE(c.find("y"), kNoGate);
+  EXPECT_EQ(c.gate(c.find("y")).type, GateType::kAnd);
+}
+
+TEST(BenchIo, MalformedInputsRaiseParseErrorsWithLine) {
+  // Table-driven robustness sweep: every malformed netlist must raise a
+  // ParseError naming the offending line — never crash, never silently
+  // accept.
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* expect_in_message;  ///< substring the error must carry
+  };
+  const Case cases[] = {
+      {"missing close paren",
+       "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n", "line 3"},
+      {"missing open paren",
+       "INPUT(a)\nOUTPUT(y)\ny = NOT a)\n", "line 3"},
+      {"missing both parens",
+       "INPUT(a)\nOUTPUT(y)\ny = NOT\n", "line 3"},
+      {"empty operand list",
+       "INPUT(a)\nOUTPUT(y)\ny = AND()\n", "line 3"},
+      {"duplicate gate name",
+       "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", "line 4"},
+      {"duplicate input declaration",
+       "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "line 2"},
+      {"input also assigned",
+       "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n", "line 3"},
+      {"undriven operand",
+       "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "line 3"},
+      {"undriven dff operand",
+       "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n", "line 3"},
+      {"undriven output",
+       "INPUT(a)\nOUTPUT(ghost)\nn = NOT(a)\n", "line 2"},
+      {"duplicate output declaration",
+       "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n", "line 3"},
+      {"assignment with empty target",
+       "INPUT(a)\nOUTPUT(y)\n = NOT(a)\n", "line 3"},
+      {"unknown directive",
+       "INPUT(a)\nFROBNICATE(a)\n", "line 2"},
+      {"crlf with missing paren",
+       "INPUT(a)\r\nOUTPUT(y)\r\ny = NOT(a\r\n", "line 3"},
+  };
+  for (const Case& c : cases) {
+    try {
+      read_bench_string(c.text, c.name);
+      FAIL() << c.name << ": malformed input accepted";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << c.name << ": message `" << e.what() << "` does not name `"
+          << c.expect_in_message << "`";
+    } catch (...) {
+      FAIL() << c.name << ": threw something other than ParseError";
+    }
+  }
+}
+
 TEST(BenchIo, MissingFileThrows) {
   EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), ParseError);
 }

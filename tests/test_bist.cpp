@@ -1,0 +1,294 @@
+// Tests for the BIST session: exact signature-aliasing grading against an
+// independent oracle, agreement with the full-observation engines, and
+// bit-determinism across worker counts.
+#include "bist/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "bist/misr.hpp"
+#include "circuit/generators.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::bist {
+namespace {
+
+using circuit::Circuit;
+using fault::FaultList;
+
+/// Independent reimplementation of signature grading: per-point error
+/// words isolated with the EVENT-DRIVEN kernel (detect_word under a
+/// one-point strobe mask — a different code path from the session's
+/// suffix-resimulation point_diff_words), folded through a Misr stepped
+/// pattern by pattern. Returns the faulty end-of-session signature.
+struct OracleGrading {
+  std::uint64_t good_signature = 0;
+  std::vector<std::uint64_t> fault_signatures;
+  std::vector<std::int64_t> first_error;
+};
+
+OracleGrading grade_by_hand(const FaultList& faults,
+                            const sim::PatternSet& patterns,
+                            const Misr& misr) {
+  const Circuit& c = faults.circuit();
+  const auto& points = c.observed_points();
+  const std::size_t point_count = points.size();
+  const std::size_t classes = faults.class_count();
+
+  sim::ParallelSimulator good_sim(c);
+  fault::Propagator propagator(c);
+
+  // Good responses per block, retained so each class replays the session.
+  std::vector<std::vector<std::uint64_t>> good_blocks;
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    good_sim.simulate_block(patterns.block_words(b));
+    good_blocks.push_back(good_sim.values());
+  }
+
+  // Good signature: compact the good response vector pattern by pattern.
+  Misr reference = misr;
+  reference.reset();
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    const std::size_t valid = std::min<std::size_t>(
+        64, patterns.size() - b * 64);
+    for (std::size_t p = 0; p < valid; ++p) {
+      std::uint64_t compacted = 0;
+      for (std::size_t i = 0; i < point_count; ++i) {
+        if ((good_blocks[b][points[i]] >> p) & 1ULL) {
+          compacted ^= misr.input_bit(i);
+        }
+      }
+      reference.step(compacted);
+    }
+  }
+
+  OracleGrading oracle;
+  oracle.good_signature = reference.signature();
+  oracle.fault_signatures.assign(classes, 0);
+  oracle.first_error.assign(classes, -1);
+
+  std::vector<std::uint64_t> one_point(point_count, 0);
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    const fault::Fault& f = faults.representatives()[cls];
+    std::uint64_t delta = 0;
+    for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+      propagator.begin_block(good_blocks[b]);
+      // Isolate each point's error word with a single-point strobe mask.
+      std::vector<std::uint64_t> diffs(point_count, 0);
+      std::uint64_t any = 0;
+      for (std::size_t i = 0; i < point_count; ++i) {
+        one_point.assign(point_count, 0);
+        one_point[i] = ~0ULL;
+        diffs[i] = propagator.detect_word(f, good_blocks[b], &one_point);
+        any |= diffs[i];
+      }
+      const std::size_t valid = std::min<std::size_t>(
+          64, patterns.size() - b * 64);
+      for (std::size_t p = 0; p < valid; ++p) {
+        std::uint64_t compacted = 0;
+        for (std::size_t i = 0; i < point_count; ++i) {
+          if ((diffs[i] >> p) & 1ULL) compacted ^= misr.input_bit(i);
+        }
+        delta = misr.next(delta, compacted);
+      }
+      const std::uint64_t masked = any & patterns.block_mask(b);
+      if (masked != 0 && oracle.first_error[cls] < 0) {
+        oracle.first_error[cls] = static_cast<std::int64_t>(
+            b * 64 + static_cast<std::size_t>(std::countr_zero(masked)));
+      }
+    }
+    oracle.fault_signatures[cls] = oracle.good_signature ^ delta;
+  }
+  return oracle;
+}
+
+TEST(BistSession, MatchesIndependentOracleOnCombinationalCircuit) {
+  const Circuit c = circuit::make_alu(2);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 190;  // deliberately not a multiple of 64
+  config.lfsr_seed = 7;
+  config.misr_width = 8;       // narrow enough for real aliasing pressure
+  const BistSession session(faults, config);
+  const BistResult result = session.run();
+
+  const OracleGrading oracle =
+      grade_by_hand(faults, session.patterns(), Misr(config.misr_width));
+  EXPECT_EQ(result.good_signature, oracle.good_signature);
+  ASSERT_EQ(result.fault_signatures.size(), oracle.fault_signatures.size());
+  for (std::size_t cls = 0; cls < oracle.fault_signatures.size(); ++cls) {
+    EXPECT_EQ(result.fault_signatures[cls], oracle.fault_signatures[cls])
+        << fault_name(c, faults.representatives()[cls]);
+    EXPECT_EQ(result.first_error_pattern[cls], oracle.first_error[cls])
+        << fault_name(c, faults.representatives()[cls]);
+  }
+}
+
+TEST(BistSession, MatchesIndependentOracleOnSequentialCircuit) {
+  // Scan flip-flops: D-pin captures are pseudo primary outputs and take
+  // the resolve_site shortcut — the oracle must agree there too.
+  const Circuit c = circuit::make_scan_accumulator(3);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 100;
+  config.lfsr_seed = 3;
+  config.misr_width = 4;
+  const BistSession session(faults, config);
+  const BistResult result = session.run();
+
+  const OracleGrading oracle =
+      grade_by_hand(faults, session.patterns(), Misr(config.misr_width));
+  EXPECT_EQ(result.good_signature, oracle.good_signature);
+  for (std::size_t cls = 0; cls < oracle.fault_signatures.size(); ++cls) {
+    EXPECT_EQ(result.fault_signatures[cls], oracle.fault_signatures[cls])
+        << fault_name(c, faults.representatives()[cls]);
+    EXPECT_EQ(result.first_error_pattern[cls], oracle.first_error[cls]);
+  }
+}
+
+TEST(BistSession, RawDetectionMatchesPpsfpEngine) {
+  // first_error_pattern is full-observation first detection; it must be
+  // bit-identical to the production fault simulator on the same patterns.
+  const Circuit c = circuit::make_comparator(4);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 200;
+  config.lfsr_seed = 11;
+  const BistSession session(faults, config);
+  const BistResult result = session.run();
+
+  const fault::FaultSimResult ppsfp =
+      fault::simulate_ppsfp(faults, session.patterns());
+  ASSERT_EQ(result.first_error_pattern.size(), ppsfp.first_detection.size());
+  EXPECT_EQ(result.first_error_pattern, ppsfp.first_detection);
+  EXPECT_EQ(result.raw_covered_faults, ppsfp.covered_faults);
+  EXPECT_DOUBLE_EQ(result.raw_coverage, ppsfp.coverage);
+}
+
+TEST(BistSession, BitDeterministicAcrossWorkerCounts) {
+  const Circuit c = circuit::make_array_multiplier(6);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 256;
+  config.misr_width = 16;
+  const BistSession session(faults, config);
+
+  const BistResult r1 = session.run(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const BistResult rn = session.run(threads);
+    EXPECT_EQ(rn.good_signature, r1.good_signature) << threads;
+    EXPECT_EQ(rn.fault_signatures, r1.fault_signatures) << threads;
+    EXPECT_EQ(rn.first_error_pattern, r1.first_error_pattern) << threads;
+    EXPECT_EQ(rn.first_divergence_pattern, r1.first_divergence_pattern)
+        << threads;
+    EXPECT_EQ(rn.aliased_classes, r1.aliased_classes) << threads;
+    EXPECT_DOUBLE_EQ(rn.signature_coverage, r1.signature_coverage)
+        << threads;
+  }
+}
+
+TEST(BistSession, WideMisrDoesNotAlias) {
+  // k = 32 puts the expected aliasing loss at ~detected * 2^-32 — zero in
+  // any session this size, so signature grading must equal raw grading.
+  const Circuit c = circuit::make_alu(3);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 256;
+  config.misr_width = 32;
+  const BistSession session(faults, config);
+  const BistResult result = session.run();
+
+  EXPECT_TRUE(result.aliased_classes.empty());
+  EXPECT_EQ(result.signature_detected_classes, result.raw_detected_classes);
+  EXPECT_DOUBLE_EQ(result.signature_coverage, result.raw_coverage);
+  EXPECT_DOUBLE_EQ(result.aliasing_loss(), 0.0);
+}
+
+TEST(BistSession, SignatureDetectionImpliesRawDetection) {
+  // A fault that never produces an output error can never perturb the
+  // signature: signature-detected is a subset of raw-detected, whatever
+  // the register width.
+  const Circuit c = circuit::make_ripple_carry_adder(8);
+  const FaultList faults = FaultList::full_universe(c);
+  for (const int width : {4, 8, 16}) {
+    BistConfig config;
+    config.pattern_count = 192;
+    config.misr_width = width;
+    const BistSession session(faults, config);
+    const BistResult result = session.run();
+
+    EXPECT_LE(result.signature_detected_classes,
+              result.raw_detected_classes);
+    EXPECT_GE(result.aliasing_loss(), 0.0);
+    for (std::size_t cls = 0; cls < result.fault_signatures.size(); ++cls) {
+      if (result.fault_signatures[cls] != result.good_signature) {
+        EXPECT_GE(result.first_error_pattern[cls], 0);
+        EXPECT_GE(result.first_divergence_pattern[cls], 0);
+        // Divergence cannot precede the first output error.
+        EXPECT_GE(result.first_divergence_pattern[cls],
+                  result.first_error_pattern[cls]);
+      }
+    }
+    for (const std::uint32_t cls : result.aliased_classes) {
+      EXPECT_GE(result.first_error_pattern[cls], 0);
+      EXPECT_EQ(result.fault_signatures[cls], result.good_signature);
+    }
+  }
+}
+
+TEST(BistSession, CurvesAreConsistentWithScalarCoverages) {
+  const Circuit c = circuit::make_comparator(5);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 150;
+  config.misr_width = 8;
+  const BistSession session(faults, config);
+  const BistResult result = session.run();
+
+  const fault::CoverageCurve raw = result.raw_curve(faults);
+  EXPECT_EQ(raw.pattern_count(), result.pattern_count);
+  EXPECT_DOUBLE_EQ(raw.final_coverage(), result.raw_coverage);
+
+  // The divergence curve's final value counts every class that EVER
+  // diverged: all end-of-session detections, plus those aliased classes
+  // whose delta was non-zero mid-session (an aliased class that cancels
+  // spatially at every error pattern never diverges at all).
+  const fault::CoverageCurve sig = result.signature_curve(faults);
+  std::size_t aliased_weight = 0;
+  for (const std::uint32_t cls : result.aliased_classes) {
+    aliased_weight += faults.class_size(cls);
+  }
+  const std::size_t ever_diverged = sig.covered_after(result.pattern_count);
+  EXPECT_GE(ever_diverged, result.signature_covered_faults);
+  EXPECT_LE(ever_diverged,
+            result.signature_covered_faults + aliased_weight);
+
+  // Every class the divergence curve counts is raw-detected.
+  EXPECT_LE(ever_diverged, result.raw_covered_faults);
+}
+
+TEST(BistSession, DomainChecks) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 0;
+  EXPECT_THROW(BistSession(faults, config), ContractViolation);
+  config.pattern_count = 16;
+  config.misr_width = 0;
+  EXPECT_THROW(BistSession(faults, config), ContractViolation);
+  config.misr_width = 9;  // no standard polynomial
+  EXPECT_THROW(BistSession(faults, config), Error);
+  config.misr_width = 9;
+  config.misr_taps = 0x110;
+  EXPECT_NO_THROW(BistSession(faults, config));
+}
+
+}  // namespace
+}  // namespace lsiq::bist

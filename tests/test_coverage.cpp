@@ -37,6 +37,46 @@ TEST(CoverageCurve, ZeroTargetNeedsOnePattern) {
   EXPECT_EQ(curve.patterns_for_coverage(0.0), 1u);
 }
 
+TEST(CoverageCurve, ReachesDistinguishesSentinel) {
+  const CoverageCurve curve({10, 25, 25, 40}, 100);
+  EXPECT_TRUE(curve.reaches(0.0));
+  EXPECT_TRUE(curve.reaches(0.40));
+  EXPECT_FALSE(curve.reaches(0.41));
+  EXPECT_FALSE(curve.reaches(1.0));
+  EXPECT_FALSE(CoverageCurve({}, 10).reaches(0.1));
+}
+
+TEST(CoverageCurve, BinarySearchMatchesLinearScan) {
+  // Long plateau-heavy curve; every target must land where the one-by-one
+  // scan would.
+  std::vector<std::size_t> cumulative;
+  std::size_t running = 0;
+  for (std::size_t t = 0; t < 500; ++t) {
+    if (t % 7 == 0) running += t % 13;
+    cumulative.push_back(running);
+  }
+  const CoverageCurve curve(cumulative, 4000);
+  for (const double target :
+       {0.0, 1e-9, 0.01, 0.1, 0.25, 0.333, 0.5, 0.51, 0.9, 1.0}) {
+    std::size_t linear = cumulative.size() + 1;
+    for (std::size_t t = 1; t <= cumulative.size(); ++t) {
+      if (curve.coverage_after(t) >= target) {
+        linear = t;
+        break;
+      }
+    }
+    EXPECT_EQ(curve.patterns_for_coverage(target), linear)
+        << "target " << target;
+    EXPECT_EQ(curve.reaches(target), linear <= cumulative.size());
+  }
+}
+
+TEST(CoverageCurve, FullCoverageTargetHitsExactly) {
+  const CoverageCurve curve({4, 10}, 10);
+  EXPECT_EQ(curve.patterns_for_coverage(1.0), 2u);
+  EXPECT_TRUE(curve.reaches(1.0));
+}
+
 TEST(CoverageCurve, FromFirstDetectionAccumulatesWeights) {
   // Three classes with weights 2, 3, 5; detected at patterns 1, 0, -1.
   const CoverageCurve curve = CoverageCurve::from_first_detection(

@@ -393,5 +393,58 @@ TEST(FaultSim, WeightedCoverageUsesClassSizes) {
   EXPECT_DOUBLE_EQ(r.coverage, 0.5);
 }
 
+TEST(FaultSim, PointDiffWordsAgreeWithBothDetectKernels) {
+  // point_diff_words must (a) OR back to exactly the full-observation
+  // detect word and (b) match, per point, what the event-driven kernel
+  // reports under a single-point strobe mask.
+  circuit::RandomDagSpec spec;
+  spec.inputs = 12;
+  spec.gates = 150;
+  spec.seed = 77;
+  const Circuit c = make_random_dag(spec);
+  const FaultList faults = FaultList::full_universe(c);
+  const PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 128, 13);
+  const std::size_t point_count = c.observed_points().size();
+
+  sim::ParallelSimulator good_sim(c);
+  Propagator resim(c);
+  Propagator wave(c);
+  std::vector<std::uint64_t> diffs;
+  std::vector<std::uint64_t> one_point(point_count, 0);
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    good_sim.simulate_block(patterns.block_words(b));
+    const std::vector<std::uint64_t>& good = good_sim.values();
+    resim.begin_block(good);
+    wave.begin_block(good);
+    for (const Fault& f : faults.representatives()) {
+      const std::uint64_t from_diffs = resim.point_diff_words(f, good, diffs);
+      ASSERT_EQ(diffs.size(), point_count);
+      std::uint64_t or_of_points = 0;
+      for (const std::uint64_t d : diffs) or_of_points |= d;
+      EXPECT_EQ(or_of_points, from_diffs);
+      EXPECT_EQ(from_diffs, wave.detect_word(f, good))
+          << fault_name(c, f) << " block " << b;
+      for (std::size_t i = 0; i < point_count; ++i) {
+        one_point.assign(point_count, 0);
+        one_point[i] = ~0ULL;
+        EXPECT_EQ(diffs[i], wave.detect_word(f, good, &one_point))
+            << fault_name(c, f) << " point " << i;
+      }
+    }
+  }
+}
+
+TEST(FaultSim, PointDiffWordsRequiresBlockSync) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  Propagator propagator(c);
+  std::vector<std::uint64_t> good(c.gate_count(), 0);
+  std::vector<std::uint64_t> diffs;
+  EXPECT_THROW(propagator.point_diff_words(faults.representatives().front(),
+                                           good, diffs),
+               ContractViolation);
+}
+
 }  // namespace
 }  // namespace lsiq::fault

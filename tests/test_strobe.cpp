@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "circuit/generators.hpp"
 #include "fault/fault_sim.hpp"
 #include "tpg/lfsr.hpp"
@@ -62,6 +64,38 @@ TEST(StrobeSchedule, ConsistencyBetweenStrobedAndLaneMask) {
           << "point " << point << " pattern " << pattern;
     }
   }
+}
+
+TEST(StrobeSchedule, LaneMaskAtExactBlockBoundary) {
+  // offset == start - block_first lands exactly on 64 when the start
+  // pattern is the first lane of the NEXT block; `~0ULL << 64` is
+  // undefined behaviour, so this boundary must resolve to the all-off
+  // mask, not a shift.
+  const StrobeSchedule s = StrobeSchedule::from_start_patterns({64, 128});
+  EXPECT_EQ(s.lane_mask(0, 0), 0u);    // offset = 64 - 0  = 64: all off
+  EXPECT_EQ(s.lane_mask(0, 1), ~0ULL); // start <= block_first: all on
+  EXPECT_EQ(s.lane_mask(1, 1), 0u);    // offset = 128 - 64 = 64: all off
+  EXPECT_EQ(s.lane_mask(1, 2), ~0ULL);
+  // One pattern either side of the boundary.
+  const StrobeSchedule t = StrobeSchedule::from_start_patterns({63, 65});
+  EXPECT_EQ(t.lane_mask(0, 0), ~0ULL << 63);  // only lane 63 on
+  EXPECT_EQ(t.lane_mask(0, 1), ~0ULL);
+  EXPECT_EQ(t.lane_mask(1, 0), 0u);
+  EXPECT_EQ(t.lane_mask(1, 1), ~0ULL << 1);   // lane 0 of block 1 off
+}
+
+TEST(StrobeSchedule, ProgressiveOverflowRejected) {
+  const std::size_t max = std::numeric_limits<std::size_t>::max();
+  const std::size_t half = max / 2;  // 2 * half fits, 3 * half wraps
+  EXPECT_THROW(StrobeSchedule::progressive(4, half), ContractViolation);
+  EXPECT_THROW(StrobeSchedule::progressive(3, max), ContractViolation);
+  // Still-legal extremes: one point never overflows, step 0 never
+  // overflows, and the largest representable products are accepted
+  // ((point_count - 1) * step == max exactly).
+  EXPECT_NO_THROW(StrobeSchedule::progressive(1, max));
+  EXPECT_NO_THROW(StrobeSchedule::progressive(3, 0));
+  EXPECT_NO_THROW(StrobeSchedule::progressive(2, max));
+  EXPECT_NO_THROW(StrobeSchedule::progressive(3, half));
 }
 
 TEST(StrobeSchedule, DomainChecks) {

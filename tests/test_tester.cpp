@@ -122,5 +122,57 @@ TEST(Tester, ZeroPatternProgramRejected) {
   EXPECT_THROW(test_lot(lot, sim, 0), ContractViolation);
 }
 
+/// Hand-built BIST grading: class c is signature-detected iff
+/// signatures[c] differs from the good signature.
+bist::BistResult fake_bist(std::uint64_t good_signature,
+                           std::vector<std::uint64_t> signatures,
+                           std::size_t pattern_count) {
+  bist::BistResult r;
+  r.pattern_count = pattern_count;
+  r.good_signature = good_signature;
+  r.fault_signatures = std::move(signatures);
+  return r;
+}
+
+TEST(BistTester, SignatureCompareDecidesPassFail) {
+  // Classes: 0 aliased/undetected (signature matches good), 1 detected,
+  // 2 aliased.
+  const auto bist = fake_bist(0xAB, {0xAB, 0xCD, 0xAB}, 100);
+  ChipLot lot;
+  lot.chips.push_back(chip_with({}));      // good chip
+  lot.chips.push_back(chip_with({0}));     // defective, aliases: escape
+  lot.chips.push_back(chip_with({1}));     // defective, caught
+  lot.chips.push_back(chip_with({0, 2}));  // both faults alias: escape
+  lot.chips.push_back(chip_with({2, 1}));  // one detected fault suffices
+
+  const LotTestResult result = test_lot_bist(lot, bist);
+  ASSERT_EQ(result.chip_count(), 5u);
+  EXPECT_EQ(result.pattern_count, 100u);
+  EXPECT_EQ(result.outcomes[0].first_fail_pattern, -1);
+  EXPECT_FALSE(result.outcomes[0].defective);
+  EXPECT_EQ(result.outcomes[1].first_fail_pattern, -1);  // shipped defect
+  EXPECT_TRUE(result.outcomes[1].defective);
+  // BIST observability: failures land on the final signature compare.
+  EXPECT_EQ(result.outcomes[2].first_fail_pattern, 99);
+  EXPECT_EQ(result.outcomes[3].first_fail_pattern, -1);
+  EXPECT_EQ(result.outcomes[4].first_fail_pattern, 99);
+
+  EXPECT_EQ(result.failed_count(), 2u);
+  EXPECT_EQ(result.shipped_defective_count(), 2u);
+  // failed_within is a step function at the session end.
+  EXPECT_EQ(result.failed_within(99), 0u);
+  EXPECT_EQ(result.failed_within(100), 2u);
+}
+
+TEST(BistTester, DomainChecks) {
+  ChipLot lot;
+  lot.chips.push_back(chip_with({7}));
+  EXPECT_THROW(test_lot_bist(lot, fake_bist(0, {0, 1}, 10)),
+               ContractViolation);
+  lot.chips.clear();
+  lot.chips.push_back(chip_with({}));
+  EXPECT_THROW(test_lot_bist(lot, fake_bist(0, {}, 0)), ContractViolation);
+}
+
 }  // namespace
 }  // namespace lsiq::wafer
