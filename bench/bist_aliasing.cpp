@@ -4,7 +4,8 @@
 // No figure in the paper covers this — BIST post-dates it — but the
 // readout follows the Figs. 1-4 methodology: sweep a test-architecture
 // parameter, evaluate the exact simulated quantity, and put the closed
-// form next to it. Two sweeps:
+// form next to it. Each sweep point is one coverage-only flow spec with a
+// misr observation axis; only the swept field changes. Two sweeps:
 //
 //   * width sweep at fixed session length: aliasing fraction vs k,
 //     against 2^-k (the Smith asymptote), plus the DPPM the coverage
@@ -16,10 +17,9 @@
 
 #include "bench_util.hpp"
 #include "bist/misr.hpp"
-#include "bist/session.hpp"
 #include "circuit/generators.hpp"
-#include "core/quality_analyzer.hpp"
 #include "fault/fault_list.hpp"
+#include "flow/flow.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -33,18 +33,24 @@ int main() {
   const fault::FaultList faults = fault::FaultList::full_universe(chip);
   const quality::QualityAnalyzer product(/*yield=*/0.07, /*n0=*/8.0);
 
-  bist::BistConfig config;
-  config.pattern_count = 512;
-  config.lfsr_seed = 29;
-  config.num_threads = 0;
+  flow::FlowSpec spec;
+  spec.source.kind = "lfsr";
+  spec.source.pattern_count = 512;
+  spec.source.lfsr_seed = 29;
+  spec.observe.kind = "misr";
+  spec.engine.kind = "ppsfp_mt";
+  spec.engine.num_threads = 0;
+  spec.lot.chip_count = 0;  // coverage-only: the lot axis is not swept
+  spec.lot.yield = 0.07;
+  spec.lot.n0 = 8.0;
 
   bench::print_section("aliasing fraction vs MISR width (512 patterns)");
   util::TextTable by_width({"k", "full-obs cov", "sig cov",
                             "aliased classes", "measured frac",
                             "2^-k model", "DPPM gap"});
   for (const int width : {4, 8, 16, 24, 32}) {
-    config.misr_width = width;
-    const bist::BistResult r = bist::BistSession(faults, config).run();
+    spec.observe.misr_width = width;
+    const bist::BistResult r = *flow::run(faults, spec).bist;
     const double gap = product.dppm(r.signature_coverage) -
                        product.dppm(r.raw_coverage);
     by_width.add_row(
@@ -60,12 +66,12 @@ int main() {
   std::cout << by_width.to_string();
 
   bench::print_section("aliasing vs session length (k = 8)");
-  config.misr_width = 8;
+  spec.observe.misr_width = 8;
   util::TextTable by_length({"patterns", "full-obs cov", "sig cov",
                              "aliased classes", "measured frac"});
   for (const std::size_t patterns : {64u, 128u, 256u, 512u, 1024u}) {
-    config.pattern_count = patterns;
-    const bist::BistResult r = bist::BistSession(faults, config).run();
+    spec.source.pattern_count = patterns;
+    const bist::BistResult r = *flow::run(faults, spec).bist;
     by_length.add_row(
         {util::format_double(static_cast<double>(patterns), 0),
          util::format_percent(r.raw_coverage, 2),

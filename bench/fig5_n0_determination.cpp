@@ -14,9 +14,9 @@
 #include "circuit/generators.hpp"
 #include "core/estimation.hpp"
 #include "core/reject_model.hpp"
-#include "tpg/lfsr.hpp"
+#include "fault/fault_list.hpp"
+#include "flow/flow.hpp"
 #include "util/table.hpp"
-#include "wafer/experiment.hpp"
 
 int main() {
   using namespace lsiq;
@@ -44,20 +44,24 @@ int main() {
   }
   std::cout << family.to_string();
 
-  // The experimental overlay: same virtual experiment as Table 1.
+  // The experimental overlay: same virtual experiment as Table 1, same
+  // declarative spec (tools/specs/table1.spec), single-threaded engine.
   const circuit::Circuit chip = circuit::make_array_multiplier(16);
   const fault::FaultList faults = fault::FaultList::full_universe(chip);
-  const sim::PatternSet program =
-      tpg::lfsr_patterns(chip.pattern_inputs().size(), 1024, 1981);
 
-  wafer::ExperimentSpec spec;
-  spec.chip_count = 277;
-  spec.yield = 0.07;
-  spec.n0 = 8.0;
-  spec.seed = 1981;
-  spec.progressive_strobe_step = 24;  // same tester program as Table 1
-  const wafer::ExperimentResult result =
-      wafer::run_chip_test_experiment(faults, program, spec);
+  flow::FlowSpec spec;
+  spec.source.kind = "lfsr";
+  spec.source.pattern_count = 1024;
+  spec.source.lfsr_seed = 1981;
+  spec.observe.kind = "progressive";
+  spec.observe.strobe_step = 24;  // same tester program as Table 1
+  spec.engine.kind = "ppsfp";
+  spec.lot.chip_count = 277;
+  spec.lot.yield = 0.07;
+  spec.lot.n0 = 8.0;
+  spec.lot.seed = 1981;
+  spec.analysis.strobe_coverages = flow::table1_strobes();
+  const flow::FlowResult result = flow::run(faults, spec);
 
   bench::print_section("experimental points (virtual 277-chip lot)");
   util::TextTable points_table({"f", "fraction failed", "P(f; n0=8)"});

@@ -1,12 +1,15 @@
-// Regenerates Table 1 and the Section 7 example end to end:
+// Regenerates Table 1 and the Section 7 example end to end, driven by one
+// declarative flow spec (the same scenario ships as data in
+// tools/specs/table1.spec for the lsiq_flow CLI):
 //
 //   1. an LSI-scale circuit (16x16 array multiplier) stands in for the
 //      paper's ~25,000-transistor chip;
-//   2. an ordered LFSR pattern program is graded by the PPSFP fault
-//      simulator (the LAMP step), giving the cumulative coverage curve;
-//   3. a 277-chip virtual lot with ground truth y = 0.07, n0 = 8 runs
-//      through the virtual tester (the Sentry step), recording each chip's
-//      first failing pattern;
+//   2. the spec's source axis orders an LFSR pattern program and its
+//      engine axis grades it with the PPSFP fault simulator (the LAMP
+//      step), giving the cumulative coverage curve;
+//   3. the lot axis manufactures a 277-chip virtual lot with ground truth
+//      y = 0.07, n0 = 8 and runs it through the virtual tester (the
+//      Sentry step), recording each chip's first failing pattern;
 //   4. the Table-1 strobe table is read out at the paper's coverage
 //      checkpoints and compared against the published column;
 //   5. the Section 7 analysis follows: slope estimate, curve fits,
@@ -21,10 +24,10 @@
 #include "core/coverage_requirement.hpp"
 #include "core/estimation.hpp"
 #include "core/reject_model.hpp"
-#include "tpg/lfsr.hpp"
+#include "fault/fault_list.hpp"
+#include "flow/flow.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "wafer/experiment.hpp"
 
 int main() {
   using namespace lsiq;
@@ -45,33 +48,36 @@ int main() {
       {0.36, 242, 0.87}, {0.45, 251, 0.91}, {0.50, 256, 0.92},
       {0.65, 257, 0.93}};
 
-  // 1-2: circuit, fault universe, ordered pattern program, fault grading.
+  // 1: circuit and fault universe.
   const circuit::Circuit chip = circuit::make_array_multiplier(16);
   const circuit::CircuitStats stats = chip.stats();
   const fault::FaultList faults = fault::FaultList::full_universe(chip);
-  const sim::PatternSet program =
-      tpg::lfsr_patterns(chip.pattern_inputs().size(), 1024, 1981);
+
+  // 2-4: the whole experiment as one spec (tools/specs/table1.spec).
+  flow::FlowSpec spec;
+  spec.source.kind = "lfsr";
+  spec.source.pattern_count = 1024;
+  spec.source.lfsr_seed = 1981;
+  spec.observe.kind = "progressive";
+  spec.observe.strobe_step = 24;  // output pin i strobed from pattern 24*i
+  spec.engine.kind = "ppsfp_mt";
+  spec.engine.num_threads = 0;  // one PPSFP worker per hardware thread
+  spec.lot.chip_count = 277;
+  spec.lot.yield = 0.07;
+  spec.lot.n0 = 8.0;
+  spec.lot.seed = 1981;
+  spec.analysis.strobe_coverages = flow::table1_strobes();
+  const flow::FlowResult result = flow::run(faults, spec);
 
   std::cout << "LSI stand-in: " << chip.name() << ", "
             << stats.combinational_gates << " gates, depth " << stats.depth
             << ", fault universe N = " << faults.fault_count() << " ("
             << faults.class_count() << " collapsed classes)\n"
-            << "Test program: " << program.size()
+            << "Test program: " << result.patterns.size()
             << " LFSR patterns in tester order, progressive per-pin "
                "strobing\n(functional-program emulation — see "
                "fault/strobe.hpp; this is what makes\nthe coverage curve "
                "rise gradually, as the paper's Table 1 requires)\n";
-
-  // 3-4: the experiment.
-  wafer::ExperimentSpec spec;
-  spec.chip_count = 277;
-  spec.yield = 0.07;
-  spec.n0 = 8.0;
-  spec.seed = 1981;
-  spec.progressive_strobe_step = 24;  // output pin i strobed from pattern 24*i
-  spec.num_threads = 0;  // grade with one PPSFP worker per hardware thread
-  const wafer::ExperimentResult result =
-      wafer::run_chip_test_experiment(faults, program, spec);
 
   bench::print_section("Table 1 — result of chip test (paper vs reproduced)");
   std::cout << "Yield ~ 0.07, total number of chips = 277\n\n";
@@ -95,10 +101,10 @@ int main() {
 
   bench::print_section("Section 7 — determination of n0");
   const quality::SlopeEstimate slope =
-      quality::estimate_n0_slope({points.front()}, spec.yield);
-  const int discrete = quality::estimate_n0_discrete(points, spec.yield);
+      quality::estimate_n0_slope({points.front()}, spec.lot.yield);
+  const int discrete = quality::estimate_n0_discrete(points, spec.lot.yield);
   const quality::FitResult ls =
-      quality::estimate_n0_least_squares(points, spec.yield);
+      quality::estimate_n0_least_squares(points, spec.lot.yield);
   util::TextTable estimates({"method", "paper", "reproduced"});
   estimates.add_row({"P'(0) from first strobe", "8.2",
                      util::format_double(slope.p_prime_zero, 2)});
@@ -108,7 +114,7 @@ int main() {
   estimates.add_row({"n0, least squares", "(n/a)",
                      util::format_double(ls.n0, 2)});
   estimates.add_row({"ground truth of virtual lot", "(unknown in 1981)",
-                     util::format_double(result.lot.realized_n0(), 2)});
+                     util::format_double(result.lot->realized_n0(), 2)});
   std::cout << estimates.to_string();
 
   // Uncertainty the paper could not report: bootstrap CI on n0 from the
@@ -122,10 +128,10 @@ int main() {
       bin_counts.push_back(row.cumulative_failed - previous);
       previous = row.cumulative_failed;
     }
-    const std::size_t passed = spec.chip_count - previous;
+    const std::size_t passed = spec.lot.chip_count - previous;
     const quality::BootstrapInterval interval =
         quality::bootstrap_n0_interval(strobes, bin_counts, passed,
-                                       spec.yield, 300, 0.95, 1981);
+                                       spec.lot.yield, 300, 0.95, 1981);
     std::cout << "\nBootstrap (300 replicates): n0 = "
               << util::format_double(interval.point, 2) << ", 95% CI ["
               << util::format_double(interval.lower, 2) << ", "
@@ -140,11 +146,12 @@ int main() {
     conclusions.add_row(
         {util::format_probability(r),
          util::format_percent(
-             quality::required_fault_coverage(r, spec.yield, 8.0), 1),
+             quality::required_fault_coverage(r, spec.lot.yield, 8.0), 1),
          util::format_percent(
-             quality::wadsack_required_coverage(r, spec.yield), 1),
+             quality::wadsack_required_coverage(r, spec.lot.yield), 1),
          util::format_percent(
-             quality::williams_brown_required_coverage(r, spec.yield), 1)});
+             quality::williams_brown_required_coverage(r, spec.lot.yield),
+             1)});
   }
   std::cout << conclusions.to_string()
             << "Paper: ~80% (r=1%) and ~95% (r=0.1%) vs Wadsack's 99% and "
@@ -154,27 +161,30 @@ int main() {
       "beyond the paper: measured escape rate vs Eq. 8 (50,000-chip lot, "
       "program cut at the 65% strobe)");
   // Ship after the Table 1 program (f ~ 0.65) rather than the full set, so
-  // Eq. 8 predicts a reject rate large enough to measure.
-  const sim::PatternSet short_program =
-      program.slice(0, result.table.back().pattern_index);
-  wafer::ExperimentSpec big = spec;
-  big.chip_count = 50000;
-  big.seed = 77;
-  const wafer::ExperimentResult validation =
-      wafer::run_chip_test_experiment(faults, short_program, big);
+  // Eq. 8 predicts a reject rate large enough to measure. Same spec, two
+  // axes changed: the source becomes the sliced program, the lot grows.
+  flow::FlowSpec big = spec;
+  big.source = flow::PatternSourceSpec{};
+  big.source.kind = "explicit";
+  big.source.patterns =
+      result.patterns.slice(0, result.table.back().pattern_index);
+  big.lot.chip_count = 50000;
+  big.lot.seed = 77;
+  const flow::FlowResult validation = flow::run(faults, big);
   const double f_final = validation.final_coverage();
   const double predicted =
-      quality::field_reject_rate(f_final, spec.yield, spec.n0);
-  const double measured = validation.test.empirical_reject_rate();
+      quality::field_reject_rate(f_final, spec.lot.yield, spec.lot.n0);
+  const double measured = validation.test->empirical_reject_rate();
   const auto [lo, hi] =
-      util::wilson_interval(validation.test.shipped_defective_count(),
-                            validation.test.passed_count());
+      util::wilson_interval(validation.test->shipped_defective_count(),
+                            validation.test->passed_count());
   util::TextTable check({"quantity", "value"});
   check.add_row({"final program coverage f",
                  util::format_percent(f_final, 2)});
   check.add_row({"escapes / shipped",
-                 std::to_string(validation.test.shipped_defective_count()) +
-                     " / " + std::to_string(validation.test.passed_count())});
+                 std::to_string(validation.test->shipped_defective_count()) +
+                     " / " +
+                     std::to_string(validation.test->passed_count())});
   check.add_row({"measured reject rate", util::format_probability(measured)});
   check.add_row({"95% interval", util::format_probability(lo) + " .. " +
                                      util::format_probability(hi)});

@@ -3,18 +3,18 @@
 //
 // Section 1 of the paper: "test development and test application costs
 // increase very rapidly" as coverage approaches 100%. This example makes
-// that concrete on a real circuit: the random-pattern coverage curve
-// flattens, PODEM closes the stubborn faults (proving some redundant), and
-// the quality model translates every extra point of coverage into a reject
-// rate — so the cost of the last few percent can be weighed against the
-// DPPM they deliver.
+// that concrete on a real circuit, using two coverage-only flow specs that
+// differ ONLY in their pattern-source axis: an explicit random program
+// graded on the multi-threaded engine, then an ATPG source whose PODEM
+// phase closes the stubborn faults (proving some redundant). The quality
+// model then translates every extra point of coverage into a reject rate —
+// so the cost of the last few percent can be weighed against the DPPM they
+// deliver.
 #include <iostream>
 
 #include "circuit/generators.hpp"
-#include "core/quality_analyzer.hpp"
 #include "fault/fault_list.hpp"
-#include "fault/fault_sim.hpp"
-#include "tpg/atpg.hpp"
+#include "flow/flow.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -28,20 +28,24 @@ int main() {
             << faults.fault_count() << " faults ("
             << faults.class_count() << " classes)\n\n";
 
-  // The product's quality context (from characterization).
-  const quality::QualityAnalyzer context(/*yield=*/0.25, /*n0=*/6.0);
+  // The quality context and the axes shared by both phases: coverage-only
+  // (no lot), graded on the multi-threaded compiled engine.
+  flow::FlowSpec spec;
+  spec.engine.kind = "ppsfp_mt";
+  spec.engine.num_threads = 0;  // one worker per hardware thread
+  spec.lot.chip_count = 0;      // no lot: source-vs-source comparison
+  spec.lot.yield = 0.25;        // the product's characterization context
+  spec.lot.n0 = 6.0;
 
   // ---- random-pattern phase: coverage vs pattern count ----
   util::Rng rng(11);
   sim::PatternSet random_patterns(product.pattern_inputs().size());
   random_patterns.append_random(2048, rng);
-  // Grade the 2048-pattern program on the multi-threaded compiled engine
-  // (0 = one worker per hardware thread); results are bit-identical to the
-  // serial grader.
-  const fault::FaultSimResult graded =
-      simulate_ppsfp_mt(faults, random_patterns, nullptr, 0);
-  const fault::CoverageCurve curve =
-      graded.curve(faults, random_patterns.size());
+  spec.source.kind = "explicit";
+  spec.source.patterns = random_patterns;
+  const flow::FlowResult random_run = flow::run(faults, spec);
+  const quality::QualityAnalyzer& context = *random_run.analyzer;
+  const fault::CoverageCurve& curve = *random_run.curve;
 
   util::TextTable random_table(
       {"random patterns", "coverage", "predicted reject rate", "DPPM"});
@@ -54,19 +58,21 @@ int main() {
   std::cout << "Random patterns alone (the flattening curve):\n"
             << random_table.to_string();
 
-  // ---- deterministic phase: PODEM closes the set ----
-  tpg::AtpgOptions options;
-  options.random_patterns = 256;
-  options.seed = 11;
-  const tpg::AtpgResult atpg = generate_tests(faults, options);
-  const sim::PatternSet compacted =
-      tpg::reverse_order_compact(faults, atpg.patterns);
+  // ---- deterministic phase: the same flow with an ATPG source ----
+  spec.source = flow::PatternSourceSpec{};
+  spec.source.kind = "atpg";
+  spec.source.atpg.random_patterns = 256;
+  spec.source.atpg.seed = 11;
+  spec.source.atpg_compact = true;  // reverse-order static compaction
+  const flow::FlowResult atpg_run = flow::run(faults, spec);
+  const tpg::AtpgResult& atpg = *atpg_run.atpg;
 
   std::cout << "\nTwo-phase ATPG (random + PODEM with fault dropping):\n";
   util::TextTable atpg_table({"quantity", "value"});
-  atpg_table.add_row({"patterns generated", std::to_string(atpg.patterns.size())});
+  atpg_table.add_row({"patterns generated",
+                      std::to_string(atpg.patterns.size())});
   atpg_table.add_row({"after reverse-order compaction",
-                      std::to_string(compacted.size())});
+                      std::to_string(atpg_run.patterns.size())});
   atpg_table.add_row({"coverage f = m/N",
                       util::format_percent(atpg.coverage, 2)});
   atpg_table.add_row({"proven-redundant classes",
@@ -86,8 +92,8 @@ int main() {
             << "  ATPG-closed program:  "
             << util::format_percent(f_atpg, 2) << " coverage -> "
             << util::format_double(context.dppm(f_atpg), 0) << " DPPM\n"
-            << "  (and " << compacted.size() << " patterns instead of 2048"
-            << " on the tester)\n"
+            << "  (and " << atpg_run.patterns.size()
+            << " patterns instead of 2048 on the tester)\n"
             << "\nSection 1's redundancy point, demonstrated: "
             << atpg.redundant_classes
             << " fault classes are provably untestable, so 100% raw\n"

@@ -5,8 +5,9 @@
 // drives the patterns and a MISR compacts all responses into one k-bit
 // signature, so the coverage that reaches the quality model is only what
 // survives signature aliasing. This example runs the paper's stand-in
-// product (the 16-bit array multiplier) through a BIST session and
-// reports, per MISR width:
+// product (the 16-bit array multiplier; --tiny switches to the 8-bit one
+// for CI smoke runs) through flow specs that differ only in their
+// observation axis, and reports, per MISR width:
 //
 //   * full-observation coverage of the LFSR program (what LAMP would say),
 //   * exact signature coverage (simulated aliasing, not a model),
@@ -20,19 +21,23 @@
 // within the analytic bound for the wide production register.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bist/misr.hpp"
-#include "bist/session.hpp"
 #include "circuit/generators.hpp"
-#include "core/quality_analyzer.hpp"
 #include "fault/fault_list.hpp"
+#include "flow/flow.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsiq;
 
+  // --tiny: the CI smoke configuration (same code path, smaller product).
+  const bool tiny = argc > 1 && std::string(argv[1]) == "--tiny";
+
   // The paper's stand-in LSI product and Section 7 quality parameters.
-  const circuit::Circuit chip = circuit::make_array_multiplier(16);
+  const circuit::Circuit chip =
+      circuit::make_array_multiplier(tiny ? 8 : 16);
   const fault::FaultList faults = fault::FaultList::full_universe(chip);
   const quality::QualityAnalyzer product(/*yield=*/0.07, /*n0=*/8.0);
 
@@ -40,19 +45,32 @@ int main() {
             << faults.fault_count() << "-fault universe, "
             << faults.class_count() << " collapsed classes\n\n";
 
-  bist::BistConfig config;
-  config.pattern_count = 1024;
-  config.lfsr_seed = 1981;
-  config.num_threads = 0;  // grade with every hardware thread
+  // Everything but the observation axis is shared: LFSR program,
+  // signature grading on every hardware thread, no lot (coverage-only),
+  // Section 7 analyzer parameters.
+  flow::FlowSpec spec;
+  spec.source.kind = "lfsr";
+  spec.source.pattern_count = tiny ? 256 : 1024;
+  spec.source.lfsr_seed = 1981;
+  spec.observe.kind = "misr";
+  spec.engine.kind = "ppsfp_mt";
+  spec.engine.num_threads = 0;  // grade with every hardware thread
+  spec.lot.chip_count = 0;
+  spec.lot.yield = 0.07;
+  spec.lot.n0 = 8.0;
 
   // 1. Determinism: the same session must grade bit-identically with 1,
   // 2 and 8 workers (each fault class is owned by exactly one lane).
-  config.misr_width = 32;
-  const bist::BistSession session32(faults, config);
-  const bist::BistResult reference = session32.run(1);
+  spec.observe.misr_width = 32;
+  spec.engine.kind = "ppsfp";  // exactly one grading worker
+  const flow::FlowResult single = flow::run(faults, spec);
+  const bist::BistResult& reference = *single.bist;
+  spec.engine.kind = "ppsfp_mt";
   bool deterministic = true;
   for (const std::size_t threads : {2u, 8u}) {
-    const bist::BistResult repeat = session32.run(threads);
+    spec.engine.num_threads = threads;
+    const flow::FlowResult repeat_run = flow::run(faults, spec);
+    const bist::BistResult& repeat = *repeat_run.bist;
     deterministic = deterministic &&
                     repeat.good_signature == reference.good_signature &&
                     repeat.fault_signatures == reference.fault_signatures &&
@@ -61,18 +79,22 @@ int main() {
                     repeat.first_divergence_pattern ==
                         reference.first_divergence_pattern;
   }
+  spec.engine.num_threads = 0;
   std::cout << "signature grading across 1/2/8 threads: "
             << (deterministic ? "bit-identical" : "MISMATCH") << "\n";
 
-  // 2. Aliasing loss vs the analytic model, across register widths.
+  // 2. Aliasing loss vs the analytic model, across register widths — the
+  // observation axis swept, everything else pinned.
   util::TextTable table({"MISR width", "full-obs coverage", "sig coverage",
                          "aliased classes", "measured alias frac",
                          "2^-k model", "DPPM full-obs", "DPPM BIST"});
   const double dppm_full = product.dppm(reference.raw_coverage);
+  bist::BistResult narrow = reference;
   for (const int width : {32, 16, 8, 4}) {
-    config.misr_width = width;
-    const bist::BistSession session(faults, config);
-    const bist::BistResult r = session.run();
+    spec.observe.misr_width = width;
+    const flow::FlowResult sweep = flow::run(faults, spec);
+    const bist::BistResult& r = *sweep.bist;
+    if (width == 8) narrow = r;
     table.add_row(
         {util::format_double(width, 0),
          util::format_percent(r.raw_coverage, 2),
@@ -91,8 +113,8 @@ int main() {
   // aliasing bound of full-observation coverage. The expected aliased
   // mass is raw_detected * 2^-k (~1e-6 classes at k = 32); we allow
   // 1e5x the expectation (~2e-5) before declaring failure — below the
-  // ~1.2e-4 coverage a single wrongly-aliased weight-1 class would cost
-  // in this 8512-fault universe, so even one such class fails the check.
+  // coverage a single wrongly-aliased weight-1 class would cost in this
+  // universe, so even one such class fails the check.
   const double expected_loss =
       reference.raw_coverage * bist::misr_aliasing_probability(32);
   const double measured_loss = reference.aliasing_loss();
@@ -108,8 +130,6 @@ int main() {
   // 4. What compaction costs in shipped quality at the narrow widths:
   // the DPPM gap between testing with full observation and shipping on a
   // k-bit signature.
-  config.misr_width = 8;
-  const bist::BistResult narrow = bist::BistSession(faults, config).run();
   std::cout << "\nAt k=8 the signature forfeits "
             << util::format_percent(narrow.aliasing_loss(), 3)
             << " coverage; the product's reject rate moves from "

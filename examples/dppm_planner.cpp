@@ -6,6 +6,10 @@
 // the planning table: per product, the coverage needed for each quality
 // class — under the paper's model, its gamma-mixed extension (clustered
 // fault counts, ref [15] direction), and the conservative Wadsack rule.
+// This is pure closed-form planning — no netlist, no simulation — so it
+// sits below the flow API: when a product needs (y, n0) characterized
+// from a lot first, run a flow::FlowSpec (see process_characterization)
+// and feed the resulting analyzer into tables like these.
 #include <iostream>
 
 #include "core/baselines.hpp"

@@ -12,7 +12,7 @@
 #include "circuit/generators.hpp"
 #include "fault/dictionary.hpp"
 #include "fault/fault_sim.hpp"
-#include "tpg/lfsr.hpp"
+#include "flow/flow.hpp"
 #include "util/table.hpp"
 #include "wafer/chip_model.hpp"
 #include "wafer/tester.hpp"
@@ -22,8 +22,12 @@ int main() {
 
   const circuit::Circuit product = circuit::make_comparator(6);
   const fault::FaultList faults = fault::FaultList::full_universe(product);
-  const sim::PatternSet program =
-      tpg::lfsr_patterns(product.pattern_inputs().size(), 256, 4242);
+  // The production program comes from the flow pattern-source axis; the
+  // dictionary itself is diagnosis machinery the flow does not own.
+  flow::PatternSourceSpec source;  // kind = "lfsr"
+  source.pattern_count = 256;
+  source.lfsr_seed = 4242;
+  const sim::PatternSet program = flow::make_patterns(faults, source);
 
   std::cout << "Circuit: " << product.name() << " — "
             << product.stats().combinational_gates << " gates, "

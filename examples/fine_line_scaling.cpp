@@ -7,7 +7,9 @@
 // chip — rises too, which lowers the requirement further. This example
 // walks a product through three process nodes and quantifies both effects,
 // using the yield-model library for the area/yield link and the core model
-// for the coverage requirement.
+// for the coverage requirement. (Pure closed-form — the simulation-backed
+// counterpart of a what-if like this is a flow::FlowSpec sweep; see
+// tools/lsiq_flow for running such scenarios from spec files.)
 #include <iostream>
 
 #include "core/coverage_requirement.hpp"

@@ -1,25 +1,24 @@
-// The full Section 5-7 flow on a virtual process line, end to end:
+// The full Section 5-7 flow on a virtual process line, end to end —
+// expressed as ONE declarative flow::FlowSpec instead of hand-wired steps:
 //
 //   1. take a product netlist (here: a 12-bit array multiplier built by the
 //      generator library — swap in any .bench file via read_bench_file);
 //   2. enumerate and collapse its stuck-at fault universe;
-//   3. build the ordered production test program (LFSR patterns here) and
-//      grade it with the PPSFP fault simulator to get the cumulative
-//      coverage curve — the paper's LAMP step;
-//   4. run a production lot through the virtual tester recording each
-//      chip's first failing pattern — the paper's Sentry step;
-//   5. estimate n0 from the fallout-vs-coverage points (slope, discrete
-//      fit, least squares) and characterize the product;
+//   3. the spec's source axis builds the ordered production test program
+//      (LFSR patterns) and the engine axis grades it with the PPSFP fault
+//      simulator — the paper's LAMP step;
+//   4. the lot axis runs a production lot through the virtual tester
+//      recording each chip's first failing pattern — the Sentry step;
+//   5. the analysis axis reads out the strobe table and characterizes the
+//      product by least squares;
 //   6. decide: is the current program good enough for the quality target,
 //      and if not, what coverage must test development reach?
 #include <iostream>
 
 #include "circuit/generators.hpp"
-#include "core/quality_analyzer.hpp"
 #include "fault/fault_list.hpp"
-#include "tpg/lfsr.hpp"
+#include "flow/flow.hpp"
 #include "util/table.hpp"
-#include "wafer/experiment.hpp"
 
 int main() {
   using namespace lsiq;
@@ -34,24 +33,27 @@ int main() {
             << "\nFault universe: N = " << faults.fault_count() << " ("
             << faults.class_count() << " collapsed classes)\n";
 
-  // ---- 3: grade the production test program ----
-  const sim::PatternSet program =
-      tpg::lfsr_patterns(product.pattern_inputs().size(), 768, 2024);
-  std::cout << "Test program: " << program.size()
-            << " patterns in tester order\n";
-
-  // ---- 4: test a production lot (500 chips) ----
-  wafer::ExperimentSpec spec;
-  spec.chip_count = 500;
-  spec.yield = 0.12;  // what the fab's yield tracking reports
-  spec.n0 = 7.0;      // ground truth the estimators must recover
-  spec.seed = 99;
+  // ---- 3-5: the whole experiment as one spec ----
+  flow::FlowSpec spec;
+  spec.source.kind = "lfsr";  // the production test program
+  spec.source.pattern_count = 768;
+  spec.source.lfsr_seed = 2024;
   // Functional-program emulation: output pins come under tester strobe
   // progressively, so the fallout curve rises gradually and the strobe
   // table spans the coverage axis (see fault/strobe.hpp).
-  spec.progressive_strobe_step = 16;
-  const wafer::ExperimentResult lot_run =
-      wafer::run_chip_test_experiment(faults, program, spec);
+  spec.observe.kind = "progressive";
+  spec.observe.strobe_step = 16;
+  spec.engine.kind = "ppsfp";
+  spec.lot.chip_count = 500;
+  spec.lot.yield = 0.12;  // what the fab's yield tracking reports
+  spec.lot.n0 = 7.0;      // ground truth the estimators must recover
+  spec.lot.seed = 99;
+  spec.analysis.strobe_coverages = flow::table1_strobes();
+  spec.analysis.method = "least_squares";
+
+  const flow::FlowResult lot_run = flow::run(faults, spec);
+  std::cout << "Test program: " << lot_run.patterns.size()
+            << " patterns in tester order\n";
 
   util::TextTable fallout({"coverage", "patterns", "fraction failed"});
   for (const wafer::StrobeRow& row : lot_run.table) {
@@ -62,15 +64,10 @@ int main() {
   std::cout << "\nLot fallout vs cumulative coverage (500 chips):\n"
             << fallout.to_string();
 
-  // ---- 5: characterize ----
-  const auto points = lot_run.points();
-  const quality::QualityAnalyzer characterized =
-      quality::QualityAnalyzer::from_lot_data(
-          points, spec.yield,
-          quality::CharacterizationMethod::kLeastSquares);
+  const quality::QualityAnalyzer& characterized = *lot_run.analyzer;
   std::cout << "\n" << characterized.report({0.01, 0.001}) << "\n";
   std::cout << "(virtual-lot ground truth: n0 = "
-            << util::format_double(lot_run.lot.realized_n0(), 2) << ")\n";
+            << util::format_double(lot_run.lot->realized_n0(), 2) << ")\n";
 
   // ---- 6: decide ----
   const double coverage_now = lot_run.final_coverage();

@@ -1,6 +1,7 @@
-// Quickstart: the model in one page.
+// Quickstart: the model in one page — and the whole pipeline in one spec.
 //
-// You know (or have estimated) two things about a product:
+// Part 1, the closed-form model. You know (or have estimated) two things
+// about a product:
 //   * its manufacturing yield y, and
 //   * n0, the average number of stuck-at-equivalent faults on a defective
 //     chip (characterized from a lot — see process_characterization.cpp).
@@ -9,9 +10,17 @@
 // rate does a given stuck-at coverage buy, and what coverage does a target
 // quality level require — compared against the older Wadsack and
 // Williams-Brown rules that demand near-perfect coverage.
+//
+// Part 2, the unified flow API. When you have a netlist instead of a
+// characterized (y, n0), one declarative flow::FlowSpec runs the entire
+// Section 5-7 experiment — pattern source, observation, grading engine,
+// virtual lot, strobe readout, characterization — and hands back the
+// analyzer of part 1.
 #include <iostream>
 
+#include "circuit/generators.hpp"
 #include "core/quality_analyzer.hpp"
+#include "flow/flow.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -38,5 +47,36 @@ int main() {
             << " coverage for 1% rejects where Wadsack's rule demanded "
             << util::format_percent(product.wadsack_coverage(0.01), 0)
             << ".\n";
+
+  // ---- part 2: the same analysis from a netlist, one spec ----
+  // An 8-bit multiplier stands in for the product; the spec picks an LFSR
+  // program, progressive tester strobing, the PPSFP engine, a 277-chip
+  // virtual lot, and a least-squares characterization from the fallout.
+  const circuit::Circuit chip = circuit::make_array_multiplier(8);
+  flow::FlowSpec spec;
+  spec.source.pattern_count = 512;       // source.kind defaults to "lfsr"
+  spec.source.lfsr_seed = 1981;
+  spec.observe.kind = "progressive";
+  spec.observe.strobe_step = 16;
+  spec.lot.chip_count = 277;
+  spec.lot.yield = 0.07;
+  spec.lot.n0 = 8.0;                     // the ground truth to recover
+  spec.analysis.strobe_coverages = flow::table1_strobes();
+  spec.analysis.method = "least_squares";
+
+  const flow::FlowResult run = flow::run(chip, spec);
+  std::cout << "\nThe same conclusions, derived end-to-end by flow::run on "
+            << chip.name() << ":\n"
+            << "  program coverage "
+            << util::format_percent(run.final_coverage(), 1)
+            << ", lot fallout "
+            << util::format_percent(
+                   run.test->fraction_failed_within(run.patterns.size()), 1)
+            << ", characterized n0 = "
+            << util::format_double(run.analyzer->n0(), 2)
+            << " (truth: 8)\n"
+            << "  -> required coverage for 1% rejects: "
+            << util::format_percent(run.analyzer->required_coverage(0.01), 0)
+            << "\n";
   return 0;
 }

@@ -78,6 +78,22 @@ BistSession::BistSession(const fault::FaultList& faults, BistConfig config)
   (void)Misr(config_.misr_width, config_.misr_taps);
 }
 
+BistSession::BistSession(const fault::FaultList& faults,
+                         sim::PatternSet patterns, BistConfig config)
+    : faults_(&faults),
+      config_(config),
+      compiled_(std::make_shared<const CompiledCircuit>(faults.circuit())),
+      patterns_(std::move(patterns)) {
+  LSIQ_EXPECT(!patterns_.empty(),
+              "BistSession: explicit pattern set must be non-empty");
+  LSIQ_EXPECT(patterns_.input_count() ==
+                  faults.circuit().pattern_inputs().size(),
+              "BistSession: pattern set input count does not match the "
+              "circuit");
+  config_.pattern_count = patterns_.size();
+  (void)Misr(config_.misr_width, config_.misr_taps);
+}
+
 BistResult BistSession::run() const { return run(config_.num_threads); }
 
 BistResult BistSession::run(std::size_t num_threads) const {

@@ -38,7 +38,9 @@
 namespace lsiq::bist {
 
 struct BistConfig {
-  /// LFSR patterns applied per session.
+  /// LFSR patterns applied per session (ignored — and overwritten with the
+  /// actual program length — when the session is given an explicit pattern
+  /// set, so config().pattern_count always matches patterns().size()).
   std::size_t pattern_count = 1024;
   /// Pattern-generator register (see tpg::Lfsr widths) and seed.
   int lfsr_width = 32;
@@ -47,8 +49,9 @@ struct BistConfig {
   /// selects the standard polynomial for the width (see bist::Misr).
   int misr_width = 32;
   std::uint64_t misr_taps = 0;
-  /// Grading worker threads (always a util::ThreadPool, even for 1):
-  /// 0 = one per hardware thread, n = exactly n. Every value produces
+  /// Grading worker threads (always a util::ThreadPool, even for 1),
+  /// following the shared util::resolve_worker_count convention: 0 = one
+  /// per hardware thread, n = exactly n. Every value produces
   /// bit-identical results (each fault class is owned by exactly one
   /// lane; nothing is reduced across lanes).
   std::size_t num_threads = 1;
@@ -60,6 +63,15 @@ struct BistConfig {
 class BistSession {
  public:
   BistSession(const fault::FaultList& faults, BistConfig config);
+
+  /// A session over an explicit pattern program instead of the config's
+  /// LFSR: the MISR observation decoupled from the pattern source (any
+  /// flow::PatternSourceSpec — ATPG sets, pattern files — can feed a
+  /// signature tester). The config's LFSR fields are ignored and its
+  /// pattern_count is overwritten with patterns.size(), so the session's
+  /// accounting cannot drift from the program actually applied.
+  BistSession(const fault::FaultList& faults, sim::PatternSet patterns,
+              BistConfig config);
 
   [[nodiscard]] const BistConfig& config() const noexcept { return config_; }
   [[nodiscard]] const sim::PatternSet& patterns() const noexcept {

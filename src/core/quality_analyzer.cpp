@@ -100,6 +100,15 @@ std::string QualityAnalyzer::report(
   return out.str();
 }
 
+std::optional<CharacterizationMethod> characterization_method_from_name(
+    const std::string& name) {
+  if (name == "given") return CharacterizationMethod::kGiven;
+  if (name == "slope") return CharacterizationMethod::kSlope;
+  if (name == "discrete") return CharacterizationMethod::kDiscreteFit;
+  if (name == "least_squares") return CharacterizationMethod::kLeastSquares;
+  return std::nullopt;
+}
+
 std::string method_name(CharacterizationMethod method) {
   switch (method) {
     case CharacterizationMethod::kGiven:        return "given parameters";

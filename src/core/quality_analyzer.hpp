@@ -7,6 +7,7 @@
 // need for 1000 DPPM?", and "what do the older models claim?".
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,5 +81,12 @@ class QualityAnalyzer {
 
 /// Short name for a characterization method ("least-squares fit", ...).
 std::string method_name(CharacterizationMethod method);
+
+/// The spec-facing selector names used by lsiq::flow and the lsiq_flow
+/// CLI: "given", "slope", "discrete", "least_squares". Returns nullopt
+/// for an unknown name — the name list lives here so the flow validator
+/// and the estimator dispatch cannot drift apart.
+std::optional<CharacterizationMethod> characterization_method_from_name(
+    const std::string& name);
 
 }  // namespace lsiq::quality

@@ -163,9 +163,10 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
                               const StrobeSchedule* schedule = nullptr);
 
 /// Multi-threaded PPSFP: per block, the live-fault list is partitioned
-/// across `num_threads` workers (0 = hardware concurrency), each with its
-/// own Propagator; fault dropping compacts the list after every block.
-/// Bit-identical to simulate_ppsfp and simulate_serial.
+/// across `num_threads` workers (resolved by util::resolve_worker_count;
+/// 0 = one per hardware thread), each with its own Propagator; fault
+/// dropping compacts the list after every block. Bit-identical to
+/// simulate_ppsfp and simulate_serial.
 FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
                                  const sim::PatternSet& patterns,
                                  const StrobeSchedule* schedule = nullptr,

@@ -1,0 +1,248 @@
+#include "flow/flow.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "bist/misr.hpp"
+#include "bist/session.hpp"
+#include "core/fault_distribution.hpp"
+#include "fault/strobe.hpp"
+#include "sim/pattern_io.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lsiq::flow {
+
+namespace {
+
+/// Signature-grading workers for the misr path: the engine axis maps onto
+/// BistSession's thread count ("serial" is rejected by validate()).
+std::size_t misr_worker_count(const EngineSpec& engine) {
+  if (engine.kind == "ppsfp") return 1;
+  return engine.num_threads;  // ppsfp_mt: pool resolves 0 = all cores
+}
+
+/// The source axis minus an explicit source's pattern payload — what
+/// FlowResult stores for self-describing reports without duplicating the
+/// program (FlowResult::patterns is the canonical copy).
+PatternSourceSpec strip_pattern_payload(const PatternSourceSpec& source) {
+  PatternSourceSpec copy;
+  copy.kind = source.kind;
+  copy.pattern_count = source.pattern_count;
+  copy.lfsr_width = source.lfsr_width;
+  copy.lfsr_seed = source.lfsr_seed;
+  copy.atpg = source.atpg;
+  copy.atpg_compact = source.atpg_compact;
+  copy.file = source.file;
+  return copy;  // copy.patterns intentionally left empty
+}
+
+}  // namespace
+
+double FlowResult::final_coverage() const {
+  LSIQ_EXPECT(curve.has_value(), "FlowResult: no coverage curve");
+  return curve->final_coverage();
+}
+
+std::vector<quality::CoveragePoint> FlowResult::points() const {
+  return wafer::coverage_points(table);
+}
+
+sim::PatternSet make_patterns(const fault::FaultList& faults,
+                              const PatternSourceSpec& source,
+                              std::optional<tpg::AtpgResult>* atpg_out) {
+  const std::size_t inputs = faults.circuit().pattern_inputs().size();
+  if (source.kind == "lfsr") {
+    return tpg::lfsr_patterns(inputs, source.pattern_count, source.lfsr_seed,
+                              source.lfsr_width);
+  }
+  if (source.kind == "atpg") {
+    tpg::AtpgResult generated = tpg::generate_tests(faults, source.atpg);
+    sim::PatternSet patterns =
+        source.atpg_compact
+            ? tpg::reverse_order_compact(faults, generated.patterns)
+            : generated.patterns;
+    if (atpg_out != nullptr) *atpg_out = std::move(generated);
+    return patterns;
+  }
+  if (source.kind == "explicit") {
+    LSIQ_EXPECT(source.patterns.has_value(),
+                "flow: explicit source has no pattern set");
+    LSIQ_EXPECT(source.patterns->input_count() == inputs,
+                "flow: explicit pattern set input count does not match the "
+                "circuit");
+    return *source.patterns;
+  }
+  if (source.kind == "file") {
+    sim::PatternSet patterns = sim::read_patterns_file(source.file);
+    LSIQ_EXPECT(patterns.input_count() == inputs,
+                "flow: pattern file input count does not match the circuit");
+    return patterns;
+  }
+  throw Error("flow: unknown pattern source '" + source.kind + "'");
+}
+
+FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
+  validate_or_throw(spec);
+
+  FlowResult result;
+  result.spec.source = strip_pattern_payload(spec.source);
+  result.spec.observe = spec.observe;
+  result.spec.engine = spec.engine;
+  result.spec.lot = spec.lot;
+  result.spec.analysis = spec.analysis;
+
+  // 1. Materialize the ordered pattern program.
+  result.patterns = make_patterns(faults, spec.source, &result.atpg);
+  LSIQ_EXPECT(!result.patterns.empty(),
+              "flow: the pattern source produced no patterns");
+  const std::size_t pattern_count = result.patterns.size();
+
+  // 2. Grade it under the requested observation with the requested engine
+  // (the LAMP step of Section 7).
+  if (spec.observe.kind == "misr") {
+    bist::BistConfig config;
+    config.misr_width = spec.observe.misr_width;
+    config.misr_taps = spec.observe.misr_taps;
+    config.num_threads = misr_worker_count(spec.engine);
+    const bist::BistSession session(faults, result.patterns, config);
+    result.bist = session.run();
+    result.curve = result.bist->signature_curve(faults);
+  } else {
+    std::optional<fault::StrobeSchedule> schedule;
+    if (spec.observe.kind == "progressive") {
+      schedule = fault::StrobeSchedule::progressive(
+          faults.circuit().observed_points().size(), spec.observe.strobe_step);
+    }
+    const fault::StrobeSchedule* strobes =
+        schedule.has_value() ? &*schedule : nullptr;
+    if (spec.engine.kind == "serial") {
+      result.fault_sim = fault::simulate_serial(faults, result.patterns,
+                                                strobes);
+    } else if (spec.engine.kind == "ppsfp") {
+      result.fault_sim = fault::simulate_ppsfp(faults, result.patterns,
+                                               strobes);
+    } else {
+      result.fault_sim = fault::simulate_ppsfp_mt(faults, result.patterns,
+                                                  strobes,
+                                                  spec.engine.num_threads);
+    }
+    result.curve = result.fault_sim->curve(faults, pattern_count);
+  }
+
+  // 3. Manufacture and test the virtual lot (the Sentry step).
+  const bool has_lot =
+      spec.lot.chip_count > 0 || spec.lot.physical.has_value();
+  if (has_lot) {
+    if (spec.lot.physical.has_value()) {
+      result.lot = wafer::generate_physical_lot(faults, *spec.lot.physical);
+    } else {
+      const quality::FaultDistribution distribution(spec.lot.yield,
+                                                    spec.lot.n0);
+      result.lot = wafer::generate_lot(faults, distribution,
+                                       spec.lot.chip_count, spec.lot.seed);
+    }
+    if (spec.observe.kind == "misr") {
+      result.test = wafer::test_lot_bist(*result.lot, *result.bist);
+    } else {
+      result.test = wafer::test_lot(*result.lot, *result.fault_sim,
+                                    pattern_count);
+    }
+
+    // 4. Read out at the strobes (Table 1).
+    for (const double target : spec.analysis.strobe_coverages) {
+      if (!result.curve->reaches(target)) {
+        throw Error("flow: pattern set never reaches coverage " +
+                    std::to_string(target) + " (final coverage " +
+                    std::to_string(result.curve->final_coverage()) + ")");
+      }
+      const std::size_t t = result.curve->patterns_for_coverage(target);
+      wafer::StrobeRow row;
+      row.target_coverage = target;
+      row.actual_coverage = result.curve->coverage_after(t);
+      row.pattern_index = t;
+      row.cumulative_failed = result.test->failed_within(t);
+      row.cumulative_fraction = result.test->fraction_failed_within(t);
+      result.table.push_back(row);
+    }
+  }
+
+  // 5. Characterize (Section 5). validate() guaranteed the name resolves.
+  const quality::CharacterizationMethod method =
+      *quality::characterization_method_from_name(spec.analysis.method);
+  if (method == quality::CharacterizationMethod::kGiven) {
+    result.analyzer = quality::QualityAnalyzer(spec.lot.yield, spec.lot.n0);
+  } else {
+    result.analyzer = quality::QualityAnalyzer::from_lot_data(
+        result.points(), spec.lot.yield, method);
+  }
+
+  return result;
+}
+
+FlowResult run(const circuit::Circuit& circuit, const FlowSpec& spec) {
+  const fault::FaultList faults = fault::FaultList::full_universe(circuit);
+  return run(faults, spec);
+}
+
+std::string FlowResult::report() const {
+  std::ostringstream out;
+  out << "flow: source=" << spec.source.kind
+      << " observe=" << spec.observe.kind << " engine=" << spec.engine.kind;
+  if (spec.engine.kind == "ppsfp_mt") {
+    out << " (" << util::resolve_worker_count(spec.engine.num_threads)
+        << " workers)";
+  }
+  out << "\n  program: " << patterns.size() << " patterns over "
+      << patterns.input_count() << " inputs";
+  if (atpg.has_value()) {
+    out << " (ATPG: " << atpg->redundant_classes << " redundant, "
+        << atpg->aborted_classes << " aborted classes)";
+  }
+  out << "\n  final coverage f = "
+      << util::format_percent(final_coverage(), 2) << "\n";
+  if (bist.has_value()) {
+    out << "  misr k=" << bist->misr_width << ": full-observation coverage "
+        << util::format_percent(bist->raw_coverage, 2)
+        << ", signature coverage "
+        << util::format_percent(bist->signature_coverage, 2) << " ("
+        << bist->aliased_classes.size() << " aliased classes)\n";
+  }
+
+  if (lot.has_value() && test.has_value()) {
+    out << "  lot: " << lot->size() << " chips, realized yield "
+        << util::format_percent(lot->realized_yield(), 1) << ", realized n0 "
+        << util::format_double(lot->realized_n0(), 2) << "\n  tester: "
+        << test->failed_count() << " failed, " << test->passed_count()
+        << " shipped, " << test->shipped_defective_count()
+        << " defective escapes\n";
+  }
+
+  if (!table.empty()) {
+    out << "\nStrobe readout (Table 1 columns):\n";
+    util::TextTable strobe_table({"coverage", "patterns", "failed",
+                                  "fraction"});
+    for (const wafer::StrobeRow& row : table) {
+      strobe_table.add_row({util::format_percent(row.actual_coverage, 1),
+                            std::to_string(row.pattern_index),
+                            std::to_string(row.cumulative_failed),
+                            util::format_double(row.cumulative_fraction, 3)});
+    }
+    out << strobe_table.to_string();
+  }
+
+  if (analyzer.has_value()) {
+    out << "\n" << analyzer->report(spec.analysis.reject_targets);
+    const double f = bist.has_value() ? bist->signature_coverage
+                                      : final_coverage();
+    out << "\nAt the program's delivered coverage ("
+        << util::format_percent(f, 2) << "): reject rate "
+        << util::format_probability(analyzer->reject_rate(f)) << " = "
+        << util::format_double(analyzer->dppm(f), 0) << " DPPM\n";
+  }
+  return out.str();
+}
+
+}  // namespace lsiq::flow

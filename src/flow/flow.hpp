@@ -1,0 +1,96 @@
+// flow::run — execute one declarative FlowSpec end to end.
+//
+// One call composes what used to take a hand-written main(): materialize
+// the pattern source, grade it under the requested observation with the
+// requested engine, manufacture and test the virtual lot, read out the
+// Table-1 strobe table, and characterize a QualityAnalyzer. Every
+// combination of the spec's axes maps onto the same underlying engines the
+// hand-wired paths used (fault::simulate_*, bist::BistSession,
+// wafer::test_lot / test_lot_bist), so results are bit-identical to those
+// paths — the golden-equivalence tests in tests/test_flow.cpp pin this.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bist/result.hpp"
+#include "fault/coverage.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "flow/spec.hpp"
+#include "wafer/experiment.hpp"
+#include "wafer/tester.hpp"
+
+namespace lsiq::flow {
+
+/// Everything one flow produces. Which members are populated depends on
+/// the spec: `fault_sim` for full/progressive observation, `bist` for misr
+/// observation, `atpg` when the source ran test generation, `lot`/`test`/
+/// `table` when the spec requests a lot, `analyzer` always.
+struct FlowResult {
+  /// The spec that produced this result (self-describing reports). An
+  /// explicit source's pattern payload is dropped here — `patterns` below
+  /// is the canonical program.
+  FlowSpec spec;
+
+  /// The materialized, ordered pattern program (run() always fills it;
+  /// the default is an empty one-input placeholder since PatternSet
+  /// requires input_count > 0).
+  sim::PatternSet patterns{1};
+
+  /// Test-generation outcome when source.kind == "atpg" (coverage,
+  /// redundant/aborted class counts; `patterns` already reflects the
+  /// compaction flag).
+  std::optional<tpg::AtpgResult> atpg;
+
+  /// Full/progressive observation: per-class first detections.
+  std::optional<fault::FaultSimResult> fault_sim;
+
+  /// Misr observation: the graded BIST session (signatures, aliasing).
+  std::optional<bist::BistResult> bist;
+
+  /// Cumulative coverage vs pattern count under the spec's observation —
+  /// the strobed curve for full/progressive, the signature-divergence
+  /// curve for misr.
+  std::optional<fault::CoverageCurve> curve;
+
+  std::optional<wafer::ChipLot> lot;
+  std::optional<wafer::LotTestResult> test;
+
+  /// Table-1-style readout at analysis.strobe_coverages.
+  std::vector<wafer::StrobeRow> table;
+
+  /// Characterized product (per analysis.method).
+  std::optional<quality::QualityAnalyzer> analyzer;
+
+  /// Final coverage of the program under the spec's observation.
+  [[nodiscard]] double final_coverage() const;
+
+  /// (coverage, fraction failed) points of the strobe table — the
+  /// Section 5 estimator input.
+  [[nodiscard]] std::vector<quality::CoveragePoint> points() const;
+
+  /// Human-readable Table-1 / DPPM report (what tools/lsiq_flow prints).
+  [[nodiscard]] std::string report() const;
+};
+
+/// Materialize the pattern program of a source axis on its own — for
+/// callers that need the program but not the rest of the flow (the fault
+/// dictionary in examples/fault_diagnosis.cpp, pattern-file tooling).
+/// For "atpg" sources `atpg_out`, when non-null, receives the generation
+/// statistics.
+sim::PatternSet make_patterns(
+    const fault::FaultList& faults, const PatternSourceSpec& source,
+    std::optional<tpg::AtpgResult>* atpg_out = nullptr);
+
+/// Run a spec against a collapsed fault universe. Throws InvalidSpec when
+/// validate(spec) reports issues, and lsiq::Error when a strobe coverage
+/// is never reached by the materialized program.
+FlowResult run(const fault::FaultList& faults, const FlowSpec& spec);
+
+/// Convenience overload: enumerate the full stuck-at universe of the
+/// circuit first, then run.
+FlowResult run(const circuit::Circuit& circuit, const FlowSpec& spec);
+
+}  // namespace lsiq::flow

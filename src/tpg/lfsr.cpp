@@ -24,6 +24,15 @@ std::uint64_t maximal_taps(int width) {
   }
 }
 
+bool has_maximal_taps(int width) noexcept {
+  switch (width) {
+    case 4: case 8: case 16: case 24: case 32: case 48: case 64:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Lfsr::Lfsr(int width, std::uint64_t seed)
     : width_(width),
       taps_(maximal_taps(width)),

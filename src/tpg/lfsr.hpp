@@ -19,6 +19,11 @@ namespace lsiq::tpg {
 /// unsupported width.
 std::uint64_t maximal_taps(int width);
 
+/// True when `width` has an entry in the maximal_taps polynomial table —
+/// the non-throwing query flow::validate uses to diagnose LFSR/MISR
+/// widths before anything is constructed.
+bool has_maximal_taps(int width) noexcept;
+
 /// Galois LFSR over one machine word.
 class Lfsr {
  public:

@@ -4,10 +4,13 @@
 
 namespace lsiq::util {
 
+std::size_t resolve_worker_count(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t thread_count) {
-  if (thread_count == 0) {
-    thread_count = std::max<unsigned>(1, std::thread::hardware_concurrency());
-  }
+  thread_count = resolve_worker_count(thread_count);
   workers_.reserve(thread_count);
   for (std::size_t lane = 0; lane < thread_count; ++lane) {
     workers_.emplace_back([this, lane] { worker_loop(lane); });

@@ -1,10 +1,14 @@
 #include "wafer/experiment.hpp"
 
+#include <utility>
+
+#include "flow/flow.hpp"
 #include "util/error.hpp"
 
 namespace lsiq::wafer {
 
-std::vector<quality::CoveragePoint> ExperimentResult::points() const {
+std::vector<quality::CoveragePoint> coverage_points(
+    const std::vector<StrobeRow>& table) {
   std::vector<quality::CoveragePoint> pts;
   pts.reserve(table.size());
   for (const StrobeRow& row : table) {
@@ -14,6 +18,10 @@ std::vector<quality::CoveragePoint> ExperimentResult::points() const {
   return pts;
 }
 
+std::vector<quality::CoveragePoint> ExperimentResult::points() const {
+  return coverage_points(table);
+}
+
 ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
                                           const sim::PatternSet& patterns,
                                           const ExperimentSpec& spec) {
@@ -21,57 +29,40 @@ ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
   LSIQ_EXPECT(!spec.strobe_coverages.empty(),
               "experiment requires at least one strobe");
 
-  // 1. Fault-simulate the ordered program (the LAMP step of Section 7),
-  // under the tester's strobe schedule when one is requested.
-  std::optional<fault::StrobeSchedule> schedule;
+  // Thin shim: express the legacy spec as a flow::FlowSpec and run the
+  // unified pipeline. Field-for-field this reproduces the original
+  // hand-wired sequencing (fault sim -> lot -> tester -> strobe rows);
+  // tests/test_flow.cpp pins bit/row-identical results against a
+  // hand-wired reference.
+  flow::FlowSpec unified;
+  unified.source.kind = "explicit";
+  unified.source.patterns = patterns;
   if (spec.progressive_strobe_step > 0) {
-    schedule = fault::StrobeSchedule::progressive(
-        faults.circuit().observed_points().size(),
-        spec.progressive_strobe_step);
-  }
-  const fault::StrobeSchedule* strobes =
-      schedule.has_value() ? &*schedule : nullptr;
-  fault::FaultSimResult fault_sim =
-      spec.num_threads == 1
-          ? fault::simulate_ppsfp(faults, patterns, strobes)
-          : fault::simulate_ppsfp_mt(faults, patterns, strobes,
-                                     spec.num_threads);
-  fault::CoverageCurve curve = fault_sim.curve(faults, patterns.size());
-
-  // 2. Manufacture the virtual lot.
-  ChipLot lot;
-  if (spec.physical.has_value()) {
-    lot = generate_physical_lot(faults, *spec.physical);
+    unified.observe.kind = "progressive";
+    unified.observe.strobe_step = spec.progressive_strobe_step;
   } else {
-    const quality::FaultDistribution distribution(spec.yield, spec.n0);
-    lot = generate_lot(faults, distribution, spec.chip_count, spec.seed);
+    unified.observe.kind = "full";
   }
-
-  // 3. Test it (the Sentry step of Section 7).
-  LotTestResult test = test_lot(lot, fault_sim, patterns.size());
-
-  // 4. Read out at the strobes.
-  ExperimentResult result{.table = {},
-                          .fault_sim = std::move(fault_sim),
-                          .curve = std::move(curve),
-                          .lot = std::move(lot),
-                          .test = std::move(test)};
-  for (const double target : spec.strobe_coverages) {
-    if (!result.curve.reaches(target)) {
-      throw Error("experiment: pattern set never reaches coverage " +
-                  std::to_string(target) + " (final coverage " +
-                  std::to_string(result.curve.final_coverage()) + ")");
-    }
-    const std::size_t t = result.curve.patterns_for_coverage(target);
-    StrobeRow row;
-    row.target_coverage = target;
-    row.actual_coverage = result.curve.coverage_after(t);
-    row.pattern_index = t;
-    row.cumulative_failed = result.test.failed_within(t);
-    row.cumulative_fraction = result.test.fraction_failed_within(t);
-    result.table.push_back(row);
+  if (spec.num_threads == 1) {
+    unified.engine.kind = "ppsfp";
+  } else {
+    unified.engine.kind = "ppsfp_mt";
+    unified.engine.num_threads = spec.num_threads;
   }
-  return result;
+  unified.lot.chip_count = spec.chip_count;
+  unified.lot.yield = spec.yield;
+  unified.lot.n0 = spec.n0;
+  unified.lot.seed = spec.seed;
+  unified.lot.physical = spec.physical;
+  unified.analysis.strobe_coverages = spec.strobe_coverages;
+  unified.analysis.method = "given";
+
+  flow::FlowResult run = flow::run(faults, unified);
+  return ExperimentResult{.table = std::move(run.table),
+                          .fault_sim = std::move(*run.fault_sim),
+                          .curve = std::move(*run.curve),
+                          .lot = std::move(*run.lot),
+                          .test = std::move(*run.test)};
 }
 
 }  // namespace lsiq::wafer

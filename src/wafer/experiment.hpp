@@ -5,8 +5,14 @@
 //           -> coverage curve -> virtual lot -> virtual tester
 //           -> Table-1-style strobe table -> n0 estimation
 //
-// Used by bench/table1_chip_test, bench/fig5_n0_determination and the
-// process_characterization example.
+// DEPRECATED ENTRY POINT: run_chip_test_experiment predates the unified
+// flow API and survives as a thin shim over flow::run (flow/flow.hpp) for
+// existing callers. New code should build a flow::FlowSpec — the same
+// experiment is spec.source = "explicit" patterns, spec.observe = "full"
+// or "progressive", engine "ppsfp"/"ppsfp_mt", plus the lot axis — which
+// also unlocks the sources/observations this struct cannot express (ATPG
+// or file programs, MISR signature testing). StrobeRow remains the shared
+// readout row type of both APIs.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,12 @@ struct StrobeRow {
   double cumulative_fraction = 0.0;
 };
 
+/// Strobe table -> (coverage, fraction failed) points, the Section 5
+/// estimator input. Shared by ExperimentResult::points() and
+/// flow::FlowResult::points().
+std::vector<quality::CoveragePoint> coverage_points(
+    const std::vector<StrobeRow>& table);
+
 struct ExperimentSpec {
   std::size_t chip_count = 277;   ///< the paper's lot size
   double yield = 0.07;            ///< Section 7's estimated yield
@@ -50,8 +62,9 @@ struct ExperimentSpec {
   /// observability from pattern 0 (scan-style testing).
   std::size_t progressive_strobe_step = 0;
   /// Worker threads for the fault-grading step: 1 = in-process PPSFP,
-  /// 0 = one worker per hardware thread, n = exactly n workers. Any value
-  /// grades to bit-identical results (see fault/fault_sim.hpp).
+  /// else the shared util::resolve_worker_count convention (0 = one worker
+  /// per hardware thread, n = exactly n). Any value grades to
+  /// bit-identical results (see fault/fault_sim.hpp).
   std::size_t num_threads = 1;
 };
 
@@ -73,7 +86,11 @@ struct ExperimentResult {
 
 /// Run the full experiment. The pattern set must already be ordered as the
 /// tester would apply it. Throws if a strobe coverage is never reached by
-/// the pattern set.
+/// the pattern set. Deprecated shim over flow::run — see the header
+/// comment. Note the shim inherits flow::validate's checks, which are
+/// stricter than the old entry point: strobe_coverages must be strictly
+/// increasing in (0, 1], yield strictly inside (0, 1) and n0 >= 1, or
+/// the call throws flow::InvalidSpec (an lsiq::Error).
 ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
                                           const sim::PatternSet& patterns,
                                           const ExperimentSpec& spec);

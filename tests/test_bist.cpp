@@ -274,6 +274,47 @@ TEST(BistSession, CurvesAreConsistentWithScalarCoverages) {
   EXPECT_LE(ever_diverged, result.raw_covered_faults);
 }
 
+TEST(BistSession, ExternalPatternSessionMatchesConfigGenerated) {
+  // A session fed its program explicitly must grade exactly like the
+  // session that generated the same program from its config — the
+  // decoupling flow::run relies on.
+  const Circuit c = circuit::make_comparator(4);
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  config.pattern_count = 96;
+  config.lfsr_seed = 29;
+  config.misr_width = 8;
+  const BistSession by_config(faults, config);
+  const BistResult reference = by_config.run();
+
+  BistConfig external = config;
+  external.pattern_count = 12345;  // must be ignored and overwritten
+  const BistSession by_patterns(faults, by_config.patterns(), external);
+  EXPECT_EQ(by_patterns.config().pattern_count, 96u);
+  const BistResult result = by_patterns.run();
+  EXPECT_EQ(result.pattern_count, 96u);
+  EXPECT_EQ(result.good_signature, reference.good_signature);
+  EXPECT_EQ(result.fault_signatures, reference.fault_signatures);
+  EXPECT_EQ(result.first_error_pattern, reference.first_error_pattern);
+  EXPECT_EQ(result.first_divergence_pattern,
+            reference.first_divergence_pattern);
+}
+
+TEST(BistSession, ExternalPatternDomainChecks) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  BistConfig config;
+  // Empty program.
+  EXPECT_THROW(
+      BistSession(faults, sim::PatternSet(c.pattern_inputs().size()),
+                  config),
+      ContractViolation);
+  // Wrong input count.
+  sim::PatternSet wrong(c.pattern_inputs().size() + 1);
+  wrong.append(std::vector<bool>(c.pattern_inputs().size() + 1, true));
+  EXPECT_THROW(BistSession(faults, wrong, config), ContractViolation);
+}
+
 TEST(BistSession, DomainChecks) {
   const Circuit c = circuit::make_c17();
   const FaultList faults = FaultList::full_universe(c);

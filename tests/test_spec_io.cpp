@@ -1,0 +1,164 @@
+// Tests for the flow spec-file format: key=value parsing with line-number
+// diagnostics, round-tripping through write_spec_string, and the
+// circuit-selector factory.
+#include "flow/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace lsiq::flow {
+namespace {
+
+TEST(SpecIo, ParsesAFullSpec) {
+  const SpecFile file = read_spec_string(R"(
+# the Table 1 experiment
+circuit     = mult16
+source      = lfsr
+patterns    = 1024
+lfsr_seed   = 1981
+observe     = progressive
+strobe_step = 24
+engine      = ppsfp_mt
+threads     = 4
+chips       = 277
+yield       = 0.07
+n0          = 8
+lot_seed    = 1981
+strobes     = 0.05 0.08, 0.10
+method      = least_squares
+targets     = 0.01 0.001
+)");
+  EXPECT_EQ(file.circuit, "mult16");
+  const FlowSpec& spec = file.spec;
+  EXPECT_EQ(spec.source.kind, "lfsr");
+  EXPECT_EQ(spec.source.pattern_count, 1024u);
+  EXPECT_EQ(spec.source.lfsr_seed, 1981u);
+  EXPECT_EQ(spec.observe.kind, "progressive");
+  EXPECT_EQ(spec.observe.strobe_step, 24u);
+  EXPECT_EQ(spec.engine.kind, "ppsfp_mt");
+  EXPECT_EQ(spec.engine.num_threads, 4u);
+  EXPECT_EQ(spec.lot.chip_count, 277u);
+  EXPECT_DOUBLE_EQ(spec.lot.yield, 0.07);
+  EXPECT_DOUBLE_EQ(spec.lot.n0, 8.0);
+  EXPECT_EQ(spec.lot.seed, 1981u);
+  ASSERT_EQ(spec.analysis.strobe_coverages.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.analysis.strobe_coverages[1], 0.08);
+  EXPECT_EQ(spec.analysis.method, "least_squares");
+  ASSERT_EQ(spec.analysis.reject_targets.size(), 2u);
+  // The parsed spec is runnable as-is.
+  EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(SpecIo, DefaultsSurviveASparseFile) {
+  const SpecFile file = read_spec_string("circuit = c17\n");
+  EXPECT_EQ(file.circuit, "c17");
+  EXPECT_EQ(file.spec.source.kind, "lfsr");
+  EXPECT_EQ(file.spec.observe.kind, "full");
+  EXPECT_EQ(file.spec.engine.kind, "ppsfp");
+  EXPECT_EQ(file.spec.analysis.method, "given");
+}
+
+TEST(SpecIo, MisrKeysSelectTheSignaturePath) {
+  const SpecFile file = read_spec_string(
+      "observe = misr\nmisr_width = 8\nmisr_taps = 0xB8\n");
+  EXPECT_EQ(file.spec.observe.kind, "misr");
+  EXPECT_EQ(file.spec.observe.misr_width, 8);
+  EXPECT_EQ(file.spec.observe.misr_taps, 0xB8u);
+}
+
+TEST(SpecIo, UnknownKeyNamesTheLine) {
+  try {
+    read_spec_string("source = lfsr\nbogus = 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()), "spec line 2: unknown key 'bogus'");
+  }
+}
+
+TEST(SpecIo, MalformedValueNamesKeyAndLine) {
+  try {
+    read_spec_string("patterns = lots\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "spec line 1: key 'patterns' needs an unsigned integer, got "
+              "'lots'");
+  }
+}
+
+TEST(SpecIo, NegativeIntegersAreRejectedNotWrapped) {
+  // Regression: std::stoull wraps "-1" to 2^64 - 1; the parser must
+  // reject it so 'threads = -1' cannot become an 18-quintillion-worker
+  // pool request downstream.
+  for (const char* line : {"threads = -1\n", "chips = -1\n",
+                           "patterns = +3\n"}) {
+    SCOPED_TRACE(line);
+    EXPECT_THROW(read_spec_string(line), ParseError);
+  }
+}
+
+TEST(SpecIo, MissingEqualsSignIsRejected) {
+  EXPECT_THROW(read_spec_string("just some words\n"), ParseError);
+  EXPECT_THROW(read_spec_string("chips =\n"), ParseError);
+  EXPECT_THROW(read_spec_string("= 42\n"), ParseError);
+}
+
+TEST(SpecIo, CommentsAndBlankLinesAreIgnored) {
+  const SpecFile file = read_spec_string(
+      "\n# full-line comment\n  chips = 42  # trailing comment\n\n");
+  EXPECT_EQ(file.spec.lot.chip_count, 42u);
+}
+
+TEST(SpecIo, WriteReadRoundTrip) {
+  SpecFile original;
+  original.circuit = "mult8";
+  original.spec.source.kind = "lfsr";
+  original.spec.source.pattern_count = 512;
+  original.spec.source.lfsr_seed = 29;
+  original.spec.observe.kind = "misr";
+  original.spec.observe.misr_width = 8;
+  original.spec.engine.kind = "ppsfp_mt";
+  original.spec.engine.num_threads = 2;
+  original.spec.lot.chip_count = 100;
+  original.spec.lot.yield = 0.25;
+  original.spec.lot.n0 = 4.0;
+  original.spec.analysis.method = "given";
+
+  const SpecFile parsed = read_spec_string(write_spec_string(original));
+  EXPECT_EQ(parsed.circuit, "mult8");
+  EXPECT_EQ(parsed.spec.source.pattern_count, 512u);
+  EXPECT_EQ(parsed.spec.observe.kind, "misr");
+  EXPECT_EQ(parsed.spec.observe.misr_width, 8);
+  EXPECT_EQ(parsed.spec.engine.num_threads, 2u);
+  EXPECT_DOUBLE_EQ(parsed.spec.lot.yield, 0.25);
+}
+
+TEST(SpecIo, ExplicitSourceHasNoTextForm) {
+  SpecFile file;
+  file.spec.source.kind = "explicit";
+  EXPECT_THROW(write_spec_string(file), lsiq::Error);
+}
+
+TEST(SpecIo, CircuitFromNameBuildsGeneratorCircuits) {
+  EXPECT_GT(circuit_from_name("c17").gate_count(), 0u);
+  EXPECT_GT(circuit_from_name("mult4").gate_count(), 0u);
+  EXPECT_GT(circuit_from_name("adder8").gate_count(), 0u);
+  EXPECT_GT(circuit_from_name("alu4").gate_count(), 0u);
+  EXPECT_GT(circuit_from_name("comparator4").gate_count(), 0u);
+  EXPECT_GT(circuit_from_name("parity8").gate_count(), 0u);
+}
+
+TEST(SpecIo, CircuitFromNameRejectsUnknownSelectors) {
+  EXPECT_THROW(circuit_from_name("warp9000x"), lsiq::Error);
+  EXPECT_THROW(circuit_from_name("mult"), lsiq::Error);
+  EXPECT_THROW(circuit_from_name(""), lsiq::Error);
+  // Regression: an overflowing numeric suffix must be an 'unknown
+  // circuit' diagnostic, not an escaping std::out_of_range.
+  EXPECT_THROW(circuit_from_name("mult99999999999999999999"), lsiq::Error);
+}
+
+}  // namespace
+}  // namespace lsiq::flow

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "bist/session.hpp"
+#include "circuit/generators.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace lsiq::wafer {
 namespace {
@@ -162,6 +165,40 @@ TEST(BistTester, SignatureCompareDecidesPassFail) {
   // failed_within is a step function at the session end.
   EXPECT_EQ(result.failed_within(99), 0u);
   EXPECT_EQ(result.failed_within(100), 2u);
+}
+
+TEST(BistTester, PatternCountCannotDriftFromTheSession) {
+  // Regression for the pattern-accounting contract: the session's result
+  // carries its own pattern_count, test_lot_bist copies it, and an
+  // explicit-program session overwrites any stale config value — so the
+  // three counts can never disagree.
+  static const circuit::Circuit c = circuit::make_comparator(4);
+  static const fault::FaultList faults =
+      fault::FaultList::full_universe(c);
+  bist::BistConfig config;
+  config.pattern_count = 4096;  // stale: the real program is shorter
+  config.misr_width = 8;
+  sim::PatternSet program(c.pattern_inputs().size());
+  util::Rng rng(3);
+  program.append_random(70, rng);
+  const bist::BistSession session(faults, program, config);
+  EXPECT_EQ(session.config().pattern_count, 70u);
+
+  const bist::BistResult graded = session.run();
+  EXPECT_EQ(graded.pattern_count, session.patterns().size());
+
+  ChipLot lot;
+  lot.chips.push_back(chip_with({0}));
+  lot.chips.push_back(chip_with({}));
+  const LotTestResult tested = test_lot_bist(lot, graded);
+  EXPECT_EQ(tested.pattern_count, graded.pattern_count);
+  // Failures land on the session's true final pattern, not the stale one.
+  for (const ChipOutcome& outcome : tested.outcomes) {
+    if (outcome.first_fail_pattern >= 0) {
+      EXPECT_EQ(outcome.first_fail_pattern,
+                static_cast<std::int64_t>(graded.pattern_count) - 1);
+    }
+  }
 }
 
 TEST(BistTester, DomainChecks) {

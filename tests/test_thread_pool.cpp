@@ -19,6 +19,21 @@
 namespace lsiq::util {
 namespace {
 
+TEST(ResolveWorkerCount, ExplicitCountsPassThrough) {
+  EXPECT_EQ(resolve_worker_count(1), 1u);
+  EXPECT_EQ(resolve_worker_count(2), 2u);
+  EXPECT_EQ(resolve_worker_count(17), 17u);
+}
+
+TEST(ResolveWorkerCount, ZeroMeansOnePerHardwareThread) {
+  const std::size_t resolved = resolve_worker_count(0);
+  EXPECT_GE(resolved, 1u);  // never zero, even if hw concurrency is unknown
+  // The pool follows the same convention — its lane count IS the resolved
+  // count, by construction.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), resolved);
+}
+
 TEST(ThreadPool, RunsEveryLaneExactlyOnce) {
   ThreadPool pool(4);
   ASSERT_EQ(pool.size(), 4u);

@@ -1,0 +1,97 @@
+// lsiq_flow — run one declarative flow spec and print the Table-1 / DPPM
+// report.
+//
+//     lsiq_flow <spec-file>              run the experiment
+//     lsiq_flow --validate <spec-file>   check the spec, run nothing
+//
+// A spec file selects a circuit and the four flow axes (see
+// flow/spec_io.hpp for the format, tools/specs/ for examples). Validation
+// problems are printed one per line with the offending field and exit
+// code 2; runtime failures (unreachable strobes, unreadable files) exit 1.
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "fault/fault_list.hpp"
+#include "flow/flow.hpp"
+#include "flow/spec_io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: lsiq_flow [--validate] <spec-file>\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lsiq;
+
+  bool validate_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    const flow::SpecFile file = flow::read_spec_file(path);
+    const std::vector<flow::SpecIssue> issues = flow::validate(file.spec);
+    if (!issues.empty()) {
+      for (const flow::SpecIssue& issue : issues) {
+        std::cerr << "spec error: " << issue.field << ": " << issue.message
+                  << "\n";
+      }
+      return 2;
+    }
+    if (file.circuit.empty()) {
+      std::cerr << "spec error: circuit: a spec file must name a circuit\n";
+      return 2;
+    }
+    // The circuit selector is part of the spec: resolve it in both modes
+    // so --validate catches a bad name and a bad name is a spec error
+    // (exit 2), not a runtime failure.
+    std::optional<circuit::Circuit> circuit;
+    try {
+      circuit = flow::circuit_from_name(file.circuit);
+    } catch (const lsiq::Error& e) {
+      std::cerr << "spec error: circuit: " << e.what() << "\n";
+      return 2;
+    }
+    if (validate_only) {
+      std::cout << "spec OK: circuit " << file.circuit << ", source "
+                << file.spec.source.kind << ", observe "
+                << file.spec.observe.kind << ", engine "
+                << file.spec.engine.kind << "\n";
+      return EXIT_SUCCESS;
+    }
+    const fault::FaultList faults =
+        fault::FaultList::full_universe(*circuit);
+    std::cout << "circuit: " << circuit->name() << " — fault universe N = "
+              << faults.fault_count() << " (" << faults.class_count()
+              << " collapsed classes)\n";
+    const flow::FlowResult result = flow::run(faults, file.spec);
+    std::cout << result.report();
+    return EXIT_SUCCESS;
+  } catch (const lsiq::Error& e) {
+    std::cerr << "lsiq_flow: error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    // Backstop so no library exception ever reaches std::terminate.
+    std::cerr << "lsiq_flow: internal error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
