@@ -20,14 +20,26 @@
 #include "core/estimation.hpp"
 #include "core/reject_model.hpp"
 #include "tpg/lfsr.hpp"
+#include "flow/flow.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "wafer/experiment.hpp"
 
 namespace {
 
 constexpr double kYield = 0.15;
 constexpr double kTrueN0 = 8.0;
+
+/// The shared experiment shape: an explicit program, full observation,
+/// PPSFP grading, seven mid-curve strobes.
+lsiq::flow::FlowSpec base_spec(const lsiq::sim::PatternSet& program) {
+  lsiq::flow::FlowSpec spec;
+  spec.source.kind = "explicit";
+  spec.source.patterns = program;
+  spec.engine.kind = "ppsfp";
+  spec.lot.yield = kYield;
+  spec.analysis.strobe_coverages = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  return spec;
+}
 
 }  // namespace
 
@@ -54,13 +66,12 @@ int main() {
     util::RunningStats discrete_stats;
     util::RunningStats ls_stats;
     for (std::uint64_t replica = 0; replica < 20; ++replica) {
-      wafer::ExperimentSpec spec;
-      spec.chip_count = chips;
-      spec.yield = kYield;
-      spec.n0 = kTrueN0;
-      spec.seed = 1000 + replica;
-      const wafer::ExperimentResult result =
-          wafer::run_chip_test_experiment(faults, program, spec);
+      flow::FlowSpec spec = base_spec(program);
+      spec.lot.chip_count = chips;
+      spec.lot.n0 = kTrueN0;
+      spec.lot.seed = 1000 + replica;
+      spec.analysis.strobe_coverages = flow::table1_strobes();
+      const flow::FlowResult result = flow::run(faults, spec);
       const auto points = result.points();
       slope_stats.add(
           quality::estimate_n0_slope(points, kYield).n0);
@@ -94,52 +105,47 @@ int main() {
 
   // Model-faithful lot (truth n0 = 4, in the range of the physical lots).
   {
-    wafer::ExperimentSpec spec;
-    spec.chip_count = 20000;
-    spec.yield = kYield;
-    spec.n0 = 4.0;
-    spec.seed = 42;
-    spec.strobe_coverages = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
-    const wafer::ExperimentResult result =
-        wafer::run_chip_test_experiment(faults, short_program, spec);
+    flow::FlowSpec spec = base_spec(short_program);
+    spec.lot.chip_count = 20000;
+    spec.lot.n0 = 4.0;
+    spec.lot.seed = 42;
+    const flow::FlowResult result = flow::run(faults, spec);
     const quality::FitResult fit =
         quality::estimate_n0_least_squares(result.points(), kYield);
     const double f_final = result.final_coverage();
     phys.add_row(
         {"shifted Poisson (Eq. 1)",
-         util::format_double(result.lot.realized_n0(), 2),
+         util::format_double(result.lot->realized_n0(), 2),
          util::format_double(fit.n0, 2), util::format_percent(f_final, 1),
          util::format_probability(
              quality::field_reject_rate(f_final, kYield, fit.n0)),
-         util::format_probability(result.test.empirical_reject_rate())});
+         util::format_probability(result.test->empirical_reject_rate())});
   }
 
   // Clustered physical lots at increasing faults-per-defect.
   for (const double mu : {0.5, 2.0, 5.0}) {
-    wafer::ExperimentSpec spec;
-    spec.chip_count = 20000;
+    flow::FlowSpec spec = base_spec(short_program);
+    spec.lot.chip_count = 20000;
     wafer::PhysicalLotSpec physical;
     physical.chip_count = 20000;
     physical.defects_per_chip = 1.4;
     physical.variance_ratio = 0.5;
     physical.extra_faults_per_defect = mu;
     physical.seed = 43;
-    spec.physical = physical;
-    spec.strobe_coverages = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
-    const wafer::ExperimentResult result =
-        wafer::run_chip_test_experiment(faults, short_program, spec);
-    const double y_real = result.lot.realized_yield();
+    spec.lot.physical = physical;
+    const flow::FlowResult result = flow::run(faults, spec);
+    const double y_real = result.lot->realized_yield();
     const quality::FitResult fit =
         quality::estimate_n0_least_squares(result.points(), y_real);
     const double f_final = result.final_coverage();
     phys.add_row(
         {"physical, faults/defect ~ 1+Poisson(" +
              util::format_double(mu, 1) + ")",
-         util::format_double(result.lot.realized_n0(), 2),
+         util::format_double(result.lot->realized_n0(), 2),
          util::format_double(fit.n0, 2), util::format_percent(f_final, 1),
          util::format_probability(
              quality::field_reject_rate(f_final, y_real, fit.n0)),
-         util::format_probability(result.test.empirical_reject_rate())});
+         util::format_probability(result.test->empirical_reject_rate())});
   }
   std::cout << phys.to_string()
             << "Reading: even when per-chip fault counts are clustered "

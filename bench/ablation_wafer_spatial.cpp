@@ -13,9 +13,10 @@
 #include "circuit/generators.hpp"
 #include "core/estimation.hpp"
 #include "core/reject_model.hpp"
+#include "fault/fault_sim.hpp"
 #include "tpg/lfsr.hpp"
 #include "util/table.hpp"
-#include "wafer/experiment.hpp"
+#include "wafer/tester.hpp"
 #include "wafer/wafer_map.hpp"
 
 int main() {

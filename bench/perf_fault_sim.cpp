@@ -154,6 +154,28 @@ void BM_FaultSim_GradeFullProgram(benchmark::State& state) {
 BENCHMARK(BM_FaultSim_GradeFullProgram)->Arg(0)->Arg(8)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
+void BM_FaultSim_GradeTransitionProgram(benchmark::State& state) {
+  // The same Table 1 workload on the transition universe: the two-pattern
+  // kernel's launch gating plus the larger (less collapsed) class list.
+  const circuit::Circuit c = circuit::make_array_multiplier(16);
+  const fault::FaultList faults = fault::FaultList::transition_universe(c);
+  const sim::PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 1024, 1981);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const fault::FaultSimResult r =
+        threads == 0 ? simulate_ppsfp(faults, patterns)
+                     : simulate_ppsfp_mt(faults, patterns, nullptr, threads);
+    benchmark::DoNotOptimize(r.coverage);
+  }
+  state.SetLabel(threads == 0
+                     ? "mult16 x 1024 patterns, transition, serial"
+                     : "mult16 x 1024 patterns, transition, " +
+                           std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_FaultSim_GradeTransitionProgram)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
 void BM_Podem_PerFault(benchmark::State& state) {
   const circuit::Circuit c = circuit::make_alu(4);
   const fault::FaultList faults = fault::FaultList::full_universe(c);

@@ -128,6 +128,16 @@ BistResult BistSession::run(std::size_t num_threads) const {
   }
   std::vector<std::vector<std::uint64_t>> lane_diffs(lanes);
 
+  // Transition universes gate every per-point error word with the fault
+  // line's launch mask (see fault_model/transition.hpp): a slow line only
+  // corrupts the response stream on capture patterns whose predecessor
+  // launched the transition; everywhere else the faulty chip's outputs —
+  // and hence its signature input — match the good machine. The window is
+  // advanced on the main thread between blocks and read-only in the lanes.
+  const bool transition =
+      faults.model() == fault_model::FaultModel::kTransition;
+  fault_model::TwoPatternWindow window(transition ? c.node_count() : 0);
+
   // Streamed, block-outer, fault-inner, strided across lanes like
   // simulate_ppsfp_mt: each block is simulated once, folded into the
   // reference signature, and graded while its values are live — session
@@ -159,8 +169,20 @@ BistResult BistSession::run(std::size_t num_threads) const {
       std::vector<std::uint64_t>& diffs = lane_diffs[lane];
       for (std::size_t i = lane; i < order.size(); i += lanes) {
         const std::uint32_t cls = order[i];
-        const std::uint64_t detect = propagator.point_diff_words(
-            faults.representatives()[cls], good, diffs);
+        const fault::Fault& rep = faults.representatives()[cls];
+        // Lanes without a launch see good outputs, so a zero launch mask
+        // makes the whole block error-free without any propagation (the
+        // same short-circuit detect_word_transition performs); the
+        // evolution loop below reads diffs[] only where a detect bit
+        // survives, so gating the OR word is gating every point.
+        const std::uint64_t launch =
+            transition ? window.launch_mask(fault_line(c, rep),
+                                            rep.stuck_at_one, good.data())
+                       : ~0ULL;
+        const std::uint64_t detect =
+            launch == 0
+                ? 0
+                : propagator.point_diff_words(rep, good, diffs) & launch;
         std::uint64_t d = delta[cls];
         if (d == 0 && detect == 0) continue;  // difference stays zero
 
@@ -184,6 +206,7 @@ BistResult BistSession::run(std::size_t num_threads) const {
         }
       }
     });
+    if (transition) window.advance(good);
   }
 
   // Fold per-class outcomes into the result.

@@ -32,6 +32,13 @@ FaultDictionary FaultDictionary::build(const FaultList& faults,
 
   sim::ParallelSimulator good_sim(circuit);
   Propagator propagator(good_sim.compiled());
+  // Transition universes: per-class signatures are launch-gated pair
+  // detections, so diagnosis over a transition dictionary matches chips
+  // failing on delay defects.
+  const bool transition =
+      faults.model() == fault_model::FaultModel::kTransition;
+  fault_model::TwoPatternWindow window(
+      transition ? good_sim.compiled()->node_count() : 0);
   for (std::size_t b = 0; b < patterns.block_count(); ++b) {
     good_sim.simulate_block(patterns.block_words(b));
     propagator.begin_block(good_sim.values());
@@ -46,12 +53,16 @@ FaultDictionary FaultDictionary::build(const FaultList& faults,
       masks = &point_masks;
     }
     for (std::size_t c = 0; c < faults.class_count(); ++c) {
+      const Fault& rep = faults.representatives()[c];
       const std::uint64_t word =
-          propagator.detect_word(faults.representatives()[c],
-                                 good_sim.values(), masks) &
+          (transition
+               ? propagator.detect_word_transition(rep, good_sim.values(),
+                                                   window, masks)
+               : propagator.detect_word(rep, good_sim.values(), masks)) &
           lane_mask;
       dictionary.signatures_[c][b] = word;
     }
+    if (transition) window.advance(good_sim.values());
   }
   return dictionary;
 }

@@ -47,27 +47,40 @@ class DisjointSets {
 
 }  // namespace
 
-FaultList FaultList::full_universe(const Circuit& circuit) {
-  LSIQ_EXPECT(circuit.finalized(),
-              "FaultList requires a finalized circuit");
-  FaultList list(circuit);
-
-  list.gate_offset_.resize(circuit.gate_count() + 1, 0);
+void FaultList::enumerate_sites() {
+  const Circuit& circuit = *circuit_;
+  gate_offset_.resize(circuit.gate_count() + 1, 0);
   for (GateId id = 0; id < circuit.gate_count(); ++id) {
-    list.gate_offset_[id] = list.faults_.size();
+    gate_offset_[id] = faults_.size();
     // Stem faults.
-    list.faults_.push_back(Fault{id, -1, false});
-    list.faults_.push_back(Fault{id, -1, true});
+    faults_.push_back(Fault{id, -1, false});
+    faults_.push_back(Fault{id, -1, true});
     // Branch faults, one pair per input pin.
     const Gate& g = circuit.gate(id);
     for (std::int32_t pin = 0;
          pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
-      list.faults_.push_back(Fault{id, pin, false});
-      list.faults_.push_back(Fault{id, pin, true});
+      faults_.push_back(Fault{id, pin, false});
+      faults_.push_back(Fault{id, pin, true});
     }
   }
-  list.gate_offset_[circuit.gate_count()] = list.faults_.size();
+  gate_offset_[circuit.gate_count()] = faults_.size();
+}
 
+FaultList FaultList::full_universe(const Circuit& circuit) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "FaultList requires a finalized circuit");
+  FaultList list(circuit);
+  list.enumerate_sites();
+  list.collapse();
+  return list;
+}
+
+FaultList FaultList::transition_universe(const Circuit& circuit) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "FaultList requires a finalized circuit");
+  FaultList list(circuit);
+  list.model_ = fault_model::FaultModel::kTransition;
+  list.enumerate_sites();
   list.collapse();
   return list;
 }
@@ -127,6 +140,16 @@ void FaultList::collapse() {
     sets.unite(ia, ib);
   };
 
+  // The multi-input controlling-value rules hold only for stuck-at: they
+  // identify capture behaviour but not the launch condition a transition
+  // fault adds (an AND output held at 0 does not pin which input was 0 on
+  // the launch pattern). BUF/NOT and branch==stem preserve both — the
+  // input of a single-input gate transitions exactly when its output does
+  // (with polarity flipped through a NOT), and a single-fanout branch IS
+  // its driver's line.
+  const bool multi_input_rules =
+      model_ == fault_model::FaultModel::kStuckAt;
+
   for (GateId id = 0; id < circuit_->gate_count(); ++id) {
     const Gate& g = circuit_->gate(id);
 
@@ -141,24 +164,28 @@ void FaultList::collapse() {
         unite(Fault{id, 0, true}, Fault{id, -1, false});
         break;
       case GateType::kAnd:
+        if (!multi_input_rules) break;
         for (std::int32_t pin = 0;
              pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
           unite(Fault{id, pin, false}, Fault{id, -1, false});
         }
         break;
       case GateType::kNand:
+        if (!multi_input_rules) break;
         for (std::int32_t pin = 0;
              pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
           unite(Fault{id, pin, false}, Fault{id, -1, true});
         }
         break;
       case GateType::kOr:
+        if (!multi_input_rules) break;
         for (std::int32_t pin = 0;
              pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
           unite(Fault{id, pin, true}, Fault{id, -1, true});
         }
         break;
       case GateType::kNor:
+        if (!multi_input_rules) break;
         for (std::int32_t pin = 0;
              pin < static_cast<std::int32_t>(g.fanin.size()); ++pin) {
           unite(Fault{id, pin, true}, Fault{id, -1, false});

@@ -6,12 +6,21 @@
 // equivalence), so the simulators only carry one representative per class
 // while coverage is still accounted over the full universe via class sizes.
 //
-// Equivalence rules applied (union-find closure):
+// Stuck-at equivalence rules (union-find closure):
 //   * single-input gates:  in s-a-v  ==  out s-a-v (BUF) / out s-a-!v (NOT)
 //   * AND:  any in s-a-0  ==  out s-a-0      NAND:  any in s-a-0 == out s-a-1
 //   * OR:   any in s-a-1  ==  out s-a-1      NOR:   any in s-a-1 == out s-a-0
 //   * single-fanout nets:  branch s-a-v  ==  driver stem s-a-v
 // XOR/XNOR gates contribute no equivalences.
+//
+// The transition universe (transition_universe) enumerates the same sites
+// and polarities but keeps only the rules that preserve the LAUNCH
+// condition as well as capture detection: single-input gates (a BUF/NOT
+// input transitions exactly when its output does) and single-fanout
+// branch == stem (same line). The multi-input controlling-value rules do
+// NOT hold — an AND output at 0 does not pin which input was 0 on the
+// launch pattern — so transition universes collapse less and carry more
+// classes for the same circuit.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +28,7 @@
 
 #include "circuit/netlist.hpp"
 #include "fault/fault.hpp"
+#include "fault_model/fault_model.hpp"
 
 namespace lsiq::fault {
 
@@ -32,10 +42,22 @@ class FaultList {
   /// input pin) and collapse equivalences.
   static FaultList full_universe(const circuit::Circuit& circuit);
 
+  /// Enumerate every transition fault (slow-to-rise + slow-to-fall on the
+  /// same sites) and collapse with the transition rules (header comment).
+  /// The list is tagged FaultModel::kTransition, which switches every
+  /// grading engine to two-pattern launch/capture detection.
+  static FaultList transition_universe(const circuit::Circuit& circuit);
+
   /// The checkpoint subset: faults on primary inputs (and scan outputs) and
   /// on fanout branches. For fanout-free-region analysis and as a cheaper
   /// ATPG target list.
   static FaultList checkpoints(const circuit::Circuit& circuit);
+
+  /// The fault model this universe enumerates — how `stuck_at_one` and the
+  /// detection kernel are to be interpreted.
+  [[nodiscard]] fault_model::FaultModel model() const noexcept {
+    return model_;
+  }
 
   /// Total faults enumerated before collapsing (the paper's N).
   [[nodiscard]] std::size_t fault_count() const noexcept {
@@ -74,9 +96,12 @@ class FaultList {
 
  private:
   explicit FaultList(const circuit::Circuit& circuit) : circuit_(&circuit) {}
+  /// Shared enumeration (2 per stem + 2 per input pin) of both universes.
+  void enumerate_sites();
   void collapse();
 
   const circuit::Circuit* circuit_;
+  fault_model::FaultModel model_ = fault_model::FaultModel::kStuckAt;
   std::vector<Fault> faults_;
   std::vector<std::size_t> class_of_;
   std::vector<Fault> representatives_;

@@ -245,6 +245,19 @@ std::uint64_t Propagator::detect_word_resim(
   return detect;
 }
 
+std::uint64_t Propagator::detect_word_transition(
+    const Fault& fault, const std::vector<std::uint64_t>& good,
+    const fault_model::TwoPatternWindow& window,
+    const std::vector<std::uint64_t>* point_masks) {
+  LSIQ_EXPECT(block_synced_,
+              "detect_word_transition: begin_block must follow every new "
+              "good-machine block");
+  const std::uint64_t launch = window.launch_mask(
+      fault_line(*compiled_, fault), fault.stuck_at_one, good.data());
+  if (launch == 0) return 0;  // no lane launched: capture cannot matter
+  return detect_word_resim(fault, good, point_masks) & launch;
+}
+
 std::uint64_t Propagator::point_diff_words(
     const Fault& fault, const std::vector<std::uint64_t>& good_values,
     std::vector<std::uint64_t>& diffs) {
@@ -443,6 +456,8 @@ FaultSimResult simulate_serial(const FaultList& faults,
   LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
               "simulate_serial: pattern width does not match circuit");
   ScheduleMasks strobe_masks(circuit, schedule);
+  const bool transition =
+      faults.model() == fault_model::FaultModel::kTransition;
 
   // Good-machine simulation, one pass, values retained per block.
   sim::ParallelSimulator good_sim(circuit);
@@ -453,6 +468,21 @@ FaultSimResult simulate_serial(const FaultList& faults,
     good_blocks.push_back(good_sim.values());
   }
 
+  // Reference launch word for a transition fault: bit p = the fault line's
+  // good value at pattern p-1, matched against the pre-transition value.
+  // Kept independent of fault_model::TwoPatternWindow on purpose — the
+  // serial engine is the oracle the fast engines' window bookkeeping is
+  // cross-checked against.
+  const auto launch_word = [&](const Fault& fault, std::size_t b) {
+    const GateId line = fault_line(circuit, fault);
+    const std::uint64_t previous =
+        (good_blocks[b][line] << 1) |
+        (b > 0 ? good_blocks[b - 1][line] >> 63 : 0);
+    std::uint64_t launch = fault.stuck_at_one ? previous : ~previous;
+    if (b == 0) launch &= ~1ULL;  // the first pattern has no launch
+    return launch;
+  };
+
   FaultSimResult result;
   result.first_detection.assign(faults.class_count(), -1);
   for (std::size_t c = 0; c < faults.class_count(); ++c) {
@@ -460,10 +490,11 @@ FaultSimResult simulate_serial(const FaultList& faults,
     for (std::size_t b = 0; b < patterns.block_count(); ++b) {
       const std::vector<std::uint64_t> faulty = simulate_faulty_block_full(
           circuit, fault, patterns.block_words(b));
-      const std::uint64_t detect =
+      std::uint64_t detect =
           observe_difference(circuit, fault, faulty, good_blocks[b],
                              strobe_masks.for_block(b)) &
           patterns.block_mask(b);
+      if (transition) detect &= launch_word(fault, b);
       if (detect != 0) {
         result.first_detection[c] =
             static_cast<std::int64_t>(b * 64 + std::countr_zero(detect));
@@ -508,6 +539,10 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
   auto compiled = std::make_shared<const CompiledCircuit>(circuit);
   sim::ParallelSimulator good_sim(compiled);
   Propagator propagator(compiled);
+  const bool transition =
+      faults.model() == fault_model::FaultModel::kTransition;
+  fault_model::TwoPatternWindow window(
+      transition ? compiled->node_count() : 0);
 
   // Live list in resimulation order, compacted in place as faults drop.
   std::vector<std::uint32_t> live = sorted_live_list(faults, *compiled);
@@ -522,9 +557,12 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
     std::size_t kept = 0;
     for (std::size_t i = 0; i < live.size(); ++i) {
       const std::uint32_t c = live[i];
+      const Fault& rep = faults.representatives()[c];
       const std::uint64_t detect =
-          propagator.detect_word_resim(faults.representatives()[c], good,
-                                       point_masks) &
+          (transition
+               ? propagator.detect_word_transition(rep, good, window,
+                                                   point_masks)
+               : propagator.detect_word_resim(rep, good, point_masks)) &
           mask;
       if (detect != 0) {
         result.first_detection[c] =
@@ -534,6 +572,7 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
       }
     }
     live.resize(kept);
+    if (transition) window.advance(good);
   }
 
   finalize_result(faults, result);
@@ -554,6 +593,13 @@ FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
 
   auto compiled = std::make_shared<const CompiledCircuit>(circuit);
   sim::ParallelSimulator good_sim(compiled);
+  const bool transition =
+      faults.model() == fault_model::FaultModel::kTransition;
+  // One launch window shared read-only by every lane; advanced on the
+  // main thread between blocks, so the gating each lane applies is a pure
+  // function of the block index — thread-count independence is preserved.
+  fault_model::TwoPatternWindow window(
+      transition ? compiled->node_count() : 0);
 
   util::ThreadPool pool(num_threads);
   const std::size_t lanes = pool.size();
@@ -584,9 +630,12 @@ FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
       Propagator& propagator = propagators[lane];
       propagator.begin_block(good);
       for (std::size_t i = lane; i < live_count; i += lanes) {
+        const Fault& rep = faults.representatives()[live[i]];
         detects[i] =
-            propagator.detect_word_resim(faults.representatives()[live[i]],
-                                         good, point_masks) &
+            (transition
+                 ? propagator.detect_word_transition(rep, good, window,
+                                                     point_masks)
+                 : propagator.detect_word_resim(rep, good, point_masks)) &
             mask;
       }
     });
@@ -602,6 +651,7 @@ FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
       }
     }
     live.resize(kept);
+    if (transition) window.advance(good);
   }
 
   finalize_result(faults, result);

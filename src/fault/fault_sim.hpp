@@ -1,4 +1,11 @@
-// Single stuck-at fault simulation.
+// Fault simulation over a model-tagged universe (stuck-at or transition).
+//
+// Every engine keys its detection kernel off FaultList::model(): stuck-at
+// universes grade with classic one-pattern detection; transition universes
+// grade pattern PAIRS — the capture pattern must detect the matching
+// stuck-at fault while the preceding pattern launches the transition (see
+// fault_model/transition.hpp for the factoring that makes the launch word
+// a pure good-machine quantity, identical across engines and threads).
 //
 // Three engines with one contract:
 //
@@ -36,6 +43,7 @@
 #include "fault/coverage.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/strobe.hpp"
+#include "fault_model/transition.hpp"
 #include "sim/pattern.hpp"
 
 namespace lsiq::fault {
@@ -106,6 +114,19 @@ class Propagator {
                                   const std::vector<std::uint64_t>& good,
                                   const std::vector<std::uint64_t>*
                                       point_masks = nullptr);
+
+  /// Two-pattern transition kernel: the detect word of the matching
+  /// capture stuck-at fault (suffix resimulation, same contract as
+  /// detect_word_resim) gated by the launch word `window` derives from the
+  /// fault line's previous-pattern good values. `fault` is a transition
+  /// fault in the fault_model encoding (stuck_at_one == slow-to-fall);
+  /// `window` must be tracking the same block sequence as begin_block —
+  /// advance() it only after every fault of the block is graded. A fault
+  /// with no launched lane skips capture simulation entirely.
+  std::uint64_t detect_word_transition(
+      const Fault& fault, const std::vector<std::uint64_t>& good,
+      const fault_model::TwoPatternWindow& window,
+      const std::vector<std::uint64_t>* point_masks = nullptr);
 
   /// Per-point difference words for one fault over the current block:
   /// resizes `diffs` to observed_points().size() and sets bit p of

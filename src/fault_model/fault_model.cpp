@@ -1,0 +1,26 @@
+#include "fault_model/fault_model.hpp"
+
+namespace lsiq::fault_model {
+
+std::string fault_model_name(FaultModel model) {
+  return model == FaultModel::kStuckAt ? "stuck_at" : "transition";
+}
+
+std::string fault_model_label(FaultModel model) {
+  return model == FaultModel::kStuckAt ? "stuck-at" : "transition";
+}
+
+std::optional<FaultModel> fault_model_from_name(const std::string& name) {
+  if (name == "stuck_at") return FaultModel::kStuckAt;
+  if (name == "transition") return FaultModel::kTransition;
+  return std::nullopt;
+}
+
+std::string polarity_name(FaultModel model, bool stuck_at_one) {
+  if (model == FaultModel::kStuckAt) {
+    return stuck_at_one ? "s-a-1" : "s-a-0";
+  }
+  return stuck_at_one ? "slow-to-fall" : "slow-to-rise";
+}
+
+}  // namespace lsiq::fault_model

@@ -1,0 +1,47 @@
+// The fault-model axis: which fault universe coverage is measured on.
+//
+// The paper's DPPM-vs-coverage relationship is only as meaningful as the
+// fault universe behind the coverage figure. The classic universe is the
+// single stuck-at model; the standard next class is the transition
+// (gross-delay) model — a line that fails to rise or fall in time, tested
+// with two-pattern launch/capture sequences. This module makes the model a
+// selectable axis: the enum and its spec-facing names live here (a leaf
+// header, so fault::FaultList can tag itself with a model), the per-model
+// universe factory in fault_model/universe.hpp, and the two-pattern
+// launch-window kernel shared by every grading engine in
+// fault_model/transition.hpp.
+//
+// Encoding convention: a transition fault reuses the fault::Fault record.
+// `stuck_at_one == false` means slow-to-rise (the line holds 0 at capture,
+// i.e. behaves stuck-at-0 on the capture pattern); `stuck_at_one == true`
+// means slow-to-fall (behaves stuck-at-1 at capture). The launch condition
+// — the preceding pattern must set the line to the pre-transition value —
+// is what distinguishes the models; see fault_model/transition.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace lsiq::fault_model {
+
+enum class FaultModel {
+  kStuckAt,     ///< single stuck-at: one-pattern detection
+  kTransition,  ///< slow-to-rise / slow-to-fall: two-pattern detection
+};
+
+/// Spec-facing selector name: "stuck_at" | "transition". The name list
+/// lives here so flow::validate, spec_io and the CLI cannot drift apart.
+std::string fault_model_name(FaultModel model);
+
+/// Human-readable label for reports: "stuck-at" | "transition".
+std::string fault_model_label(FaultModel model);
+
+/// Inverse of fault_model_name; nullopt for an unknown name.
+std::optional<FaultModel> fault_model_from_name(const std::string& name);
+
+/// Polarity suffix of a fault under a model: "s-a-0"/"s-a-1" for stuck-at,
+/// "slow-to-rise"/"slow-to-fall" for transition (see the encoding
+/// convention in the header comment).
+std::string polarity_name(FaultModel model, bool stuck_at_one);
+
+}  // namespace lsiq::fault_model

@@ -1,0 +1,12 @@
+#include "fault_model/universe.hpp"
+
+namespace lsiq::fault_model {
+
+fault::FaultList universe(const circuit::Circuit& circuit, FaultModel model) {
+  if (model == FaultModel::kTransition) {
+    return fault::FaultList::transition_universe(circuit);
+  }
+  return fault::FaultList::full_universe(circuit);
+}
+
+}  // namespace lsiq::fault_model

@@ -1,0 +1,19 @@
+// Per-model fault-universe factory: the one call sites use when the model
+// is data (a FlowSpec axis, a CLI spec file) rather than a compile-time
+// choice.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "fault/fault_list.hpp"
+#include "fault_model/fault_model.hpp"
+
+namespace lsiq::fault_model {
+
+/// Enumerate and collapse the full universe of `model` faults:
+/// FaultList::full_universe for stuck-at, FaultList::transition_universe
+/// for transition. The returned list is tagged with the model
+/// (FaultList::model()), which is how the grading engines select their
+/// detection kernel.
+fault::FaultList universe(const circuit::Circuit& circuit, FaultModel model);
+
+}  // namespace lsiq::fault_model

@@ -7,6 +7,7 @@
 #include "bist/session.hpp"
 #include "core/fault_distribution.hpp"
 #include "fault/strobe.hpp"
+#include "fault_model/universe.hpp"
 #include "sim/pattern_io.hpp"
 #include "tpg/lfsr.hpp"
 #include "util/error.hpp"
@@ -86,8 +87,17 @@ sim::PatternSet make_patterns(const fault::FaultList& faults,
 
 FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
   validate_or_throw(spec);
+  // validate() guaranteed the name resolves; the list must agree with the
+  // spec or every downstream figure silently reports the wrong model.
+  const fault_model::FaultModel model =
+      *fault_model::fault_model_from_name(spec.fault_model.kind);
+  LSIQ_EXPECT(faults.model() == model,
+              "flow: the fault list's model does not match spec.fault_model "
+              "(build the universe with fault_model::universe, or use the "
+              "circuit overload)");
 
   FlowResult result;
+  result.spec.fault_model = spec.fault_model;
   result.spec.source = strip_pattern_payload(spec.source);
   result.spec.observe = spec.observe;
   result.spec.engine = spec.engine;
@@ -98,6 +108,14 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
   result.patterns = make_patterns(faults, spec.source, &result.atpg);
   LSIQ_EXPECT(!result.patterns.empty(),
               "flow: the pattern source produced no patterns");
+  if (model == fault_model::FaultModel::kTransition &&
+      result.patterns.size() < 2) {
+    // validate() catches this for lfsr/explicit sources; a file source's
+    // length is only known after reading it.
+    throw Error(
+        "flow: transition grading needs at least 2 patterns (one "
+        "launch/capture pair); the source produced 1");
+  }
   const std::size_t pattern_count = result.patterns.size();
 
   // 2. Grade it under the requested observation with the requested engine
@@ -183,13 +201,24 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
 }
 
 FlowResult run(const circuit::Circuit& circuit, const FlowSpec& spec) {
-  const fault::FaultList faults = fault::FaultList::full_universe(circuit);
+  // Validate before enumerating anything so a bad fault_model name is an
+  // InvalidSpec, not an internal error while picking the universe.
+  validate_or_throw(spec);
+  const fault::FaultList faults = fault_model::universe(
+      circuit, *fault_model::fault_model_from_name(spec.fault_model.kind));
   return run(faults, spec);
 }
 
 std::string FlowResult::report() const {
   std::ostringstream out;
-  out << "flow: source=" << spec.source.kind
+  // Every row of this report is per fault model: the same product under
+  // stuck_at and transition specs yields directly comparable tables.
+  const auto model = fault_model::fault_model_from_name(spec.fault_model.kind);
+  const std::string model_label = model.has_value()
+                                      ? fault_model::fault_model_label(*model)
+                                      : spec.fault_model.kind;
+  out << "flow: model=" << spec.fault_model.kind
+      << " source=" << spec.source.kind
       << " observe=" << spec.observe.kind << " engine=" << spec.engine.kind;
   if (spec.engine.kind == "ppsfp_mt") {
     out << " (" << util::resolve_worker_count(spec.engine.num_threads)
@@ -201,7 +230,7 @@ std::string FlowResult::report() const {
     out << " (ATPG: " << atpg->redundant_classes << " redundant, "
         << atpg->aborted_classes << " aborted classes)";
   }
-  out << "\n  final coverage f = "
+  out << "\n  final " << model_label << " coverage f = "
       << util::format_percent(final_coverage(), 2) << "\n";
   if (bist.has_value()) {
     out << "  misr k=" << bist->misr_width << ": full-observation coverage "
@@ -221,7 +250,8 @@ std::string FlowResult::report() const {
   }
 
   if (!table.empty()) {
-    out << "\nStrobe readout (Table 1 columns):\n";
+    out << "\nStrobe readout (Table 1 columns, " << model_label
+        << " faults):\n";
     util::TextTable strobe_table({"coverage", "patterns", "failed",
                                   "fraction"});
     for (const wafer::StrobeRow& row : table) {
@@ -237,7 +267,7 @@ std::string FlowResult::report() const {
     out << "\n" << analyzer->report(spec.analysis.reject_targets);
     const double f = bist.has_value() ? bist->signature_coverage
                                       : final_coverage();
-    out << "\nAt the program's delivered coverage ("
+    out << "\nAt the program's delivered " << model_label << " coverage ("
         << util::format_percent(f, 2) << "): reject rate "
         << util::format_probability(analyzer->reject_rate(f)) << " = "
         << util::format_double(analyzer->dppm(f), 0) << " DPPM\n";

@@ -84,13 +84,14 @@ sim::PatternSet make_patterns(
     const fault::FaultList& faults, const PatternSourceSpec& source,
     std::optional<tpg::AtpgResult>* atpg_out = nullptr);
 
-/// Run a spec against a collapsed fault universe. Throws InvalidSpec when
-/// validate(spec) reports issues, and lsiq::Error when a strobe coverage
-/// is never reached by the materialized program.
+/// Run a spec against a collapsed fault universe. The list's model
+/// (FaultList::model()) must match spec.fault_model. Throws InvalidSpec
+/// when validate(spec) reports issues, and lsiq::Error when a strobe
+/// coverage is never reached by the materialized program.
 FlowResult run(const fault::FaultList& faults, const FlowSpec& spec);
 
-/// Convenience overload: enumerate the full stuck-at universe of the
-/// circuit first, then run.
+/// Convenience overload: enumerate the spec's fault-model universe of the
+/// circuit (fault_model::universe) first, then run.
 FlowResult run(const circuit::Circuit& circuit, const FlowSpec& spec);
 
 }  // namespace lsiq::flow

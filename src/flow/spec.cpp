@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "fault_model/fault_model.hpp"
 #include "tpg/lfsr.hpp"
 
 namespace lsiq::flow {
@@ -49,14 +50,34 @@ std::vector<SpecIssue> validate(const FlowSpec& spec) {
     issues.push_back(SpecIssue{field, std::move(message)});
   };
 
+  // ---- axis 0: fault model ----
+  // Resolve through the one canonical name list (fault_model.hpp) so the
+  // transition-specific rules below cannot drift from what run() selects.
+  const std::optional<fault_model::FaultModel> model =
+      fault_model::fault_model_from_name(spec.fault_model.kind);
+  const bool transition = model == fault_model::FaultModel::kTransition;
+  if (!model.has_value()) {
+    add("fault_model.kind",
+        "unknown fault model '" + spec.fault_model.kind +
+            "' (expected stuck_at or transition)");
+  }
+
   // ---- axis 1: pattern source ----
   const PatternSourceSpec& source = spec.source;
   if (!one_of(source.kind, {"lfsr", "atpg", "explicit", "file"})) {
     add("source.kind", "unknown pattern source '" + source.kind +
                            "' (expected lfsr, atpg, explicit, or file)");
+  } else if (transition && source.kind == "atpg") {
+    add("source.kind",
+        "the atpg source generates stuck-at tests; grade a transition "
+        "universe with an lfsr, explicit, or file program");
   } else if (source.kind == "lfsr") {
     if (source.pattern_count == 0) {
       add("source.pattern_count", "lfsr source requires pattern_count > 0");
+    } else if (transition && source.pattern_count < 2) {
+      add("source.pattern_count",
+          "transition grading needs at least 2 patterns (one launch/capture "
+          "pair)");
     }
     if (!tpg::has_maximal_taps(source.lfsr_width)) {
       add("source.lfsr_width",
@@ -67,6 +88,10 @@ std::vector<SpecIssue> validate(const FlowSpec& spec) {
     if (!source.patterns.has_value() || source.patterns->empty()) {
       add("source.patterns",
           "explicit source requires a non-empty pattern set");
+    } else if (transition && source.patterns->size() < 2) {
+      add("source.patterns",
+          "transition grading needs at least 2 patterns (one launch/capture "
+          "pair)");
     }
   } else if (source.kind == "file") {
     if (source.file.empty()) {

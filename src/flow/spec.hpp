@@ -4,12 +4,14 @@
 // The paper's pipeline — circuit -> fault universe -> ordered patterns ->
 // fault grading -> virtual tester -> n0 / DPPM — exists throughout the
 // library, but every scenario used to be a hand-wired main(): the strobe
-// path in wafer::run_chip_test_experiment, the signature path in
+// path in the pre-flow wafer chip-test experiment, the signature path in
 // bist::BistSession + wafer::test_lot_bist, and each example re-assembling
 // engines by hand. FlowSpec makes every scenario a *config point* instead:
-// four orthogonal axes, each selected by name so a spec can live in a text
+// five orthogonal axes, each selected by name so a spec can live in a text
 // file (see flow/spec_io.hpp and tools/lsiq_flow) as easily as in code.
 //
+//   FaultModel     -- which fault universe coverage is measured on
+//                     (stuck_at | transition)
 //   PatternSource  -- where the ordered program comes from
 //                     (lfsr | atpg | explicit | file)
 //   Observation    -- what the tester compares
@@ -38,6 +40,22 @@
 
 namespace lsiq::flow {
 
+/// Axis 0: the fault universe the whole flow is measured on. Everything
+/// downstream — coverage curve, strobe rows, DPPM — is per model, so one
+/// spec flipped between the two kinds yields stuck-at and transition
+/// quality statements for the same product side by side.
+struct FaultModelSpec {
+  /// "stuck_at" (classic single stuck-at, one-pattern detection) or
+  /// "transition" (slow-to-rise / slow-to-fall, two-pattern launch/capture
+  /// detection). Under "transition" every pattern source is reinterpreted
+  /// as a consecutive-pair sequence: pattern i-1 launches what pattern i
+  /// captures, so a transition program needs at least 2 patterns.
+  std::string kind = "stuck_at";
+
+  friend bool operator==(const FaultModelSpec&,
+                         const FaultModelSpec&) = default;
+};
+
 /// Axis 1: where the ordered pattern program comes from.
 struct PatternSourceSpec {
   /// "lfsr" | "atpg" | "explicit" | "file".
@@ -57,6 +75,9 @@ struct PatternSourceSpec {
 
   // -- kind == "file": a sim::pattern_io text file --
   std::string file;
+
+  friend bool operator==(const PatternSourceSpec&,
+                         const PatternSourceSpec&) = default;
 };
 
 /// Axis 2: what the tester observes.
@@ -72,6 +93,9 @@ struct ObservationSpec {
   // -- kind == "misr" --
   int misr_width = 32;          ///< signature length k
   std::uint64_t misr_taps = 0;  ///< 0 = standard polynomial for the width
+
+  friend bool operator==(const ObservationSpec&,
+                         const ObservationSpec&) = default;
 };
 
 /// Axis 3: which grading engine runs the program.
@@ -85,6 +109,8 @@ struct EngineSpec {
   /// Workers for "ppsfp_mt" (and for misr signature grading): the shared
   /// util::resolve_worker_count convention — 0 = one per hardware thread.
   std::size_t num_threads = 0;
+
+  friend bool operator==(const EngineSpec&, const EngineSpec&) = default;
 };
 
 /// Axis 4a: the virtual lot. chip_count == 0 and no physical spec means a
@@ -98,6 +124,8 @@ struct LotSpec {
   /// When set, the physical-defect generator replaces the model-faithful
   /// one (and carries its own chip count and seed).
   std::optional<wafer::PhysicalLotSpec> physical;
+
+  friend bool operator==(const LotSpec&, const LotSpec&) = default;
 };
 
 /// Axis 4b: readout and characterization.
@@ -114,16 +142,21 @@ struct AnalysisSpec {
 
   /// Field-reject-rate targets for the report (DPPM = target * 1e6).
   std::vector<double> reject_targets = {0.01, 0.005, 0.001};
+
+  friend bool operator==(const AnalysisSpec&, const AnalysisSpec&) = default;
 };
 
-/// One declarative experiment: pattern source -> observation -> engine ->
-/// lot -> analysis.
+/// One declarative experiment: fault model -> pattern source ->
+/// observation -> engine -> lot -> analysis.
 struct FlowSpec {
+  FaultModelSpec fault_model;
   PatternSourceSpec source;
   ObservationSpec observe;
   EngineSpec engine;
   LotSpec lot;
   AnalysisSpec analysis;
+
+  friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
 };
 
 /// Table 1's coverage checkpoints — the default strobe readout of the

@@ -94,6 +94,8 @@ void apply_key(SpecFile& file, const std::string& key,
   FlowSpec& spec = file.spec;
   if (key == "circuit") {
     file.circuit = value;
+  } else if (key == "fault_model") {
+    spec.fault_model.kind = value;
   } else if (key == "source") {
     spec.source.kind = value;
   } else if (key == "patterns") {
@@ -198,7 +200,8 @@ std::string write_spec_string(const SpecFile& file) {
   }
   std::ostringstream out;
   if (!file.circuit.empty()) out << "circuit = " << file.circuit << "\n";
-  out << "source = " << spec.source.kind << "\n";
+  out << "fault_model = " << spec.fault_model.kind << "\n"
+      << "source = " << spec.source.kind << "\n";
   if (spec.source.kind == "lfsr") {
     out << "patterns = " << spec.source.pattern_count << "\n"
         << "lfsr_width = " << spec.source.lfsr_width << "\n"

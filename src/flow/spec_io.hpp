@@ -6,6 +6,7 @@
 //
 //     # the Table 1 experiment
 //     circuit     = mult16
+//     fault_model = stuck_at
 //     source      = lfsr
 //     patterns    = 1024
 //     lfsr_seed   = 1981

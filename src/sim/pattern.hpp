@@ -66,6 +66,11 @@ class PatternSet {
   /// Append all patterns of another set (same input count).
   void append_all(const PatternSet& other);
 
+  /// Exact equality: same input count, pattern count and stored bits
+  /// (unused lanes of the final block are always zero, so word compare is
+  /// bit compare).
+  friend bool operator==(const PatternSet&, const PatternSet&) = default;
+
  private:
   std::size_t input_count_;
   std::size_t pattern_count_ = 0;

@@ -15,6 +15,13 @@ using sim::PatternSet;
 
 AtpgResult generate_tests(const FaultList& faults,
                           const AtpgOptions& options) {
+  // PODEM activates and propagates a stuck value with no launch
+  // condition; handing it a transition universe would silently generate
+  // for the capture faults only. flow::validate rejects the combination
+  // at the spec level; this guards direct callers.
+  LSIQ_EXPECT(faults.model() == fault_model::FaultModel::kStuckAt,
+              "generate_tests targets stuck-at universes; transition ATPG "
+              "is not implemented");
   const circuit::Circuit& circuit = faults.circuit();
   const std::size_t input_count = circuit.pattern_inputs().size();
 

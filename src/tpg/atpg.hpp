@@ -21,6 +21,8 @@ struct AtpgOptions {
   std::size_t random_patterns = 256;
   std::uint64_t seed = 1;
   PodemOptions podem;
+
+  friend bool operator==(const AtpgOptions&, const AtpgOptions&) = default;
 };
 
 struct AtpgResult {

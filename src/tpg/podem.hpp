@@ -32,6 +32,8 @@ struct PodemOptions {
   /// fanins by controllability cost instead of logic level — usually fewer
   /// backtracks on reconvergent structures. Must outlive the call.
   const struct TestabilityMeasures* scoap = nullptr;
+
+  friend bool operator==(const PodemOptions&, const PodemOptions&) = default;
 };
 
 struct PodemResult {

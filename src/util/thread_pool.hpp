@@ -24,7 +24,7 @@ namespace lsiq::util {
 /// 0 = one worker per hardware thread (at least 1), n = exactly n workers.
 /// Every knob that documents that convention (ThreadPool's constructor,
 /// fault::simulate_ppsfp_mt, bist::BistConfig::num_threads,
-/// flow::EngineSpec::num_threads, wafer::ExperimentSpec::num_threads)
+/// flow::EngineSpec::num_threads)
 /// resolves through this function, so "0 means all cores" cannot drift
 /// between subsystems.
 [[nodiscard]] std::size_t resolve_worker_count(std::size_t requested) noexcept;

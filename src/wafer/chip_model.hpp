@@ -71,6 +71,9 @@ struct PhysicalLotSpec {
   /// indices around a random center — crude spatial locality. 0 = uniform.
   std::size_t locality_window = 64;
   std::uint64_t seed = 1;
+
+  friend bool operator==(const PhysicalLotSpec&,
+                         const PhysicalLotSpec&) = default;
 };
 
 /// Physical generator (see header comment). true_n0 in the returned lot is

@@ -1,10 +1,5 @@
 #include "wafer/experiment.hpp"
 
-#include <utility>
-
-#include "flow/flow.hpp"
-#include "util/error.hpp"
-
 namespace lsiq::wafer {
 
 std::vector<quality::CoveragePoint> coverage_points(
@@ -16,53 +11,6 @@ std::vector<quality::CoveragePoint> coverage_points(
         quality::CoveragePoint{row.actual_coverage, row.cumulative_fraction});
   }
   return pts;
-}
-
-std::vector<quality::CoveragePoint> ExperimentResult::points() const {
-  return coverage_points(table);
-}
-
-ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
-                                          const sim::PatternSet& patterns,
-                                          const ExperimentSpec& spec) {
-  LSIQ_EXPECT(!patterns.empty(), "experiment requires a pattern set");
-  LSIQ_EXPECT(!spec.strobe_coverages.empty(),
-              "experiment requires at least one strobe");
-
-  // Thin shim: express the legacy spec as a flow::FlowSpec and run the
-  // unified pipeline. Field-for-field this reproduces the original
-  // hand-wired sequencing (fault sim -> lot -> tester -> strobe rows);
-  // tests/test_flow.cpp pins bit/row-identical results against a
-  // hand-wired reference.
-  flow::FlowSpec unified;
-  unified.source.kind = "explicit";
-  unified.source.patterns = patterns;
-  if (spec.progressive_strobe_step > 0) {
-    unified.observe.kind = "progressive";
-    unified.observe.strobe_step = spec.progressive_strobe_step;
-  } else {
-    unified.observe.kind = "full";
-  }
-  if (spec.num_threads == 1) {
-    unified.engine.kind = "ppsfp";
-  } else {
-    unified.engine.kind = "ppsfp_mt";
-    unified.engine.num_threads = spec.num_threads;
-  }
-  unified.lot.chip_count = spec.chip_count;
-  unified.lot.yield = spec.yield;
-  unified.lot.n0 = spec.n0;
-  unified.lot.seed = spec.seed;
-  unified.lot.physical = spec.physical;
-  unified.analysis.strobe_coverages = spec.strobe_coverages;
-  unified.analysis.method = "given";
-
-  flow::FlowResult run = flow::run(faults, unified);
-  return ExperimentResult{.table = std::move(run.table),
-                          .fault_sim = std::move(*run.fault_sim),
-                          .curve = std::move(*run.curve),
-                          .lot = std::move(*run.lot),
-                          .test = std::move(*run.test)};
 }
 
 }  // namespace lsiq::wafer

@@ -1,31 +1,20 @@
-// End-to-end chip-test experiments: the full Section 5 / Section 7 flow on
-// a virtual process line.
+// The Table-1 strobe readout row — the shared readout type of the wafer
+// layer and the flow API.
 //
-//   circuit -> fault universe -> ordered patterns -> fault simulation
-//           -> coverage curve -> virtual lot -> virtual tester
-//           -> Table-1-style strobe table -> n0 estimation
-//
-// DEPRECATED ENTRY POINT: run_chip_test_experiment predates the unified
-// flow API and survives as a thin shim over flow::run (flow/flow.hpp) for
-// existing callers. New code should build a flow::FlowSpec — the same
-// experiment is spec.source = "explicit" patterns, spec.observe = "full"
-// or "progressive", engine "ppsfp"/"ppsfp_mt", plus the lot axis — which
-// also unlocks the sources/observations this struct cannot express (ATPG
-// or file programs, MISR signature testing). StrobeRow remains the shared
-// readout row type of both APIs.
+// The end-to-end Section 5 / Section 7 experiment itself lives behind the
+// unified flow front door: build a flow::FlowSpec (flow/spec.hpp) and call
+// flow::run (flow/flow.hpp). The pre-flow entry point
+// run_chip_test_experiment — an ExperimentSpec struct over explicit
+// patterns — was a deprecated shim over flow::run through PR 3 and has
+// been removed; its exact FlowSpec translation is recorded in the README
+// migration table (source.kind = "explicit", observe "full"/"progressive",
+// engine "ppsfp"/"ppsfp_mt", the lot axis, analysis.strobe_coverages).
 #pragma once
 
-#include <cstdint>
-#include <optional>
+#include <cstddef>
 #include <vector>
 
 #include "core/estimation.hpp"
-#include "fault/coverage.hpp"
-#include "fault/fault_list.hpp"
-#include "fault/fault_sim.hpp"
-#include "sim/pattern.hpp"
-#include "wafer/chip_model.hpp"
-#include "wafer/tester.hpp"
 
 namespace lsiq::wafer {
 
@@ -39,60 +28,8 @@ struct StrobeRow {
 };
 
 /// Strobe table -> (coverage, fraction failed) points, the Section 5
-/// estimator input. Shared by ExperimentResult::points() and
-/// flow::FlowResult::points().
+/// estimator input. Consumed by flow::FlowResult::points().
 std::vector<quality::CoveragePoint> coverage_points(
     const std::vector<StrobeRow>& table);
-
-struct ExperimentSpec {
-  std::size_t chip_count = 277;   ///< the paper's lot size
-  double yield = 0.07;            ///< Section 7's estimated yield
-  double n0 = 8.0;                ///< ground-truth n0 for the virtual lot
-  std::uint64_t seed = 1981;
-  /// Strobe coverages for the readout; defaults to Table 1's checkpoints.
-  std::vector<double> strobe_coverages = {0.05, 0.08, 0.10, 0.15, 0.20,
-                                          0.30, 0.36, 0.45, 0.50, 0.65};
-  /// When set, the physical-defect generator is used instead of the
-  /// model-faithful one (ground-truth n0 then comes from the realization).
-  std::optional<PhysicalLotSpec> physical;
-  /// Tester observability bring-up: when > 0, observed point i is strobed
-  /// only from pattern i * progressive_strobe_step (see fault/strobe.hpp).
-  /// This emulates the 1981 functional-program behaviour in which coverage
-  /// rises gradually — the regime of the paper's Table 1. 0 = full
-  /// observability from pattern 0 (scan-style testing).
-  std::size_t progressive_strobe_step = 0;
-  /// Worker threads for the fault-grading step: 1 = in-process PPSFP,
-  /// else the shared util::resolve_worker_count convention (0 = one worker
-  /// per hardware thread, n = exactly n). Any value grades to
-  /// bit-identical results (see fault/fault_sim.hpp).
-  std::size_t num_threads = 1;
-};
-
-struct ExperimentResult {
-  std::vector<StrobeRow> table;        ///< Table-1-style rows
-  fault::FaultSimResult fault_sim;     ///< per-class first detections
-  fault::CoverageCurve curve;          ///< cumulative coverage vs patterns
-  ChipLot lot;
-  LotTestResult test;
-
-  /// (coverage, fraction failed) points for the Section 5 estimators.
-  [[nodiscard]] std::vector<quality::CoveragePoint> points() const;
-
-  /// Final coverage of the full pattern program.
-  [[nodiscard]] double final_coverage() const {
-    return curve.final_coverage();
-  }
-};
-
-/// Run the full experiment. The pattern set must already be ordered as the
-/// tester would apply it. Throws if a strobe coverage is never reached by
-/// the pattern set. Deprecated shim over flow::run — see the header
-/// comment. Note the shim inherits flow::validate's checks, which are
-/// stricter than the old entry point: strobe_coverages must be strictly
-/// increasing in (0, 1], yield strictly inside (0, 1) and n0 >= 1, or
-/// the call throws flow::InvalidSpec (an lsiq::Error).
-ExperimentResult run_chip_test_experiment(const fault::FaultList& faults,
-                                          const sim::PatternSet& patterns,
-                                          const ExperimentSpec& spec);
 
 }  // namespace lsiq::wafer

@@ -1,7 +1,9 @@
 // Integration tests: the full Section 5/7 experiment pipeline on a virtual
-// process line, with ground-truth recovery and an Eq. 8 validation the
+// process line — expressed as flow::FlowSpecs over an explicit pattern
+// program (the translation of the removed wafer::run_chip_test_experiment
+// entry point) — with ground-truth recovery and an Eq. 8 validation the
 // original paper could not perform.
-#include "wafer/experiment.hpp"
+#include "flow/flow.hpp"
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,7 @@
 #include "tpg/lfsr.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "wafer/chip_model.hpp"
 
 namespace lsiq::wafer {
 namespace {
@@ -36,15 +39,25 @@ const Setup& setup() {
   return s;
 }
 
-TEST(Experiment, StrobeTableIsWellFormed) {
-  ExperimentSpec spec;
-  spec.chip_count = 277;
-  spec.yield = 0.07;
-  spec.n0 = 8.0;
-  const ExperimentResult r =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+/// The experiment as a spec: the setup's program as an explicit source,
+/// full observation, single-threaded PPSFP, Table-1 strobes by default.
+flow::FlowSpec experiment_spec() {
+  flow::FlowSpec spec;
+  spec.source.kind = "explicit";
+  spec.source.patterns = setup().patterns;
+  spec.lot.chip_count = 277;
+  spec.lot.yield = 0.07;
+  spec.lot.n0 = 8.0;
+  spec.engine.kind = "ppsfp";
+  spec.analysis.strobe_coverages = flow::table1_strobes();
+  return spec;
+}
 
-  ASSERT_EQ(r.table.size(), spec.strobe_coverages.size());
+TEST(Experiment, StrobeTableIsWellFormed) {
+  const flow::FlowSpec spec = experiment_spec();
+  const flow::FlowResult r = flow::run(setup().faults, spec);
+
+  ASSERT_EQ(r.table.size(), spec.analysis.strobe_coverages.size());
   for (std::size_t i = 0; i < r.table.size(); ++i) {
     const StrobeRow& row = r.table[i];
     EXPECT_GE(row.actual_coverage, row.target_coverage);
@@ -60,31 +73,27 @@ TEST(Experiment, StrobeTableIsWellFormed) {
 }
 
 TEST(Experiment, LotMatchesRequestedGroundTruth) {
-  ExperimentSpec spec;
-  spec.chip_count = 5000;
-  spec.yield = 0.07;
-  spec.n0 = 8.0;
-  spec.seed = 7;
-  const ExperimentResult r =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
-  EXPECT_NEAR(r.lot.realized_yield(), 0.07, 0.012);
-  EXPECT_NEAR(r.lot.realized_n0(), 8.0, 0.15);
+  flow::FlowSpec spec = experiment_spec();
+  spec.lot.chip_count = 5000;
+  spec.lot.seed = 7;
+  const flow::FlowResult r = flow::run(setup().faults, spec);
+  EXPECT_NEAR(r.lot->realized_yield(), 0.07, 0.012);
+  EXPECT_NEAR(r.lot->realized_n0(), 8.0, 0.15);
 }
 
 TEST(Experiment, EstimatorsRecoverGroundTruthOnLargeLot) {
-  ExperimentSpec spec;
-  spec.chip_count = 20000;  // large lot: sampling noise mostly gone
-  spec.yield = 0.20;
-  spec.n0 = 6.0;
-  spec.seed = 13;
-  const ExperimentResult r =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  flow::FlowSpec spec = experiment_spec();
+  spec.lot.chip_count = 20000;  // large lot: sampling noise mostly gone
+  spec.lot.yield = 0.20;
+  spec.lot.n0 = 6.0;
+  spec.lot.seed = 13;
+  const flow::FlowResult r = flow::run(setup().faults, spec);
 
   const auto points = r.points();
-  const int discrete = quality::estimate_n0_discrete(points, spec.yield);
+  const int discrete = quality::estimate_n0_discrete(points, spec.lot.yield);
   EXPECT_NEAR(static_cast<double>(discrete), 6.0, 1.0);
   const quality::FitResult ls =
-      quality::estimate_n0_least_squares(points, spec.yield);
+      quality::estimate_n0_least_squares(points, spec.lot.yield);
   EXPECT_NEAR(ls.n0, 6.0, 0.8);
 }
 
@@ -92,20 +101,19 @@ TEST(Experiment, EmpiricalRejectRateMatchesEquation8) {
   // The validation the 1981 authors could not do: with ground truth known,
   // the measured escape rate of the virtual line must match r(f) at the
   // program's final coverage, within binomial error.
-  ExperimentSpec spec;
-  spec.chip_count = 50000;
-  spec.yield = 0.30;
-  spec.n0 = 5.0;
-  spec.seed = 17;
-  const ExperimentResult r =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  flow::FlowSpec spec = experiment_spec();
+  spec.lot.chip_count = 50000;
+  spec.lot.yield = 0.30;
+  spec.lot.n0 = 5.0;
+  spec.lot.seed = 17;
+  const flow::FlowResult r = flow::run(setup().faults, spec);
 
   const double f = r.final_coverage();
   const double predicted =
-      quality::field_reject_rate(f, spec.yield, spec.n0);
-  const double measured = r.test.empirical_reject_rate();
+      quality::field_reject_rate(f, spec.lot.yield, spec.lot.n0);
+  const double measured = r.test->empirical_reject_rate();
   const auto [lo, hi] = util::wilson_interval(
-      r.test.shipped_defective_count(), r.test.passed_count());
+      r.test->shipped_defective_count(), r.test->passed_count());
   EXPECT_GT(predicted, 0.0);
   // The prediction must fall inside (a slightly widened) confidence band.
   const double slack = 0.35 * predicted;
@@ -116,44 +124,39 @@ TEST(Experiment, EmpiricalRejectRateMatchesEquation8) {
 }
 
 TEST(Experiment, PhysicalLotRunsEndToEnd) {
-  ExperimentSpec spec;
-  spec.chip_count = 2000;
+  flow::FlowSpec spec = experiment_spec();
+  spec.lot.chip_count = 2000;
   PhysicalLotSpec physical;
   physical.chip_count = 2000;
   physical.defects_per_chip = 2.66;  // ~7% NB yield at X = 0.5
   physical.variance_ratio = 0.5;
   physical.extra_faults_per_defect = 2.0;
   physical.seed = 19;
-  spec.physical = physical;
-  const ExperimentResult r =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
-  EXPECT_EQ(r.lot.size(), 2000u);
+  spec.lot.physical = physical;
+  const flow::FlowResult r = flow::run(setup().faults, spec);
+  EXPECT_EQ(r.lot->size(), 2000u);
   // Ground truth is the realization for physical lots.
-  EXPECT_DOUBLE_EQ(r.lot.true_n0, r.lot.realized_n0());
-  EXPECT_GT(r.lot.true_n0, 1.5);
+  EXPECT_DOUBLE_EQ(r.lot->true_n0, r.lot->realized_n0());
+  EXPECT_GT(r.lot->true_n0, 1.5);
   // The fallout curve still rises and the estimators still run.
   const auto points = r.points();
   EXPECT_GT(points.back().fraction_failed, points.front().fraction_failed);
   const quality::FitResult fit = quality::estimate_n0_least_squares(
-      points, r.lot.realized_yield());
+      points, r.lot->realized_yield());
   EXPECT_GT(fit.n0, 1.0);
 }
 
 TEST(Experiment, UnreachableStrobeThrows) {
-  ExperimentSpec spec;
-  spec.strobe_coverages = {1.0};  // one stubborn fault class survives the LFSR program
-  EXPECT_THROW(
-      run_chip_test_experiment(setup().faults, setup().patterns, spec),
-      lsiq::Error);
+  flow::FlowSpec spec = experiment_spec();
+  // One stubborn fault class survives the LFSR program.
+  spec.analysis.strobe_coverages = {1.0};
+  EXPECT_THROW(flow::run(setup().faults, spec), lsiq::Error);
 }
 
 TEST(Experiment, DeterministicAcrossRuns) {
-  ExperimentSpec spec;
-  spec.chip_count = 277;
-  const ExperimentResult a =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
-  const ExperimentResult b =
-      run_chip_test_experiment(setup().faults, setup().patterns, spec);
+  const flow::FlowSpec spec = experiment_spec();
+  const flow::FlowResult a = flow::run(setup().faults, spec);
+  const flow::FlowResult b = flow::run(setup().faults, spec);
   ASSERT_EQ(a.table.size(), b.table.size());
   for (std::size_t i = 0; i < a.table.size(); ++i) {
     EXPECT_EQ(a.table[i].cumulative_failed, b.table[i].cumulative_failed);

@@ -145,21 +145,18 @@ TEST(FlowGolden, StrobeTableMatchesHandWiredMultiThread) {
   EXPECT_DOUBLE_EQ(run.final_coverage(), reference.final_coverage);
 }
 
-TEST(FlowGolden, DeprecatedExperimentShimStaysRowIdentical) {
-  // The legacy entry point (now a shim over flow::run) must keep
+TEST(FlowGolden, ExplicitSourceSpecStaysRowIdentical) {
+  // The FlowSpec shape the removed run_chip_test_experiment shim used to
+  // build — an explicit program under progressive observation — must keep
   // producing the hand-wired rows for both thread conventions.
   for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
     SCOPED_TRACE("threads " + std::to_string(threads));
     const HandWired reference = hand_wired_experiment(threads);
-    wafer::ExperimentSpec legacy;
-    legacy.chip_count = kChipCount;
-    legacy.yield = kYield;
-    legacy.n0 = kN0;
-    legacy.seed = kLotSeed;
-    legacy.progressive_strobe_step = kStrobeStep;
-    legacy.num_threads = threads;
-    const wafer::ExperimentResult result = wafer::run_chip_test_experiment(
-        mult16().faults, mult16().patterns, legacy);
+    FlowSpec spec = table1_spec(threads == 1 ? "ppsfp" : "ppsfp_mt", threads);
+    spec.source = PatternSourceSpec{};
+    spec.source.kind = "explicit";
+    spec.source.patterns = mult16().patterns;
+    const FlowResult result = flow::run(mult16().faults, spec);
     expect_rows_identical(result.table, reference.table);
   }
 }
@@ -330,10 +327,115 @@ TEST(Flow, EstimatorMethodsCharacterizeFromTheLot) {
 TEST(Flow, ReportMentionsEveryAxis) {
   const FlowResult run = flow::run(small().faults, coverage_only_spec());
   const std::string report = run.report();
+  EXPECT_NE(report.find("model=stuck_at"), std::string::npos);
   EXPECT_NE(report.find("source=lfsr"), std::string::npos);
   EXPECT_NE(report.find("observe=full"), std::string::npos);
   EXPECT_NE(report.find("engine=ppsfp"), std::string::npos);
   EXPECT_NE(report.find("DPPM"), std::string::npos);
+}
+
+// ---- the fault-model axis ----
+
+TEST(FlowGolden, OneSpecFlippedOnFaultModelYieldsBothQualityStatements) {
+  // The PR-4 acceptance scenario: a single spec differing ONLY in
+  // fault_model runs end to end and produces stuck-at and transition
+  // coverage curves plus DPPM rows for the same virtual lot. Mirrors
+  // tools/specs/{smoke,transition}.spec.
+  FlowSpec spec;
+  spec.source.pattern_count = 512;
+  spec.source.lfsr_seed = 1981;
+  spec.observe.kind = "progressive";
+  spec.observe.strobe_step = 16;
+  spec.engine.kind = "ppsfp";
+  spec.lot.chip_count = 500;
+  spec.lot.yield = 0.12;
+  spec.lot.n0 = 7.0;
+  spec.lot.seed = 99;
+  spec.analysis.strobe_coverages = {0.05, 0.10, 0.20, 0.30, 0.45, 0.60};
+  spec.analysis.method = "least_squares";
+
+  static const Circuit circuit = circuit::make_array_multiplier(8);
+  FlowSpec transition = spec;
+  transition.fault_model.kind = "transition";
+  const FlowResult sa = flow::run(circuit, spec);
+  const FlowResult tr = flow::run(circuit, transition);
+
+  for (const FlowResult* r : {&sa, &tr}) {
+    ASSERT_TRUE(r->curve.has_value());
+    ASSERT_TRUE(r->analyzer.has_value());
+    ASSERT_EQ(r->table.size(), spec.analysis.strobe_coverages.size());
+    EXPECT_GT(r->final_coverage(), 0.9);
+    EXPECT_GT(r->analyzer->dppm(r->final_coverage()), 0.0);
+  }
+  // Genuinely different universes: the transition program needs more
+  // patterns to reach the same strobes, never fewer (launch gating only
+  // removes detections), and the reports label their model.
+  for (std::size_t i = 0; i < sa.table.size(); ++i) {
+    EXPECT_GE(tr.table[i].pattern_index, sa.table[i].pattern_index);
+  }
+  EXPECT_NE(sa.report().find("model=stuck_at"), std::string::npos);
+  EXPECT_NE(tr.report().find("model=transition"), std::string::npos);
+  EXPECT_NE(tr.report().find("transition coverage"), std::string::npos);
+}
+
+TEST(FlowGolden, TransitionGradingBitIdenticalAcrossEnginesAndThreads) {
+  // The acceptance bit-identity statement at the flow level, on the
+  // Table-1 product: serial vs ppsfp vs ppsfp_mt at 1 and N threads.
+  FlowSpec spec = coverage_only_spec();
+  spec.fault_model.kind = "transition";
+  static const FaultList transition_faults =
+      FaultList::transition_universe(small().circuit);
+
+  spec.engine.kind = "serial";
+  const FlowResult serial = flow::run(transition_faults, spec);
+  spec.engine.kind = "ppsfp";
+  const FlowResult ppsfp = flow::run(transition_faults, spec);
+  ASSERT_EQ(serial.fault_sim->first_detection,
+            ppsfp.fault_sim->first_detection);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    spec.engine.kind = "ppsfp_mt";
+    spec.engine.num_threads = threads;
+    const FlowResult mt = flow::run(transition_faults, spec);
+    ASSERT_EQ(serial.fault_sim->first_detection,
+              mt.fault_sim->first_detection);
+    EXPECT_DOUBLE_EQ(serial.final_coverage(), mt.final_coverage());
+  }
+
+  // And on the mult16 acceptance workload, 1 vs N workers.
+  FlowSpec big;
+  big.source.pattern_count = kPatternCount;
+  big.source.lfsr_seed = kLfsrSeed;
+  big.fault_model.kind = "transition";
+  big.lot.chip_count = 0;
+  static const FaultList mult16_transition =
+      FaultList::transition_universe(mult16().circuit);
+  big.engine.kind = "ppsfp";
+  const FlowResult one = flow::run(mult16_transition, big);
+  big.engine.kind = "ppsfp_mt";
+  big.engine.num_threads = 4;
+  const FlowResult many = flow::run(mult16_transition, big);
+  ASSERT_EQ(one.fault_sim->first_detection, many.fault_sim->first_detection);
+}
+
+TEST(Flow, MismatchedUniverseModelIsRefused) {
+  FlowSpec spec = coverage_only_spec();
+  spec.fault_model.kind = "transition";
+  // small().faults is the stuck-at universe: the flow must refuse rather
+  // than grade transition semantics against stuck-at collapsing.
+  EXPECT_THROW(flow::run(small().faults, spec), ContractViolation);
+}
+
+TEST(Flow, TransitionMisrFlowGradesSignatures) {
+  FlowSpec spec = coverage_only_spec();
+  spec.fault_model.kind = "transition";
+  spec.observe = ObservationSpec{};
+  spec.observe.kind = "misr";
+  spec.observe.misr_width = 16;
+  const FlowResult run = flow::run(small().circuit, spec);
+  ASSERT_TRUE(run.bist.has_value());
+  EXPECT_GT(run.bist->signature_coverage, 0.0);
+  EXPECT_LE(run.bist->signature_coverage, run.bist->raw_coverage);
 }
 
 }  // namespace

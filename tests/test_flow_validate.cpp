@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <string>
@@ -14,6 +15,7 @@
 #include "circuit/generators.hpp"
 #include "fault/fault_list.hpp"
 #include "flow/flow.hpp"
+#include "sim/pattern_io.hpp"
 #include "tpg/lfsr.hpp"
 
 namespace lsiq::flow {
@@ -36,6 +38,36 @@ struct Case {
 };
 
 const Case kCases[] = {
+    {"bad fault model name",
+     [](FlowSpec& s) { s.fault_model.kind = "bridging"; },
+     "fault_model.kind",
+     "unknown fault model 'bridging' (expected stuck_at or transition)"},
+    {"transition with atpg source",
+     [](FlowSpec& s) {
+       s.fault_model.kind = "transition";
+       s.source.kind = "atpg";
+     },
+     "source.kind",
+     "the atpg source generates stuck-at tests; grade a transition "
+     "universe with an lfsr, explicit, or file program"},
+    {"transition lfsr program with one pattern",
+     [](FlowSpec& s) {
+       s.fault_model.kind = "transition";
+       s.source.pattern_count = 1;
+     },
+     "source.pattern_count",
+     "transition grading needs at least 2 patterns (one launch/capture "
+     "pair)"},
+    {"transition explicit program with one pattern",
+     [](FlowSpec& s) {
+       s.fault_model.kind = "transition";
+       s.source.kind = "explicit";
+       s.source.patterns = sim::PatternSet(3);
+       s.source.patterns->append({false, true, false});
+     },
+     "source.patterns",
+     "transition grading needs at least 2 patterns (one launch/capture "
+     "pair)"},
     {"bad source name",
      [](FlowSpec& s) { s.source.kind = "rand"; },
      "source.kind",
@@ -170,6 +202,45 @@ const Case kCases[] = {
 TEST(FlowValidate, GoodSpecHasNoIssues) {
   EXPECT_TRUE(validate(good_spec()).empty());
   EXPECT_NO_THROW(validate_or_throw(good_spec()));
+}
+
+TEST(FlowValidate, MinimalTransitionSpecIsClean) {
+  // Two patterns are exactly one launch/capture pair — the smallest legal
+  // transition program.
+  FlowSpec spec = good_spec();
+  spec.fault_model.kind = "transition";
+  spec.source.pattern_count = 2;
+  spec.analysis.strobe_coverages.clear();
+  spec.lot.chip_count = 0;
+  EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(FlowValidate, TransitionFileSourceLengthIsCheckedAtRunTime) {
+  // validate() cannot know a pattern file's length; flow::run reports a
+  // one-pattern transition program with a launch/capture diagnostic.
+  static const circuit::Circuit circuit = circuit::make_c17();
+  const std::string path =
+      ::testing::TempDir() + "lsiq_one_pattern_transition.txt";
+  sim::PatternSet one(circuit.pattern_inputs().size());
+  one.append(std::vector<bool>(circuit.pattern_inputs().size(), true));
+  sim::write_patterns_file(one, path);
+
+  FlowSpec spec = good_spec();
+  spec.fault_model.kind = "transition";
+  spec.source.kind = "file";
+  spec.source.file = path;
+  spec.analysis.strobe_coverages.clear();
+  spec.lot.chip_count = 0;
+  ASSERT_TRUE(validate(spec).empty());
+  try {
+    flow::run(circuit, spec);
+    FAIL() << "expected lsiq::Error";
+  } catch (const lsiq::Error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "flow: transition grading needs at least 2 patterns (one "
+              "launch/capture pair); the source produced 1");
+  }
+  std::remove(path.c_str());
 }
 
 TEST(FlowValidate, TableOfBadSpecs) {

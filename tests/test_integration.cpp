@@ -11,11 +11,11 @@
 #include "core/reject_model.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
+#include "flow/flow.hpp"
 #include "tpg/atpg.hpp"
 #include "tpg/lfsr.hpp"
 #include "tpg/scoap.hpp"
 #include "util/rng.hpp"
-#include "wafer/experiment.hpp"
 #include "wafer/wafer_map.hpp"
 
 namespace lsiq {
@@ -70,17 +70,19 @@ TEST(Integration, AtpgProgramDrivesTheFullExperiment) {
   util::Rng rng(5);
   program.append_random(64, rng);
 
-  wafer::ExperimentSpec spec;
-  spec.chip_count = 20000;
-  spec.yield = 0.25;
-  spec.n0 = 5.0;
-  spec.seed = 21;
-  spec.strobe_coverages = {0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9};
-  const wafer::ExperimentResult result =
-      wafer::run_chip_test_experiment(faults, program, spec);
+  flow::FlowSpec spec;
+  spec.source.kind = "explicit";
+  spec.source.patterns = std::move(program);
+  spec.engine.kind = "ppsfp";
+  spec.lot.chip_count = 20000;
+  spec.lot.yield = 0.25;
+  spec.lot.n0 = 5.0;
+  spec.lot.seed = 21;
+  spec.analysis.strobe_coverages = {0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9};
+  const flow::FlowResult result = flow::run(faults, spec);
 
   const quality::FitResult fit =
-      quality::estimate_n0_least_squares(result.points(), spec.yield);
+      quality::estimate_n0_least_squares(result.points(), spec.lot.yield);
   EXPECT_NEAR(fit.n0, 5.0, 0.7);
 }
 

@@ -136,6 +136,102 @@ TEST(SpecIo, WriteReadRoundTrip) {
   EXPECT_DOUBLE_EQ(parsed.spec.lot.yield, 0.25);
 }
 
+TEST(SpecIo, FaultModelKeySelectsTheUniverse) {
+  const SpecFile file =
+      read_spec_string("circuit = c17\nfault_model = transition\n");
+  EXPECT_EQ(file.spec.fault_model.kind, "transition");
+  // Absent key = the stuck-at default.
+  EXPECT_EQ(read_spec_string("circuit = c17\n").spec.fault_model.kind,
+            "stuck_at");
+}
+
+TEST(SpecIo, RoundTripCoversEveryEnumValueOfEveryAxis) {
+  // write -> parse -> compare FULL FlowSpec equality for every selector
+  // value of every axis ("explicit" has no text form and is covered by
+  // ExplicitSourceHasNoTextForm). Non-default payload fields ride along so
+  // the writer cannot silently drop a conditional block.
+  const char* fault_models[] = {"stuck_at", "transition"};
+  const char* sources[] = {"lfsr", "atpg", "file"};
+  const char* observations[] = {"full", "progressive", "misr"};
+  const char* engines[] = {"serial", "ppsfp", "ppsfp_mt"};
+  const char* methods[] = {"given", "slope", "discrete", "least_squares"};
+
+  for (const char* fault_model : fault_models) {
+    for (const char* source : sources) {
+      for (const char* observe : observations) {
+        for (const char* engine : engines) {
+          for (const char* method : methods) {
+            SCOPED_TRACE(std::string(fault_model) + "/" + source + "/" +
+                         observe + "/" + engine + "/" + method);
+            SpecFile original;
+            original.circuit = "adder8";
+            original.spec.fault_model.kind = fault_model;
+            original.spec.source.kind = source;
+            original.spec.source.pattern_count = 777;
+            original.spec.source.lfsr_width = 24;
+            original.spec.source.lfsr_seed = 31;
+            original.spec.source.atpg.random_patterns = 48;
+            original.spec.source.atpg.seed = 5;
+            original.spec.source.atpg_compact = true;
+            original.spec.source.file = "patterns.txt";
+            original.spec.observe.kind = observe;
+            original.spec.observe.strobe_step = 12;
+            original.spec.observe.misr_width = 24;
+            original.spec.observe.misr_taps = 0x870000;
+            original.spec.engine.kind = engine;
+            original.spec.engine.num_threads = 6;
+            original.spec.lot.chip_count = 321;
+            original.spec.lot.yield = 0.11;
+            original.spec.lot.n0 = 5.5;
+            original.spec.lot.seed = 77;
+            original.spec.analysis.strobe_coverages = {0.1, 0.3, 0.6};
+            original.spec.analysis.method = method;
+            original.spec.analysis.reject_targets = {0.02, 0.002};
+
+            const SpecFile parsed =
+                read_spec_string(write_spec_string(original));
+            EXPECT_EQ(parsed.circuit, original.circuit);
+
+            // The writer only serializes fields the selected kinds use, so
+            // compare against the original with unserialized conditional
+            // fields reset to their defaults.
+            FlowSpec expected = original.spec;
+            const PatternSourceSpec source_defaults;
+            if (expected.source.kind != "lfsr") {
+              expected.source.pattern_count = source_defaults.pattern_count;
+              expected.source.lfsr_width = source_defaults.lfsr_width;
+              expected.source.lfsr_seed = source_defaults.lfsr_seed;
+            }
+            if (expected.source.kind != "atpg") {
+              expected.source.atpg = source_defaults.atpg;
+              expected.source.atpg_compact = source_defaults.atpg_compact;
+            }
+            if (expected.source.kind != "file") {
+              expected.source.file = source_defaults.file;
+            }
+            const ObservationSpec observe_defaults;
+            if (expected.observe.kind != "progressive") {
+              expected.observe.strobe_step = observe_defaults.strobe_step;
+            }
+            if (expected.observe.kind != "misr") {
+              expected.observe.misr_width = observe_defaults.misr_width;
+              expected.observe.misr_taps = observe_defaults.misr_taps;
+            }
+            if (expected.engine.kind != "ppsfp_mt") {
+              expected.engine.num_threads = EngineSpec{}.num_threads;
+            }
+            EXPECT_TRUE(parsed.spec == expected);
+            // Serialization is a fixed point: writing the parsed spec
+            // reproduces the text byte for byte.
+            EXPECT_EQ(write_spec_string(parsed),
+                      write_spec_string(original));
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SpecIo, ExplicitSourceHasNoTextForm) {
   SpecFile file;
   file.spec.source.kind = "explicit";

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fault/fault_list.hpp"
+#include "fault_model/universe.hpp"
 #include "flow/flow.hpp"
 #include "flow/spec_io.hpp"
 #include "util/error.hpp"
@@ -72,17 +73,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (validate_only) {
-      std::cout << "spec OK: circuit " << file.circuit << ", source "
+      std::cout << "spec OK: circuit " << file.circuit << ", fault model "
+                << file.spec.fault_model.kind << ", source "
                 << file.spec.source.kind << ", observe "
                 << file.spec.observe.kind << ", engine "
                 << file.spec.engine.kind << "\n";
       return EXIT_SUCCESS;
     }
-    const fault::FaultList faults =
-        fault::FaultList::full_universe(*circuit);
-    std::cout << "circuit: " << circuit->name() << " — fault universe N = "
-              << faults.fault_count() << " (" << faults.class_count()
-              << " collapsed classes)\n";
+    // validate() accepted the spec, so the model name resolves.
+    const fault_model::FaultModel model =
+        *fault_model::fault_model_from_name(file.spec.fault_model.kind);
+    const fault::FaultList faults = fault_model::universe(*circuit, model);
+    std::cout << "circuit: " << circuit->name() << " — "
+              << fault_model::fault_model_label(model)
+              << " fault universe N = " << faults.fault_count() << " ("
+              << faults.class_count() << " collapsed classes)\n";
     const flow::FlowResult result = flow::run(faults, file.spec);
     std::cout << result.report();
     return EXIT_SUCCESS;
