@@ -12,7 +12,10 @@
 //     fallout curve), and
 //   * the DPPM each model's delivered coverage buys — the gap is the
 //     quality claim a stuck-at-only sign-off silently over-states for
-//     delay defects.
+//     delay defects, and
+//   * the deterministic closure: the same transition universe under an
+//     atpg source — two-pattern PODEM targets the survivors the LFSR
+//     program misses and reaches higher coverage with fewer patterns.
 //
 // As in examples/bist_quality.cpp, --tiny switches to the 8-bit
 // multiplier for CI smoke runs.
@@ -101,10 +104,45 @@ int main(int argc, char** argv) {
             << util::format_double(gap, 0)
             << " DPPM at these product parameters.\n";
 
+  // 3. Deterministic closure: flip only the source axis to atpg. The
+  // random phase mirrors the LFSR regime; the PODEM phase emits a
+  // (launch, capture) pair per survivor and proves the rest redundant.
+  flow::FlowSpec atpg_spec = transition_spec;
+  atpg_spec.source = flow::PatternSourceSpec{};
+  atpg_spec.source.kind = "atpg";
+  atpg_spec.source.atpg.random_patterns = 256;
+  atpg_spec.source.atpg.seed = 1981;
+  atpg_spec.source.atpg_compact = true;
+  atpg_spec.observe = flow::ObservationSpec{};  // full scan observation
+  atpg_spec.lot.chip_count = 0;                 // coverage-only phase
+  atpg_spec.analysis.strobe_coverages.clear();
+  atpg_spec.analysis.method = "given";
+  const flow::FlowResult closed = flow::run(chip, atpg_spec);
+  const tpg::AtpgResult& atpg = *closed.atpg;
+  std::cout << "\nDeterministic closure (transition ATPG, pair-aware "
+               "compaction):\n  "
+            << closed.patterns.size() << " patterns instead of "
+            << spec.source.pattern_count << " reach "
+            << util::format_percent(closed.final_coverage(), 2) << " ("
+            << util::format_double(
+                   closed.analyzer->dppm(closed.final_coverage()), 0)
+            << " DPPM vs "
+            << util::format_double(
+                   closed.analyzer->dppm(transition.final_coverage()), 0)
+            << " for the LFSR program, same ground-truth analyzer); "
+            << atpg.redundant_classes
+            << " classes proven redundant ("
+            << atpg.untestable_launch_classes << " launch, "
+            << atpg.untestable_capture_classes << " capture), effective "
+            << util::format_percent(atpg.effective_coverage, 2) << ".\n";
+
   // Hard checks (non-zero exit on failure): the two runs really did share
-  // the lot axis, and transition coverage never exceeds stuck-at.
+  // the lot axis, transition coverage never exceeds stuck-at, and the
+  // deterministic program dominates the LFSR one on its own universe.
   if (stuck_at.lot->size() != transition.lot->size() ||
-      transition.final_coverage() > stuck_at.final_coverage()) {
+      transition.final_coverage() > stuck_at.final_coverage() ||
+      closed.final_coverage() < transition.final_coverage() ||
+      closed.patterns.size() >= spec.source.pattern_count) {
     std::cerr << "FAIL: side-by-side invariants violated\n";
     return EXIT_FAILURE;
   }

@@ -111,7 +111,9 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
   if (model == fault_model::FaultModel::kTransition &&
       result.patterns.size() < 2) {
     // validate() catches this for lfsr/explicit sources; a file source's
-    // length is only known after reading it.
+    // length is only known after reading it, an atpg source's only after
+    // generation. An EMPTY program (e.g. an all-redundant universe) is
+    // caught by the non-empty check above, so this branch sees exactly 1.
     throw Error(
         "flow: transition grading needs at least 2 patterns (one "
         "launch/capture pair); the source produced 1");
@@ -227,8 +229,15 @@ std::string FlowResult::report() const {
   out << "\n  program: " << patterns.size() << " patterns over "
       << patterns.input_count() << " inputs";
   if (atpg.has_value()) {
-    out << " (ATPG: " << atpg->redundant_classes << " redundant, "
-        << atpg->aborted_classes << " aborted classes)";
+    out << " (ATPG: " << atpg->redundant_classes << " redundant";
+    if (atpg->untestable_launch_classes + atpg->untestable_capture_classes >
+        0) {
+      // Transition runs split the redundancy proof by which half of the
+      // two-pattern test is impossible.
+      out << " [" << atpg->untestable_launch_classes << " launch, "
+          << atpg->untestable_capture_classes << " capture]";
+    }
+    out << ", " << atpg->aborted_classes << " aborted classes)";
   }
   out << "\n  final " << model_label << " coverage f = "
       << util::format_percent(final_coverage(), 2) << "\n";

@@ -64,13 +64,13 @@ std::vector<SpecIssue> validate(const FlowSpec& spec) {
 
   // ---- axis 1: pattern source ----
   const PatternSourceSpec& source = spec.source;
+  // Every source kind is valid under both fault models: the atpg source
+  // dispatches on the universe's model tag (two-pattern launch/capture
+  // generation for transition), and its program length is only known
+  // after generation — flow::run re-checks the >= 2 pattern floor.
   if (!one_of(source.kind, {"lfsr", "atpg", "explicit", "file"})) {
     add("source.kind", "unknown pattern source '" + source.kind +
                            "' (expected lfsr, atpg, explicit, or file)");
-  } else if (transition && source.kind == "atpg") {
-    add("source.kind",
-        "the atpg source generates stuck-at tests; grade a transition "
-        "universe with an lfsr, explicit, or file program");
   } else if (source.kind == "lfsr") {
     if (source.pattern_count == 0) {
       add("source.pattern_count", "lfsr source requires pattern_count > 0");

@@ -5,6 +5,17 @@
 // proof of redundancy. The resulting ordered pattern set is exactly what
 // the paper's Section 5 procedure consumes: patterns in tester-application
 // order with a cumulative coverage curve from the fault simulator.
+//
+// Both fault models run through the same entry point, keyed off
+// FaultList::model(). A transition universe switches the recipe to
+// two-pattern semantics: the random phase grades consecutive
+// launch/capture pairs (fault_model/transition.hpp) and keeps both halves
+// of every first-detecting pair, and the deterministic phase appends an
+// ordered (launch, capture) pair per survivor — so in the emitted program
+// a launch pattern is always immediately followed by its capture.
+// Redundancy proofs split by half: untestable-launch (the pre-transition
+// value is unjustifiable) versus untestable-capture (the matching capture
+// stuck-at fault is redundant).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,11 @@ struct AtpgResult {
   std::size_t detected_classes = 0;
   std::size_t redundant_classes = 0;   ///< proven untestable
   std::size_t aborted_classes = 0;     ///< backtrack limit hit
+  /// Transition-universe redundancy proofs, split by which half of the
+  /// two-pattern test was proven impossible (they sum to
+  /// redundant_classes; both stay 0 for stuck-at universes).
+  std::size_t untestable_launch_classes = 0;
+  std::size_t untestable_capture_classes = 0;
   /// Coverage over the full universe, f = m/N (the paper's figure of merit).
   double coverage = 0.0;
   /// Coverage with proven-redundant faults removed from the denominator —
@@ -38,13 +54,21 @@ struct AtpgResult {
   double effective_coverage = 0.0;
 };
 
-/// Random phase + PODEM phase with fault dropping after every new pattern.
+/// Random phase + PODEM phase with fault dropping after every new pattern
+/// (new pattern PAIR for a transition universe — see the header comment).
 AtpgResult generate_tests(const fault::FaultList& faults,
                           const AtpgOptions& options = {});
 
-/// Reverse-order static compaction: re-fault-simulate the set in reverse
-/// and keep only patterns that detect a fault not detected by a later one.
-/// Returns the compacted set (original order preserved among survivors).
+/// Reverse-order static compaction: re-fault-simulate the set and keep
+/// only patterns needed to preserve every detected fault class. For a
+/// stuck-at universe this is the classic reverse simulation (keep the
+/// patterns that first-detect something when graded back to front); for a
+/// transition universe the unit of selection is the consecutive
+/// launch/capture PAIR — both halves of a selected pair are kept, so a
+/// launch pattern is never dropped without its capture and every credited
+/// pair stays adjacent in the output. Returns the compacted set (original
+/// order preserved among survivors); the compacted set detects every
+/// class the original set detects.
 sim::PatternSet reverse_order_compact(const fault::FaultList& faults,
                                       const sim::PatternSet& patterns);
 

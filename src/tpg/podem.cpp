@@ -154,6 +154,49 @@ bool backtrace(const FiveValueSimulator& simulator, const Circuit& circuit,
   }
 }
 
+/// Flip the newest unflipped decision (or pop exhausted ones). Returns
+/// false when the decision tree is exhausted — the redundancy proof shared
+/// by the stuck-at search and the launch justification.
+bool backtrack_decision(FiveValueSimulator& simulator,
+                        std::vector<Decision>& stack, int& backtracks) {
+  ++backtracks;
+  while (!stack.empty()) {
+    Decision& top = stack.back();
+    if (!top.flipped) {
+      top.flipped = true;
+      top.value = sim::tri_not(top.value);
+      simulator.assign_input(top.input_index, top.value);
+      simulator.imply();
+      return true;
+    }
+    simulator.assign_input(top.input_index, Tri::kX);
+    stack.pop_back();
+  }
+  simulator.imply();
+  return false;  // decision tree exhausted
+}
+
+/// Export the test cube and a fully specified pattern from the final
+/// simulator state (X bits filled per options).
+void export_pattern(const FiveValueSimulator& simulator,
+                    const PodemOptions& options, PodemResult& result) {
+  const std::size_t input_count =
+      simulator.circuit().pattern_inputs().size();
+  result.cube.assign(input_count, -1);
+  if (result.status != TestStatus::kDetected) return;
+  util::Rng fill(options.fill_seed);
+  result.pattern.assign(input_count, false);
+  for (std::size_t i = 0; i < input_count; ++i) {
+    const Tri a = simulator.input_assignment(i);
+    if (a == Tri::kX) {
+      result.pattern[i] = options.random_fill ? fill.bernoulli(0.5) : false;
+    } else {
+      result.cube[i] = (a == Tri::kOne) ? 1 : 0;
+      result.pattern[i] = (a == Tri::kOne);
+    }
+  }
+}
+
 }  // namespace
 
 PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
@@ -166,7 +209,6 @@ PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
   simulator.imply();
 
   std::vector<Decision> stack;
-  const std::size_t input_count = circuit.pattern_inputs().size();
 
   auto dead_end = [&]() {
     // The current assignment cannot be extended to a test.
@@ -181,24 +223,6 @@ PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
     if (activated && simulator.d_frontier().empty()) return true;
     if (activated && !simulator.x_path_exists()) return true;
     return false;
-  };
-
-  auto backtrack = [&]() -> bool {
-    ++result.backtracks;
-    while (!stack.empty()) {
-      Decision& top = stack.back();
-      if (!top.flipped) {
-        top.flipped = true;
-        top.value = sim::tri_not(top.value);
-        simulator.assign_input(top.input_index, top.value);
-        simulator.imply();
-        return true;
-      }
-      simulator.assign_input(top.input_index, Tri::kX);
-      stack.pop_back();
-    }
-    simulator.imply();
-    return false;  // decision tree exhausted
   };
 
   for (;;) {
@@ -222,7 +246,7 @@ PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
     }
 
     if (need_backtrack) {
-      if (!backtrack()) {
+      if (!backtrack_decision(simulator, stack, result.backtracks)) {
         result.status = TestStatus::kUntestable;
         break;
       }
@@ -235,21 +259,118 @@ PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
     simulator.imply();
   }
 
-  // Export the cube and a fully specified pattern.
-  result.cube.assign(input_count, -1);
-  if (result.status == TestStatus::kDetected) {
-    util::Rng fill(options.fill_seed);
-    result.pattern.assign(input_count, false);
-    for (std::size_t i = 0; i < input_count; ++i) {
-      const Tri a = simulator.input_assignment(i);
-      if (a == Tri::kX) {
-        result.pattern[i] = options.random_fill ? fill.bernoulli(0.5) : false;
-      } else {
-        result.cube[i] = (a == Tri::kOne) ? 1 : 0;
-        result.pattern[i] = (a == Tri::kOne);
-      }
+  export_pattern(simulator, options, result);
+  return result;
+}
+
+PodemResult justify_line(const circuit::Circuit& circuit,
+                         circuit::GateId line, Tri value,
+                         const PodemOptions& options) {
+  LSIQ_EXPECT(circuit.finalized(), "justify_line: circuit not finalized");
+  LSIQ_EXPECT(line < circuit.gate_count(), "justify_line: line out of range");
+  LSIQ_EXPECT(value != Tri::kX, "justify_line: value must be 0 or 1");
+  PodemResult result;
+
+  // The five-valued engine wants an injected fault; pinning the line's
+  // faulty rail to the opposite value makes the activation objective —
+  // drive the good rail away from the stuck value — exactly the
+  // justification objective. Only the good rail is read below.
+  FiveValueSimulator simulator(circuit);
+  simulator.set_fault(line, -1, /*stuck_at_one=*/value == Tri::kZero);
+  simulator.imply();
+
+  std::vector<Decision> stack;
+  for (;;) {
+    const Tri good = simulator.value(line).good;
+    if (good == value) {
+      result.status = TestStatus::kDetected;
+      break;
     }
+    if (result.backtracks > options.max_backtracks) {
+      result.status = TestStatus::kAborted;
+      break;
+    }
+
+    // good is X (keep driving toward the objective) or the opposite value
+    // (the current assignments imply the line away — a dead end).
+    bool need_backtrack = good != Tri::kX;
+    std::size_t input_index = 0;
+    Tri decide = Tri::kX;
+    if (!need_backtrack) {
+      need_backtrack = !backtrace(simulator, circuit, options.scoap,
+                                  Objective{line, value}, input_index,
+                                  decide);
+    }
+    if (need_backtrack) {
+      if (!backtrack_decision(simulator, stack, result.backtracks)) {
+        // Exhausted: no input pattern drives the line to `value` — the
+        // line is constant at the opposite value.
+        result.status = TestStatus::kUntestable;
+        break;
+      }
+      continue;
+    }
+
+    ++result.decisions;
+    stack.push_back(Decision{input_index, decide, false});
+    simulator.assign_input(input_index, decide);
+    simulator.imply();
   }
+
+  export_pattern(simulator, options, result);
+  return result;
+}
+
+TransitionTestResult generate_transition_test(const circuit::Circuit& circuit,
+                                              const fault::Fault& fault,
+                                              const PodemOptions& options) {
+  LSIQ_EXPECT(circuit.finalized(),
+              "generate_transition_test: circuit not finalized");
+  TransitionTestResult result;
+
+  // Launch first: justification is the cheaper solve, and its failure is
+  // the stronger statement — the transition itself can never occur. The
+  // pre-transition value is the capture stuck value (slow-to-rise
+  // launches at 0, slow-to-fall at 1); the launch condition lives on the
+  // fault's line (the driving stem for a branch fault), matching
+  // TwoPatternWindow's gating.
+  const circuit::GateId line = fault::fault_line(circuit, fault);
+  const Tri launch_value = fault.stuck_at_one ? Tri::kOne : Tri::kZero;
+  PodemOptions launch_options = options;
+  // Decorrelate the two patterns' X-fill so launch == capture only where
+  // the cubes require it.
+  launch_options.fill_seed = options.fill_seed ^ 0x9e3779b97f4a7c15ULL;
+  const PodemResult launch =
+      justify_line(circuit, line, launch_value, launch_options);
+  result.backtracks = launch.backtracks;
+  result.decisions = launch.decisions;
+  if (launch.status != TestStatus::kDetected) {
+    result.status = launch.status;
+    if (launch.status == TestStatus::kUntestable) {
+      result.untestable_reason = UntestableReason::kLaunch;
+    }
+    return result;
+  }
+
+  // Capture: under the gross-delay abstraction the fault behaves as the
+  // matching stuck-at on the capture pattern, and the Fault record IS
+  // that stuck-at in the fault_model encoding — plain PODEM solves it.
+  const PodemResult capture = generate_test(circuit, fault, options);
+  result.backtracks += capture.backtracks;
+  result.decisions += capture.decisions;
+  if (capture.status != TestStatus::kDetected) {
+    result.status = capture.status;
+    if (capture.status == TestStatus::kUntestable) {
+      result.untestable_reason = UntestableReason::kCapture;
+    }
+    return result;
+  }
+
+  result.status = TestStatus::kDetected;
+  result.launch = launch.pattern;
+  result.capture = capture.pattern;
+  result.launch_cube = launch.cube;
+  result.capture_cube = capture.cube;
   return result;
 }
 

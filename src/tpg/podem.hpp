@@ -6,6 +6,13 @@
 // X-path), or asks for the next objective. Exhausting the decision tree is a
 // *proof of redundancy* — exactly the redundant-fault phenomenon the paper
 // cites as a reason 100% coverage is unattainable in practice.
+//
+// The same machinery serves the transition (gross-delay) model: a
+// two-pattern test solves the capture stuck-at objective on pattern i and
+// justifies the launch value (the pre-transition polarity at the fault
+// site) on pattern i-1, each with its own decision tree — so a transition
+// fault carries two distinct redundancy proofs, untestable-launch versus
+// untestable-capture (see generate_transition_test).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 
 #include "circuit/netlist.hpp"
 #include "fault/fault.hpp"
+#include "sim/logic_value.hpp"
 
 namespace lsiq::tpg {
 
@@ -52,5 +60,57 @@ struct PodemResult {
 PodemResult generate_test(const circuit::Circuit& circuit,
                           const fault::Fault& fault,
                           const PodemOptions& options = {});
+
+/// Which half of a two-pattern test was proven impossible. A transition
+/// fault admits two distinct redundancy proofs, and they mean different
+/// things to a designer: kLaunch says the line never holds the
+/// pre-transition value (a constant-fed site — the transition itself
+/// cannot occur), kCapture says the matching capture stuck-at fault is
+/// redundant (the late value can never be observed).
+enum class UntestableReason {
+  kNone,     ///< not untestable (status is kDetected or kAborted)
+  kLaunch,   ///< the launch value is unjustifiable on any input pattern
+  kCapture,  ///< the capture stuck-at objective is redundant
+};
+
+/// A deterministic two-pattern transition test: the ordered (launch,
+/// capture) pair to append to the program. Pattern semantics follow
+/// fault_model/transition.hpp — `launch` is pattern i-1 (sets the fault
+/// line to the pre-transition value), `capture` is pattern i (the PODEM
+/// test for the matching capture stuck-at fault).
+struct TransitionTestResult {
+  TestStatus status = TestStatus::kAborted;
+  UntestableReason untestable_reason = UntestableReason::kNone;
+  /// Fully specified pattern pair; only meaningful when kDetected.
+  std::vector<bool> launch;
+  std::vector<bool> capture;
+  /// Test cubes before X-fill (-1 = don't-care), one entry per input.
+  std::vector<int> launch_cube;
+  std::vector<int> capture_cube;
+  /// Search effort, summed over the launch and capture solves.
+  int backtracks = 0;
+  int decisions = 0;
+};
+
+/// Generate a two-pattern test for a single transition fault
+/// (fault_model encoding: stuck_at_one == slow-to-fall). Solves the
+/// capture stuck-at objective with PODEM and the launch value (opposite
+/// polarity at the fault site on the preceding pattern) with the same
+/// five-valued implication engine; the two patterns are independent input
+/// vectors under full scan. Exhausting either decision tree is a proof of
+/// redundancy, labelled by `untestable_reason`.
+TransitionTestResult generate_transition_test(const circuit::Circuit& circuit,
+                                              const fault::Fault& fault,
+                                              const PodemOptions& options =
+                                                  {});
+
+/// Justify `line == value` in the good machine: find an input pattern
+/// driving the line to the value, or prove none exists (kUntestable).
+/// This is the launch half of generate_transition_test, exposed on its
+/// own because it is a useful primitive (constant-net proofs, bias
+/// analysis). `value` must not be Tri::kX.
+PodemResult justify_line(const circuit::Circuit& circuit,
+                         circuit::GateId line, sim::Tri value,
+                         const PodemOptions& options = {});
 
 }  // namespace lsiq::tpg

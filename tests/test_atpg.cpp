@@ -5,6 +5,8 @@
 
 #include "circuit/generators.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault_model/universe.hpp"
+#include "util/rng.hpp"
 
 namespace lsiq::tpg {
 namespace {
@@ -94,6 +96,79 @@ TEST(Atpg, RandomPhaseShrinksDeterministicWork) {
   // Both work; this documents that the flow functions in both modes.
 }
 
+// ---- transition universes through the same entry point ----
+
+class TransitionAtpgOnCircuits : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransitionAtpgOnCircuits, ReachesFullEffectiveCoverage) {
+  Circuit c = [&]() -> Circuit {
+    switch (GetParam()) {
+      case 0: return circuit::make_ripple_carry_adder(4);
+      case 1: return circuit::make_alu(2);
+      case 2: return circuit::make_decoder(3);
+      case 3: return circuit::make_comparator(4);
+      default: return circuit::make_parity_tree(12);
+    }
+  }();
+  const FaultList faults = FaultList::transition_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  EXPECT_EQ(r.aborted_classes, 0u) << "no aborts expected at default budget";
+  EXPECT_DOUBLE_EQ(r.effective_coverage, 1.0);
+  EXPECT_EQ(r.redundant_classes,
+            r.untestable_launch_classes + r.untestable_capture_classes);
+  // Cross-check with the independent two-pattern simulator. Seams between
+  // kept pairs could only add detections of testable classes, and every
+  // testable class is already counted, so the figures agree exactly.
+  const fault::FaultSimResult check = simulate_ppsfp(faults, r.patterns);
+  EXPECT_NEAR(check.coverage, r.coverage, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, TransitionAtpgOnCircuits,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(TransitionAtpg, DeterministicPhaseEmitsOrderedPairs) {
+  // With the random phase disabled the program is exactly the emitted
+  // (launch, capture) pairs, in order — so it has even length and grading
+  // it reproduces the counted coverage.
+  const Circuit c = circuit::make_mux_tree(3);
+  const FaultList faults = FaultList::transition_universe(c);
+  AtpgOptions options;
+  options.random_patterns = 0;
+  const AtpgResult r = generate_tests(faults, options);
+  EXPECT_GT(r.patterns.size(), 0u);
+  EXPECT_EQ(r.patterns.size() % 2, 0u);
+  const fault::FaultSimResult check = simulate_ppsfp(faults, r.patterns);
+  EXPECT_NEAR(check.coverage, r.coverage, 1e-12);
+}
+
+TEST(TransitionAtpg, ConstantFedSiteCountedRedundantAndExcluded) {
+  // out = OR(b, z) with z = AND(a, NOT a): z is constant 0. Its
+  // slow-to-fall has no launch (the site never holds 1) and its
+  // slow-to-rise has no capture (stuck-at-0 on a constant-0 line); both
+  // proofs land in redundant_classes, split by reason, and are excluded
+  // from effective_coverage's denominator.
+  Circuit c("const_fed");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId na = c.add_gate(GateType::kNot, {a}, "na");
+  const GateId z = c.add_gate(GateType::kAnd, {a, na}, "z");
+  const GateId out = c.add_gate(GateType::kOr, {b, z}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const FaultList faults = FaultList::transition_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  EXPECT_EQ(r.aborted_classes, 0u);
+  EXPECT_GE(r.untestable_launch_classes, 1u) << "z slow-to-fall";
+  EXPECT_GE(r.untestable_capture_classes, 1u) << "z slow-to-rise";
+  EXPECT_EQ(r.redundant_classes,
+            r.untestable_launch_classes + r.untestable_capture_classes);
+  EXPECT_EQ(r.detected_classes + r.redundant_classes, faults.class_count());
+  EXPECT_LT(r.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(r.effective_coverage, 1.0)
+      << "with the redundancy proofs excluded the set is complete";
+}
+
 TEST(Compaction, PreservesCoverageAndNeverGrows) {
   const Circuit c = circuit::make_alu(3);
   const FaultList faults = FaultList::full_universe(c);
@@ -129,6 +204,89 @@ TEST(Compaction, DropsDuplicatedPatterns) {
   EXPECT_LE(compacted.size(), r.patterns.size());
   EXPECT_DOUBLE_EQ(simulate_ppsfp(faults, compacted).coverage,
                    simulate_ppsfp(faults, r.patterns).coverage);
+}
+
+// ---- reverse_order_compact property tests, both fault models ----
+//
+// The contract under test: the compacted set detects every fault class
+// the original set detects, never grows, and (for transition universes)
+// never separates a launch from its capture — checked by re-grading the
+// compacted program with the independent fault simulator, whose pairing
+// is purely positional.
+
+TEST(Compaction, PropertyCompactedDetectsSameClassesStuckAt) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    circuit::RandomDagSpec dag;
+    dag.inputs = 10;
+    dag.gates = 120;
+    dag.seed = seed;
+    const Circuit c = circuit::make_random_dag(dag);
+    const FaultList faults = FaultList::full_universe(c);
+    util::Rng rng(seed * 131);
+    sim::PatternSet patterns(c.pattern_inputs().size());
+    patterns.append_random(90, rng);
+
+    const fault::FaultSimResult original = simulate_ppsfp(faults, patterns);
+    const sim::PatternSet compacted =
+        reverse_order_compact(faults, patterns);
+    EXPECT_LE(compacted.size(), patterns.size());
+    const fault::FaultSimResult check = simulate_ppsfp(faults, compacted);
+    for (std::size_t cls = 0; cls < faults.class_count(); ++cls) {
+      // A pattern subset can neither lose nor gain one-pattern
+      // detections: the detected sets are exactly equal.
+      EXPECT_EQ(original.first_detection[cls] >= 0,
+                check.first_detection[cls] >= 0)
+          << fault_name(c, faults.representatives()[cls]);
+    }
+  }
+}
+
+TEST(Compaction, PropertyCompactedDetectsSameClassesTransition) {
+  for (const std::uint64_t seed : {55ull, 66ull, 77ull, 88ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    circuit::RandomDagSpec dag;
+    dag.inputs = 10;
+    dag.gates = 120;
+    dag.seed = seed;
+    const Circuit c = circuit::make_random_dag(dag);
+    const FaultList faults = FaultList::transition_universe(c);
+    util::Rng rng(seed * 131);
+    sim::PatternSet patterns(c.pattern_inputs().size());
+    patterns.append_random(90, rng);
+
+    const fault::FaultSimResult original = simulate_ppsfp(faults, patterns);
+    const sim::PatternSet compacted =
+        reverse_order_compact(faults, patterns);
+    EXPECT_LE(compacted.size(), patterns.size());
+    const fault::FaultSimResult check = simulate_ppsfp(faults, compacted);
+    for (std::size_t cls = 0; cls < faults.class_count(); ++cls) {
+      // Every originally detected class keeps its credited pair adjacent
+      // in the compacted program. New seams may ADD detections (dropping
+      // the patterns between two kept pairs creates a new consecutive
+      // pair), so the containment is one-directional.
+      if (original.first_detection[cls] >= 0) {
+        EXPECT_GE(check.first_detection[cls], 0)
+            << fault_name(c, faults.representatives()[cls],
+                          fault_model::FaultModel::kTransition);
+      }
+    }
+  }
+}
+
+TEST(Compaction, TransitionAtpgProgramCompactsWithoutCoverageLoss) {
+  const Circuit c = circuit::make_alu(3);
+  const FaultList faults = FaultList::transition_universe(c);
+  const AtpgResult r = generate_tests(faults);
+  // With no aborts every undetected class is proven untestable, so the
+  // compacted program cannot pick up seam detections the original lacked
+  // and the coverages must match exactly.
+  ASSERT_EQ(r.aborted_classes, 0u);
+  const double before = simulate_ppsfp(faults, r.patterns).coverage;
+  const sim::PatternSet compacted =
+      reverse_order_compact(faults, r.patterns);
+  EXPECT_LE(compacted.size(), r.patterns.size());
+  EXPECT_DOUBLE_EQ(simulate_ppsfp(faults, compacted).coverage, before);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Randomized cross-engine equivalence harness.
+//
+// The engine matrix — serial / PPSFP / multi-threaded PPSFP crossed with
+// stuck-at / transition — promises one contract: bit-identical detection
+// for any engine and any thread count. The unit suites pin that on
+// hand-picked golden circuits; this harness hammers it with random
+// combinational netlists and random pattern programs, so a divergence in
+// any kernel (event wave vs suffix resimulation vs full serial
+// resimulation, launch-window carry at block boundaries, strided
+// multi-thread partitioning) surfaces as a first_detection mismatch long
+// before it could corrupt a quality figure. The serial engine is the
+// oracle: its transition launch word is derived independently of
+// fault_model::TwoPatternWindow.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "fault/strobe.hpp"
+#include "fault_model/universe.hpp"
+#include "sim/pattern.hpp"
+#include "tpg/atpg.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::fault {
+namespace {
+
+using circuit::Circuit;
+using fault_model::FaultModel;
+using sim::PatternSet;
+
+/// One randomized scenario: a circuit recipe plus a pattern-program
+/// length chosen to cross the 64-pattern block boundary in most cases
+/// (the launch-window carry and partial-block masks are where
+/// engine-specific bookkeeping lives).
+struct Scenario {
+  const char* name;
+  int inputs;
+  int gates;
+  int max_fanin;
+  double inverter_fraction;
+  std::uint64_t seed;
+  std::size_t pattern_count;
+};
+
+const Scenario kScenarios[] = {
+    {"small-dense", 8, 60, 4, 0.15, 101, 48},
+    {"one-block-exact", 10, 90, 3, 0.10, 202, 64},
+    {"boundary-plus-one", 10, 90, 3, 0.10, 303, 65},
+    {"two-blocks", 12, 140, 4, 0.20, 404, 128},
+    {"partial-tail", 12, 140, 5, 0.25, 505, 100},
+    {"wide-shallow", 24, 120, 2, 0.05, 606, 96},
+    {"inverter-heavy", 9, 110, 4, 0.45, 707, 80},
+    {"three-blocks", 16, 200, 4, 0.15, 808, 192},
+};
+
+PatternSet random_program(std::size_t input_count, std::size_t count,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  PatternSet patterns(input_count);
+  patterns.append_random(count, rng);
+  return patterns;
+}
+
+/// Run every engine over one (universe, program) pair and require
+/// bit-identical results. `threads` deliberately includes a worker count
+/// far above the live-fault count so idle lanes are exercised too.
+void expect_engines_agree(const FaultList& faults, const PatternSet& patterns,
+                          const StrobeSchedule* schedule = nullptr) {
+  const FaultSimResult serial = simulate_serial(faults, patterns, schedule);
+  const FaultSimResult ppsfp = simulate_ppsfp(faults, patterns, schedule);
+  EXPECT_EQ(serial.first_detection, ppsfp.first_detection)
+      << "ppsfp diverges from the serial oracle";
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{13}}) {
+    const FaultSimResult mt =
+        simulate_ppsfp_mt(faults, patterns, schedule, threads);
+    EXPECT_EQ(serial.first_detection, mt.first_detection)
+        << "ppsfp_mt with " << threads << " threads diverges";
+    EXPECT_EQ(serial.covered_faults, mt.covered_faults);
+    EXPECT_EQ(serial.detected_classes, mt.detected_classes);
+  }
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EngineEquivalence, RandomDagBothModelsAllEngines) {
+  const Scenario& s = GetParam();
+  circuit::RandomDagSpec dag;
+  dag.inputs = s.inputs;
+  dag.gates = s.gates;
+  dag.max_fanin = s.max_fanin;
+  dag.inverter_fraction = s.inverter_fraction;
+  dag.seed = s.seed;
+  const Circuit c = circuit::make_random_dag(dag);
+  const PatternSet patterns = random_program(
+      c.pattern_inputs().size(), s.pattern_count, s.seed * 7919);
+
+  for (const FaultModel model : {FaultModel::kStuckAt,
+                                 FaultModel::kTransition}) {
+    SCOPED_TRACE(model == FaultModel::kStuckAt ? "stuck_at" : "transition");
+    const FaultList faults = fault_model::universe(c, model);
+    expect_engines_agree(faults, patterns);
+  }
+}
+
+TEST_P(EngineEquivalence, RandomDagUnderProgressiveStrobes) {
+  // Strobe masking intersects the detect words per block; the lane masks
+  // must land identically in every engine (including launch-gated
+  // transition detection, where the strobe mask applies to the capture).
+  const Scenario& s = GetParam();
+  circuit::RandomDagSpec dag;
+  dag.inputs = s.inputs;
+  dag.gates = s.gates;
+  dag.max_fanin = s.max_fanin;
+  dag.inverter_fraction = s.inverter_fraction;
+  dag.seed = s.seed ^ 0xabcdULL;
+  const Circuit c = circuit::make_random_dag(dag);
+  const PatternSet patterns = random_program(
+      c.pattern_inputs().size(), s.pattern_count, s.seed * 104729);
+  const StrobeSchedule schedule = StrobeSchedule::progressive(
+      c.observed_points().size(), /*strobe_step=*/5);
+
+  for (const FaultModel model : {FaultModel::kStuckAt,
+                                 FaultModel::kTransition}) {
+    SCOPED_TRACE(model == FaultModel::kStuckAt ? "stuck_at" : "transition");
+    const FaultList faults = fault_model::universe(c, model);
+    expect_engines_agree(faults, patterns, &schedule);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetlists, EngineEquivalence, ::testing::ValuesIn(kScenarios),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(EngineEquivalence, ScanCircuitBothModelsAllEngines) {
+  // The random DAGs are purely combinational; the scan accumulator adds
+  // DFF pseudo-PI/PO paths (scan captures, the DFF D-pin special case in
+  // every kernel) to the same engine matrix.
+  const Circuit c = circuit::make_scan_accumulator(6);
+  const PatternSet patterns =
+      random_program(c.pattern_inputs().size(), 96, 424242);
+  for (const FaultModel model : {FaultModel::kStuckAt,
+                                 FaultModel::kTransition}) {
+    SCOPED_TRACE(model == FaultModel::kStuckAt ? "stuck_at" : "transition");
+    const FaultList faults = fault_model::universe(c, model);
+    expect_engines_agree(faults, patterns);
+  }
+}
+
+TEST(EngineEquivalence, AtpgProgramsGradeIdenticallyOnEveryEngine) {
+  // The deterministic two-pattern programs the new transition ATPG emits
+  // are exactly the adjacency-sensitive inputs the engines must agree on:
+  // grade a generated (launch, capture) program with the full matrix.
+  const Circuit c = circuit::make_carry_select_adder(8, 4);
+  for (const FaultModel model : {FaultModel::kStuckAt,
+                                 FaultModel::kTransition}) {
+    SCOPED_TRACE(model == FaultModel::kStuckAt ? "stuck_at" : "transition");
+    const FaultList faults = fault_model::universe(c, model);
+    tpg::AtpgOptions options;
+    options.random_patterns = 64;
+    options.seed = 9;
+    const tpg::AtpgResult generated = tpg::generate_tests(faults, options);
+    ASSERT_GE(generated.patterns.size(), 2u);
+    expect_engines_agree(faults, generated.patterns);
+  }
+}
+
+}  // namespace
+}  // namespace lsiq::fault

@@ -271,6 +271,59 @@ TEST(Flow, AtpgSourceReportsGenerationStatistics) {
   EXPECT_GT(run.final_coverage(), 0.9);
 }
 
+TEST(Flow, TransitionAtpgSourceRunsEndToEnd) {
+  // atpg + transition was a validate-level rejection before two-pattern
+  // PODEM; now the combination is a first-class flow, including
+  // pair-aware compaction.
+  FlowSpec spec = coverage_only_spec();
+  spec.fault_model.kind = "transition";
+  spec.source = PatternSourceSpec{};
+  spec.source.kind = "atpg";
+  spec.source.atpg.random_patterns = 32;
+  spec.source.atpg.seed = 3;
+  spec.source.atpg_compact = true;
+  const FlowResult run = flow::run(small().circuit, spec);
+  ASSERT_TRUE(run.atpg.has_value());
+  EXPECT_GE(run.patterns.size(), 2u);
+  EXPECT_LE(run.patterns.size(), run.atpg->patterns.size());
+  EXPECT_EQ(run.atpg->redundant_classes,
+            run.atpg->untestable_launch_classes +
+                run.atpg->untestable_capture_classes);
+  // The compacted program the flow graded preserves the generated
+  // coverage (the pair-aware compaction contract).
+  EXPECT_GE(run.final_coverage(), run.atpg->coverage);
+  // The report carries the transition redundancy split.
+  const std::string report = run.report();
+  EXPECT_NE(report.find("model=transition source=atpg"), std::string::npos);
+}
+
+TEST(Flow, TransitionAtpgBeatsLfsrOnMult16AtEqualLength) {
+  // The acceptance claim: deterministic two-pattern generation reaches
+  // strictly higher transition coverage on the mult16 stand-in than the
+  // LFSR source at equal pattern count — the survivors random programs
+  // leave behind are exactly what the PODEM phase closes.
+  FlowSpec spec;
+  spec.fault_model.kind = "transition";
+  spec.source.kind = "atpg";
+  spec.source.atpg.random_patterns = 256;
+  spec.source.atpg.seed = kLfsrSeed;
+  spec.engine.kind = "ppsfp_mt";
+  spec.engine.num_threads = 0;
+  spec.lot.chip_count = 0;
+  const FlowResult atpg_run = flow::run(mult16().circuit, spec);
+  ASSERT_GE(atpg_run.patterns.size(), 2u);
+
+  FlowSpec lfsr_spec = spec;
+  lfsr_spec.source = PatternSourceSpec{};
+  lfsr_spec.source.kind = "lfsr";
+  lfsr_spec.source.pattern_count = atpg_run.patterns.size();
+  lfsr_spec.source.lfsr_seed = kLfsrSeed;
+  const FlowResult lfsr_run = flow::run(mult16().circuit, lfsr_spec);
+
+  ASSERT_EQ(lfsr_run.patterns.size(), atpg_run.patterns.size());
+  EXPECT_GT(atpg_run.final_coverage(), lfsr_run.final_coverage());
+}
+
 TEST(Flow, FileSourceRoundTripsThroughPatternIo) {
   const std::string path = ::testing::TempDir() + "lsiq_flow_patterns.txt";
   sim::write_patterns_file(small().patterns, path);

@@ -42,14 +42,6 @@ const Case kCases[] = {
      [](FlowSpec& s) { s.fault_model.kind = "bridging"; },
      "fault_model.kind",
      "unknown fault model 'bridging' (expected stuck_at or transition)"},
-    {"transition with atpg source",
-     [](FlowSpec& s) {
-       s.fault_model.kind = "transition";
-       s.source.kind = "atpg";
-     },
-     "source.kind",
-     "the atpg source generates stuck-at tests; grade a transition "
-     "universe with an lfsr, explicit, or file program"},
     {"transition lfsr program with one pattern",
      [](FlowSpec& s) {
        s.fault_model.kind = "transition";
@@ -202,6 +194,20 @@ const Case kCases[] = {
 TEST(FlowValidate, GoodSpecHasNoIssues) {
   EXPECT_TRUE(validate(good_spec()).empty());
   EXPECT_NO_THROW(validate_or_throw(good_spec()));
+}
+
+TEST(FlowValidate, TransitionAtpgSpecIsAccepted) {
+  // PR 4 rejected atpg + transition with a structured source.kind issue;
+  // two-pattern PODEM makes the combination a first-class flow, so the
+  // spec must now validate clean (the >= 2 pattern floor moves to run
+  // time, where the generated program's length is known).
+  FlowSpec spec = good_spec();
+  spec.fault_model.kind = "transition";
+  spec.source = PatternSourceSpec{};
+  spec.source.kind = "atpg";
+  EXPECT_TRUE(validate(spec).empty());
+  spec.source.atpg_compact = true;
+  EXPECT_TRUE(validate(spec).empty());
 }
 
 TEST(FlowValidate, MinimalTransitionSpecIsClean) {

@@ -8,6 +8,7 @@
 #include "circuit/generators.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault_model/transition.hpp"
 #include "sim/parallel_sim.hpp"
 #include "tpg/scoap.hpp"
 
@@ -206,6 +207,117 @@ TEST(Podem, ScoapGuidedBacktraceStillClosesEveryFault) {
               without == TestStatus::kUntestable)
         << fault_name(c, f);
   }
+}
+
+/// Confirm a (launch, capture) pair with the independent two-pattern
+/// kernel: launch in lane 0, capture in lane 1; the fresh window masks
+/// lane 0, so bit 1 is the launch-gated capture detection.
+bool pair_detects(const Circuit& c, const Fault& f,
+                  const std::vector<bool>& launch,
+                  const std::vector<bool>& capture) {
+  sim::ParallelSimulator good(c);
+  std::vector<std::uint64_t> words(launch.size());
+  for (std::size_t i = 0; i < launch.size(); ++i) {
+    words[i] = (launch[i] ? 1ULL : 0ULL) | (capture[i] ? 2ULL : 0ULL);
+  }
+  good.simulate_block(words);
+  fault::Propagator propagator(good.compiled());
+  propagator.begin_block(good.values());
+  const fault_model::TwoPatternWindow window(
+      propagator.compiled()->node_count());
+  return (propagator.detect_word_transition(f, good.values(), window) &
+          2ULL) != 0;
+}
+
+/// out = OR(b, z) with z = AND(a, NOT a): z is constant 0, the canonical
+/// constant-fed site for transition redundancy proofs.
+Circuit make_constant_fed() {
+  Circuit c("const_fed");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId na = c.add_gate(GateType::kNot, {a}, "na");
+  const GateId z = c.add_gate(GateType::kAnd, {a, na}, "z");
+  const GateId out = c.add_gate(GateType::kOr, {b, z}, "out");
+  c.mark_output(out);
+  c.finalize();
+  return c;
+}
+
+TEST(TransitionPodem, EveryC17TransitionFaultClosedAndConfirmed) {
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::transition_universe(c);
+  for (const Fault& f : faults.representatives()) {
+    const TransitionTestResult r = generate_transition_test(c, f);
+    ASSERT_EQ(r.status, TestStatus::kDetected)
+        << fault_name(c, f, fault_model::FaultModel::kTransition);
+    EXPECT_EQ(r.untestable_reason, UntestableReason::kNone);
+    EXPECT_TRUE(pair_detects(c, f, r.launch, r.capture))
+        << fault_name(c, f, fault_model::FaultModel::kTransition);
+    // The launch cube constrains at least the fault line's support, and
+    // the pair is ordered: swapping the halves must not be assumed to
+    // work, so both patterns are fully specified.
+    EXPECT_EQ(r.launch.size(), c.pattern_inputs().size());
+    EXPECT_EQ(r.capture.size(), c.pattern_inputs().size());
+  }
+}
+
+TEST(TransitionPodem, UnachievableLaunchIsProvenUntestable) {
+  // z never rises to 1, so z slow-to-fall has no launch pattern: the
+  // justification decision tree exhausts and the proof is labelled as
+  // the launch half.
+  const Circuit c = make_constant_fed();
+  const GateId z = c.find("z");
+  const TransitionTestResult r =
+      generate_transition_test(c, Fault{z, -1, true});
+  EXPECT_EQ(r.status, TestStatus::kUntestable);
+  EXPECT_EQ(r.untestable_reason, UntestableReason::kLaunch);
+}
+
+TEST(TransitionPodem, RedundantCaptureIsProvenUntestable) {
+  // z slow-to-rise launches trivially (z is always 0), but the capture
+  // stuck-at-0 can never be activated on a constant-0 line: the proof is
+  // labelled as the capture half.
+  const Circuit c = make_constant_fed();
+  const GateId z = c.find("z");
+  const TransitionTestResult r =
+      generate_transition_test(c, Fault{z, -1, false});
+  EXPECT_EQ(r.status, TestStatus::kUntestable);
+  EXPECT_EQ(r.untestable_reason, UntestableReason::kCapture);
+}
+
+TEST(TransitionPodem, TestableSiteNextToConstantIsClosed) {
+  // b transitions both ways through the OR (z = 0 sensitizes it), so the
+  // constant net must not poison its neighbours.
+  const Circuit c = make_constant_fed();
+  const GateId b = c.find("b");
+  for (const bool slow_to_fall : {false, true}) {
+    const Fault f{b, -1, slow_to_fall};
+    const TransitionTestResult r = generate_transition_test(c, f);
+    ASSERT_EQ(r.status, TestStatus::kDetected);
+    EXPECT_TRUE(pair_detects(c, f, r.launch, r.capture));
+  }
+}
+
+TEST(TransitionPodem, JustifyLineDrivesAndProves) {
+  const Circuit c = make_constant_fed();
+  const GateId z = c.find("z");
+  const GateId out = c.find("out");
+  // out = 1 is justifiable (b = 1)...
+  const PodemResult hi = justify_line(c, out, sim::Tri::kOne);
+  ASSERT_EQ(hi.status, TestStatus::kDetected);
+  // ...and the returned pattern really drives it there.
+  sim::ParallelSimulator good(c);
+  std::vector<std::uint64_t> words(hi.pattern.size());
+  for (std::size_t i = 0; i < hi.pattern.size(); ++i) {
+    words[i] = hi.pattern[i] ? 1ULL : 0ULL;
+  }
+  good.simulate_block(words);
+  EXPECT_EQ(good.values()[out] & 1ULL, 1ULL);
+  // z = 1 is a proof of constancy, not a search failure.
+  EXPECT_EQ(justify_line(c, z, sim::Tri::kOne).status,
+            TestStatus::kUntestable);
+  EXPECT_EQ(justify_line(c, z, sim::Tri::kZero).status,
+            TestStatus::kDetected);
 }
 
 TEST(Podem, BacktrackLimitProducesAbort) {

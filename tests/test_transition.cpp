@@ -368,10 +368,20 @@ TEST(TransitionBist, RawDetectionMatchesFaultSimAndAliasingIsSubset) {
   EXPECT_EQ(one.good_signature, many.good_signature);
 }
 
-TEST(TransitionAtpg, GenerateTestsRefusesTransitionUniverses) {
+TEST(TransitionAtpg, GenerateTestsAcceptsTransitionUniverses) {
+  // PR 4 rejected transition universes here ("transition ATPG is not
+  // implemented"); two-pattern PODEM now closes them — the verdict is a
+  // full test set, not a ContractViolation.
   const Circuit c = circuit::make_c17();
   const FaultList faults = FaultList::transition_universe(c);
-  EXPECT_THROW(tpg::generate_tests(faults, {}), ContractViolation);
+  const tpg::AtpgResult result = tpg::generate_tests(faults, {});
+  EXPECT_EQ(result.aborted_classes, 0u);
+  EXPECT_DOUBLE_EQ(result.effective_coverage, 1.0);
+  // The set really detects what generation claims: re-grade it with the
+  // independent two-pattern fault simulator.
+  const fault::FaultSimResult check =
+      fault::simulate_ppsfp(faults, result.patterns);
+  EXPECT_GE(check.coverage, result.coverage);
 }
 
 TEST(TransitionKernel, DetectWordTransitionRequiresBlockSync) {

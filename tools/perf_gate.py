@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf gate over google-benchmark JSON: fail on benchmark slowdowns.
+
+    perf_gate.py BASELINE.json CURRENT.json [--filter SUBSTRING]
+                 [--threshold FRACTION]
+
+Compares real_time for every benchmark whose name contains the filter
+substring (default "GradeFullProgram" — the end-to-end grading figure the
+CI perf job tracks) and exits non-zero when any of them is slower than
+baseline * (1 + threshold) (default 0.25, the ROADMAP's >25% gate).
+Benchmarks present on only one side are reported but never fatal, so
+adding or renaming benchmarks cannot wedge CI; only a measured regression
+on a comparable name can. Time units are taken from the baseline entry
+and must match the current one.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path, name_filter):
+    """Map benchmark name -> (real_time, time_unit) for matching entries."""
+    with open(path) as handle:
+        data = json.load(handle)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" and bench.get(
+                "aggregate_name") != "mean":
+            continue
+        name = bench.get("run_name", bench.get("name", ""))
+        if name_filter not in name:
+            continue
+        times[name] = (float(bench["real_time"]), bench.get("time_unit", ""))
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on google-benchmark real_time regressions")
+    parser.add_argument("baseline", help="previous BENCH_*.json artifact")
+    parser.add_argument("current", help="this run's BENCH_*.json")
+    parser.add_argument("--filter", default="GradeFullProgram",
+                        help="substring a benchmark name must contain "
+                             "(default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction (default: "
+                             "%(default)s)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline, args.filter)
+    current = load_times(args.current, args.filter)
+    if not baseline:
+        print(f"perf gate: baseline has no '{args.filter}' benchmarks; "
+              "nothing to compare")
+        return 0
+    if not current:
+        print(f"perf gate: ERROR: current run has no '{args.filter}' "
+              "benchmarks (did the suite rename them?)")
+        return 1
+
+    failures = []
+    for name, (base_time, base_unit) in sorted(baseline.items()):
+        if name not in current:
+            print(f"perf gate: note: '{name}' absent from current run")
+            continue
+        cur_time, cur_unit = current[name]
+        if base_unit != cur_unit:
+            print(f"perf gate: ERROR: '{name}' time unit changed "
+                  f"({base_unit} -> {cur_unit})")
+            failures.append(name)
+            continue
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:.0%} slower)"
+            failures.append(name)
+        print(f"perf gate: {name}: {base_time:.3f} -> {cur_time:.3f} "
+              f"{cur_unit} ({ratio:.2f}x baseline) {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"perf gate: note: '{name}' is new (no baseline)")
+
+    if failures:
+        print(f"perf gate: FAILED: {len(failures)} benchmark(s) regressed "
+              f"beyond the {args.threshold:.0%} budget")
+        return 1
+    print("perf gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
