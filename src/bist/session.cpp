@@ -6,6 +6,7 @@
 #include "fault/fault_sim.hpp"
 #include "sim/parallel_sim.hpp"
 #include "tpg/lfsr.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -65,10 +66,26 @@ fault::CoverageCurve BistResult::signature_curve(
       pattern_count);
 }
 
+namespace {
+
+/// The config's shared compiled view when given (the batch artifact
+/// cache), a private compilation otherwise.
+std::shared_ptr<const CompiledCircuit> session_compiled(
+    const BistConfig& config, const circuit::Circuit& circuit) {
+  if (config.compiled != nullptr) {
+    LSIQ_EXPECT(config.compiled->node_count() == circuit.gate_count(),
+                "BistSession: config.compiled does not match the circuit");
+    return config.compiled;
+  }
+  return std::make_shared<const CompiledCircuit>(circuit);
+}
+
+}  // namespace
+
 BistSession::BistSession(const fault::FaultList& faults, BistConfig config)
     : faults_(&faults),
       config_(config),
-      compiled_(std::make_shared<const CompiledCircuit>(faults.circuit())),
+      compiled_(session_compiled(config, faults.circuit())),
       patterns_(tpg::lfsr_patterns(faults.circuit().pattern_inputs().size(),
                                    config.pattern_count, config.lfsr_seed,
                                    config.lfsr_width)) {
@@ -82,7 +99,7 @@ BistSession::BistSession(const fault::FaultList& faults,
                          sim::PatternSet patterns, BistConfig config)
     : faults_(&faults),
       config_(config),
-      compiled_(std::make_shared<const CompiledCircuit>(faults.circuit())),
+      compiled_(session_compiled(config, faults.circuit())),
       patterns_(std::move(patterns)) {
   LSIQ_EXPECT(!patterns_.empty(),
               "BistSession: explicit pattern set must be non-empty");
@@ -148,6 +165,9 @@ BistResult BistSession::run(std::size_t num_threads) const {
   sim::ParallelSimulator good_sim(compiled_);
   Misr reference = misr;
   for (std::size_t b = 0; b < block_count; ++b) {
+    // Cooperative watchdog checkpoint, once per block (free when no
+    // deadline is active).
+    util::poll_deadline();
     good_sim.simulate_block(patterns_.block_words(b));
     const std::vector<std::uint64_t>& good = good_sim.values();
     const std::size_t valid = lanes_in_block(b);

@@ -55,6 +55,11 @@ struct BistConfig {
   /// bit-identical results (each fault class is owned by exactly one
   /// lane; nothing is reduced across lanes).
   std::size_t num_threads = 1;
+
+  /// When non-null, a compiled view of the session's circuit to share
+  /// instead of recompiling at construction (the batch runner's artifact
+  /// cache). Must match the FaultList's circuit.
+  std::shared_ptr<const circuit::CompiledCircuit> compiled;
 };
 
 /// One configured BIST session over a fault universe. Compiles the

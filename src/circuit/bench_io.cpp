@@ -229,7 +229,7 @@ Circuit read_bench_string(const std::string& text,
 Circuit read_bench_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw ParseError("cannot open .bench file: " + path);
+    throw IoError("cannot open .bench file: " + path);
   }
   // Derive the circuit name from the basename without extension.
   std::string name = path;

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/parallel_sim.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -486,6 +487,8 @@ FaultSimResult simulate_serial(const FaultList& faults,
   FaultSimResult result;
   result.first_detection.assign(faults.class_count(), -1);
   for (std::size_t c = 0; c < faults.class_count(); ++c) {
+    // Cooperative watchdog checkpoint (free when no deadline is active).
+    util::poll_deadline();
     const Fault& fault = faults.representatives()[c];
     for (std::size_t b = 0; b < patterns.block_count(); ++b) {
       const std::vector<std::uint64_t> faulty = simulate_faulty_block_full(
@@ -523,9 +526,10 @@ std::uint64_t detect_word_for_fault(
   return propagator.detect_word(fault, good_values, point_masks);
 }
 
-FaultSimResult simulate_ppsfp(const FaultList& faults,
-                              const sim::PatternSet& patterns,
-                              const StrobeSchedule* schedule) {
+FaultSimResult simulate_ppsfp(
+    const FaultList& faults, const sim::PatternSet& patterns,
+    const StrobeSchedule* schedule,
+    std::shared_ptr<const CompiledCircuit> compiled) {
   const Circuit& circuit = faults.circuit();
   LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
               "simulate_ppsfp: pattern width does not match circuit");
@@ -535,8 +539,12 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
   result.first_detection.assign(faults.class_count(), -1);
 
   // One compiled view shared by the good-machine simulator and the
-  // propagator.
-  auto compiled = std::make_shared<const CompiledCircuit>(circuit);
+  // propagator; a caller-supplied view skips recompilation entirely.
+  if (compiled == nullptr) {
+    compiled = std::make_shared<const CompiledCircuit>(circuit);
+  }
+  LSIQ_EXPECT(compiled->node_count() == circuit.gate_count(),
+              "simulate_ppsfp: compiled view does not match the circuit");
   sim::ParallelSimulator good_sim(compiled);
   Propagator propagator(compiled);
   const bool transition =
@@ -548,6 +556,9 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
   std::vector<std::uint32_t> live = sorted_live_list(faults, *compiled);
 
   for (std::size_t b = 0; b < patterns.block_count() && !live.empty(); ++b) {
+    // Cooperative watchdog checkpoint, once per 64-pattern block (free
+    // when no deadline is active).
+    util::poll_deadline();
     good_sim.simulate_block(patterns.block_words(b));
     const std::vector<std::uint64_t>& good = good_sim.values();
     const std::uint64_t mask = patterns.block_mask(b);
@@ -579,10 +590,10 @@ FaultSimResult simulate_ppsfp(const FaultList& faults,
   return result;
 }
 
-FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
-                                 const sim::PatternSet& patterns,
-                                 const StrobeSchedule* schedule,
-                                 std::size_t num_threads) {
+FaultSimResult simulate_ppsfp_mt(
+    const FaultList& faults, const sim::PatternSet& patterns,
+    const StrobeSchedule* schedule, std::size_t num_threads,
+    std::shared_ptr<const CompiledCircuit> compiled) {
   const Circuit& circuit = faults.circuit();
   LSIQ_EXPECT(patterns.input_count() == circuit.pattern_inputs().size(),
               "simulate_ppsfp_mt: pattern width does not match circuit");
@@ -591,7 +602,11 @@ FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
   FaultSimResult result;
   result.first_detection.assign(faults.class_count(), -1);
 
-  auto compiled = std::make_shared<const CompiledCircuit>(circuit);
+  if (compiled == nullptr) {
+    compiled = std::make_shared<const CompiledCircuit>(circuit);
+  }
+  LSIQ_EXPECT(compiled->node_count() == circuit.gate_count(),
+              "simulate_ppsfp_mt: compiled view does not match the circuit");
   sim::ParallelSimulator good_sim(compiled);
   const bool transition =
       faults.model() == fault_model::FaultModel::kTransition;
@@ -619,6 +634,9 @@ FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
   std::vector<std::uint64_t> detects(live.size(), 0);
 
   for (std::size_t b = 0; b < patterns.block_count() && !live.empty(); ++b) {
+    // Watchdog checkpoint on the coordinating thread: lanes only run
+    // inside pool.run, so polling here bounds the whole block.
+    util::poll_deadline();
     good_sim.simulate_block(patterns.block_words(b));
     const std::vector<std::uint64_t>& good = good_sim.values();
     const std::uint64_t mask = patterns.block_mask(b);

@@ -179,19 +179,24 @@ FaultSimResult simulate_serial(const FaultList& faults,
                                const StrobeSchedule* schedule = nullptr);
 
 /// Production engine: PPSFP with fault dropping on the compiled netlist.
-FaultSimResult simulate_ppsfp(const FaultList& faults,
-                              const sim::PatternSet& patterns,
-                              const StrobeSchedule* schedule = nullptr);
+/// `compiled`, when non-null, must be a compiled view of faults.circuit()
+/// and is used instead of recompiling — the batch runner's per-(circuit,
+/// model) artifact cache passes it so N specs over one circuit compile
+/// once. Results are bit-identical either way.
+FaultSimResult simulate_ppsfp(
+    const FaultList& faults, const sim::PatternSet& patterns,
+    const StrobeSchedule* schedule = nullptr,
+    std::shared_ptr<const circuit::CompiledCircuit> compiled = nullptr);
 
 /// Multi-threaded PPSFP: per block, the live-fault list is partitioned
 /// across `num_threads` workers (resolved by util::resolve_worker_count;
 /// 0 = one per hardware thread), each with its own Propagator; fault
 /// dropping compacts the list after every block. Bit-identical to
-/// simulate_ppsfp and simulate_serial.
-FaultSimResult simulate_ppsfp_mt(const FaultList& faults,
-                                 const sim::PatternSet& patterns,
-                                 const StrobeSchedule* schedule = nullptr,
-                                 std::size_t num_threads = 0);
+/// simulate_ppsfp and simulate_serial. `compiled` as in simulate_ppsfp.
+FaultSimResult simulate_ppsfp_mt(
+    const FaultList& faults, const sim::PatternSet& patterns,
+    const StrobeSchedule* schedule = nullptr, std::size_t num_threads = 0,
+    std::shared_ptr<const circuit::CompiledCircuit> compiled = nullptr);
 
 /// Detection words for one fault over one simulated block: bit p is set
 /// when pattern p of the block detects the fault. Convenience wrappers

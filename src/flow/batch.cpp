@@ -1,0 +1,653 @@
+#include "flow/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "fault_model/universe.hpp"
+#include "flow/flow.hpp"
+#include "flow/spec_io.hpp"
+#include "util/deadline.hpp"
+#include "util/failpoint.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lsiq::flow {
+
+namespace {
+
+// ---- spec-content hashing (checkpoint staleness detection) ----
+
+/// FNV-1a over the file's bytes; 0 when the file cannot be read (a record
+/// hashed 0 is never treated as resumable).
+std::uint64_t hash_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::uint64_t hash = 14695981039346656037ULL;
+  char buffer[4096];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    for (std::streamsize i = 0; i < got; ++i) {
+      hash ^= static_cast<unsigned char>(buffer[i]);
+      hash *= 1099511628211ULL;
+    }
+    if (!in) break;
+  }
+  return hash;
+}
+
+// ---- minimal JSON (the result-store wire format) ----
+//
+// Records are flat objects of strings, numbers and booleans; a
+// hand-rolled writer/reader keeps the library dependency-free and the
+// format under this file's control.
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escaped[8];
+          std::snprintf(escaped, sizeof escaped, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += escaped;
+        } else {
+          out += c;  // UTF-8 payload bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Round-trippable double text (%.17g): format(parse(format(x))) ==
+/// format(x), which is what keeps a record byte-stable across a
+/// checkpoint parse/reserialize cycle.
+std::string format_double(double value) {
+  char text[64];
+  std::snprintf(text, sizeof text, "%.17g", value);
+  return text;
+}
+
+std::string format_hash(std::uint64_t hash) {
+  char text[32];
+  std::snprintf(text, sizeof text, "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return text;
+}
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kString;
+  std::string text;      // kString: unescaped payload; kNumber: raw text
+  double number = 0.0;
+  bool boolean = false;
+};
+
+/// Parse one flat JSON object of string/number/bool values. Returns false
+/// on any malformation — resume treats such a line as torn and skips it.
+bool parse_flat_object(const std::string& line,
+                       std::map<std::string, JsonValue>* out) {
+  std::size_t i = 0;
+  const auto skip_space = [&] {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+  };
+  const auto parse_string = [&](std::string* text) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    text->clear();
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i++];
+      if (c != '\\') {
+        *text += c;
+        continue;
+      }
+      if (i >= line.size()) return false;
+      const char escape = line[i++];
+      switch (escape) {
+        case '"': *text += '"'; break;
+        case '\\': *text += '\\'; break;
+        case '/': *text += '/'; break;
+        case 'n': *text += '\n'; break;
+        case 'r': *text += '\r'; break;
+        case 't': *text += '\t'; break;
+        case 'b': *text += '\b'; break;
+        case 'f': *text += '\f'; break;
+        case 'u': {
+          if (i + 4 > line.size()) return false;
+          unsigned value = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = line[i++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (value > 0xff) return false;  // the writer only escapes bytes
+          *text += static_cast<char>(value);
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_space();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_space();
+  if (i < line.size() && line[i] == '}') return true;
+  while (true) {
+    skip_space();
+    std::string key;
+    if (!parse_string(&key)) return false;
+    skip_space();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_space();
+    JsonValue value;
+    if (i < line.size() && line[i] == '"') {
+      value.kind = JsonValue::Kind::kString;
+      if (!parse_string(&value.text)) return false;
+    } else if (line.compare(i, 4, "true") == 0) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      i += 5;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+             line[i] != ' ') {
+        ++i;
+      }
+      value.kind = JsonValue::Kind::kNumber;
+      value.text = line.substr(start, i - start);
+      try {
+        std::size_t consumed = 0;
+        value.number = std::stod(value.text, &consumed);
+        if (consumed != value.text.size()) return false;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    (*out)[key] = std::move(value);
+    skip_space();
+    if (i >= line.size()) return false;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return true;
+    return false;
+  }
+}
+
+const JsonValue* find_value(const std::map<std::string, JsonValue>& values,
+                            const std::string& key, JsonValue::Kind kind) {
+  const auto it = values.find(key);
+  if (it == values.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+/// Bound a failure message: long enough for every real diagnostic in the
+/// library, short enough that one pathological what() cannot bloat the
+/// store.
+std::string sanitize_message(const std::string& message) {
+  constexpr std::size_t kMaxLength = 2000;
+  if (message.size() <= kMaxLength) return message;
+  return message.substr(0, kMaxLength) + "...";
+}
+
+void append_record_fields(std::string& out, const BatchRecord& record,
+                          bool canonical) {
+  out += "{\"spec\":";
+  append_json_string(out, record.spec);
+  out += ",\"hash\":";
+  append_json_string(out, format_hash(record.hash));
+  out += ",\"status\":";
+  append_json_string(out, record.status);
+  out += ",\"error_code\":";
+  append_json_string(out, error_code_name(record.error_code));
+  out += ",\"transient\":";
+  out += record.transient ? "true" : "false";
+  out += ",\"attempts\":" + std::to_string(record.attempts);
+  if (!canonical) {
+    out += ",\"wall_ms\":" + format_double(record.wall_ms);
+    out += ",\"resumed\":";
+    out += record.resumed ? "true" : "false";
+  }
+  out += ",\"patterns\":" + std::to_string(record.patterns);
+  out += ",\"classes\":" + std::to_string(record.classes);
+  out += ",\"coverage\":" + format_double(record.coverage);
+  out += ",\"dppm\":" + format_double(record.dppm);
+  out += ",\"error\":";
+  append_json_string(out, record.error);
+  out += "}";
+}
+
+// ---- the JSONL result store / checkpoint ----
+
+class ResultStore {
+ public:
+  ResultStore(const std::string& path, std::ostream* stream)
+      : path_(path), stream_(stream) {
+    if (!path.empty()) {
+      file_.emplace(path, std::ios::trunc);
+      if (!*file_) {
+        throw IoError("cannot open result store for writing: " + path);
+      }
+    }
+  }
+
+  /// Commit one record: append + flush (the flush is the checkpoint
+  /// durability point). A checkpoint write failure aborts the batch —
+  /// a result store that drops records is worse than no store.
+  void append(const BatchRecord& record) {
+    const std::string line = record.to_jsonl();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (file_.has_value()) {
+      *file_ << line << '\n' << std::flush;
+      if (!*file_) {
+        throw IoError("result store write failed: " + path_);
+      }
+    }
+    if (stream_ != nullptr) {
+      *stream_ << line << '\n' << std::flush;
+    }
+  }
+
+ private:
+  std::string path_;
+  std::ostream* stream_;
+  std::optional<std::ofstream> file_;
+  std::mutex mutex_;
+};
+
+/// Last record per spec from an existing checkpoint; unparsable (torn)
+/// lines are skipped, so a store killed mid-write still resumes.
+std::map<std::string, BatchRecord> load_checkpoint(const std::string& path) {
+  std::map<std::string, BatchRecord> records;
+  std::ifstream in(path);
+  if (!in) return records;  // first run: nothing to resume
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<BatchRecord> record = BatchRecord::from_jsonl(line);
+    if (record.has_value()) records[record->spec] = std::move(*record);
+  }
+  return records;
+}
+
+// ---- running one spec ----
+
+/// One attempt, start to finish, inside the caller's catch boundary.
+/// Fills the ok-summary fields only when the whole flow succeeded.
+void run_spec_once(const std::string& path, ArtifactCache& cache,
+                   const BatchOptions& options, BatchRecord* record) {
+  std::optional<util::DeadlineScope> watchdog;
+  if (options.deadline_ms > 0) {
+    watchdog.emplace(std::chrono::milliseconds(options.deadline_ms));
+  }
+  const SpecFile file = read_spec_file(path);
+  if (file.circuit.empty()) {
+    throw Error("spec file names no circuit", ErrorCode::kInvalidSpec);
+  }
+  validate_or_throw(file.spec);
+  // validate() guaranteed the model name resolves.
+  const fault_model::FaultModel model =
+      *fault_model::fault_model_from_name(file.spec.fault_model.kind);
+  const ArtifactCache::Artifacts& artifacts = cache.get(file.circuit, model);
+  const FlowResult result = run(*artifacts.faults, file.spec,
+                                artifacts.compiled);
+
+  record->patterns = result.patterns.size();
+  record->classes = artifacts.faults->class_count();
+  record->coverage =
+      result.curve.has_value() ? result.curve->final_coverage() : 0.0;
+  const double delivered = result.bist.has_value()
+                               ? result.bist->signature_coverage
+                               : record->coverage;
+  record->dppm =
+      result.analyzer.has_value() ? result.analyzer->dppm(delivered) : 0.0;
+}
+
+/// The crash-isolation + retry boundary around one spec. Never throws:
+/// every failure becomes a structured record.
+BatchRecord run_one_spec(const std::string& path, ArtifactCache& cache,
+                         const BatchOptions& options) {
+  BatchRecord record;
+  record.spec = path;
+  record.hash = hash_file(path);
+  const auto start = std::chrono::steady_clock::now();
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    ErrorCode code = ErrorCode::kOk;
+    std::string message;
+    try {
+      run_spec_once(path, cache, options, &record);
+    } catch (const Error& e) {
+      code = e.code();
+      message = e.what();
+    } catch (const std::exception& e) {
+      code = ErrorCode::kUnknown;
+      message = e.what();
+    } catch (...) {
+      code = ErrorCode::kUnknown;
+      message = "non-standard exception";
+    }
+    if (code == ErrorCode::kOk) {
+      record.status = "ok";
+      record.error_code = ErrorCode::kOk;
+      record.transient = false;
+      record.error.clear();
+      break;
+    }
+    record.status = "failed";
+    record.error_code = code;
+    record.transient = is_transient(code);
+    record.error = sanitize_message(message);
+    if (record.transient && attempt < options.retry.max_attempts) {
+      const int delay_ms = options.retry.backoff_ms(attempt);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      continue;
+    }
+    break;
+  }
+  record.attempts = attempt;
+  record.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return record;
+}
+
+}  // namespace
+
+// ---- RetryPolicy ----
+
+int RetryPolicy::backoff_ms(int attempt) const {
+  if (backoff_initial_ms <= 0) return 0;
+  double delay = backoff_initial_ms;
+  for (int k = 1; k < attempt; ++k) {
+    delay *= backoff_multiplier;
+    if (delay >= backoff_max_ms) break;
+  }
+  return static_cast<int>(std::min<double>(delay, backoff_max_ms));
+}
+
+// ---- BatchRecord ----
+
+std::string BatchRecord::to_jsonl() const {
+  std::string out;
+  append_record_fields(out, *this, /*canonical=*/false);
+  return out;
+}
+
+std::string BatchRecord::canonical_jsonl() const {
+  std::string out;
+  append_record_fields(out, *this, /*canonical=*/true);
+  return out;
+}
+
+std::optional<BatchRecord> BatchRecord::from_jsonl(const std::string& line) {
+  std::map<std::string, JsonValue> values;
+  if (!parse_flat_object(line, &values)) return std::nullopt;
+
+  using Kind = JsonValue::Kind;
+  const JsonValue* spec = find_value(values, "spec", Kind::kString);
+  const JsonValue* hash = find_value(values, "hash", Kind::kString);
+  const JsonValue* status = find_value(values, "status", Kind::kString);
+  const JsonValue* code = find_value(values, "error_code", Kind::kString);
+  const JsonValue* transient = find_value(values, "transient", Kind::kBool);
+  const JsonValue* attempts = find_value(values, "attempts", Kind::kNumber);
+  const JsonValue* wall_ms = find_value(values, "wall_ms", Kind::kNumber);
+  const JsonValue* patterns = find_value(values, "patterns", Kind::kNumber);
+  const JsonValue* classes = find_value(values, "classes", Kind::kNumber);
+  const JsonValue* coverage = find_value(values, "coverage", Kind::kNumber);
+  const JsonValue* dppm = find_value(values, "dppm", Kind::kNumber);
+  const JsonValue* error = find_value(values, "error", Kind::kString);
+  if (spec == nullptr || hash == nullptr || status == nullptr ||
+      code == nullptr || transient == nullptr || attempts == nullptr ||
+      patterns == nullptr || classes == nullptr || coverage == nullptr ||
+      dppm == nullptr || error == nullptr) {
+    return std::nullopt;
+  }
+  if (status->text != "ok" && status->text != "failed") return std::nullopt;
+  const std::optional<ErrorCode> parsed_code =
+      error_code_from_name(code->text);
+  if (!parsed_code.has_value()) return std::nullopt;
+
+  BatchRecord record;
+  record.spec = spec->text;
+  try {
+    record.hash = std::stoull(hash->text, nullptr, 16);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  record.status = status->text;
+  record.error_code = *parsed_code;
+  record.transient = transient->boolean;
+  record.attempts = static_cast<int>(attempts->number);
+  record.wall_ms = wall_ms != nullptr ? wall_ms->number : 0.0;
+  const JsonValue* resumed = find_value(values, "resumed", Kind::kBool);
+  record.resumed = resumed != nullptr && resumed->boolean;
+  record.patterns = static_cast<std::size_t>(patterns->number);
+  record.classes = static_cast<std::size_t>(classes->number);
+  record.coverage = coverage->number;
+  record.dppm = dppm->number;
+  record.error = error->text;
+  return record;
+}
+
+// ---- ArtifactCache ----
+
+const ArtifactCache::Artifacts& ArtifactCache::get(
+    const std::string& circuit_name, fault_model::FaultModel model) {
+  const std::pair<std::string, int> key(circuit_name,
+                                        static_cast<int>(model));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return *it->second;
+  }
+  // Build outside the map so a throwing build caches nothing. The circuit
+  // is heap-allocated FIRST and never moves afterwards — the FaultList
+  // and the compiled view both hold references into it.
+  auto artifacts = std::make_unique<Artifacts>();
+  artifacts->circuit = std::make_unique<const circuit::Circuit>(
+      circuit_from_name(circuit_name));
+  artifacts->faults = std::make_unique<const fault::FaultList>(
+      fault_model::universe(*artifacts->circuit, model));
+  artifacts->compiled =
+      std::make_shared<const circuit::CompiledCircuit>(*artifacts->circuit);
+  ++misses_;
+  return *entries_.emplace(key, std::move(artifacts)).first->second;
+}
+
+std::size_t ArtifactCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ArtifactCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+// ---- BatchResult ----
+
+std::string BatchResult::canonical() const {
+  std::string out;
+  for (const BatchRecord& record : records) {
+    out += record.canonical_jsonl();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string BatchResult::summary() const {
+  std::ostringstream out;
+  std::size_t transient_failures = 0;
+  for (const BatchRecord& record : records) {
+    if (record.status == "failed" && record.transient) ++transient_failures;
+  }
+  out << "batch: " << records.size() << " specs, " << ok_count << " ok, "
+      << failed_count << " failed";
+  if (transient_failures > 0) {
+    out << " (" << transient_failures << " transient)";
+  }
+  out << ", " << resumed_count << " resumed from checkpoint; artifact cache "
+      << cache_misses << " built, " << cache_hits << " reused";
+  return out.str();
+}
+
+// ---- manifest expansion ----
+
+std::vector<std::string> read_manifest(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> specs;
+  std::error_code fs_error;
+  if (fs::is_directory(path, fs_error)) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(path)) {
+      if (entry.path().extension() == ".spec" &&
+          entry.is_regular_file()) {
+        specs.push_back(entry.path().string());
+      }
+    }
+    std::sort(specs.begin(), specs.end());
+    if (specs.empty()) {
+      throw Error("manifest directory contains no .spec files: " + path,
+                  ErrorCode::kInvalidSpec);
+    }
+    return specs;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open manifest: " + path);
+  }
+  const fs::path base = fs::path(path).parent_path();
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::size_t comment = raw.find('#');
+    if (comment != std::string::npos) raw.erase(comment);
+    // Trim whitespace.
+    std::size_t first = 0;
+    std::size_t last = raw.size();
+    while (first < last && std::isspace(static_cast<unsigned char>(
+                               raw[first])) != 0) {
+      ++first;
+    }
+    while (last > first && std::isspace(static_cast<unsigned char>(
+                               raw[last - 1])) != 0) {
+      --last;
+    }
+    const std::string entry = raw.substr(first, last - first);
+    if (entry.empty()) continue;
+    const fs::path spec_path(entry);
+    specs.push_back(spec_path.is_absolute() ? spec_path.string()
+                                            : (base / spec_path).string());
+  }
+  if (specs.empty()) {
+    throw Error("manifest lists no specs: " + path, ErrorCode::kInvalidSpec);
+  }
+  return specs;
+}
+
+// ---- the batch loop ----
+
+BatchResult run_batch(const std::vector<std::string>& specs,
+                      const BatchOptions& options) {
+  LSIQ_EXPECT(options.retry.max_attempts >= 1,
+              "run_batch: retry.max_attempts must be >= 1");
+  BatchResult result;
+  result.records.resize(specs.size());
+  std::vector<char> done(specs.size(), 0);
+
+  // Resume: carry over unchanged-ok records before the store is
+  // truncated for rewriting. Failures are always re-attempted.
+  std::map<std::string, BatchRecord> carried;
+  if (!options.checkpoint.empty() && options.resume) {
+    carried = load_checkpoint(options.checkpoint);
+  }
+
+  ResultStore store(options.checkpoint, options.stream);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto it = carried.find(specs[i]);
+    if (it == carried.end() || it->second.status != "ok") continue;
+    if (it->second.hash == 0 || it->second.hash != hash_file(specs[i])) {
+      continue;  // spec changed since the checkpoint: rerun it
+    }
+    result.records[i] = it->second;
+    result.records[i].resumed = true;
+    done[i] = 1;
+    store.append(result.records[i]);
+  }
+
+  ArtifactCache cache;
+  const std::size_t pending = static_cast<std::size_t>(
+      std::count(done.begin(), done.end(), 0));
+  if (pending > 0) {
+    // Lanes claim manifest indices from a shared counter; each record is
+    // written to its manifest slot, so result order is independent of
+    // scheduling. Spec failures are records (run_one_spec never throws);
+    // anything escaping a lane — a checkpoint-write IoError, an armed
+    // "batch.record" failpoint — aborts the batch via the pool's
+    // first-exception rethrow, leaving the store a valid prefix.
+    util::ThreadPool pool(
+        std::min(util::resolve_worker_count(options.num_workers), pending));
+    std::atomic<std::size_t> next{0};
+    pool.run([&](std::size_t) {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= specs.size()) return;
+        if (done[i] != 0) continue;
+        BatchRecord record = run_one_spec(specs[i], cache, options);
+        LSIQ_FAILPOINT("batch.record");
+        store.append(record);
+        result.records[i] = std::move(record);
+      }
+    });
+  }
+
+  for (const BatchRecord& record : result.records) {
+    if (record.status == "ok") ++result.ok_count;
+    if (record.status == "failed") ++result.failed_count;
+    if (record.resumed) ++result.resumed_count;
+  }
+  result.cache_hits = cache.hits();
+  result.cache_misses = cache.misses();
+  return result;
+}
+
+BatchResult run_manifest(const std::string& manifest,
+                         const BatchOptions& options) {
+  return run_batch(read_manifest(manifest), options);
+}
+
+}  // namespace lsiq::flow

@@ -1,0 +1,211 @@
+// Hardened batch flow runner: many specs, one process, no single point of
+// failure.
+//
+// `lsiq_flow` runs exactly one spec; a coverage campaign (a fault-model
+// sweep, a MISR width study, a pattern-source shoot-out) is hundreds. This
+// module turns a MANIFEST — a directory of .spec files or a list file —
+// into a result set, executing specs concurrently on the shared
+// util::ThreadPool and streaming one JSON-lines record per spec to a
+// result store that doubles as a checkpoint.
+//
+// Robustness is the contract, in five layers:
+//
+//   * Crash isolation — every spec runs inside its own catch-everything
+//     boundary; one throwing spec produces one structured failure record
+//     and never takes the batch down.
+//   * Error taxonomy — failures carry the stable ErrorCode of
+//     util/error.hpp, split transient vs permanent (is_transient), so a
+//     record is machine-triageable without parsing what() strings.
+//   * Bounded retry — transient failures (I/O hiccups, resource
+//     exhaustion) are retried up to RetryPolicy::max_attempts with
+//     exponential backoff; permanent failures fail fast on attempt 1.
+//   * Deadline watchdog — BatchOptions::deadline_ms installs a
+//     cooperative util::DeadlineScope per spec; the grading engines poll
+//     it every 64-pattern block, so a wedged run ends as a structured
+//     `deadline` record instead of hanging the batch.
+//   * Checkpoint / resume — the JSONL store is re-read on the next run of
+//     the same manifest: records marked "ok" whose spec file is unchanged
+//     (content hash) are carried over, failures are re-attempted, and a
+//     torn trailing line (killed mid-write) is tolerated. A killed batch
+//     resumed from its checkpoint converges to the same canonical result
+//     set as an uninterrupted run.
+//
+// The batch also lands the first increment of the ROADMAP's
+// flow-as-a-service cache: an ArtifactCache keyed by (circuit selector,
+// fault model) shares the built circuit::Circuit, the collapsed
+// fault universe AND the circuit::CompiledCircuit view across every spec
+// in the batch, so N specs over one product compile once instead of N
+// times.
+//
+// Failure injection for tests and CI rides on util/failpoint.hpp: the
+// sites "spec.read", "flow.run", "flow.patterns", "flow.grade" and
+// "batch.record" can be armed via LSIQ_FAILPOINTS to fault any stage
+// deterministically (see tests/test_batch.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/compiled.hpp"
+#include "circuit/netlist.hpp"
+#include "fault/fault_list.hpp"
+#include "fault_model/fault_model.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::flow {
+
+/// Bounded retry with exponential backoff, applied ONLY to failures whose
+/// ErrorCode classifies transient (is_transient in util/error.hpp).
+struct RetryPolicy {
+  /// Total tries per spec, first attempt included. 1 = never retry.
+  int max_attempts = 3;
+  /// Delay before retry k (1-based) is
+  /// min(backoff_initial_ms * multiplier^(k-1), backoff_max_ms).
+  /// 0 disables sleeping (deterministic tests).
+  int backoff_initial_ms = 100;
+  double backoff_multiplier = 4.0;
+  int backoff_max_ms = 2000;
+
+  /// The delay (ms) to sleep after failed attempt `attempt` (1-based).
+  [[nodiscard]] int backoff_ms(int attempt) const;
+};
+
+/// Everything run_batch needs besides the spec list.
+struct BatchOptions {
+  /// Concurrent spec runners (util::resolve_worker_count convention:
+  /// 0 = one per hardware thread). Specs are independent; each runs its
+  /// own engine configuration, so batches of ppsfp_mt specs usually want
+  /// a small worker count here.
+  std::size_t num_workers = 0;
+
+  RetryPolicy retry;
+
+  /// Per-spec cooperative deadline in milliseconds; 0 = none. Overruns
+  /// end the spec with ErrorCode::kDeadline (permanent — no retry).
+  int deadline_ms = 0;
+
+  /// JSONL result store that doubles as the checkpoint. Empty = keep
+  /// results in memory only (no resume).
+  std::string checkpoint;
+
+  /// Re-use "ok" records from an existing checkpoint whose spec file
+  /// content hash still matches; false reruns everything.
+  bool resume = true;
+
+  /// Live JSONL stream (the CLI passes stdout); records are written in
+  /// completion order. Null = none. Stream write failures are the
+  /// caller's to detect (std::ostream state); CHECKPOINT write failures
+  /// abort the batch with IoError — a result store that drops records is
+  /// not a result store.
+  std::ostream* stream = nullptr;
+};
+
+/// One spec's outcome — one JSONL line in the result store.
+struct BatchRecord {
+  std::string spec;          ///< path as listed in the manifest
+  std::uint64_t hash = 0;    ///< FNV-1a of the spec file bytes (0: unread)
+  std::string status;        ///< "ok" | "failed"
+  ErrorCode error_code = ErrorCode::kOk;
+  bool transient = false;    ///< is_transient(error_code)
+  int attempts = 0;          ///< tries consumed (retries included)
+  double wall_ms = 0.0;      ///< total wall clock, backoff included
+  bool resumed = false;      ///< carried over from the checkpoint
+
+  // -- "ok" summary --
+  std::size_t patterns = 0;      ///< materialized program length
+  std::size_t classes = 0;       ///< collapsed fault classes graded
+  double coverage = 0.0;         ///< final coverage under the observation
+  double dppm = 0.0;             ///< DPPM at the delivered coverage
+
+  std::string error;         ///< "failed": sanitized what() text
+
+  /// One JSONL line (stable key order, '\n' not included).
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// to_jsonl minus the volatile fields (wall_ms, resumed): the form in
+  /// which two runs of the same manifest are comparable byte-for-byte.
+  [[nodiscard]] std::string canonical_jsonl() const;
+
+  /// Parse a store line; nullopt for a torn or foreign line (resume
+  /// tolerates those rather than refusing the whole checkpoint).
+  static std::optional<BatchRecord> from_jsonl(const std::string& line);
+};
+
+/// The batch-wide artifact cache: circuit + collapsed fault universe +
+/// compiled view per (circuit selector, fault model). Thread-safe; entries
+/// live until the cache dies, and every returned reference stays valid for
+/// the cache's lifetime (entries are heap-allocated and never evicted —
+/// a batch touches a handful of products, not millions).
+class ArtifactCache {
+ public:
+  struct Artifacts {
+    std::unique_ptr<const circuit::Circuit> circuit;
+    std::unique_ptr<const fault::FaultList> faults;
+    std::shared_ptr<const circuit::CompiledCircuit> compiled;
+  };
+
+  /// Build-or-reuse. Builds under the cache lock (cold starts serialize;
+  /// steady state is one map lookup). Throws what circuit_from_name /
+  /// universe construction throws; failures are not cached.
+  const Artifacts& get(const std::string& circuit_name,
+                       fault_model::FaultModel model);
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<Artifacts>>
+      entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// The whole batch's outcome. records is in MANIFEST order regardless of
+/// completion order, so two runs of one manifest are directly comparable.
+struct BatchResult {
+  std::vector<BatchRecord> records;
+  std::size_t ok_count = 0;
+  std::size_t failed_count = 0;
+  std::size_t resumed_count = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+
+  [[nodiscard]] bool all_ok() const noexcept { return failed_count == 0; }
+
+  /// Canonical serialization: canonical_jsonl of every record in manifest
+  /// order, one per line. Two runs of the same manifest (interrupted or
+  /// not) must produce identical canonical() bytes — the checkpoint
+  /// correctness contract tests/test_batch.cpp pins.
+  [[nodiscard]] std::string canonical() const;
+
+  /// Human summary ("12 ok, 2 failed (1 transient), 8 resumed, ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Expand a manifest into spec paths: a DIRECTORY yields every *.spec in
+/// it, sorted by name; a LIST FILE yields one path per non-comment line,
+/// relative entries resolved against the list file's directory. Throws
+/// IoError when the manifest cannot be read and Error(kInvalidSpec) when
+/// it names no specs (an empty campaign is a mistake, not a success).
+std::vector<std::string> read_manifest(const std::string& path);
+
+/// Run every spec and return the full result set. Individual spec
+/// failures NEVER throw — they are records. Throws only for batch-level
+/// faults: an unwritable checkpoint (IoError) or a failure injected at
+/// the "batch.record" site (how the tests simulate a killed batch).
+BatchResult run_batch(const std::vector<std::string>& specs,
+                      const BatchOptions& options = {});
+
+/// read_manifest + run_batch.
+BatchResult run_manifest(const std::string& manifest,
+                         const BatchOptions& options = {});
+
+}  // namespace lsiq::flow

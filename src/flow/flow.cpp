@@ -11,6 +11,7 @@
 #include "sim/pattern_io.hpp"
 #include "tpg/lfsr.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -54,6 +55,7 @@ std::vector<quality::CoveragePoint> FlowResult::points() const {
 sim::PatternSet make_patterns(const fault::FaultList& faults,
                               const PatternSourceSpec& source,
                               std::optional<tpg::AtpgResult>* atpg_out) {
+  LSIQ_FAILPOINT("flow.patterns");
   const std::size_t inputs = faults.circuit().pattern_inputs().size();
   if (source.kind == "lfsr") {
     return tpg::lfsr_patterns(inputs, source.pattern_count, source.lfsr_seed,
@@ -82,10 +84,13 @@ sim::PatternSet make_patterns(const fault::FaultList& faults,
                 "flow: pattern file input count does not match the circuit");
     return patterns;
   }
-  throw Error("flow: unknown pattern source '" + source.kind + "'");
+  throw Error("flow: unknown pattern source '" + source.kind + "'",
+              ErrorCode::kInvalidSpec);
 }
 
-FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
+FlowResult run(const fault::FaultList& faults, const FlowSpec& spec,
+               std::shared_ptr<const circuit::CompiledCircuit> compiled) {
+  LSIQ_FAILPOINT("flow.run");
   validate_or_throw(spec);
   // validate() guaranteed the name resolves; the list must agree with the
   // spec or every downstream figure silently reports the wrong model.
@@ -116,17 +121,20 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
     // caught by the non-empty check above, so this branch sees exactly 1.
     throw Error(
         "flow: transition grading needs at least 2 patterns (one "
-        "launch/capture pair); the source produced 1");
+        "launch/capture pair); the source produced 1",
+        ErrorCode::kInvalidSpec);
   }
   const std::size_t pattern_count = result.patterns.size();
 
   // 2. Grade it under the requested observation with the requested engine
   // (the LAMP step of Section 7).
+  LSIQ_FAILPOINT("flow.grade");
   if (spec.observe.kind == "misr") {
     bist::BistConfig config;
     config.misr_width = spec.observe.misr_width;
     config.misr_taps = spec.observe.misr_taps;
     config.num_threads = misr_worker_count(spec.engine);
+    config.compiled = compiled;
     const bist::BistSession session(faults, result.patterns, config);
     result.bist = session.run();
     result.curve = result.bist->signature_curve(faults);
@@ -139,15 +147,19 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
     const fault::StrobeSchedule* strobes =
         schedule.has_value() ? &*schedule : nullptr;
     if (spec.engine.kind == "serial") {
+      // The reference engine deliberately stays on the uncompiled Circuit
+      // (it is the oracle the compiled engines are checked against), so
+      // the shared view is not used here.
       result.fault_sim = fault::simulate_serial(faults, result.patterns,
                                                 strobes);
     } else if (spec.engine.kind == "ppsfp") {
       result.fault_sim = fault::simulate_ppsfp(faults, result.patterns,
-                                               strobes);
+                                               strobes, compiled);
     } else {
       result.fault_sim = fault::simulate_ppsfp_mt(faults, result.patterns,
                                                   strobes,
-                                                  spec.engine.num_threads);
+                                                  spec.engine.num_threads,
+                                                  compiled);
     }
     result.curve = result.fault_sim->curve(faults, pattern_count);
   }
@@ -174,9 +186,12 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec) {
     // 4. Read out at the strobes (Table 1).
     for (const double target : spec.analysis.strobe_coverages) {
       if (!result.curve->reaches(target)) {
+        // A strobe the program cannot reach is a property of the
+        // (spec, circuit) pair, not of the moment: classified permanent.
         throw Error("flow: pattern set never reaches coverage " +
-                    std::to_string(target) + " (final coverage " +
-                    std::to_string(result.curve->final_coverage()) + ")");
+                        std::to_string(target) + " (final coverage " +
+                        std::to_string(result.curve->final_coverage()) + ")",
+                    ErrorCode::kInvalidSpec);
       }
       const std::size_t t = result.curve->patterns_for_coverage(target);
       wafer::StrobeRow row;

@@ -10,6 +10,7 @@
 // paths — the golden-equivalence tests in tests/test_flow.cpp pin this.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -88,7 +89,22 @@ sim::PatternSet make_patterns(
 /// (FaultList::model()) must match spec.fault_model. Throws InvalidSpec
 /// when validate(spec) reports issues, and lsiq::Error when a strobe
 /// coverage is never reached by the materialized program.
-FlowResult run(const fault::FaultList& faults, const FlowSpec& spec);
+///
+/// `compiled`, when non-null, must be a compiled view of
+/// faults.circuit(); the grading engines use it instead of recompiling —
+/// this is how the batch runner's per-(circuit, fault_model) artifact
+/// cache amortizes compilation across many specs. Results are
+/// bit-identical either way.
+///
+/// Failure injection and cancellation: run() passes the named failpoint
+/// sites "flow.run" (entry), "flow.patterns" (pattern materialization)
+/// and "flow.grade" (before grading) — see util/failpoint.hpp — and the
+/// grading engines poll the cooperative deadline watchdog
+/// (util/deadline.hpp) once per 64-pattern block, so a caller-installed
+/// DeadlineScope bounds a wedged run.
+FlowResult run(const fault::FaultList& faults, const FlowSpec& spec,
+               std::shared_ptr<const circuit::CompiledCircuit> compiled =
+                   nullptr);
 
 /// Convenience overload: enumerate the spec's fault-model universe of the
 /// circuit (fault_model::universe) first, then run.

@@ -35,7 +35,8 @@ std::vector<double> table1_strobes() {
 }
 
 InvalidSpec::InvalidSpec(std::vector<SpecIssue> issues)
-    : Error(join_issues(issues)), issues_(std::move(issues)) {}
+    : Error(join_issues(issues), ErrorCode::kInvalidSpec),
+      issues_(std::move(issues)) {}
 
 void validate_or_throw(const FlowSpec& spec) {
   std::vector<SpecIssue> issues = validate(spec);

@@ -3,11 +3,13 @@
 #include <cctype>
 #include <fstream>
 #include <istream>
+#include <map>
 #include <sstream>
 
 #include "circuit/bench_io.hpp"
 #include "circuit/generators.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace lsiq::flow {
 
@@ -153,9 +155,14 @@ void apply_key(SpecFile& file, const std::string& key,
 }  // namespace
 
 SpecFile read_spec(std::istream& in) {
+  LSIQ_FAILPOINT("spec.read");
   SpecFile file;
   std::string raw;
   std::size_t line_number = 0;
+  // First line each key was set on: a key given twice is almost always a
+  // botched copy-paste sweep edit, and silently letting the last value
+  // win turns that into a wrong experiment instead of a diagnostic.
+  std::map<std::string, std::size_t> first_seen;
   while (std::getline(in, raw)) {
     ++line_number;
     const std::size_t comment = raw.find('#');
@@ -172,7 +179,17 @@ SpecFile read_spec(std::istream& in) {
     if (value.empty()) {
       fail(line_number, "missing value for key '" + key + "'");
     }
+    const auto [it, inserted] = first_seen.emplace(key, line_number);
+    if (!inserted) {
+      fail(line_number, "duplicate key '" + key + "' (first set on line " +
+                            std::to_string(it->second) + ")");
+    }
     apply_key(file, key, value, line_number);
+  }
+  if (first_seen.empty()) {
+    // A spec with zero keys is a truncated or wrong file, not a request
+    // for the all-defaults experiment.
+    throw ParseError("spec: no 'key = value' lines (empty spec file)");
   }
   return file;
 }
@@ -185,7 +202,7 @@ SpecFile read_spec_string(const std::string& text) {
 SpecFile read_spec_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw ParseError("cannot open spec file: " + path);
+    throw IoError("cannot open spec file: " + path);
   }
   return read_spec(in);
 }
@@ -271,9 +288,10 @@ circuit::Circuit circuit_from_name(const std::string& name) {
     if (family == "barrel") return circuit::make_barrel_rotator(n);
   }
   throw Error("unknown circuit '" + name +
-              "' (expected c17, mult<N>, adder<N>, alu<N>, comparator<N>, "
-              "decoder<N>, parity<N>, majority<N>, mux<N>, barrel<N>, or a "
-              ".bench path)");
+                  "' (expected c17, mult<N>, adder<N>, alu<N>, "
+                  "comparator<N>, decoder<N>, parity<N>, majority<N>, "
+                  "mux<N>, barrel<N>, or a .bench path)",
+              ErrorCode::kInvalidSpec);
 }
 
 }  // namespace lsiq::flow

@@ -88,7 +88,7 @@ void write_patterns_file(const PatternSet& patterns,
                          const std::string& path) {
   std::ofstream out(path);
   if (!out) {
-    throw Error("cannot open pattern file for writing: " + path);
+    throw IoError("cannot open pattern file for writing: " + path);
   }
   write_patterns(patterns, out);
 }
@@ -96,7 +96,7 @@ void write_patterns_file(const PatternSet& patterns,
 PatternSet read_patterns_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw ParseError("cannot open pattern file: " + path);
+    throw IoError("cannot open pattern file: " + path);
   }
   return read_patterns(in);
 }

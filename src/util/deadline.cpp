@@ -1,0 +1,37 @@
+#include "util/deadline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lsiq::util {
+
+namespace detail {
+
+thread_local const DeadlineFrame* tl_deadline = nullptr;
+
+void poll_deadline_slow() {
+  const DeadlineFrame* frame = tl_deadline;
+  if (frame == nullptr) return;
+  if (std::chrono::steady_clock::now() >= frame->deadline) {
+    throw DeadlineExceeded("deadline exceeded");
+  }
+}
+
+}  // namespace detail
+
+DeadlineScope::DeadlineScope(std::chrono::milliseconds budget) {
+  frame_.deadline = std::chrono::steady_clock::now() + budget;
+  if (detail::tl_deadline != nullptr) {
+    // Nesting may only tighten: an inner scope cannot outlive its outer
+    // budget, or a wedged inner stage would mask the outer watchdog.
+    frame_.deadline = std::min(frame_.deadline,
+                               detail::tl_deadline->deadline);
+  }
+  frame_.outer = detail::tl_deadline;
+  detail::tl_deadline = &frame_;
+}
+
+DeadlineScope::~DeadlineScope() { detail::tl_deadline = frame_.outer; }
+
+}  // namespace lsiq::util

@@ -1,0 +1,57 @@
+// Cooperative per-thread deadline watchdog.
+//
+// C++ offers no safe way to kill a wedged computation from outside, so the
+// batch runner's per-spec deadline is COOPERATIVE: the thread that runs a
+// spec installs a DeadlineScope, and long-running loops poll poll_deadline()
+// at natural checkpoints — every failpoint site (util/failpoint.hpp) and
+// every 64-pattern block of the grading engines. When the deadline has
+// passed, the poll throws DeadlineExceeded (ErrorCode::kDeadline,
+// classified permanent), which unwinds the run cleanly through the same
+// error path as any other failure.
+//
+// The disabled fast path is one thread-local pointer load — cheap enough
+// for per-block polling; the clock is only read while a scope is active.
+// Scopes nest: an inner scope may only tighten the deadline (the effective
+// deadline is the minimum), and destruction restores the outer one.
+#pragma once
+
+#include <chrono>
+
+namespace lsiq::util {
+
+namespace detail {
+struct DeadlineFrame {
+  std::chrono::steady_clock::time_point deadline;
+  const DeadlineFrame* outer;
+};
+extern thread_local const DeadlineFrame* tl_deadline;
+/// Reads the clock and throws DeadlineExceeded when tl_deadline passed.
+void poll_deadline_slow();
+}  // namespace detail
+
+/// RAII: installs `now + budget` as this thread's deadline (clamped to the
+/// enclosing scope's deadline, if any) for the scope's lifetime.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(std::chrono::milliseconds budget);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  detail::DeadlineFrame frame_;
+};
+
+/// True while a DeadlineScope is active on this thread.
+[[nodiscard]] inline bool deadline_active() noexcept {
+  return detail::tl_deadline != nullptr;
+}
+
+/// Checkpoint: throws lsiq::DeadlineExceeded if this thread's deadline has
+/// passed; a no-op (one pointer load) when no scope is active.
+inline void poll_deadline() {
+  if (detail::tl_deadline != nullptr) detail::poll_deadline_slow();
+}
+
+}  // namespace lsiq::util

@@ -3,36 +3,159 @@
 // The library reports precondition violations and domain errors by throwing;
 // callers that feed it untrusted input (file parsers, CLI tools) catch
 // lsiq::Error at the boundary.
+//
+// Every lsiq::Error carries a stable ErrorCode so machine consumers — the
+// batch runner's JSON-lines result store, retry policies, CI triage — can
+// classify failures without parsing what() strings. Codes split into
+// TRANSIENT (worth an automatic bounded retry: the failure is tied to the
+// moment, not the input — I/O hiccups, resource exhaustion) and PERMANENT
+// (retrying the same input reproduces the failure — parse errors, invalid
+// specs, contract violations, deadline overruns). is_transient() is the one
+// place that classification lives.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace lsiq {
+
+/// Stable failure classification. Values are part of the JSONL result-store
+/// format (serialized by name via error_code_name); never renumber or rename
+/// existing entries, only append.
+enum class ErrorCode : int {
+  kOk = 0,           ///< no error (the code of a successful record)
+  kUnknown = 1,      ///< unclassified failure (foreign std::exception)
+  kContract = 2,     ///< ContractViolation: a precondition was violated
+  kParse = 3,        ///< ParseError: malformed input text
+  kNumeric = 4,      ///< NumericError: a numeric routine left its domain
+  kInvalidSpec = 5,  ///< flow spec failed validation / unknown selector
+  kIo = 6,           ///< IoError: file open/read/write failed
+  kTransient = 7,    ///< TransientError: momentary resource failure
+  kDeadline = 8,     ///< DeadlineExceeded: a watchdog deadline fired
+  kCancelled = 9,    ///< CancelledError: work was cancelled externally
+};
+
+/// Stable lower_snake name of a code (the JSONL wire form).
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kContract: return "contract";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kNumeric: return "numeric";
+    case ErrorCode::kInvalidSpec: return "invalid_spec";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kTransient: return "transient";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Inverse of error_code_name; nullopt for an unrecognized name.
+[[nodiscard]] inline std::optional<ErrorCode> error_code_from_name(
+    std::string_view name) noexcept {
+  for (const ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kUnknown, ErrorCode::kContract,
+        ErrorCode::kParse, ErrorCode::kNumeric, ErrorCode::kInvalidSpec,
+        ErrorCode::kIo, ErrorCode::kTransient, ErrorCode::kDeadline,
+        ErrorCode::kCancelled}) {
+    if (name == error_code_name(code)) return code;
+  }
+  return std::nullopt;
+}
+
+/// The retry split: transient failures are tied to the moment they happened
+/// (I/O hiccup, resource exhaustion) and are worth a bounded, backed-off
+/// retry; everything else reproduces on the same input. Deadline overruns
+/// are deliberately PERMANENT — a spec that blew its budget once will blow
+/// it again, and retrying a wedged run multiplies the damage.
+[[nodiscard]] constexpr bool is_transient(ErrorCode code) noexcept {
+  return code == ErrorCode::kIo || code == ErrorCode::kTransient;
+}
 
 /// Base class of all exceptions thrown by lsiq libraries.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(ErrorCode::kUnknown) {}
+  Error(const std::string& what, ErrorCode code)
+      : std::runtime_error(what), code_(code) {}
+
+  /// The stable classification of this failure.
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+  /// is_transient(code()) — sugar for retry loops.
+  [[nodiscard]] bool transient() const noexcept {
+    return is_transient(code_);
+  }
+
+ private:
+  ErrorCode code_;
 };
 
 /// A function argument violated a documented precondition.
 class ContractViolation : public Error {
  public:
-  explicit ContractViolation(const std::string& what) : Error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : Error(what, ErrorCode::kContract) {}
 };
 
-/// Malformed input data (netlist file, pattern file, ...).
+/// Malformed input data (netlist file, pattern file, spec file, ...).
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error(what) {}
+  explicit ParseError(const std::string& what)
+      : Error(what, ErrorCode::kParse) {}
 };
 
 /// A numeric routine failed to converge or left its valid domain.
 class NumericError : public Error {
  public:
-  explicit NumericError(const std::string& what) : Error(what) {}
+  explicit NumericError(const std::string& what)
+      : Error(what, ErrorCode::kNumeric) {}
 };
+
+/// A file could not be opened, read, or written. Classified transient:
+/// in batch context I/O failures (full disk, network blips, racing
+/// writers) are the canonical retry-worthy class, and a genuinely missing
+/// file fails each bounded retry identically and cheaply.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what)
+      : Error(what, ErrorCode::kIo) {}
+};
+
+/// A momentary resource failure (thread spawn, allocation burst, an armed
+/// transient failpoint). The retry policy's home class.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what)
+      : Error(what, ErrorCode::kTransient) {}
+};
+
+/// A watchdog deadline fired (util/deadline.hpp). Permanent by
+/// classification — see is_transient().
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : Error(what, ErrorCode::kDeadline) {}
+};
+
+/// Work was cancelled from outside (batch shutdown, user interrupt).
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error(what, ErrorCode::kCancelled) {}
+};
+
+/// Classification of an arbitrary in-flight exception: an lsiq::Error's
+/// own code, kUnknown for any foreign exception type.
+[[nodiscard]] inline ErrorCode classify(const std::exception& e) noexcept {
+  const auto* error = dynamic_cast<const Error*>(&e);
+  return error != nullptr ? error->code() : ErrorCode::kUnknown;
+}
 
 namespace detail {
 [[noreturn]] inline void contract_failure(const char* cond, const char* file,

@@ -1,0 +1,225 @@
+#include "util/failpoint.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace lsiq::util {
+
+namespace {
+
+[[noreturn]] void config_error(const std::string& config,
+                               const std::string& message) {
+  throw ParseError("failpoint config '" + config + "': " + message);
+}
+
+std::string trim(const std::string& text) {
+  std::size_t first = 0;
+  std::size_t last = text.size();
+  while (first < last &&
+         std::isspace(static_cast<unsigned char>(text[first])) != 0) {
+    ++first;
+  }
+  while (last > first &&
+         std::isspace(static_cast<unsigned char>(text[last - 1])) != 0) {
+    --last;
+  }
+  return text.substr(first, last - first);
+}
+
+/// Throw the lsiq error type whose code() matches `code` — armed errors
+/// must be catchable both by type and by code.
+[[noreturn]] void throw_code(ErrorCode code, const std::string& what) {
+  switch (code) {
+    case ErrorCode::kContract: throw ContractViolation(what);
+    case ErrorCode::kParse: throw ParseError(what);
+    case ErrorCode::kNumeric: throw NumericError(what);
+    case ErrorCode::kIo: throw IoError(what);
+    case ErrorCode::kTransient: throw TransientError(what);
+    case ErrorCode::kDeadline: throw DeadlineExceeded(what);
+    case ErrorCode::kCancelled: throw CancelledError(what);
+    case ErrorCode::kOk:
+    case ErrorCode::kUnknown:
+    case ErrorCode::kInvalidSpec:
+      break;
+  }
+  throw Error(what, code);
+}
+
+/// Parse "name(arg[,arg])" → (name, args); args may be empty.
+bool split_call(const std::string& action, std::string* name,
+                std::vector<std::string>* args) {
+  const std::size_t open = action.find('(');
+  if (open == std::string::npos) {
+    *name = action;
+    return true;
+  }
+  if (action.empty() || action.back() != ')') return false;
+  *name = trim(action.substr(0, open));
+  const std::string inner =
+      action.substr(open + 1, action.size() - open - 2);
+  std::size_t start = 0;
+  while (start <= inner.size()) {
+    const std::size_t comma = inner.find(',', start);
+    const std::size_t end =
+        comma == std::string::npos ? inner.size() : comma;
+    const std::string arg = trim(inner.substr(start, end - start));
+    if (!arg.empty()) args->push_back(arg);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+int parse_int(const std::string& text, const std::string& config,
+              const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size() || value < 0) {
+      config_error(config, what + " needs a non-negative integer, got '" +
+                               text + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    config_error(config,
+                 what + " needs a non-negative integer, got '" + text + "'");
+  }
+}
+
+}  // namespace
+
+Failpoints& Failpoints::instance() {
+  static Failpoints registry;
+  return registry;
+}
+
+void Failpoints::arm(const std::string& site, FailpointAction action) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  actions_[site] = action;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoints::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  actions_.erase(site);
+  if (actions_.empty()) {
+    any_armed_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  actions_.clear();
+  hits_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t Failpoints::arm_from_string(const std::string& config) {
+  std::size_t applied = 0;
+  std::size_t start = 0;
+  while (start <= config.size()) {
+    const std::size_t semi = config.find(';', start);
+    const std::size_t end = semi == std::string::npos ? config.size() : semi;
+    const std::string entry = trim(config.substr(start, end - start));
+    start = end + 1;
+    if (semi == std::string::npos && entry.empty()) break;
+    if (entry.empty()) continue;
+
+    const std::size_t equals = entry.find('=');
+    if (equals == std::string::npos) {
+      config_error(config, "expected 'site=action', got '" + entry + "'");
+    }
+    const std::string site = trim(entry.substr(0, equals));
+    const std::string action_text = trim(entry.substr(equals + 1));
+    if (site.empty()) config_error(config, "missing site before '='");
+
+    std::string name;
+    std::vector<std::string> args;
+    if (!split_call(action_text, &name, &args)) {
+      config_error(config, "malformed action '" + action_text + "'");
+    }
+    FailpointAction action;
+    if (name == "off") {
+      if (!args.empty()) config_error(config, "'off' takes no arguments");
+      disarm(site);
+      ++applied;
+      continue;
+    }
+    if (name == "error") {
+      if (args.empty() || args.size() > 2) {
+        config_error(config, "'error' needs (code[,times])");
+      }
+      const std::optional<ErrorCode> code = error_code_from_name(args[0]);
+      if (!code.has_value() || *code == ErrorCode::kOk) {
+        config_error(config, "unknown error code '" + args[0] + "'");
+      }
+      action.throws = true;
+      action.code = *code;
+      action.times =
+          args.size() == 2 ? parse_int(args[1], config, "'error' times") : -1;
+    } else if (name == "sleep") {
+      if (args.empty() || args.size() > 2) {
+        config_error(config, "'sleep' needs (millis[,times])");
+      }
+      action.sleep_ms = parse_int(args[0], config, "'sleep' millis");
+      action.times =
+          args.size() == 2 ? parse_int(args[1], config, "'sleep' times") : -1;
+    } else {
+      config_error(config, "unknown action '" + name +
+                               "' (expected error, sleep, or off)");
+    }
+    arm(site, action);
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t Failpoints::arm_from_env() {
+  const char* config = std::getenv("LSIQ_FAILPOINTS");
+  if (config == nullptr || *config == '\0') return 0;
+  return arm_from_string(config);
+}
+
+void Failpoints::hit(const char* site) {
+  // Every site doubles as a cooperative cancellation checkpoint.
+  poll_deadline();
+  if (!any_armed_.load(std::memory_order_relaxed)) return;
+
+  FailpointAction fired;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_[site];
+    const auto it = actions_.find(site);
+    if (it == actions_.end() || it->second.times == 0) return;
+    if (it->second.times > 0) --it->second.times;
+    fired = it->second;
+  }
+  if (fired.sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.sleep_ms));
+    // A sleep exists to burn wall clock; make the overrun observable at
+    // the site itself rather than at the next poll.
+    poll_deadline();
+  }
+  if (fired.throws) {
+    throw_code(fired.code, std::string("failpoint '") + site + "' injected " +
+                               error_code_name(fired.code));
+  }
+}
+
+std::uint64_t Failpoints::hit_count(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+bool Failpoints::armed(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = actions_.find(site);
+  return it != actions_.end() && it->second.times != 0;
+}
+
+}  // namespace lsiq::util

@@ -1,0 +1,498 @@
+// Tests for the hardened batch flow runner: crash isolation (N specs with
+// K induced failures -> exactly N-K successes), the retry/deadline/
+// checkpoint machinery, the JSONL record format, and the batch-wide
+// artifact cache.
+#include "flow/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace lsiq::flow {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A tiny spec that runs in milliseconds (c17: 22 collapsed classes).
+constexpr const char* kGoodSpec =
+    "circuit = c17\n"
+    "source = lfsr\n"
+    "patterns = 64\n"
+    "observe = full\n"
+    "engine = ppsfp\n";
+
+/// Per-test scratch directory + global-failpoint hygiene (the registry is
+/// process-wide; a leaked arming would fault unrelated tests).
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Failpoints::instance().clear();
+    dir_ = fs::path(::testing::TempDir()) / "lsiq_batch" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { util::Failpoints::instance().clear(); }
+
+  /// Write a spec file into the scratch dir and return its path.
+  std::string write_spec(const std::string& name,
+                         const std::string& text = kGoodSpec) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path);
+    out << text;
+    return path.string();
+  }
+
+  std::string checkpoint_path() const {
+    return (dir_ / "results.jsonl").string();
+  }
+
+  /// Deterministic-test options: no backoff sleeping, no default workers.
+  static BatchOptions fast_options() {
+    BatchOptions options;
+    options.num_workers = 2;
+    options.retry.backoff_initial_ms = 0;
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+// ---- the record format ----
+
+TEST_F(BatchTest, RecordRoundTripsThroughJsonl) {
+  BatchRecord record;
+  record.spec = "specs/weird \"name\"\t.spec";
+  record.hash = 0x0123456789abcdefULL;
+  record.status = "failed";
+  record.error_code = ErrorCode::kIo;
+  record.transient = true;
+  record.attempts = 3;
+  record.wall_ms = 12.5;
+  record.resumed = true;
+  record.patterns = 512;
+  record.classes = 1328;
+  record.coverage = 0.99948770491803274;
+  record.dppm = 9.2596518863132236;
+  record.error = "line1\nline2: \\ \"quoted\"";
+
+  const std::optional<BatchRecord> parsed =
+      BatchRecord::from_jsonl(record.to_jsonl());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->spec, record.spec);
+  EXPECT_EQ(parsed->hash, record.hash);
+  EXPECT_EQ(parsed->status, record.status);
+  EXPECT_EQ(parsed->error_code, record.error_code);
+  EXPECT_EQ(parsed->transient, record.transient);
+  EXPECT_EQ(parsed->attempts, record.attempts);
+  EXPECT_DOUBLE_EQ(parsed->wall_ms, record.wall_ms);
+  EXPECT_EQ(parsed->resumed, record.resumed);
+  EXPECT_EQ(parsed->patterns, record.patterns);
+  EXPECT_EQ(parsed->classes, record.classes);
+  EXPECT_EQ(parsed->coverage, record.coverage);  // exact: %.17g round-trips
+  EXPECT_EQ(parsed->dppm, record.dppm);
+  EXPECT_EQ(parsed->error, record.error);
+
+  // Reserializing the parsed record reproduces the line byte for byte —
+  // resume rewrites carried records through exactly this cycle.
+  EXPECT_EQ(parsed->to_jsonl(), record.to_jsonl());
+}
+
+TEST_F(BatchTest, CanonicalFormExcludesVolatileFields) {
+  BatchRecord a;
+  a.spec = "x.spec";
+  a.status = "ok";
+  a.attempts = 1;
+  BatchRecord b = a;
+  b.wall_ms = 999.0;   // differs run to run
+  b.resumed = true;    // differs interrupted vs not
+  EXPECT_NE(a.to_jsonl(), b.to_jsonl());
+  EXPECT_EQ(a.canonical_jsonl(), b.canonical_jsonl());
+}
+
+TEST_F(BatchTest, TornAndForeignLinesParseToNothing) {
+  BatchRecord record;
+  record.spec = "x.spec";
+  record.status = "ok";
+  const std::string line = record.to_jsonl();
+  // Every proper prefix of a valid line is torn (killed mid-write).
+  for (const std::size_t length : {line.size() - 1, line.size() / 2,
+                                   std::size_t{1}, std::size_t{0}}) {
+    SCOPED_TRACE(length);
+    EXPECT_FALSE(BatchRecord::from_jsonl(line.substr(0, length)).has_value());
+  }
+  EXPECT_FALSE(BatchRecord::from_jsonl("not json at all").has_value());
+  EXPECT_FALSE(BatchRecord::from_jsonl("{\"spec\":\"x\"}").has_value());
+  EXPECT_FALSE(
+      BatchRecord::from_jsonl("{\"spec\":\"x\",\"status\":\"bogus\"}")
+          .has_value());
+}
+
+// ---- manifests ----
+
+TEST_F(BatchTest, DirectoryManifestYieldsSortedSpecs) {
+  write_spec("b.spec");
+  write_spec("a.spec");
+  write_spec("c.spec");
+  write_spec("notes.txt", "not a spec\n");
+  const std::vector<std::string> specs = read_manifest(dir_.string());
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(fs::path(specs[0]).filename(), "a.spec");
+  EXPECT_EQ(fs::path(specs[1]).filename(), "b.spec");
+  EXPECT_EQ(fs::path(specs[2]).filename(), "c.spec");
+}
+
+TEST_F(BatchTest, ListManifestResolvesRelativeToItself) {
+  write_spec("one.spec");
+  write_spec("two.spec");
+  const fs::path list = dir_ / "campaign.list";
+  {
+    std::ofstream out(list);
+    out << "# a comment line\n"
+        << "one.spec\n"
+        << "  two.spec   # trailing comment\n"
+        << "\n";
+  }
+  const std::vector<std::string> specs = read_manifest(list.string());
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], (dir_ / "one.spec").string());
+  EXPECT_EQ(specs[1], (dir_ / "two.spec").string());
+}
+
+TEST_F(BatchTest, BadManifestsAreClassified) {
+  try {
+    read_manifest((dir_ / "missing.list").string());
+    FAIL() << "expected IoError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+  try {
+    read_manifest(dir_.string());  // directory with no .spec files
+    FAIL() << "expected Error(kInvalidSpec)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidSpec);
+  }
+}
+
+// ---- crash isolation: N specs, K induced failures ----
+
+TEST_F(BatchTest, InducedFailuresProduceExactlyNMinusKSuccesses) {
+  // N = 6 specs, K = 3 failures of three different classes. The batch
+  // must finish, produce 3 ok + 3 structured failure records, and
+  // classify each failure with the right code.
+  std::vector<std::string> specs;
+  specs.push_back(write_spec("ok1.spec"));
+  specs.push_back(write_spec("bad_parse.spec", "circuit = c17\nbogus = 1\n"));
+  specs.push_back(write_spec("ok2.spec"));
+  specs.push_back(
+      write_spec("bad_circuit.spec", "circuit = warp9\nsource = lfsr\n"));
+  specs.push_back((dir_ / "missing.spec").string());  // unreadable: io
+  specs.push_back(write_spec("ok3.spec"));
+
+  BatchOptions options = fast_options();
+  options.retry.max_attempts = 2;
+  const BatchResult result = run_batch(specs, options);
+
+  ASSERT_EQ(result.records.size(), 6u);
+  EXPECT_EQ(result.ok_count, 3u);
+  EXPECT_EQ(result.failed_count, 3u);
+  EXPECT_FALSE(result.all_ok());
+
+  // Records are in manifest order regardless of completion order.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(result.records[i].spec, specs[i]);
+  }
+
+  EXPECT_EQ(result.records[0].status, "ok");
+  EXPECT_EQ(result.records[0].error_code, ErrorCode::kOk);
+  EXPECT_EQ(result.records[0].attempts, 1);
+  EXPECT_GT(result.records[0].patterns, 0u);
+  EXPECT_GT(result.records[0].classes, 0u);
+  EXPECT_GT(result.records[0].coverage, 0.5);
+
+  EXPECT_EQ(result.records[1].status, "failed");
+  EXPECT_EQ(result.records[1].error_code, ErrorCode::kParse);
+  EXPECT_FALSE(result.records[1].transient);
+  EXPECT_EQ(result.records[1].attempts, 1);  // permanent: no retry
+  EXPECT_NE(result.records[1].error.find("bogus"), std::string::npos);
+
+  EXPECT_EQ(result.records[3].status, "failed");
+  EXPECT_EQ(result.records[3].error_code, ErrorCode::kInvalidSpec);
+  EXPECT_EQ(result.records[3].attempts, 1);
+
+  // The unreadable spec is an I/O failure: transient, so every attempt
+  // of the retry budget is consumed before it is recorded as failed.
+  EXPECT_EQ(result.records[4].status, "failed");
+  EXPECT_EQ(result.records[4].error_code, ErrorCode::kIo);
+  EXPECT_TRUE(result.records[4].transient);
+  EXPECT_EQ(result.records[4].attempts, 2);
+  EXPECT_EQ(result.records[4].hash, 0u);
+}
+
+TEST_F(BatchTest, FailpointFailuresAreIsolatedPerStage) {
+  // Arm each flow stage in turn; a single-spec batch must end failed
+  // with the injected classification, never throw.
+  const std::string spec = write_spec("one.spec");
+  for (const char* site :
+       {"spec.read", "flow.run", "flow.patterns", "flow.grade"}) {
+    SCOPED_TRACE(site);
+    util::Failpoints::instance().clear();
+    util::Failpoints::instance().arm_from_string(
+        std::string(site) + "=error(invalid_spec)");
+    const BatchResult result = run_batch({spec}, fast_options());
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].status, "failed");
+    EXPECT_EQ(result.records[0].error_code, ErrorCode::kInvalidSpec);
+    EXPECT_EQ(result.records[0].attempts, 1);
+    EXPECT_NE(result.records[0].error.find(site), std::string::npos);
+  }
+}
+
+// ---- retry ----
+
+TEST_F(BatchTest, TransientFailureThatClearsEndsOkWithTwoAttempts) {
+  // The canonical recovery: a transient failure on attempt 1 that clears
+  // before attempt 2 must end ok with attempts == 2.
+  const std::string spec = write_spec("one.spec");
+  util::Failpoints::instance().arm_from_string(
+      "flow.grade=error(transient,1)");
+  const BatchResult result = run_batch({spec}, fast_options());
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].status, "ok");
+  EXPECT_EQ(result.records[0].error_code, ErrorCode::kOk);
+  EXPECT_EQ(result.records[0].attempts, 2);
+  EXPECT_TRUE(result.records[0].error.empty());
+}
+
+TEST_F(BatchTest, RetryBudgetIsBounded) {
+  const std::string spec = write_spec("one.spec");
+  util::Failpoints::instance().arm_from_string("flow.grade=error(io)");
+  BatchOptions options = fast_options();
+  options.retry.max_attempts = 3;
+  const BatchResult result = run_batch({spec}, options);
+  EXPECT_EQ(result.records[0].status, "failed");
+  EXPECT_EQ(result.records[0].error_code, ErrorCode::kIo);
+  EXPECT_EQ(result.records[0].attempts, 3);
+  EXPECT_EQ(util::Failpoints::instance().hit_count("flow.grade"), 3u);
+}
+
+TEST_F(BatchTest, PermanentFailuresNeverRetry) {
+  const std::string spec = write_spec("one.spec");
+  util::Failpoints::instance().arm_from_string("flow.grade=error(numeric)");
+  BatchOptions options = fast_options();
+  options.retry.max_attempts = 5;
+  const BatchResult result = run_batch({spec}, options);
+  EXPECT_EQ(result.records[0].status, "failed");
+  EXPECT_EQ(result.records[0].error_code, ErrorCode::kNumeric);
+  EXPECT_EQ(result.records[0].attempts, 1);
+}
+
+TEST_F(BatchTest, BackoffScheduleIsExponentialAndCapped) {
+  RetryPolicy retry;
+  retry.backoff_initial_ms = 100;
+  retry.backoff_multiplier = 4.0;
+  retry.backoff_max_ms = 2000;
+  EXPECT_EQ(retry.backoff_ms(1), 100);
+  EXPECT_EQ(retry.backoff_ms(2), 400);
+  EXPECT_EQ(retry.backoff_ms(3), 1600);
+  EXPECT_EQ(retry.backoff_ms(4), 2000);  // capped
+  EXPECT_EQ(retry.backoff_ms(9), 2000);
+  retry.backoff_initial_ms = 0;
+  EXPECT_EQ(retry.backoff_ms(1), 0);
+}
+
+// ---- deadline ----
+
+TEST_F(BatchTest, WedgedSpecEndsAsADeadlineRecord) {
+  // A sleeping failpoint inside the grading stage simulates a wedged
+  // run; the per-spec watchdog must turn it into a structured
+  // `deadline` record — permanent, so exactly one attempt.
+  const std::string spec = write_spec("one.spec");
+  util::Failpoints::instance().arm_from_string("flow.grade=sleep(200)");
+  BatchOptions options = fast_options();
+  options.deadline_ms = 20;
+  const BatchResult result = run_batch({spec}, options);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].status, "failed");
+  EXPECT_EQ(result.records[0].error_code, ErrorCode::kDeadline);
+  EXPECT_FALSE(result.records[0].transient);
+  EXPECT_EQ(result.records[0].attempts, 1);
+}
+
+// ---- checkpoint / resume ----
+
+TEST_F(BatchTest, CheckpointStreamsOneRecordPerSpec) {
+  std::vector<std::string> specs = {write_spec("a.spec"),
+                                    write_spec("b.spec")};
+  BatchOptions options = fast_options();
+  options.checkpoint = checkpoint_path();
+  std::ostringstream live;
+  options.stream = &live;
+  const BatchResult result = run_batch(specs, options);
+  EXPECT_EQ(result.ok_count, 2u);
+
+  // Both sinks carry the same two parseable records.
+  for (const std::string text :
+       {live.str(), [&] {
+          std::ifstream in(checkpoint_path());
+          std::ostringstream content;
+          content << in.rdbuf();
+          return content.str();
+        }()}) {
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      EXPECT_TRUE(BatchRecord::from_jsonl(line).has_value()) << line;
+    }
+    EXPECT_EQ(lines, 2u);
+  }
+}
+
+TEST_F(BatchTest, KilledBatchResumesToBitIdenticalResults) {
+  // Reference: an uninterrupted run over 4 specs (one failing).
+  std::vector<std::string> specs = {
+      write_spec("a.spec"), write_spec("b.spec"),
+      write_spec("bad.spec", "circuit = c17\nbogus = 1\n"),
+      write_spec("d.spec")};
+  BatchOptions options = fast_options();
+  options.checkpoint = checkpoint_path();
+  const BatchResult reference = run_batch(specs, options);
+  EXPECT_EQ(reference.ok_count, 3u);
+  EXPECT_EQ(reference.resumed_count, 0u);
+
+  // Simulate a kill mid-batch: truncate the store to one complete record
+  // plus one torn half-line.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(checkpoint_path());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  {
+    std::ofstream out(checkpoint_path(), std::ios::trunc);
+    out << lines[0] << "\n" << lines[1].substr(0, lines[1].size() / 2);
+  }
+
+  // Resume: the surviving ok record is carried, everything else reruns,
+  // and the canonical result set is byte-identical to the reference.
+  const BatchResult resumed = run_batch(specs, options);
+  EXPECT_EQ(resumed.ok_count, 3u);
+  EXPECT_EQ(resumed.failed_count, 1u);
+  EXPECT_EQ(resumed.resumed_count, 1u);
+  EXPECT_EQ(resumed.canonical(), reference.canonical());
+
+  // The rewritten checkpoint also resumes cleanly: run again, everything
+  // ok is carried, failures re-attempted, same canonical bytes.
+  const BatchResult again = run_batch(specs, options);
+  EXPECT_EQ(again.resumed_count, 3u);
+  EXPECT_EQ(again.canonical(), reference.canonical());
+}
+
+TEST_F(BatchTest, CrashBeforeRecordCommitThenResume) {
+  // Arm the "batch.record" site: the failure escapes the per-spec
+  // boundary (it is the simulated kill — the record is lost before the
+  // store commits it), so run_batch itself must throw.
+  std::vector<std::string> specs = {write_spec("a.spec"),
+                                    write_spec("b.spec")};
+  BatchOptions options = fast_options();
+  options.num_workers = 1;  // deterministic: die on the first record
+  options.checkpoint = checkpoint_path();
+  util::Failpoints::instance().arm_from_string("batch.record=error(io,1)");
+  EXPECT_THROW(run_batch(specs, options), IoError);
+
+  // The dead batch left a valid (possibly empty) JSONL prefix; resuming
+  // with the failpoint cleared converges to the full result set.
+  util::Failpoints::instance().clear();
+  const BatchResult resumed = run_batch(specs, options);
+  EXPECT_EQ(resumed.ok_count, 2u);
+
+  BatchOptions fresh = fast_options();
+  const BatchResult reference = run_batch(specs, fresh);
+  EXPECT_EQ(resumed.canonical(), reference.canonical());
+}
+
+TEST_F(BatchTest, EditedSpecInvalidatesItsCheckpointRecord) {
+  const std::string spec = write_spec("a.spec");
+  BatchOptions options = fast_options();
+  options.checkpoint = checkpoint_path();
+  const BatchResult first = run_batch({spec}, options);
+  EXPECT_EQ(first.ok_count, 1u);
+
+  // Same path, different content: the carried record's hash no longer
+  // matches, so the spec reruns with the new content.
+  write_spec("a.spec",
+             "circuit = c17\nsource = lfsr\npatterns = 32\n"
+             "observe = full\nengine = ppsfp\n");
+  const BatchResult second = run_batch({spec}, options);
+  EXPECT_EQ(second.resumed_count, 0u);
+  EXPECT_EQ(second.ok_count, 1u);
+  EXPECT_EQ(second.records[0].patterns, 32u);
+}
+
+TEST_F(BatchTest, NoResumeRerunsEverything) {
+  const std::string spec = write_spec("a.spec");
+  BatchOptions options = fast_options();
+  options.checkpoint = checkpoint_path();
+  run_batch({spec}, options);
+  options.resume = false;
+  const BatchResult result = run_batch({spec}, options);
+  EXPECT_EQ(result.resumed_count, 0u);
+  EXPECT_EQ(result.ok_count, 1u);
+}
+
+TEST_F(BatchTest, UnwritableCheckpointIsABatchLevelIoError) {
+  const std::string spec = write_spec("a.spec");
+  BatchOptions options = fast_options();
+  options.checkpoint = (dir_ / "no_such_dir" / "results.jsonl").string();
+  EXPECT_THROW(run_batch({spec}, options), IoError);
+}
+
+// ---- artifact cache ----
+
+TEST_F(BatchTest, ArtifactsAreSharedAcrossSpecs) {
+  // Three specs over c17 stuck-at, one over c17 transition: the cache
+  // must build twice and reuse twice — and sharing must not change the
+  // graded numbers (same records as a cold cache).
+  std::vector<std::string> specs = {
+      write_spec("a.spec"), write_spec("b.spec"),
+      write_spec("t.spec",
+                 "circuit = c17\nfault_model = transition\nsource = lfsr\n"
+                 "patterns = 64\nobserve = full\nengine = ppsfp\n"),
+      write_spec("c.spec")};
+  BatchOptions options = fast_options();
+  options.num_workers = 1;  // deterministic hit/miss split
+  const BatchResult warm = run_batch(specs, options);
+  EXPECT_EQ(warm.ok_count, 4u);
+  EXPECT_EQ(warm.cache_misses, 2u);
+  EXPECT_EQ(warm.cache_hits, 2u);
+
+  // A fresh cache (new run_batch call) grades identically.
+  const BatchResult cold = run_batch(specs, options);
+  EXPECT_EQ(cold.canonical(), warm.canonical());
+}
+
+TEST_F(BatchTest, ConcurrencyDoesNotChangeResults) {
+  std::vector<std::string> specs;
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back(write_spec("s" + std::to_string(i) + ".spec"));
+  }
+  BatchOptions serial = fast_options();
+  serial.num_workers = 1;
+  BatchOptions wide = fast_options();
+  wide.num_workers = 4;
+  EXPECT_EQ(run_batch(specs, serial).canonical(),
+            run_batch(specs, wide).canonical());
+}
+
+}  // namespace
+}  // namespace lsiq::flow

@@ -222,7 +222,13 @@ TEST(BenchIo, MalformedInputsRaiseParseErrorsWithLine) {
 }
 
 TEST(BenchIo, MissingFileThrows) {
-  EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), ParseError);
+  // File-access failures are IoError (ErrorCode::kIo), not parse errors.
+  try {
+    read_bench_file("/nonexistent/path.bench");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
 }
 
 }  // namespace

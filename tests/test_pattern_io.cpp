@@ -73,7 +73,15 @@ TEST(PatternIo, FileRoundTrip) {
 }
 
 TEST(PatternIo, MissingFileThrows) {
-  EXPECT_THROW(read_patterns_file("/nonexistent/dir/p.txt"), ParseError);
+  // File-access failures are IoError (ErrorCode::kIo, classified
+  // transient for the batch retry policy), not parse errors.
+  try {
+    read_patterns_file("/nonexistent/dir/p.txt");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_TRUE(e.transient());
+  }
 }
 
 }  // namespace

@@ -247,6 +247,52 @@ TEST(SpecIo, CircuitFromNameBuildsGeneratorCircuits) {
   EXPECT_GT(circuit_from_name("parity8").gate_count(), 0u);
 }
 
+TEST(SpecIo, DuplicateKeysAreRejectedWithBothLines) {
+  // Silently letting the last value win turns a botched sweep edit into
+  // a wrong experiment; the diagnostic names both occurrences.
+  try {
+    read_spec_string("chips = 100\nyield = 0.1\nchips = 200\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "spec line 3: duplicate key 'chips' (first set on line 1)");
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+}
+
+TEST(SpecIo, EmptySpecFileIsAParseErrorNotDefaults) {
+  // Zero keys is a truncated or wrong file, not a request for the
+  // all-defaults experiment.
+  EXPECT_THROW(read_spec_string(""), ParseError);
+  EXPECT_THROW(read_spec_string("\n\n# only comments\n"), ParseError);
+}
+
+TEST(SpecIo, ErrorsCarryTheirTaxonomyCode) {
+  // Every failure class the flow layer surfaces is machine-triageable by
+  // code, not by parsing what() text.
+  try {
+    read_spec_string("bogus = 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+    EXPECT_FALSE(e.transient());
+  }
+  try {
+    read_spec_file("/no/such/dir/missing.spec");
+    FAIL() << "expected IoError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_TRUE(e.transient());
+  }
+  try {
+    circuit_from_name("warp9000x");
+    FAIL() << "expected Error(kInvalidSpec)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidSpec);
+    EXPECT_FALSE(e.transient());
+  }
+}
+
 TEST(SpecIo, CircuitFromNameRejectsUnknownSelectors) {
   EXPECT_THROW(circuit_from_name("warp9000x"), lsiq::Error);
   EXPECT_THROW(circuit_from_name("mult"), lsiq::Error);

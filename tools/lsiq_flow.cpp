@@ -1,13 +1,20 @@
-// lsiq_flow — run one declarative flow spec and print the Table-1 / DPPM
-// report.
+// lsiq_flow — run one declarative flow spec (or a whole batch of them)
+// and print the Table-1 / DPPM report.
 //
 //     lsiq_flow <spec-file>              run the experiment
 //     lsiq_flow --validate <spec-file>   check the spec, run nothing
+//     lsiq_flow --batch <manifest>       run many specs (see --help)
 //
 // A spec file selects a circuit and the four flow axes (see
-// flow/spec_io.hpp for the format, tools/specs/ for examples). Validation
-// problems are printed one per line with the offending field and exit
-// code 2; runtime failures (unreachable strobes, unreadable files) exit 1.
+// flow/spec_io.hpp for the format, tools/specs/ for examples). A manifest
+// is a directory of .spec files or a list file naming them one per line.
+//
+// Exit-code contract (stable; scripts may rely on it):
+//   0  success — the flow ran (every batch spec "ok" in --batch mode)
+//   1  runtime failure — unreadable files, unreachable strobes, failed
+//      batch specs, or a write failure on the report/JSONL output
+//   2  spec/usage error — bad command line, malformed or invalid spec,
+//      empty manifest
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -16,15 +23,106 @@
 
 #include "fault/fault_list.hpp"
 #include "fault_model/universe.hpp"
+#include "flow/batch.hpp"
 #include "flow/flow.hpp"
 #include "flow/spec_io.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
+constexpr const char* kHelp = R"help(usage: lsiq_flow [options] <spec-file>
+       lsiq_flow --batch [options] <manifest>
+
+Run one declarative flow spec end to end — materialize the pattern
+source, grade it, manufacture and test the virtual lot, characterize
+DPPM — and print the Table-1 report. See tools/specs/ for examples.
+
+Options:
+  -h, --help            print this help and exit 0
+  --validate            check the spec (including the circuit name), run
+                        nothing
+
+Batch mode (--batch <manifest>):
+  A manifest is a directory (every *.spec in it, sorted) or a list file
+  (one spec path per line, '#' comments, relative paths resolved against
+  the list file's directory). Specs run concurrently; one JSONL record
+  per spec is streamed to stdout in completion order.
+
+  --jobs N              concurrent spec runners (0 = hardware threads)
+  --checkpoint FILE     JSONL result store doubling as a checkpoint:
+                        re-running the same manifest skips unchanged "ok"
+                        specs and re-attempts failures
+  --no-resume           ignore an existing checkpoint; rerun everything
+  --deadline-ms N       per-spec cooperative deadline (0 = none); overruns
+                        end the spec with error_code "deadline"
+  --max-attempts N      tries per spec for TRANSIENT failures (default 3;
+                        permanent failures never retry)
+  --backoff-ms N        initial retry backoff (default 100; grows 4x per
+                        retry, capped at 2000ms; 0 = no sleeping)
+
+  Failure injection: set LSIQ_FAILPOINTS (e.g.
+  "flow.grade=error(io,1)") to fault named sites deterministically —
+  see src/util/failpoint.hpp for the grammar and site list.
+
+Exit codes: 0 = success; 1 = runtime failure (including failed batch
+specs and report/JSONL write failures); 2 = spec or usage error.
+)help";
+
 int usage() {
-  std::cerr << "usage: lsiq_flow [--validate] <spec-file>\n";
-  return EXIT_FAILURE;
+  std::cerr << "usage: lsiq_flow [--validate] <spec-file>\n"
+               "       lsiq_flow --batch [options] <manifest>\n"
+               "       lsiq_flow --help\n";
+  return 2;
+}
+
+/// Flush stdout and report a write failure (full disk, closed pipe) as a
+/// runtime error instead of silently dropping output.
+int finish(int code) {
+  std::cout.flush();
+  if (!std::cout) {
+    std::cerr << "lsiq_flow: error: writing output failed\n";
+    return EXIT_FAILURE;
+  }
+  return code;
+}
+
+/// Parse a non-negative integer CLI option value; exits via usage() text
+/// on garbage.
+std::optional<long> parse_count(const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const long parsed = std::stol(value, &consumed);
+    if (consumed != value.size() || parsed < 0) return std::nullopt;
+    return parsed;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+struct BatchCli {
+  std::string manifest;
+  lsiq::flow::BatchOptions options;
+};
+
+int run_batch_mode(const BatchCli& cli) {
+  using namespace lsiq;
+  try {
+    flow::BatchOptions options = cli.options;
+    options.stream = &std::cout;
+    const flow::BatchResult result = flow::run_manifest(cli.manifest,
+                                                        options);
+    std::cerr << result.summary() << "\n";
+    return finish(result.all_ok() ? EXIT_SUCCESS : EXIT_FAILURE);
+  } catch (const lsiq::Error& e) {
+    // Batch-level faults only — individual spec failures are records.
+    std::cerr << "lsiq_flow: batch error [" << error_code_name(e.code())
+              << "]: " << e.what() << "\n";
+    return e.code() == ErrorCode::kInvalidSpec ? 2 : EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "lsiq_flow: internal error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
 }
 
 }  // namespace
@@ -32,12 +130,65 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace lsiq;
 
+  // Arm failure-injection sites from the environment first thing, so CI
+  // can fault any stage of either mode without a rebuild.
+  try {
+    util::Failpoints::instance().arm_from_env();
+  } catch (const lsiq::Error& e) {
+    std::cerr << "lsiq_flow: bad LSIQ_FAILPOINTS: " << e.what() << "\n";
+    return 2;
+  }
+
   bool validate_only = false;
+  bool batch_mode = false;
+  BatchCli batch;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--validate") {
+    const auto option_value = [&](const char* name) -> std::optional<long> {
+      if (++i >= argc) {
+        std::cerr << "lsiq_flow: " << name << " needs a value\n";
+        return std::nullopt;
+      }
+      const std::optional<long> parsed = parse_count(argv[i]);
+      if (!parsed.has_value()) {
+        std::cerr << "lsiq_flow: " << name
+                  << " needs a non-negative integer, got '" << argv[i]
+                  << "'\n";
+      }
+      return parsed;
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kHelp;
+      return finish(EXIT_SUCCESS);
+    } else if (arg == "--validate") {
       validate_only = true;
+    } else if (arg == "--batch") {
+      batch_mode = true;
+    } else if (arg == "--jobs") {
+      const auto value = option_value("--jobs");
+      if (!value.has_value()) return usage();
+      batch.options.num_workers = static_cast<std::size_t>(*value);
+    } else if (arg == "--checkpoint") {
+      if (++i >= argc) {
+        std::cerr << "lsiq_flow: --checkpoint needs a path\n";
+        return usage();
+      }
+      batch.options.checkpoint = argv[i];
+    } else if (arg == "--no-resume") {
+      batch.options.resume = false;
+    } else if (arg == "--deadline-ms") {
+      const auto value = option_value("--deadline-ms");
+      if (!value.has_value()) return usage();
+      batch.options.deadline_ms = static_cast<int>(*value);
+    } else if (arg == "--max-attempts") {
+      const auto value = option_value("--max-attempts");
+      if (!value.has_value() || *value < 1) return usage();
+      batch.options.retry.max_attempts = static_cast<int>(*value);
+    } else if (arg == "--backoff-ms") {
+      const auto value = option_value("--backoff-ms");
+      if (!value.has_value()) return usage();
+      batch.options.retry.backoff_initial_ms = static_cast<int>(*value);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -47,6 +198,12 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (batch_mode && validate_only) return usage();
+
+  if (batch_mode) {
+    batch.manifest = path;
+    return run_batch_mode(batch);
+  }
 
   try {
     const flow::SpecFile file = flow::read_spec_file(path);
@@ -78,7 +235,7 @@ int main(int argc, char** argv) {
                 << file.spec.source.kind << ", observe "
                 << file.spec.observe.kind << ", engine "
                 << file.spec.engine.kind << "\n";
-      return EXIT_SUCCESS;
+      return finish(EXIT_SUCCESS);
     }
     // validate() accepted the spec, so the model name resolves.
     const fault_model::FaultModel model =
@@ -90,9 +247,15 @@ int main(int argc, char** argv) {
               << faults.class_count() << " collapsed classes)\n";
     const flow::FlowResult result = flow::run(faults, file.spec);
     std::cout << result.report();
-    return EXIT_SUCCESS;
+    return finish(EXIT_SUCCESS);
+  } catch (const lsiq::ParseError& e) {
+    // A spec file the parser rejects is a spec error, same as one
+    // validate() rejects.
+    std::cerr << "spec error: " << e.what() << "\n";
+    return 2;
   } catch (const lsiq::Error& e) {
-    std::cerr << "lsiq_flow: error: " << e.what() << "\n";
+    std::cerr << "lsiq_flow: error [" << error_code_name(e.code())
+              << "]: " << e.what() << "\n";
     return EXIT_FAILURE;
   } catch (const std::exception& e) {
     // Backstop so no library exception ever reaches std::terminate.
