@@ -15,6 +15,8 @@
 //       --benchmark_out=BENCH_fault_sim.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
+#include "analyze/analyze.hpp"
+#include "analyze/testability.hpp"
 #include "circuit/generators.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -190,6 +192,38 @@ void BM_Podem_PerFault(benchmark::State& state) {
   state.SetLabel("alu4");
 }
 BENCHMARK(BM_Podem_PerFault);
+
+// The static analyzer: the whole structural pass (topology, constant
+// propagation, observability, untestable sites, FFR stats) has to stay
+// cheap enough to run as a pre-flight gate before EVERY flow.
+void BM_Analyze_Structural(benchmark::State& state) {
+  const circuit::Circuit c = circuit_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const analyze::Report report = analyze::analyze(c);
+    benchmark::DoNotOptimize(report.diagnostics.size());
+    benchmark::DoNotOptimize(report.ffr.regions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.gate_count()));
+  state.SetLabel(circuit_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Analyze_Structural)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// COP + SCOAP over a collapsed universe: the testability half of the
+// gate, and the cost of one predicted coverage curve.
+void BM_Analyze_Testability(benchmark::State& state) {
+  const circuit::Circuit c = circuit_for(static_cast<int>(state.range(0)));
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  for (auto _ : state) {
+    const analyze::TestabilityReport report =
+        analyze::analyze_testability(faults);
+    benchmark::DoNotOptimize(report.predicted_coverage(1024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.class_count()));
+  state.SetLabel(circuit_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Analyze_Testability)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 

@@ -1,0 +1,107 @@
+// Extension bench: static testability prediction vs measured fault
+// simulation on the mult16 stand-in product.
+//
+// The paper prices product quality from fault coverage; this harness asks
+// how much of that coverage is knowable BEFORE simulating a single
+// pattern. Three readouts:
+//
+//   * predicted vs measured coverage: the COP-style detection
+//     probabilities of analyze_testability() folded into the expected
+//     random-pattern coverage curve, next to the exact PPSFP-graded
+//     coverage of the same LFSR program — the 2-point acceptance band the
+//     test suite pins at 256 and 1024 patterns, shown over the whole
+//     sweep;
+//   * resistant-fault ranking: the hardest collapsed classes by detection
+//     probability with their SCOAP detection costs — the static preview
+//     of the coverage curve's long tail, i.e. which faults a random
+//     program will still be missing at realistic lengths;
+//   * structural density: the fanout-free-region partition of the
+//     analyzer, the paper's checkpoint-argument view of where fault
+//     classes concentrate.
+#include <cstddef>
+#include <iostream>
+
+#include "analyze/analyze.hpp"
+#include "analyze/testability.hpp"
+#include "bench_util.hpp"
+#include "circuit/generators.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsiq;
+
+  bench::print_banner(
+      "Static testability vs measured coverage (extension)",
+      "array multiplier 16x16, COP/SCOAP prediction vs PPSFP grading of "
+      "one 1024-pattern LFSR program");
+
+  const circuit::Circuit chip = circuit::make_array_multiplier(16);
+  const fault::FaultList faults = fault::FaultList::full_universe(chip);
+  const analyze::TestabilityReport report = analyze::analyze_testability(faults);
+
+  std::cout << "universe: N = " << faults.fault_count() << " faults in "
+            << faults.class_count() << " collapsed classes\n";
+
+  // Grade the reference program once; prefixes come off the curve.
+  const sim::PatternSet patterns =
+      tpg::lfsr_patterns(chip.pattern_inputs().size(), 1024, 1981);
+  const fault::FaultSimResult sim = simulate_ppsfp(faults, patterns);
+  const fault::CoverageCurve curve = sim.curve(faults, patterns.size());
+
+  bench::print_section(
+      "predicted vs measured coverage after t random patterns");
+  util::TextTable vs({"patterns", "predicted f", "measured f", "diff"});
+  for (const std::size_t t : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const double predicted = report.predicted_coverage(t);
+    const double measured = curve.coverage_after(t);
+    vs.add_row({std::to_string(t), util::format_percent(predicted, 2),
+                util::format_percent(measured, 2),
+                util::format_percent(predicted - measured, 2)});
+  }
+  std::cout << vs.to_string()
+            << "Reading: the independence-assumption prediction lands "
+               "within the 2-point band the\ntest suite enforces at 256 "
+               "and 1024 patterns; the early-prefix optimism is the\n"
+               "classic COP reconvergence error, washed out once every "
+               "easy class is covered.\n";
+
+  bench::print_section(
+      "hardest collapsed classes (detection probability, SCOAP cost)");
+  const std::vector<analyze::ResistantFault> resistant =
+      analyze::resistant_faults(faults, report, /*threshold=*/1e-2,
+                                /*max_entries=*/10);
+  util::TextTable tail({"representative", "class size", "P(detect)",
+                        "SCOAP cost", "E[patterns]"});
+  for (const analyze::ResistantFault& entry : resistant) {
+    tail.add_row({fault_name(chip, entry.fault),
+                  std::to_string(faults.class_size(entry.class_index)),
+                  util::format_probability(entry.detection_probability),
+                  std::to_string(entry.scoap_cost),
+                  util::format_double(
+                      entry.detection_probability > 0.0
+                          ? 1.0 / entry.detection_probability
+                          : 0.0,
+                      0)});
+  }
+  std::cout << tail.to_string()
+            << "Reading: these classes are the coverage curve's tail — "
+               "E[patterns] says how long a\nuniform random program must "
+               "run before each is more likely covered than not.\n";
+
+  bench::print_section("structural density (fanout-free regions)");
+  const analyze::Report structural = analyze::analyze(chip);
+  std::cout << "FFR partition: " << structural.ffr.regions
+            << " regions, largest " << structural.ffr.largest
+            << " gates, average "
+            << util::format_double(structural.ffr.average, 2)
+            << " gates/region\n"
+            << "lint: " << structural.diagnostics.size()
+            << " diagnostic(s), " << structural.untestable_sites.size()
+            << " statically untestable fault site(s) — the generator "
+               "netlist is clean,\nso every class above is resistant, "
+               "not redundant.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Static netlist analysis: structural lint, constant propagation, and
+// statically-proven-untestable fault sites — no simulation, no ATPG.
+//
+// The 1981 paper prices product quality by which faults a test program
+// can and cannot detect; until now the library only learned "cannot"
+// AFTER simulating (or after PODEM exhausted a decision tree). analyze()
+// is the cheap structural front-end: one forward pass (ternary constant
+// propagation from tied Const0/Const1 inputs), one backward pass
+// (constant-blocked observability), plus the structural checks finalize()
+// either enforces by exception (cycles, unconnected flip-flops) or cannot
+// see at all (dead cones, tied-off logic, undetectable fault sites).
+//
+// Soundness contract: every fault in Report::untestable_sites is PROVABLY
+// redundant — either its line is held constant at the stuck value
+// (activation impossible) or every path from its site to an observed
+// point passes a side pin held at a controlling constant (observation
+// impossible). PODEM must agree: tests/test_analyze_crosscheck.cpp pins
+// untestable_sites ⊆ PODEM kUntestable on collapsed universes. The
+// converse is deliberately not claimed — reconvergent redundancy needs a
+// decision procedure, not a structural pass.
+//
+// Unlike every other consumer in the library, the analyzer accepts
+// UNFINALIZED circuits: finalize() throws on the very defects (cycles,
+// unconnected DFFs) a linter exists to report, so analyze() derives its
+// own fanout lists and topological order from the fanin lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/rule.hpp"
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace lsiq::analyze {
+
+/// Ternary constant-propagation lattice value of a line.
+enum class LineValue : std::int8_t {
+  kUnknown = -1,  ///< depends on inputs
+  kZero = 0,      ///< provably 0 under every input pattern
+  kOne = 1,       ///< provably 1 under every input pattern
+};
+
+/// Fanout-free-region statistics: the FFR partition of the combinational
+/// logic (every gate belongs to the cone of the nearest downstream stem or
+/// observed point). The paper's checkpoint argument — faults on FFR inputs
+/// dominate — makes region count/size the natural density measure for a
+/// test program.
+struct FfrStats {
+  std::size_t regions = 0;
+  std::size_t largest = 0;
+  double average = 0.0;
+};
+
+/// Everything one structural analysis produces. The vectors are indexed
+/// by GateId; `diagnostics` carries only the findings of classes enabled
+/// in Options (capped per rule), while the analysis vectors are always
+/// complete when the circuit is acyclic.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  /// True when no structure-class rule fired. When false the circuit has
+  /// no usable topological order and the analysis vectors below are
+  /// empty.
+  bool structure_ok = true;
+
+  /// Constant-propagation verdict per line.
+  std::vector<LineValue> constant;
+
+  /// Per line: can a fault effect on it possibly reach an observed point
+  /// (false = provably not, through constants/dead cones)?
+  std::vector<char> observable;
+
+  /// Statically proven untestable stuck-at fault sites, in the
+  /// enumeration order of fault::FaultList (stems first, then pins, per
+  /// gate). Sound: each is PODEM-redundant. Not complete: reconvergent
+  /// redundancy is out of structural reach.
+  std::vector<fault::Fault> untestable_sites;
+
+  FfrStats ffr;
+
+  [[nodiscard]] bool has_error_diagnostics() const {
+    return has_errors(diagnostics);
+  }
+};
+
+/// Run the structural analysis (everything except the testability class,
+/// which needs a fault universe — see analyze/testability.hpp). Accepts
+/// finalized and unfinalized circuits alike; never throws on netlist
+/// defects — they become diagnostics.
+Report analyze(const circuit::Circuit& circuit, const Options& options = {});
+
+}  // namespace lsiq::analyze

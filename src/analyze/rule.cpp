@@ -1,0 +1,113 @@
+#include "analyze/rule.hpp"
+
+#include <sstream>
+
+namespace lsiq::analyze {
+
+namespace {
+
+/// JSON string escaping for the diagnostic wire format — same escapes the
+/// batch result store uses, so the two JSONL streams are uniformly
+/// machine-readable.
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string join_diagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::size_t errors = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Policy::kError) ++errors;
+  }
+  std::ostringstream out;
+  out << "lint failed (" << errors << " error"
+      << (errors == 1 ? "" : "s") << ", " << (diagnostics.size() - errors)
+      << " warning" << (diagnostics.size() - errors == 1 ? "" : "s") << ")";
+  for (const Diagnostic& d : diagnostics) {
+    out << "\n  " << d.text();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::optional<Policy> policy_from_name(std::string_view name) noexcept {
+  for (const Policy policy : {Policy::kOff, Policy::kWarn, Policy::kError}) {
+    if (name == policy_name(policy)) return policy;
+  }
+  return std::nullopt;
+}
+
+Policy Options::policy(RuleClass cls) const noexcept {
+  switch (cls) {
+    case RuleClass::kStructure: return structure;
+    case RuleClass::kDeadLogic: return dead_logic;
+    case RuleClass::kUntestable: return untestable;
+    case RuleClass::kTestability: return testability;
+  }
+  return Policy::kOff;
+}
+
+bool Options::any_enabled() const noexcept {
+  return structure != Policy::kOff || dead_logic != Policy::kOff ||
+         untestable != Policy::kOff || testability != Policy::kOff;
+}
+
+std::string Diagnostic::to_jsonl() const {
+  std::string out = "{\"rule\":";
+  append_json_string(out, rule_name(rule));
+  out += ",\"class\":";
+  append_json_string(out, rule_class_name(rule_class(rule)));
+  out += ",\"severity\":";
+  append_json_string(out, severity == Policy::kError ? "error" : "warning");
+  out += ",\"object\":";
+  append_json_string(out, object);
+  out += ",\"message\":";
+  append_json_string(out, message);
+  out += "}";
+  return out;
+}
+
+std::string Diagnostic::text() const {
+  std::string out = severity == Policy::kError ? "error[" : "warning[";
+  out += rule_name(rule);
+  out += "]";
+  if (!object.empty()) {
+    out += " ";
+    out += object;
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Policy::kError) return true;
+  }
+  return false;
+}
+
+LintError::LintError(std::vector<Diagnostic> diagnostics)
+    : Error(join_diagnostics(diagnostics), ErrorCode::kLint),
+      diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace lsiq::analyze

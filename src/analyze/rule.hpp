@@ -1,0 +1,185 @@
+// The static-analysis rule taxonomy: stable rule IDs, rule classes,
+// per-class policies and structured diagnostics.
+//
+// Mirrors the util::ErrorCode design: every rule has a stable lower_snake
+// name that is part of the JSONL diagnostic wire format — never renumber
+// or rename existing entries, only append. A Diagnostic is the unit the
+// whole subsystem deals in: the analyzer emits them, the flow pre-run gate
+// filters them by per-class Policy, `lsiq_flow --check` streams them as
+// JSON lines, and LintError carries them through the batch runner's error
+// taxonomy (ErrorCode::kLint).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "util/error.hpp"
+
+namespace lsiq::analyze {
+
+/// Stable rule identifiers. Append-only (the names below are the JSONL
+/// wire form and appear in FlowSpec analyze policies' documentation).
+enum class Rule : int {
+  // -- class "structure": the netlist is malformed --
+  kCycle = 0,            ///< combinational feedback loop
+  kFloatingGate = 1,     ///< non-source gate with no fanin (undriven net)
+  kUnconnectedDff = 2,   ///< flip-flop whose D input was never connected
+  kNoObservedOutput = 3, ///< no primary output and no flip-flop D input
+  kNoPatternInput = 4,   ///< no primary input and no flip-flop output
+
+  // -- class "dead_logic": logic that cannot affect any observed point --
+  kDanglingGate = 5,     ///< gate with no fanout that is not observed
+  kUnusedInput = 6,      ///< primary input that drives nothing
+  kUnobservableGate = 7, ///< every path to an observed point is blocked
+
+  // -- class "untestable": fault sites provably redundant --
+  kConstantLine = 8,     ///< line held constant by tied Const0/Const1 inputs
+  kUntestableFault = 9,  ///< statically proven untestable stuck-at site
+
+  // -- class "testability": random-pattern-resistant faults --
+  kResistantFault = 10,  ///< detection probability below the threshold
+};
+
+/// Rules are gated per class, not per rule: a policy knob per failure
+/// *kind* keeps the FlowSpec surface small while the rule list grows.
+enum class RuleClass : int {
+  kStructure = 0,
+  kDeadLogic = 1,
+  kUntestable = 2,
+  kTestability = 3,
+};
+
+/// What the flow pre-run gate does with a class's findings.
+enum class Policy : int {
+  kOff = 0,   ///< do not run the class's rules
+  kWarn = 1,  ///< report, continue the run
+  kError = 2, ///< report and refuse the run (LintError)
+};
+
+/// Stable lower_snake name of a rule (the JSONL wire form).
+[[nodiscard]] constexpr const char* rule_name(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kCycle: return "cycle";
+    case Rule::kFloatingGate: return "floating_gate";
+    case Rule::kUnconnectedDff: return "unconnected_dff";
+    case Rule::kNoObservedOutput: return "no_observed_output";
+    case Rule::kNoPatternInput: return "no_pattern_input";
+    case Rule::kDanglingGate: return "dangling_gate";
+    case Rule::kUnusedInput: return "unused_input";
+    case Rule::kUnobservableGate: return "unobservable_gate";
+    case Rule::kConstantLine: return "constant_line";
+    case Rule::kUntestableFault: return "untestable_fault";
+    case Rule::kResistantFault: return "resistant_fault";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr RuleClass rule_class(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kCycle:
+    case Rule::kFloatingGate:
+    case Rule::kUnconnectedDff:
+    case Rule::kNoObservedOutput:
+    case Rule::kNoPatternInput: return RuleClass::kStructure;
+    case Rule::kDanglingGate:
+    case Rule::kUnusedInput:
+    case Rule::kUnobservableGate: return RuleClass::kDeadLogic;
+    case Rule::kConstantLine:
+    case Rule::kUntestableFault: return RuleClass::kUntestable;
+    case Rule::kResistantFault: return RuleClass::kTestability;
+  }
+  return RuleClass::kStructure;
+}
+
+/// Stable name of a rule class (the FlowSpec analyze_* key suffixes).
+[[nodiscard]] constexpr const char* rule_class_name(RuleClass cls) noexcept {
+  switch (cls) {
+    case RuleClass::kStructure: return "structure";
+    case RuleClass::kDeadLogic: return "dead_logic";
+    case RuleClass::kUntestable: return "untestable";
+    case RuleClass::kTestability: return "testability";
+  }
+  return "unknown";
+}
+
+/// Stable policy names (the FlowSpec analyze_* key values).
+[[nodiscard]] constexpr const char* policy_name(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::kOff: return "off";
+    case Policy::kWarn: return "warn";
+    case Policy::kError: return "error";
+  }
+  return "off";
+}
+
+/// Inverse of policy_name; nullopt for an unrecognized name.
+[[nodiscard]] std::optional<Policy> policy_from_name(
+    std::string_view name) noexcept;
+
+/// How the analyzer is configured: one Policy per rule class plus the
+/// testability-class knobs. The defaults match AnalyzeSpec's defaults
+/// (flow/spec.hpp): structural damage refuses the run, dead logic and
+/// untestable sites warn, the testability scan is opt-in (it needs a
+/// fault universe and a full probability pass).
+struct Options {
+  Policy structure = Policy::kError;
+  Policy dead_logic = Policy::kWarn;
+  Policy untestable = Policy::kWarn;
+  Policy testability = Policy::kOff;
+
+  /// "testability": classes with random-pattern detection probability
+  /// below this are reported as resistant_fault.
+  double resistant_threshold = 1e-3;
+
+  /// Cap on diagnostics emitted per rule; findings beyond it are folded
+  /// into one summary diagnostic so a tied-off megacone cannot flood the
+  /// report. The analysis itself is never truncated.
+  std::size_t max_per_rule = 25;
+
+  [[nodiscard]] Policy policy(RuleClass cls) const noexcept;
+
+  /// True when at least one class is not kOff.
+  [[nodiscard]] bool any_enabled() const noexcept;
+};
+
+/// One finding: which rule fired, on what, at what severity. `gate` is
+/// kNoGate for circuit-wide findings (e.g. no_pattern_input).
+struct Diagnostic {
+  Rule rule = Rule::kCycle;
+  Policy severity = Policy::kWarn;  ///< kWarn or kError (never kOff)
+  circuit::GateId gate = circuit::kNoGate;
+  std::string object;   ///< gate / net / fault name the finding anchors to
+  std::string message;
+
+  /// One JSON line (stable key order), e.g.
+  /// {"rule":"cycle","class":"structure","severity":"error",...}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Human one-liner: "error[cycle] n3: combinational cycle: ...".
+  [[nodiscard]] std::string text() const;
+};
+
+/// True when any diagnostic in the list is error-severity.
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diagnostics);
+
+/// Thrown by the flow pre-run gate when a rule class set to Policy::kError
+/// fired. Carries EVERY diagnostic of the failed analysis (errors and
+/// warnings), so --check can print the full picture from the exception.
+/// ErrorCode::kLint is permanent: the same netlist re-lints identically,
+/// so the batch runner never retries a lint failure.
+class LintError : public Error {
+ public:
+  explicit LintError(std::vector<Diagnostic> diagnostics);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace lsiq::analyze

@@ -1,0 +1,243 @@
+#include "analyze/testability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace lsiq::analyze {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateType;
+
+/// P(pin `pin` of `gate` is at its non-blocking value) — the COP
+/// propagation weight of one side pin.
+double side_probability(const Gate& gate, std::size_t pin,
+                        const std::vector<double>& p1) {
+  switch (gate.type) {
+    case GateType::kAnd:
+    case GateType::kNand: return p1[gate.fanin[pin]];
+    case GateType::kOr:
+    case GateType::kNor: return 1.0 - p1[gate.fanin[pin]];
+    default: return 1.0;  // XOR/XNOR/BUF/NOT always propagate
+  }
+}
+
+/// P(a change on pin `pin` propagates through `gate`), given the gate
+/// output's own observation probability.
+double propagation_probability(const Gate& gate, std::size_t pin,
+                               const std::vector<double>& p1,
+                               double gate_observe) {
+  double probability = gate_observe;
+  for (std::size_t q = 0; q < gate.fanin.size(); ++q) {
+    if (q == pin) continue;
+    probability *= side_probability(gate, q, p1);
+  }
+  return probability;
+}
+
+double signal_probability_of(const Gate& gate,
+                             const std::vector<double>& p1) {
+  const auto in = [&](std::size_t pin) { return p1[gate.fanin[pin]]; };
+  switch (gate.type) {
+    case GateType::kInput:
+    case GateType::kDff: return 0.5;  // uniform random pattern bits
+    case GateType::kConst0: return 0.0;
+    case GateType::kConst1: return 1.0;
+    case GateType::kBuf: return in(0);
+    case GateType::kNot: return 1.0 - in(0);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double product = 1.0;
+      for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+        product *= in(pin);
+      }
+      return gate.type == GateType::kAnd ? product : 1.0 - product;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double product = 1.0;
+      for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+        product *= 1.0 - in(pin);
+      }
+      return gate.type == GateType::kOr ? 1.0 - product : product;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      double parity = 0.0;  // P(XOR of the pins seen so far = 1)
+      for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+        parity = parity * (1.0 - in(pin)) + (1.0 - parity) * in(pin);
+      }
+      return gate.type == GateType::kXor ? parity : 1.0 - parity;
+    }
+  }
+  return 0.5;
+}
+
+std::string format_probability(double value) {
+  char text[32];
+  std::snprintf(text, sizeof text, "%.2e", value);
+  return text;
+}
+
+}  // namespace
+
+double TestabilityReport::predicted_coverage(std::size_t patterns) const {
+  if (fault_count == 0) return 0.0;
+  double covered = 0.0;
+  for (std::size_t i = 0; i < detection_probability.size(); ++i) {
+    const double miss =
+        std::pow(1.0 - detection_probability[i],
+                 static_cast<double>(patterns));
+    covered += static_cast<double>(class_sizes[i]) * (1.0 - miss);
+  }
+  return covered / static_cast<double>(fault_count);
+}
+
+std::vector<std::size_t> TestabilityReport::resistant_classes(
+    double threshold) const {
+  std::vector<std::size_t> classes;
+  for (std::size_t i = 0; i < detection_probability.size(); ++i) {
+    if (detection_probability[i] < threshold) classes.push_back(i);
+  }
+  std::sort(classes.begin(), classes.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (detection_probability[a] != detection_probability[b]) {
+                return detection_probability[a] < detection_probability[b];
+              }
+              return a < b;
+            });
+  return classes;
+}
+
+TestabilityReport analyze_testability(const fault::FaultList& faults) {
+  const Circuit& circuit = faults.circuit();
+  const std::size_t n = circuit.gate_count();
+  TestabilityReport report;
+  report.scoap = tpg::compute_scoap(circuit);
+  report.fault_count = faults.fault_count();
+  report.class_sizes.resize(faults.class_count());
+  for (std::size_t i = 0; i < faults.class_count(); ++i) {
+    report.class_sizes[i] = faults.class_size(i);
+  }
+
+  // Forward: signal probabilities in topological order.
+  report.signal_probability.assign(n, 0.5);
+  for (const GateId id : circuit.topological_order()) {
+    report.signal_probability[id] =
+        signal_probability_of(circuit.gate(id), report.signal_probability);
+  }
+  const std::vector<double>& p1 = report.signal_probability;
+
+  // Backward: observation probabilities in reverse topological order.
+  // Observed points (POs and DFF D drivers) see the tester directly; a
+  // stem's probability is the BEST single fanout branch — independence
+  // would overcount shared reconvergent paths, and the best-path lower
+  // bound is what tracks measured coverage (see the validation test).
+  std::vector<char> observed(n, 0);
+  for (const GateId id : circuit.observed_points()) observed[id] = 1;
+  report.observe_probability.assign(n, 0.0);
+  const std::vector<GateId>& order = circuit.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    if (observed[id] != 0) {
+      report.observe_probability[id] = 1.0;
+      continue;
+    }
+    double best = 0.0;
+    for (const GateId reader : circuit.gate(id).fanout) {
+      const Gate& consumer = circuit.gate(reader);
+      if (consumer.type == GateType::kDff) continue;  // driver is observed
+      for (std::size_t pin = 0; pin < consumer.fanin.size(); ++pin) {
+        if (consumer.fanin[pin] != id) continue;
+        best = std::max(
+            best, propagation_probability(
+                      consumer, pin, p1, report.observe_probability[reader]));
+      }
+    }
+    report.observe_probability[id] = best;
+  }
+
+  // Per-class detection probability from the representative: activation
+  // (the line must hold the fault-free complement of the stuck value)
+  // times observation from the site. Equivalence makes the choice of
+  // representative immaterial: e.g. AND in s-a-0 == out s-a-0 and
+  // p1(in) * prod(side p1) == prod(all p1) — the same product.
+  report.detection_probability.resize(faults.class_count());
+  for (std::size_t i = 0; i < faults.class_count(); ++i) {
+    const fault::Fault& fault = faults.representatives()[i];
+    const GateId line = fault::fault_line(circuit, fault);
+    const double activation =
+        fault.stuck_at_one ? 1.0 - p1[line] : p1[line];
+    double observation = 0.0;
+    if (fault.pin < 0) {
+      observation = report.observe_probability[fault.gate];
+    } else {
+      const Gate& gate = circuit.gate(fault.gate);
+      observation =
+          gate.type == GateType::kDff
+              ? 1.0  // the D pin is itself an observed point
+              : propagation_probability(
+                    gate, static_cast<std::size_t>(fault.pin), p1,
+                    report.observe_probability[fault.gate]);
+    }
+    report.detection_probability[i] =
+        std::clamp(activation * observation, 0.0, 1.0);
+  }
+  return report;
+}
+
+std::vector<ResistantFault> resistant_faults(
+    const fault::FaultList& faults, const TestabilityReport& report,
+    double threshold, std::size_t max_entries) {
+  std::vector<ResistantFault> entries;
+  for (const std::size_t index : report.resistant_classes(threshold)) {
+    if (entries.size() >= max_entries) break;
+    ResistantFault entry;
+    entry.class_index = index;
+    entry.fault = faults.representatives()[index];
+    entry.detection_probability = report.detection_probability[index];
+    entry.scoap_cost = tpg::fault_detection_cost(faults.circuit(),
+                                                 report.scoap, entry.fault);
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+std::vector<Diagnostic> testability_diagnostics(
+    const fault::FaultList& faults, const TestabilityReport& report,
+    const Options& options) {
+  std::vector<Diagnostic> diagnostics;
+  if (options.testability == Policy::kOff) return diagnostics;
+  const std::vector<std::size_t> resistant =
+      report.resistant_classes(options.resistant_threshold);
+  const std::size_t shown = std::min(resistant.size(), options.max_per_rule);
+  for (std::size_t k = 0; k < shown; ++k) {
+    const std::size_t index = resistant[k];
+    const fault::Fault& fault = faults.representatives()[index];
+    diagnostics.push_back(Diagnostic{
+        Rule::kResistantFault, options.testability, fault.gate,
+        fault::fault_name(faults.circuit(), fault, faults.model()),
+        "random-pattern detection probability " +
+            format_probability(report.detection_probability[index]) +
+            " is below the threshold " +
+            format_probability(options.resistant_threshold) + " (class of " +
+            std::to_string(faults.class_size(index)) + ")"});
+  }
+  if (resistant.size() > shown) {
+    diagnostics.push_back(Diagnostic{
+        Rule::kResistantFault, options.testability, circuit::kNoGate, "",
+        std::to_string(resistant.size() - shown) +
+            " more resistant_fault findings suppressed (" +
+            std::to_string(resistant.size()) + " total)"});
+  }
+  return diagnostics;
+}
+
+}  // namespace lsiq::analyze

@@ -1,0 +1,93 @@
+// Testability analysis: per-line controllability/observability, per-class
+// random-pattern detection probabilities, and a predicted coverage curve —
+// the static half of the paper's coverage-vs-quality argument.
+//
+// Two measure families over one circuit:
+//
+//   * SCOAP (tpg/scoap.hpp, promoted here to a public report): integer
+//     difficulty costs. Good for RANKING — the hard-fault tail of a
+//     random-pattern coverage curve is exactly the high-SCOAP tail.
+//   * COP-style probabilities (computed here): P(line = 1) under uniform
+//     random patterns (signal probability) and P(a fault effect on the
+//     line propagates to an observed point) (observation probability),
+//     combined per collapsed fault class into a detection probability
+//     d_i. Good for PREDICTION: the expected coverage of an n-pattern
+//     random program is sum_i w_i * (1 - (1 - d_i)^n) / N, which
+//     tests/test_analyze_testability.cpp pins against measured fault-sim
+//     coverage on mult16 (within 2 points at 256 and 1024 patterns).
+//
+// Both passes assume signal independence (the classic COP simplification);
+// reconvergent fanout makes individual line estimates approximate, which
+// is why the validation target is the aggregate curve, not per-line
+// values. Structural equivalence makes the per-class reduction exact in
+// spirit: collapsed faults share their detecting pattern set, so one
+// representative prices the whole class.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analyze/rule.hpp"
+#include "fault/fault_list.hpp"
+#include "tpg/scoap.hpp"
+
+namespace lsiq::analyze {
+
+/// One ranked entry of the resistant-fault report.
+struct ResistantFault {
+  std::size_t class_index = 0;       ///< into FaultList::representatives()
+  fault::Fault fault;                ///< the class representative
+  double detection_probability = 0;  ///< per random pattern
+  std::uint32_t scoap_cost = 0;      ///< SCOAP detection-cost estimate
+};
+
+/// The full testability report over one collapsed fault universe.
+struct TestabilityReport {
+  /// Per line (GateId-indexed): P(line = 1) under uniform random inputs.
+  std::vector<double> signal_probability;
+
+  /// Per line: P(a fault effect on the line reaches an observed point).
+  std::vector<double> observe_probability;
+
+  /// The SCOAP measures (CC0/CC1/CO) for the same circuit — the integer
+  /// difficulty view of the same structure.
+  tpg::TestabilityMeasures scoap;
+
+  /// Per collapsed class: P(one uniform random pattern detects it).
+  std::vector<double> detection_probability;
+
+  /// Universe bookkeeping mirrored from the FaultList: class weights and
+  /// the paper's N, so the report can predict coverage standalone.
+  std::vector<std::size_t> class_sizes;
+  std::size_t fault_count = 0;
+
+  /// Expected coverage of an n-pattern uniform random program:
+  /// sum_i w_i * (1 - (1 - d_i)^n) / N.
+  [[nodiscard]] double predicted_coverage(std::size_t patterns) const;
+
+  /// Classes with detection probability below `threshold`, hardest first
+  /// (ties broken by class index for determinism).
+  [[nodiscard]] std::vector<std::size_t> resistant_classes(
+      double threshold) const;
+};
+
+/// Compute the full report for a collapsed universe (any fault model: a
+/// transition fault is at least as hard as its capture stuck-at, so the
+/// stuck-at detection probability is the optimistic bound used for both).
+TestabilityReport analyze_testability(const fault::FaultList& faults);
+
+/// The ranked resistant-fault list (report + universe -> entries), capped
+/// at `max_entries`.
+std::vector<ResistantFault> resistant_faults(
+    const fault::FaultList& faults, const TestabilityReport& report,
+    double threshold, std::size_t max_entries);
+
+/// The testability rule class as diagnostics: one resistant_fault finding
+/// per class under Options::resistant_threshold (capped at
+/// Options::max_per_rule), severity per Options::testability. Empty when
+/// the class is kOff.
+std::vector<Diagnostic> testability_diagnostics(
+    const fault::FaultList& faults, const TestabilityReport& report,
+    const Options& options);
+
+}  // namespace lsiq::analyze

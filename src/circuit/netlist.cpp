@@ -92,6 +92,19 @@ void Circuit::connect_dff(GateId dff, GateId driver) {
   g.fanin.push_back(driver);
 }
 
+void Circuit::set_fanin(GateId id, const std::vector<GateId>& fanin) {
+  require_not_finalized("set_fanin");
+  LSIQ_EXPECT(id < gates_.size(), "set_fanin: id out of range");
+  Gate& g = gates_[id];
+  LSIQ_EXPECT(g.type != GateType::kInput && g.type != GateType::kConst0 &&
+                  g.type != GateType::kConst1,
+              "set_fanin: sources have no fanin");
+  for (const GateId f : fanin) {
+    LSIQ_EXPECT(f < gates_.size(), "set_fanin: fanin id out of range");
+  }
+  g.fanin = fanin;
+}
+
 void Circuit::mark_output(GateId id) {
   require_not_finalized("mark_output");
   LSIQ_EXPECT(id < gates_.size(), "mark_output: id out of range");

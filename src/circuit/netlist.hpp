@@ -53,6 +53,14 @@ class Circuit {
   /// Connect the D input of a flip-flop created with add_dff().
   void connect_dff(GateId dff, GateId driver);
 
+  /// ECO-style netlist surgery (pre-finalize): replace a gate's fanin list
+  /// wholesale. Unlike add_gate this deliberately skips the arity check and
+  /// allows references to later gates, so a rewire can leave the netlist
+  /// damaged — combinational cycles, undriven gates — which is exactly what
+  /// analyze::analyze() lints for and finalize() still rejects. Sources
+  /// (inputs, constants) cannot be rewired.
+  void set_fanin(GateId id, const std::vector<GateId>& fanin);
+
   /// Declare an existing gate to be a primary output. A gate may be marked
   /// at most once; inputs may be marked (wire-through pins exist in ISCAS
   /// netlists).

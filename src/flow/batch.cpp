@@ -317,6 +317,13 @@ void run_spec_once(const std::string& path, ArtifactCache& cache,
   const fault_model::FaultModel model =
       *fault_model::fault_model_from_name(file.spec.fault_model.kind);
   const ArtifactCache::Artifacts& artifacts = cache.get(file.circuit, model);
+  if (options.check_only) {
+    // Lint-before-run: the analyze gate only. A LintError escapes to the
+    // retry boundary and becomes a permanent "lint" failure record.
+    check(*artifacts.faults, file.spec);
+    record->classes = artifacts.faults->class_count();
+    return;
+  }
   const FlowResult result = run(*artifacts.faults, file.spec,
                                 artifacts.compiled);
 

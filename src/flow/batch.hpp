@@ -105,6 +105,13 @@ struct BatchOptions {
   /// abort the batch with IoError — a result store that drops records is
   /// not a result store.
   std::ostream* stream = nullptr;
+
+  /// Lint-only dry run (`lsiq_flow --check --batch`): every spec is
+  /// parsed, validated, resolved against its circuit and pushed through
+  /// the flow::check analyze gate, but nothing is graded. A gate refusal
+  /// is a "failed" record with error_code "lint" (permanent, no retry);
+  /// ok records carry the universe's class count with zero patterns.
+  bool check_only = false;
 };
 
 /// One spec's outcome — one JSONL line in the result store.

@@ -1,8 +1,11 @@
 #include "flow/flow.hpp"
 
+#include <iterator>
 #include <sstream>
 #include <utility>
 
+#include "analyze/analyze.hpp"
+#include "analyze/testability.hpp"
 #include "bist/misr.hpp"
 #include "bist/session.hpp"
 #include "core/fault_distribution.hpp"
@@ -41,6 +44,18 @@ PatternSourceSpec strip_pattern_payload(const PatternSourceSpec& source) {
   return copy;  // copy.patterns intentionally left empty
 }
 
+/// The spec's analyze section as analyzer options. validate() guaranteed
+/// every policy name resolves.
+analyze::Options analyze_options(const AnalyzeSpec& spec) {
+  analyze::Options options;
+  options.structure = *analyze::policy_from_name(spec.structure);
+  options.dead_logic = *analyze::policy_from_name(spec.dead_logic);
+  options.untestable = *analyze::policy_from_name(spec.untestable);
+  options.testability = *analyze::policy_from_name(spec.testability);
+  options.resistant_threshold = spec.resistant_threshold;
+  return options;
+}
+
 }  // namespace
 
 double FlowResult::final_coverage() const {
@@ -50,6 +65,29 @@ double FlowResult::final_coverage() const {
 
 std::vector<quality::CoveragePoint> FlowResult::points() const {
   return wafer::coverage_points(table);
+}
+
+std::vector<analyze::Diagnostic> check(const fault::FaultList& faults,
+                                       const FlowSpec& spec) {
+  validate_or_throw(spec);
+  const analyze::Options options = analyze_options(spec.analyze);
+  if (!options.any_enabled()) return {};
+  analyze::Report report = analyze::analyze(faults.circuit(), options);
+  std::vector<analyze::Diagnostic> diagnostics =
+      std::move(report.diagnostics);
+  if (options.testability != analyze::Policy::kOff) {
+    const analyze::TestabilityReport testability =
+        analyze::analyze_testability(faults);
+    std::vector<analyze::Diagnostic> extra =
+        analyze::testability_diagnostics(faults, testability, options);
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(extra.begin()),
+                       std::make_move_iterator(extra.end()));
+  }
+  if (analyze::has_errors(diagnostics)) {
+    throw analyze::LintError(std::move(diagnostics));
+  }
+  return diagnostics;
 }
 
 sim::PatternSet make_patterns(const fault::FaultList& faults,
@@ -108,6 +146,12 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec,
   result.spec.engine = spec.engine;
   result.spec.lot = spec.lot;
   result.spec.analysis = spec.analysis;
+  result.spec.analyze = spec.analyze;
+
+  // 0. The pre-run analyze gate: lint the netlist before any engine
+  // spends time on it. An error-policy finding throws LintError here;
+  // warnings ride along on the result.
+  result.lint = check(faults, spec);
 
   // 1. Materialize the ordered pattern program.
   result.patterns = make_patterns(faults, spec.source, &result.atpg);
@@ -256,6 +300,13 @@ std::string FlowResult::report() const {
   }
   out << "\n  final " << model_label << " coverage f = "
       << util::format_percent(final_coverage(), 2) << "\n";
+  if (!lint.empty()) {
+    out << "  lint: " << lint.size() << " warning"
+        << (lint.size() == 1 ? "" : "s") << " from the analyze gate\n";
+    for (const analyze::Diagnostic& diagnostic : lint) {
+      out << "    " << diagnostic.text() << "\n";
+    }
+  }
   if (bist.has_value()) {
     out << "  misr k=" << bist->misr_width << ": full-observation coverage "
         << util::format_percent(bist->raw_coverage, 2)

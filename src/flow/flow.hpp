@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/rule.hpp"
 #include "bist/result.hpp"
 #include "fault/coverage.hpp"
 #include "fault/fault_list.hpp"
@@ -65,6 +66,11 @@ struct FlowResult {
   /// Characterized product (per analysis.method).
   std::optional<quality::QualityAnalyzer> analyzer;
 
+  /// Warn-severity findings of the pre-run analyze gate (spec.analyze).
+  /// Error-severity findings never land here — they abort run() with
+  /// analyze::LintError before anything is graded.
+  std::vector<analyze::Diagnostic> lint;
+
   /// Final coverage of the program under the spec's observation.
   [[nodiscard]] double final_coverage() const;
 
@@ -105,6 +111,17 @@ sim::PatternSet make_patterns(
 FlowResult run(const fault::FaultList& faults, const FlowSpec& spec,
                std::shared_ptr<const circuit::CompiledCircuit> compiled =
                    nullptr);
+
+/// The pre-run lint gate on its own: run the spec's analyze section over
+/// the universe's circuit without materializing patterns or grading
+/// anything. Returns the warn-severity diagnostics; throws
+/// analyze::LintError (ErrorCode::kLint, permanent) when any enabled rule
+/// class set to "error" fired, and InvalidSpec when validate() rejects
+/// the spec. run() calls this before touching the pattern source; the
+/// `lsiq_flow --check` mode and the batch runner's check-only mode call
+/// it directly.
+std::vector<analyze::Diagnostic> check(const fault::FaultList& faults,
+                                       const FlowSpec& spec);
 
 /// Convenience overload: enumerate the spec's fault-model universe of the
 /// circuit (fault_model::universe) first, then run.

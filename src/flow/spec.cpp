@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "analyze/rule.hpp"
 #include "fault_model/fault_model.hpp"
 #include "tpg/lfsr.hpp"
 
@@ -201,6 +202,26 @@ std::vector<SpecIssue> validate(const FlowSpec& spec) {
         break;
       }
     }
+  }
+
+  // ---- the analyze gate ----
+  const AnalyzeSpec& analyze = spec.analyze;
+  const auto check_policy = [&](const char* field, const std::string& value) {
+    if (!lsiq::analyze::policy_from_name(value).has_value()) {
+      add(field, "unknown analyze policy '" + value +
+                     "' (expected off, warn, or error)");
+    }
+  };
+  check_policy("analyze.structure", analyze.structure);
+  check_policy("analyze.dead_logic", analyze.dead_logic);
+  check_policy("analyze.untestable", analyze.untestable);
+  check_policy("analyze.testability", analyze.testability);
+  if (!std::isfinite(analyze.resistant_threshold) ||
+      analyze.resistant_threshold <= 0.0 ||
+      analyze.resistant_threshold >= 1.0) {
+    add("analyze.resistant_threshold",
+        "resistant threshold must be in (0, 1), got " +
+            std::to_string(analyze.resistant_threshold));
   }
 
   for (const double target : analysis.reject_targets) {

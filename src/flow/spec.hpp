@@ -146,8 +146,27 @@ struct AnalysisSpec {
   friend bool operator==(const AnalysisSpec&, const AnalysisSpec&) = default;
 };
 
+/// The pre-run static-analysis gate (src/analyze/): one policy string per
+/// rule class — "off" (skip the class), "warn" (report, run anyway) or
+/// "error" (report and refuse the run with analyze::LintError, batch
+/// error_code "lint"). The defaults make structural damage fatal and
+/// dead/untestable logic advisory; the testability scan is opt-in because
+/// it runs a full probability pass over the universe.
+struct AnalyzeSpec {
+  std::string structure = "error";   ///< cycles, undriven nets, no I/O
+  std::string dead_logic = "warn";   ///< dangling/unobservable cones
+  std::string untestable = "warn";   ///< constant lines, redundant sites
+  std::string testability = "off";   ///< random-pattern-resistant faults
+
+  /// "testability": classes with random-pattern detection probability
+  /// below this are reported as resistant_fault findings.
+  double resistant_threshold = 0.001;
+
+  friend bool operator==(const AnalyzeSpec&, const AnalyzeSpec&) = default;
+};
+
 /// One declarative experiment: fault model -> pattern source ->
-/// observation -> engine -> lot -> analysis.
+/// observation -> engine -> lot -> analysis, linted by the analyze gate.
 struct FlowSpec {
   FaultModelSpec fault_model;
   PatternSourceSpec source;
@@ -155,6 +174,7 @@ struct FlowSpec {
   EngineSpec engine;
   LotSpec lot;
   AnalysisSpec analysis;
+  AnalyzeSpec analyze;
 
   friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
 };

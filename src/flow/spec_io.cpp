@@ -147,6 +147,16 @@ void apply_key(SpecFile& file, const std::string& key,
     spec.analysis.method = value;
   } else if (key == "targets") {
     spec.analysis.reject_targets = parse_double_list(value, line, key);
+  } else if (key == "analyze_structure") {
+    spec.analyze.structure = value;
+  } else if (key == "analyze_dead_logic") {
+    spec.analyze.dead_logic = value;
+  } else if (key == "analyze_untestable") {
+    spec.analyze.untestable = value;
+  } else if (key == "analyze_testability") {
+    spec.analyze.testability = value;
+  } else if (key == "resistant_threshold") {
+    spec.analyze.resistant_threshold = parse_double(value, line, key);
   } else {
     fail(line, "unknown key '" + key + "'");
   }
@@ -256,6 +266,25 @@ std::string write_spec_string(const SpecFile& file) {
   list("strobes", spec.analysis.strobe_coverages);
   out << "method = " << spec.analysis.method << "\n";
   list("targets", spec.analysis.reject_targets);
+  // The analyze gate: only non-default knobs are serialized, so specs
+  // written before the gate existed round-trip byte-identically.
+  const AnalyzeSpec defaults;
+  if (spec.analyze.structure != defaults.structure) {
+    out << "analyze_structure = " << spec.analyze.structure << "\n";
+  }
+  if (spec.analyze.dead_logic != defaults.dead_logic) {
+    out << "analyze_dead_logic = " << spec.analyze.dead_logic << "\n";
+  }
+  if (spec.analyze.untestable != defaults.untestable) {
+    out << "analyze_untestable = " << spec.analyze.untestable << "\n";
+  }
+  if (spec.analyze.testability != defaults.testability) {
+    out << "analyze_testability = " << spec.analyze.testability << "\n";
+  }
+  if (spec.analyze.resistant_threshold != defaults.resistant_threshold) {
+    out << "resistant_threshold = " << spec.analyze.resistant_threshold
+        << "\n";
+  }
   return out.str();
 }
 

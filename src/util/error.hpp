@@ -35,6 +35,8 @@ enum class ErrorCode : int {
   kTransient = 7,    ///< TransientError: momentary resource failure
   kDeadline = 8,     ///< DeadlineExceeded: a watchdog deadline fired
   kCancelled = 9,    ///< CancelledError: work was cancelled externally
+  kLint = 10,        ///< analyze::LintError: the pre-run static-analysis
+                     ///< gate found error-severity diagnostics
 };
 
 /// Stable lower_snake name of a code (the JSONL wire form).
@@ -50,6 +52,7 @@ enum class ErrorCode : int {
     case ErrorCode::kTransient: return "transient";
     case ErrorCode::kDeadline: return "deadline";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kLint: return "lint";
   }
   return "unknown";
 }
@@ -61,7 +64,7 @@ enum class ErrorCode : int {
        {ErrorCode::kOk, ErrorCode::kUnknown, ErrorCode::kContract,
         ErrorCode::kParse, ErrorCode::kNumeric, ErrorCode::kInvalidSpec,
         ErrorCode::kIo, ErrorCode::kTransient, ErrorCode::kDeadline,
-        ErrorCode::kCancelled}) {
+        ErrorCode::kCancelled, ErrorCode::kLint}) {
     if (name == error_code_name(code)) return code;
   }
   return std::nullopt;

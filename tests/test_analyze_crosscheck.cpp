@@ -1,0 +1,163 @@
+// The soundness contract of the static analyzer, cross-checked against
+// PODEM: every statically-proven-untestable fault site must be confirmed
+// redundant by the decision procedure (untestable_sites ⊆ PODEM
+// kUntestable on the collapsed universe), and where redundancy comes ONLY
+// from tied constants the two must agree exactly. The converse direction
+// is deliberately not claimed — reconvergent redundancy is invisible to a
+// structural pass, and the last test pins one such miss.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_list.hpp"
+#include "tpg/podem.hpp"
+
+namespace lsiq::analyze {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+
+using FaultKey = std::tuple<circuit::GateId, std::int32_t, bool>;
+
+FaultKey key(const fault::Fault& fault) {
+  return {fault.gate, fault.pin, fault.stuck_at_one};
+}
+
+/// PODEM verdict per collapsed class of the full stuck-at universe.
+std::vector<tpg::TestStatus> podem_verdicts(const Circuit& circuit,
+                                            const fault::FaultList& faults) {
+  std::vector<tpg::TestStatus> verdicts;
+  verdicts.reserve(faults.class_count());
+  for (const fault::Fault& fault : faults.representatives()) {
+    verdicts.push_back(tpg::generate_test(circuit, fault).status);
+  }
+  return verdicts;
+}
+
+/// Every analyzer-untestable site, mapped through the collapsing tables
+/// onto its class, must have a PODEM kUntestable verdict: equivalent
+/// faults share their detecting pattern set, so proving the class
+/// representative redundant proves the site.
+void expect_sites_subset_of_podem(const Circuit& circuit,
+                                  const Report& report) {
+  const fault::FaultList faults = fault::FaultList::full_universe(circuit);
+  const std::vector<tpg::TestStatus> verdicts =
+      podem_verdicts(circuit, faults);
+  for (const fault::Fault& site : report.untestable_sites) {
+    const std::size_t index = faults.index_of(site);
+    ASSERT_LT(index, faults.fault_count())
+        << fault::fault_name(circuit, site);
+    EXPECT_EQ(verdicts[faults.class_of(index)], tpg::TestStatus::kUntestable)
+        << "analyzer claims untestable but PODEM found a test for "
+        << fault::fault_name(circuit, site);
+  }
+}
+
+TEST(AnalyzeCrosscheck, ConstantFedCircuitAgreesExactly) {
+  // Redundancy here comes ONLY from tied constants, so the structural
+  // pass must find every PODEM-redundant class — not just a subset.
+  Circuit c("tied_cone");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId t0 = c.add_gate(GateType::kConst0, {}, "tie0");
+  const GateId x = c.add_gate(GateType::kOr, {a, t0}, "x");
+  const GateId m = c.add_gate(GateType::kAnd, {x, t0}, "m");
+  const GateId out = c.add_gate(GateType::kOr, {m, b}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const Report report = analyze(c);
+  ASSERT_TRUE(report.structure_ok);
+  ASSERT_FALSE(report.untestable_sites.empty());
+  expect_sites_subset_of_podem(c, report);
+
+  // Exact agreement: every class PODEM proves redundant contains at
+  // least one analyzer site, and every class with an analyzer site is
+  // PODEM-redundant.
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const std::vector<tpg::TestStatus> verdicts = podem_verdicts(c, faults);
+  std::set<std::size_t> flagged_classes;
+  for (const fault::Fault& site : report.untestable_sites) {
+    flagged_classes.insert(faults.class_of(faults.index_of(site)));
+  }
+  for (std::size_t i = 0; i < faults.class_count(); ++i) {
+    const bool redundant = verdicts[i] == tpg::TestStatus::kUntestable;
+    EXPECT_EQ(flagged_classes.count(i) != 0, redundant)
+        << "class of "
+        << fault::fault_name(c, faults.representatives()[i]);
+  }
+}
+
+TEST(AnalyzeCrosscheck, BlockedConeSitesAreAllPodemRedundant) {
+  // Observation-side untestability: a whole cone dies behind an AND tied
+  // to 0. Activation on the cone's lines is easy, so these sites exercise
+  // the propagation half of the proof.
+  Circuit c("masked_cone");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId p = c.add_input("p");
+  const GateId t0 = c.add_gate(GateType::kConst0, {}, "tie0");
+  const GateId x = c.add_gate(GateType::kXor, {a, b}, "x");
+  const GateId y = c.add_gate(GateType::kAnd, {x, t0}, "y");
+  const GateId out = c.add_gate(GateType::kOr, {y, p}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const Report report = analyze(c);
+  ASSERT_TRUE(report.structure_ok);
+  // x, a-branch, b-branch faults (both polarities) are all unobservable.
+  std::set<FaultKey> sites;
+  for (const fault::Fault& site : report.untestable_sites) {
+    sites.insert(key(site));
+  }
+  EXPECT_TRUE(sites.count({x, -1, false}) != 0);
+  EXPECT_TRUE(sites.count({x, -1, true}) != 0);
+  expect_sites_subset_of_podem(c, report);
+}
+
+TEST(AnalyzeCrosscheck, GeneratorCircuitsHoldTheSubsetContract) {
+  // Healthy generator circuits have no tied constants: the analyzer must
+  // find nothing, and PODEM agrees there is nothing constant-driven.
+  for (const Circuit& c : {circuit::make_c17(), circuit::make_alu(2)}) {
+    SCOPED_TRACE(c.name());
+    const Report report = analyze(c);
+    EXPECT_TRUE(report.untestable_sites.empty());
+    expect_sites_subset_of_podem(c, report);
+  }
+}
+
+TEST(AnalyzeCrosscheck, ReconvergentRedundancyIsBeyondStaticReach) {
+  // y = a AND (NOT a) is constant 0 through reconvergence, not through a
+  // tied input: PODEM proves y s-a-0 redundant while the structural pass
+  // (correctly, per its contract) stays silent. This pins the documented
+  // incompleteness so a future "improvement" that starts over-claiming
+  // fails loudly.
+  Circuit c("reconvergent");
+  const GateId a = c.add_input("a");
+  const GateId n = c.add_gate(GateType::kNot, {a}, "n");
+  const GateId y = c.add_gate(GateType::kAnd, {a, n}, "y");
+  const GateId b = c.add_input("b");
+  const GateId out = c.add_gate(GateType::kOr, {y, b}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const Report report = analyze(c);
+  EXPECT_TRUE(report.untestable_sites.empty());
+
+  const fault::Fault stuck0{y, -1, false};
+  const tpg::PodemResult proof = tpg::generate_test(c, stuck0);
+  EXPECT_EQ(proof.status, tpg::TestStatus::kUntestable);
+  // The subset contract still holds vacuously.
+  expect_sites_subset_of_podem(c, report);
+}
+
+}  // namespace
+}  // namespace lsiq::analyze

@@ -1,0 +1,245 @@
+// Tests for the testability analyzer: COP probabilities hand-checked on
+// small circuits, the resistant-fault ranking, and the headline validation
+// — predicted random-pattern coverage must track measured fault-sim
+// coverage on mult16 within 2 percentage points at 256 and 1024 patterns.
+#include "analyze/testability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analyze/rule.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace lsiq::analyze {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+
+TEST(AnalyzeTestability, CopProbabilitiesOnAndGate) {
+  Circuit c("and2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate(GateType::kAnd, {a, b}, "x");
+  c.mark_output(x);
+  c.finalize();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+
+  ASSERT_EQ(report.signal_probability.size(), c.gate_count());
+  EXPECT_DOUBLE_EQ(report.signal_probability[a], 0.5);
+  EXPECT_DOUBLE_EQ(report.signal_probability[b], 0.5);
+  EXPECT_DOUBLE_EQ(report.signal_probability[x], 0.25);
+
+  // x is observed; a propagates iff the side pin b is at 1.
+  EXPECT_DOUBLE_EQ(report.observe_probability[x], 1.0);
+  EXPECT_DOUBLE_EQ(report.observe_probability[a], 0.5);
+  EXPECT_DOUBLE_EQ(report.observe_probability[b], 0.5);
+}
+
+TEST(AnalyzeTestability, CopProbabilitiesThroughGateTypes) {
+  // or(a,b) = 0.75; xor always propagates; not inverts.
+  Circuit c("mixed");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId o = c.add_gate(GateType::kOr, {a, b}, "o");
+  const GateId n = c.add_gate(GateType::kNot, {o}, "n");
+  const GateId p = c.add_input("p");
+  const GateId xo = c.add_gate(GateType::kXor, {n, p}, "xo");
+  c.mark_output(xo);
+  c.finalize();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+
+  EXPECT_DOUBLE_EQ(report.signal_probability[o], 0.75);
+  EXPECT_DOUBLE_EQ(report.signal_probability[n], 0.25);
+  EXPECT_DOUBLE_EQ(report.signal_probability[xo], 0.5);
+
+  // XOR propagates unconditionally, NOT too; an OR side pin must be 0.
+  EXPECT_DOUBLE_EQ(report.observe_probability[n], 1.0);
+  EXPECT_DOUBLE_EQ(report.observe_probability[o], 1.0);
+  EXPECT_DOUBLE_EQ(report.observe_probability[a], 0.5);
+}
+
+TEST(AnalyzeTestability, DffBoundariesAreScanAccessible) {
+  // Full-scan model: a DFF output is a 0.5-probability pseudo-input and
+  // its D driver is a directly observed point.
+  Circuit c("scan");
+  const GateId a = c.add_input("a");
+  const GateId d = c.add_dff("d");
+  const GateId x = c.add_gate(GateType::kAnd, {a, d}, "x");
+  c.connect_dff(d, x);
+  c.mark_output(x);
+  c.finalize();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+  EXPECT_DOUBLE_EQ(report.signal_probability[d], 0.5);
+  EXPECT_DOUBLE_EQ(report.observe_probability[x], 1.0);
+}
+
+TEST(AnalyzeTestability, PredictedCoverageIsMonotoneAndBounded) {
+  const Circuit c = circuit::make_c17();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+  EXPECT_DOUBLE_EQ(report.predicted_coverage(0), 0.0);
+  double previous = 0.0;
+  for (const std::size_t n : {1u, 4u, 16u, 64u, 256u}) {
+    const double coverage = report.predicted_coverage(n);
+    EXPECT_GE(coverage, previous);
+    EXPECT_LE(coverage, 1.0);
+    previous = coverage;
+  }
+  // c17 is small and random-testable: 256 patterns all but saturate it.
+  EXPECT_GT(previous, 0.99);
+}
+
+TEST(AnalyzeTestability, EquivalentFaultsPriceTheClassConsistently) {
+  // AND input s-a-0 and output s-a-0 are structurally equivalent; the
+  // detection probability must not depend on which survived collapsing:
+  // both give p1(a) * p1(b) = product over all pins.
+  Circuit c("and2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate(GateType::kAnd, {a, b}, "x");
+  c.mark_output(x);
+  c.finalize();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+  for (std::size_t i = 0; i < faults.class_count(); ++i) {
+    const fault::Fault& fault = faults.representatives()[i];
+    if (fault::fault_line(c, fault) == x && !fault.stuck_at_one) {
+      // Output stuck-at-0: activation 0.25, observed directly.
+      EXPECT_DOUBLE_EQ(report.detection_probability[i], 0.25);
+    }
+  }
+}
+
+TEST(AnalyzeTestability, ResistantClassesRankHardestFirst) {
+  // A 12-input AND hides its stem s-a-1-side faults at 2^-12; everything
+  // in c17-like shallow logic clears 1e-3 easily.
+  Circuit c("and12");
+  std::vector<GateId> inputs;
+  for (int i = 0; i < 12; ++i) {
+    inputs.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  const GateId x = c.add_gate(GateType::kAnd, inputs, "x");
+  c.mark_output(x);
+  c.finalize();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+
+  const double hard = std::pow(0.5, 12);  // P(all 12 inputs at 1)
+  const std::vector<std::size_t> resistant =
+      report.resistant_classes(1e-3);
+  ASSERT_FALSE(resistant.empty());
+  // The hardest class is the all-ones activation; detection 2^-12.
+  EXPECT_NEAR(report.detection_probability[resistant.front()], hard,
+              1e-12);
+  for (std::size_t k = 1; k < resistant.size(); ++k) {
+    EXPECT_LE(report.detection_probability[resistant[k - 1]],
+              report.detection_probability[resistant[k]]);
+  }
+
+  const std::vector<ResistantFault> entries =
+      resistant_faults(faults, report, 1e-3, 8);
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.front().class_index, resistant.front());
+  EXPECT_GT(entries.front().scoap_cost, 0u);
+  EXPECT_NEAR(entries.front().detection_probability, hard, 1e-12);
+}
+
+TEST(AnalyzeTestability, DiagnosticsNameTheFaultAndProbability) {
+  Circuit c("and12");
+  std::vector<GateId> inputs;
+  for (int i = 0; i < 12; ++i) {
+    inputs.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  const GateId x = c.add_gate(GateType::kAnd, inputs, "x");
+  c.mark_output(x);
+  c.finalize();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+
+  Options options;
+  options.testability = Policy::kWarn;
+  options.resistant_threshold = 1e-3;
+  options.max_per_rule = 1;  // force the overflow summary
+  const std::vector<Diagnostic> diagnostics =
+      testability_diagnostics(faults, report, options);
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kResistantFault);
+  EXPECT_EQ(diagnostics[0].severity, Policy::kWarn);
+  // The hardest class is the 2^-12 = 2.44e-04 one; the message carries
+  // the probability, the threshold and the class weight.
+  const std::string& message = diagnostics[0].message;
+  EXPECT_NE(message.find("random-pattern detection probability 2.44e-04"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("is below the threshold 1.00e-03"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("(class of "), std::string::npos) << message;
+  // Overflow summary.
+  EXPECT_TRUE(diagnostics[1].object.empty());
+  EXPECT_NE(diagnostics[1].message.find(
+                "more resistant_fault findings suppressed"),
+            std::string::npos);
+
+  options.testability = Policy::kOff;
+  EXPECT_TRUE(testability_diagnostics(faults, report, options).empty());
+}
+
+TEST(AnalyzeTestability, TransitionUniverseIsAnalyzable) {
+  const Circuit c = circuit::make_c17();
+  const fault::FaultList faults = fault::FaultList::transition_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+  ASSERT_EQ(report.detection_probability.size(), faults.class_count());
+  for (const double d : report.detection_probability) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(AnalyzeTestability, PredictionTracksMeasuredCoverageOnMult16) {
+  // The acceptance criterion: on the 16-bit array multiplier, the COP
+  // prediction must sit within 2 percentage points of measured PPSFP
+  // coverage at 256 and 1024 LFSR patterns.
+  const Circuit c = circuit::make_array_multiplier(16);
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+
+  const sim::PatternSet patterns =
+      tpg::lfsr_patterns(c.pattern_inputs().size(), 1024);
+  const fault::FaultSimResult graded =
+      fault::simulate_ppsfp(faults, patterns);
+  const fault::CoverageCurve curve = graded.curve(faults, patterns.size());
+
+  for (const std::size_t n : {256u, 1024u}) {
+    SCOPED_TRACE(n);
+    const double predicted = report.predicted_coverage(n);
+    const double measured = curve.coverage_after(n);
+    EXPECT_NEAR(predicted, measured, 0.02)
+        << "predicted " << predicted << " vs measured " << measured;
+  }
+}
+
+TEST(AnalyzeTestability, ScoapReportIsPopulated) {
+  const Circuit c = circuit::make_c17();
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const TestabilityReport report = analyze_testability(faults);
+  ASSERT_EQ(report.scoap.cc0.size(), c.gate_count());
+  ASSERT_EQ(report.scoap.cc1.size(), c.gate_count());
+  ASSERT_EQ(report.scoap.observability.size(), c.gate_count());
+  EXPECT_EQ(report.fault_count, faults.fault_count());
+}
+
+}  // namespace
+}  // namespace lsiq::analyze

@@ -339,7 +339,7 @@ TEST_F(BatchTest, CheckpointStreamsOneRecordPerSpec) {
   EXPECT_EQ(result.ok_count, 2u);
 
   // Both sinks carry the same two parseable records.
-  for (const std::string text :
+  for (const std::string& text :
        {live.str(), [&] {
           std::ifstream in(checkpoint_path());
           std::ostringstream content;
@@ -479,6 +479,52 @@ TEST_F(BatchTest, ArtifactsAreSharedAcrossSpecs) {
   // A fresh cache (new run_batch call) grades identically.
   const BatchResult cold = run_batch(specs, options);
   EXPECT_EQ(cold.canonical(), warm.canonical());
+}
+
+TEST_F(BatchTest, CheckOnlyLintsWithoutGrading) {
+  // A netlist with an unused input, run through the check-only batch:
+  // the default warn policy yields an "ok" record with zero patterns
+  // (nothing was graded), the error policy a permanent "lint" failure.
+  const fs::path bench = dir_ / "spare.bench";
+  {
+    std::ofstream out(bench);
+    out << "INPUT(a)\nINPUT(spare)\nOUTPUT(y)\ny = NOT(a)\n";
+  }
+  const std::string warn_spec = write_spec(
+      "warn.spec",
+      "circuit = " + bench.string() + "\nsource = lfsr\npatterns = 64\n");
+  const std::string error_spec = write_spec(
+      "error.spec", "circuit = " + bench.string() +
+                        "\nsource = lfsr\npatterns = 64\n"
+                        "analyze_dead_logic = error\n");
+  const std::string clean_spec = write_spec("clean.spec");
+
+  BatchOptions options = fast_options();
+  options.check_only = true;
+  const BatchResult result =
+      run_batch({warn_spec, error_spec, clean_spec}, options);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.ok_count, 2u);
+  EXPECT_EQ(result.failed_count, 1u);
+
+  const BatchRecord& warn = result.records[0];
+  EXPECT_EQ(warn.status, "ok");
+  EXPECT_EQ(warn.patterns, 0u);  // dry run: nothing materialized
+  EXPECT_GT(warn.classes, 0u);
+
+  const BatchRecord& lint = result.records[1];
+  EXPECT_EQ(lint.status, "failed");
+  EXPECT_EQ(lint.error_code, ErrorCode::kLint);
+  EXPECT_FALSE(lint.transient);
+  EXPECT_EQ(lint.attempts, 1);  // permanent: no retry
+  EXPECT_NE(lint.error.find("unused_input"), std::string::npos)
+      << lint.error;
+
+  // The same manifest WITHOUT check_only grades the warn spec for real.
+  const BatchResult graded = run_batch({warn_spec}, fast_options());
+  ASSERT_EQ(graded.records.size(), 1u);
+  EXPECT_EQ(graded.records[0].status, "ok");
+  EXPECT_EQ(graded.records[0].patterns, 64u);
 }
 
 TEST_F(BatchTest, ConcurrencyDoesNotChangeResults) {

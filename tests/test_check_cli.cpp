@@ -1,0 +1,211 @@
+// End-to-end exit-code contract of `lsiq_flow --check`: 0 = lint passed
+// (warnings allowed), 1 = error-severity findings, 2 = the spec itself is
+// unreadable or invalid — including the batch path, where a lint refusal
+// is a "failed" record with error_code "lint". Runs the real binary; each
+// test skips when it is not next to the test executable (ctest runs with
+// the build directory as cwd, which is where CMake puts lsiq_flow).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kBinary = "./lsiq_flow";
+
+bool binary_exists() {
+  std::ifstream probe(kBinary);
+  return probe.good();
+}
+
+#define REQUIRE_BINARY()                                              \
+  if (!binary_exists()) {                                             \
+    GTEST_SKIP() << "lsiq_flow binary not found next to the tests";   \
+  }
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+/// ctest runs these tests as parallel processes sharing one TempDir, so
+/// every scratch file is prefixed with the pid to keep runs disjoint.
+std::string scratch_path(const std::string& name) {
+  return ::testing::TempDir() + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Run the binary with shell redirection and decode the wait status.
+RunResult run_flow(const std::string& arguments) {
+  const std::string out_path = scratch_path("check_cli_out.txt");
+  const std::string err_path = scratch_path("check_cli_err.txt");
+  const std::string command = std::string(kBinary) + " " + arguments +
+                              " > " + out_path + " 2> " + err_path;
+  const int status = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  result.stdout_text = slurp(out_path);
+  result.stderr_text = slurp(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return result;
+}
+
+/// Write `text` to a temp file under the gtest temp dir; returns its path.
+std::string write_file(const std::string& name, const std::string& text) {
+  const std::string path = scratch_path(name);
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+/// A netlist with a deliberately unused input: dead_logic lint material
+/// that is still perfectly runnable.
+std::string spare_pin_bench() {
+  return write_file("check_cli_spare.bench",
+                    "INPUT(a)\n"
+                    "INPUT(spare)\n"
+                    "OUTPUT(y)\n"
+                    "y = NOT(a)\n");
+}
+
+TEST(CheckCli, CleanSpecExitsZero) {
+  REQUIRE_BINARY();
+  const std::string spec = write_file("check_cli_clean.spec",
+                                      "circuit = c17\n"
+                                      "source = lfsr\n"
+                                      "patterns = 16\n");
+  const RunResult result = run_flow("--check " + spec);
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("check OK: circuit c17"),
+            std::string::npos)
+      << result.stderr_text;
+  EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
+}
+
+TEST(CheckCli, WarningsStreamAsJsonlAndStillExitZero) {
+  REQUIRE_BINARY();
+  // dead_logic defaults to warn: the unused input is reported (along with
+  // its two statically-untestable stuck-at sites), the check still passes.
+  const std::string spec = write_file(
+      "check_cli_warn.spec",
+      "circuit = " + spare_pin_bench() + "\nsource = lfsr\npatterns = 16\n");
+  const RunResult result = run_flow("--check " + spec);
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("\"rule\":\"unused_input\""),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"rule\":\"untestable_fault\""),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"severity\":\"warning\""),
+            std::string::npos);
+  EXPECT_NE(result.stderr_text.find("3 warnings"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CheckCli, LintErrorExitsOne) {
+  REQUIRE_BINARY();
+  const std::string spec = write_file(
+      "check_cli_error.spec",
+      "circuit = " + spare_pin_bench() +
+          "\nsource = lfsr\npatterns = 16\nanalyze_dead_logic = error\n");
+  const RunResult result = run_flow("--check " + spec);
+  EXPECT_EQ(result.exit_code, 1) << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("\"rule\":\"unused_input\""),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"severity\":\"error\""),
+            std::string::npos);
+  EXPECT_NE(result.stderr_text.find("check FAILED"), std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CheckCli, UnreadableSpecExitsTwo) {
+  REQUIRE_BINARY();
+  const RunResult result =
+      run_flow("--check " + ::testing::TempDir() + "no_such_file.spec");
+  EXPECT_EQ(result.exit_code, 2) << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("spec error"), std::string::npos);
+}
+
+TEST(CheckCli, MalformedSpecExitsTwo) {
+  REQUIRE_BINARY();
+  const std::string spec = write_file("check_cli_bad.spec",
+                                      "circuit = c17\n"
+                                      "analyze_structure = sometimes\n");
+  const RunResult result = run_flow("--check " + spec);
+  EXPECT_EQ(result.exit_code, 2) << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("unknown analyze policy 'sometimes'"),
+            std::string::npos)
+      << result.stderr_text;
+}
+
+TEST(CheckCli, UnknownCircuitExitsTwo) {
+  REQUIRE_BINARY();
+  const std::string spec =
+      write_file("check_cli_circuit.spec", "circuit = warpcore9\n");
+  const RunResult result = run_flow("--check " + spec);
+  EXPECT_EQ(result.exit_code, 2) << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("unknown circuit"), std::string::npos);
+}
+
+TEST(CheckCli, CheckAndValidateTogetherIsUsageError) {
+  REQUIRE_BINARY();
+  const std::string spec =
+      write_file("check_cli_both.spec", "circuit = c17\n");
+  const RunResult result = run_flow("--check --validate " + spec);
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CheckCli, BatchCheckRecordsLintFailures) {
+  REQUIRE_BINARY();
+  const std::string clean = write_file("batch_check_clean.spec",
+                                       "circuit = c17\n"
+                                       "source = lfsr\n"
+                                       "patterns = 16\n");
+  const std::string failing = write_file(
+      "batch_check_lint.spec",
+      "circuit = " + spare_pin_bench() +
+          "\nsource = lfsr\npatterns = 16\nanalyze_dead_logic = error\n");
+  const std::string manifest = write_file(
+      "batch_check.list", clean + "\n" + failing + "\n");
+  const RunResult result = run_flow("--check --batch " + manifest);
+  EXPECT_EQ(result.exit_code, 1) << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("\"status\":\"ok\""), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"error_code\":\"lint\""),
+            std::string::npos)
+      << result.stdout_text;
+  // Lint is permanent: exactly one attempt, no retries.
+  EXPECT_EQ(result.stdout_text.find("\"attempts\":2"), std::string::npos);
+}
+
+TEST(CheckCli, BatchCheckAllCleanExitsZero) {
+  REQUIRE_BINARY();
+  const std::string clean = write_file("batch_check_only_clean.spec",
+                                       "circuit = c17\n"
+                                       "source = lfsr\n"
+                                       "patterns = 16\n");
+  const std::string manifest =
+      write_file("batch_check_clean.list", clean + "\n");
+  const RunResult result = run_flow("--check --batch " + manifest);
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("\"status\":\"ok\""), std::string::npos);
+}
+
+}  // namespace

@@ -38,10 +38,12 @@ TEST(ErrorTaxonomy, CodesAreStableAndNamed) {
   EXPECT_EQ(static_cast<int>(ErrorCode::kTransient), 7);
   EXPECT_EQ(static_cast<int>(ErrorCode::kDeadline), 8);
   EXPECT_EQ(static_cast<int>(ErrorCode::kCancelled), 9);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kLint), 10);
 
   EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
   EXPECT_STREQ(error_code_name(ErrorCode::kInvalidSpec), "invalid_spec");
   EXPECT_STREQ(error_code_name(ErrorCode::kDeadline), "deadline");
+  EXPECT_STREQ(error_code_name(ErrorCode::kLint), "lint");
 }
 
 TEST(ErrorTaxonomy, NamesRoundTrip) {
@@ -49,7 +51,7 @@ TEST(ErrorTaxonomy, NamesRoundTrip) {
        {ErrorCode::kOk, ErrorCode::kUnknown, ErrorCode::kContract,
         ErrorCode::kParse, ErrorCode::kNumeric, ErrorCode::kInvalidSpec,
         ErrorCode::kIo, ErrorCode::kTransient, ErrorCode::kDeadline,
-        ErrorCode::kCancelled}) {
+        ErrorCode::kCancelled, ErrorCode::kLint}) {
     SCOPED_TRACE(error_code_name(code));
     const std::optional<ErrorCode> parsed =
         error_code_from_name(error_code_name(code));
@@ -74,6 +76,8 @@ TEST(ErrorTaxonomy, TransientSplitMatchesRetrySemantics) {
   EXPECT_FALSE(is_transient(ErrorCode::kInvalidSpec));
   EXPECT_FALSE(is_transient(ErrorCode::kDeadline));
   EXPECT_FALSE(is_transient(ErrorCode::kCancelled));
+  // A lint refusal is deterministic: the same netlist re-lints the same.
+  EXPECT_FALSE(is_transient(ErrorCode::kLint));
 }
 
 TEST(ErrorTaxonomy, SubclassesCarryTheirCode) {

@@ -189,6 +189,33 @@ const Case kCases[] = {
      [](FlowSpec& s) { s.analysis.reject_targets = {0.0}; },
      "analysis.reject_targets",
      "reject targets must lie in (0, 1), got 0.000000"},
+    {"bad analyze structure policy",
+     [](FlowSpec& s) { s.analyze.structure = "strict"; },
+     "analyze.structure",
+     "unknown analyze policy 'strict' (expected off, warn, or error)"},
+    {"bad analyze dead-logic policy",
+     [](FlowSpec& s) { s.analyze.dead_logic = "fatal"; },
+     "analyze.dead_logic",
+     "unknown analyze policy 'fatal' (expected off, warn, or error)"},
+    {"bad analyze untestable policy",
+     [](FlowSpec& s) { s.analyze.untestable = "maybe"; },
+     "analyze.untestable",
+     "unknown analyze policy 'maybe' (expected off, warn, or error)"},
+    {"bad analyze testability policy",
+     [](FlowSpec& s) { s.analyze.testability = "on"; },
+     "analyze.testability",
+     "unknown analyze policy 'on' (expected off, warn, or error)"},
+    {"resistant threshold out of range",
+     [](FlowSpec& s) { s.analyze.resistant_threshold = 1.0; },
+     "analyze.resistant_threshold",
+     "resistant threshold must be in (0, 1), got 1.000000"},
+    {"resistant threshold not finite",
+     [](FlowSpec& s) {
+       s.analyze.resistant_threshold =
+           std::numeric_limits<double>::quiet_NaN();
+     },
+     "analyze.resistant_threshold",
+     "resistant threshold must be in (0, 1), got nan"},
 };
 
 TEST(FlowValidate, GoodSpecHasNoIssues) {
@@ -364,6 +391,97 @@ TEST(FlowValidate, UnreachableStrobeDiagnosticNamesBothCoverages) {
   } catch (const lsiq::Error& e) {
     EXPECT_EQ(std::string(e.what()), expected);
   }
+}
+
+/// A runnable circuit with one unused input: dead_logic lint material.
+circuit::Circuit spare_pin_circuit() {
+  circuit::Circuit c("spare_pin");
+  const circuit::GateId a = c.add_input("a");
+  c.add_input("spare");
+  const circuit::GateId x =
+      c.add_gate(circuit::GateType::kNot, {a}, "x");
+  c.mark_output(x);
+  c.finalize();
+  return c;
+}
+
+TEST(FlowAnalyzeGate, ErrorPolicyRefusesTheRun) {
+  static const circuit::Circuit circuit = spare_pin_circuit();
+  static const fault::FaultList faults =
+      fault::FaultList::full_universe(circuit);
+  FlowSpec spec = good_spec();
+  spec.analysis.strobe_coverages.clear();
+  spec.lot.chip_count = 0;
+  spec.analyze.dead_logic = "error";
+  // The spare pin's own stuck-at sites are also statically untestable;
+  // silence that class so the test isolates the dead_logic verdict.
+  spec.analyze.untestable = "off";
+  try {
+    flow::run(faults, spec);
+    FAIL() << "expected analyze::LintError";
+  } catch (const analyze::LintError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kLint);
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].rule, analyze::Rule::kUnusedInput);
+    EXPECT_EQ(e.diagnostics()[0].object, "spare");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lint failed (1 error, 0 warnings)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("error[unused_input] spare"), std::string::npos);
+  }
+}
+
+TEST(FlowAnalyzeGate, WarnPolicyRunsAndReportsFindings) {
+  static const circuit::Circuit circuit = spare_pin_circuit();
+  static const fault::FaultList faults =
+      fault::FaultList::full_universe(circuit);
+  FlowSpec spec = good_spec();
+  spec.analysis.strobe_coverages.clear();
+  spec.lot.chip_count = 0;
+  spec.analyze.untestable = "off";
+  const FlowResult result = flow::run(faults, spec);  // default: warn
+  ASSERT_EQ(result.lint.size(), 1u);
+  EXPECT_EQ(result.lint[0].rule, analyze::Rule::kUnusedInput);
+  EXPECT_EQ(result.lint[0].severity, analyze::Policy::kWarn);
+  EXPECT_NE(result.report().find(
+                "lint: 1 warning from the analyze gate"),
+            std::string::npos)
+      << result.report();
+}
+
+TEST(FlowAnalyzeGate, CheckRunsTheGateWithoutGrading) {
+  static const circuit::Circuit circuit = spare_pin_circuit();
+  static const fault::FaultList faults =
+      fault::FaultList::full_universe(circuit);
+  FlowSpec spec = good_spec();
+  spec.analysis.strobe_coverages.clear();
+  spec.lot.chip_count = 0;
+  spec.analyze.untestable = "off";
+  const std::vector<analyze::Diagnostic> warnings =
+      flow::check(faults, spec);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].rule, analyze::Rule::kUnusedInput);
+
+  // Every class off: the gate is a no-op and returns nothing.
+  spec.analyze.structure = "off";
+  spec.analyze.dead_logic = "off";
+  spec.analyze.untestable = "off";
+  EXPECT_TRUE(flow::check(faults, spec).empty());
+
+  // An invalid spec is refused before any analysis happens.
+  spec.analyze.structure = "strict";
+  EXPECT_THROW(flow::check(faults, spec), InvalidSpec);
+}
+
+TEST(FlowAnalyzeGate, CleanCircuitRunsWithEmptyLint) {
+  static const circuit::Circuit circuit = circuit::make_c17();
+  static const fault::FaultList faults =
+      fault::FaultList::full_universe(circuit);
+  FlowSpec spec = good_spec();
+  const FlowResult result = flow::run(faults, spec);
+  EXPECT_TRUE(result.lint.empty());
+  EXPECT_EQ(result.report().find("lint:"), std::string::npos);
 }
 
 }  // namespace

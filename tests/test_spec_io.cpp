@@ -145,6 +145,35 @@ TEST(SpecIo, FaultModelKeySelectsTheUniverse) {
             "stuck_at");
 }
 
+TEST(SpecIo, AnalyzeKeysParseAndRoundTrip) {
+  const SpecFile file = read_spec_string(
+      "circuit = c17\n"
+      "analyze_structure = warn\n"
+      "analyze_dead_logic = error\n"
+      "analyze_untestable = off\n"
+      "analyze_testability = warn\n"
+      "resistant_threshold = 0.01\n");
+  EXPECT_EQ(file.spec.analyze.structure, "warn");
+  EXPECT_EQ(file.spec.analyze.dead_logic, "error");
+  EXPECT_EQ(file.spec.analyze.untestable, "off");
+  EXPECT_EQ(file.spec.analyze.testability, "warn");
+  EXPECT_DOUBLE_EQ(file.spec.analyze.resistant_threshold, 0.01);
+
+  const SpecFile parsed = read_spec_string(write_spec_string(file));
+  EXPECT_EQ(parsed.spec.analyze, file.spec.analyze);
+}
+
+TEST(SpecIo, DefaultAnalyzeKeysAreNotSerialized) {
+  // A spec written before the analyze gate existed must stay
+  // byte-identical through a round trip: default knobs are omitted.
+  SpecFile plain;
+  plain.circuit = "c17";
+  const std::string text = write_spec_string(plain);
+  EXPECT_EQ(text.find("analyze_"), std::string::npos) << text;
+  EXPECT_EQ(text.find("resistant_threshold"), std::string::npos) << text;
+  EXPECT_EQ(read_spec_string(text).spec.analyze, AnalyzeSpec{});
+}
+
 TEST(SpecIo, RoundTripCoversEveryEnumValueOfEveryAxis) {
   // write -> parse -> compare FULL FlowSpec equality for every selector
   // value of every axis ("explicit" has no text form and is covered by

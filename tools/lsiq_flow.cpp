@@ -3,6 +3,7 @@
 //
 //     lsiq_flow <spec-file>              run the experiment
 //     lsiq_flow --validate <spec-file>   check the spec, run nothing
+//     lsiq_flow --check <spec-file>      spec + netlist lint, run nothing
 //     lsiq_flow --batch <manifest>       run many specs (see --help)
 //
 // A spec file selects a circuit and the four flow axes (see
@@ -21,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "analyze/rule.hpp"
 #include "fault/fault_list.hpp"
 #include "fault_model/universe.hpp"
 #include "flow/batch.hpp"
@@ -42,6 +44,16 @@ Options:
   -h, --help            print this help and exit 0
   --validate            check the spec (including the circuit name), run
                         nothing
+  --check               dry-run lint: validate the spec, resolve the
+                        circuit, and run the static-analysis gate
+                        (src/analyze) under the spec's analyze_* policies
+                        without grading anything. Diagnostics stream to
+                        stdout as JSON lines, a summary to stderr. Exit 0
+                        when the gate passes (warnings allowed), 1 when an
+                        error-policy rule fired, 2 for an unreadable or
+                        invalid spec. Combine with --batch to lint a whole
+                        manifest (one JSONL record per spec, lint failures
+                        recorded with error_code "lint").
 
 Batch mode (--batch <manifest>):
   A manifest is a directory (every *.spec in it, sorted) or a list file
@@ -70,8 +82,8 @@ specs and report/JSONL write failures); 2 = spec or usage error.
 )help";
 
 int usage() {
-  std::cerr << "usage: lsiq_flow [--validate] <spec-file>\n"
-               "       lsiq_flow --batch [options] <manifest>\n"
+  std::cerr << "usage: lsiq_flow [--validate | --check] <spec-file>\n"
+               "       lsiq_flow [--check] --batch [options] <manifest>\n"
                "       lsiq_flow --help\n";
   return 2;
 }
@@ -140,6 +152,7 @@ int main(int argc, char** argv) {
   }
 
   bool validate_only = false;
+  bool check_mode = false;
   bool batch_mode = false;
   BatchCli batch;
   std::string path;
@@ -163,6 +176,8 @@ int main(int argc, char** argv) {
       return finish(EXIT_SUCCESS);
     } else if (arg == "--validate") {
       validate_only = true;
+    } else if (arg == "--check") {
+      check_mode = true;
     } else if (arg == "--batch") {
       batch_mode = true;
     } else if (arg == "--jobs") {
@@ -199,9 +214,11 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage();
   if (batch_mode && validate_only) return usage();
+  if (check_mode && validate_only) return usage();
 
   if (batch_mode) {
     batch.manifest = path;
+    batch.options.check_only = check_mode;
     return run_batch_mode(batch);
   }
 
@@ -241,6 +258,33 @@ int main(int argc, char** argv) {
     const fault_model::FaultModel model =
         *fault_model::fault_model_from_name(file.spec.fault_model.kind);
     const fault::FaultList faults = fault_model::universe(*circuit, model);
+    if (check_mode) {
+      // Dry-run lint: the analyze gate only, diagnostics as JSON lines.
+      try {
+        const std::vector<analyze::Diagnostic> diagnostics =
+            flow::check(faults, file.spec);
+        for (const analyze::Diagnostic& diagnostic : diagnostics) {
+          std::cout << diagnostic.to_jsonl() << "\n";
+        }
+        std::cerr << "check OK: circuit " << file.circuit << ", "
+                  << faults.class_count() << " collapsed classes, "
+                  << diagnostics.size() << " warning"
+                  << (diagnostics.size() == 1 ? "" : "s") << "\n";
+        return finish(EXIT_SUCCESS);
+      } catch (const analyze::LintError& e) {
+        std::size_t errors = 0;
+        for (const analyze::Diagnostic& diagnostic : e.diagnostics()) {
+          std::cout << diagnostic.to_jsonl() << "\n";
+          if (diagnostic.severity == analyze::Policy::kError) ++errors;
+        }
+        std::cerr << "check FAILED: circuit " << file.circuit << ", "
+                  << errors << " error" << (errors == 1 ? "" : "s") << ", "
+                  << e.diagnostics().size() - errors << " warning"
+                  << (e.diagnostics().size() - errors == 1 ? "" : "s")
+                  << "\n";
+        return finish(EXIT_FAILURE);
+      }
+    }
     std::cout << "circuit: " << circuit->name() << " — "
               << fault_model::fault_model_label(model)
               << " fault universe N = " << faults.fault_count() << " ("
@@ -253,6 +297,16 @@ int main(int argc, char** argv) {
     // validate() rejects.
     std::cerr << "spec error: " << e.what() << "\n";
     return 2;
+  } catch (const lsiq::IoError& e) {
+    if (check_mode) {
+      // The --check contract: an unreadable spec is a spec error (2),
+      // mirroring parse failures — a dry run has no runtime half to fail.
+      std::cerr << "spec error: " << e.what() << "\n";
+      return 2;
+    }
+    std::cerr << "lsiq_flow: error [" << error_code_name(e.code())
+              << "]: " << e.what() << "\n";
+    return EXIT_FAILURE;
   } catch (const lsiq::Error& e) {
     std::cerr << "lsiq_flow: error [" << error_code_name(e.code())
               << "]: " << e.what() << "\n";
