@@ -16,7 +16,10 @@
 #include <benchmark/benchmark.h>
 
 #include "analyze/analyze.hpp"
+#include "analyze/implication.hpp"
+#include "analyze/redundancy.hpp"
 #include "analyze/testability.hpp"
+#include "circuit/compiled.hpp"
 #include "circuit/generators.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -179,19 +182,29 @@ BENCHMARK(BM_FaultSim_GradeTransitionProgram)->Arg(0)->Arg(8)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_Podem_PerFault(benchmark::State& state) {
+  // Arg 0 = plain PODEM, arg 1 = implication-assisted. The engine is
+  // built ONCE outside the timed loop, exactly how the ATPG driver
+  // amortizes it — rebuilding the static-learning tables per solve would
+  // be measuring engine construction, not the assist.
   const circuit::Circuit c = circuit::make_alu(4);
+  const circuit::CompiledCircuit compiled(c);
+  const analyze::ImplicationEngine engine(compiled);
   const fault::FaultList faults = fault::FaultList::full_universe(c);
+  const bool assisted = state.range(0) != 0;
+  tpg::PodemOptions options;
+  options.use_implications = assisted;
+  if (assisted) options.implications = &engine;
   std::size_t index = 0;
   for (auto _ : state) {
     const tpg::PodemResult r = tpg::generate_test(
-        c, faults.representatives()[index % faults.class_count()]);
+        c, faults.representatives()[index % faults.class_count()], options);
     benchmark::DoNotOptimize(r.status);
     ++index;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-  state.SetLabel("alu4");
+  state.SetLabel(assisted ? "alu4, implication-assisted" : "alu4, plain");
 }
-BENCHMARK(BM_Podem_PerFault);
+BENCHMARK(BM_Podem_PerFault)->Arg(0)->Arg(1);
 
 // The static analyzer: the whole structural pass (topology, constant
 // propagation, observability, untestable sites, FFR stats) has to stay
@@ -208,6 +221,26 @@ void BM_Analyze_Structural(benchmark::State& state) {
   state.SetLabel(circuit_name(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_Analyze_Structural)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The implication engine end to end: direct-implication tables, static
+// learning, dominators, cones, plus a full FIRE redundancy sweep. This is
+// the one-time cost flow::run pays (per circuit, amortized over every
+// PODEM solve) when analyze_untestable is enabled.
+void BM_Analyze_Implications(benchmark::State& state) {
+  const circuit::Circuit c = circuit_for(static_cast<int>(state.range(0)));
+  const circuit::CompiledCircuit compiled(c);
+  for (auto _ : state) {
+    const analyze::ImplicationEngine engine(compiled);
+    const analyze::RedundancyReport report =
+        analyze::identify_redundancies(engine);
+    benchmark::DoNotOptimize(report.sites.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.gate_count()));
+  state.SetLabel(circuit_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Analyze_Implications)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 // COP + SCOAP over a collapsed universe: the testability half of the
 // gate, and the cost of one predicted coverage curve.

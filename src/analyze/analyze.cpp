@@ -6,6 +6,10 @@
 #include <string>
 #include <utility>
 
+#include "analyze/implication.hpp"
+#include "analyze/redundancy.hpp"
+#include "circuit/compiled.hpp"
+
 namespace lsiq::analyze {
 
 namespace {
@@ -298,6 +302,7 @@ Report analyze(const Circuit& circuit, const Options& options) {
     // No usable topological order (or no I/O at all): the value/flow
     // analyses below would report nonsense on top of real damage.
     emit.finish();
+    sort_diagnostics(report.diagnostics);
     return report;
   }
 
@@ -333,6 +338,78 @@ Report analyze(const Circuit& circuit, const Options& options) {
         report.observable[id] = 1;
         break;
       }
+    }
+  }
+
+  // The backward pass treats ANY controlling constant on a sibling pin
+  // as blocking — too strong when the sibling lies inside the flagged
+  // gate's own fanout cone, where its faulty value need not equal the
+  // constant good value (two effect-carrying inputs can still produce a
+  // differing output). Re-check every flagged gate with the cone guard:
+  // a sibling constant blocks only from OUTSIDE the fault cone, where
+  // good and faulty values provably coincide. Guarded reach is a
+  // superset of the unguarded pass, so gates already marked observable
+  // never need the (per-gate O(E)) recheck.
+  {
+    std::vector<char> cone(n, 0);
+    std::vector<char> reach(n, 0);
+    std::vector<GateId> stack;
+    for (const GateId source : topo.order) {
+      if (report.observable[source] != 0) continue;
+      if (topo.readers[source].empty()) continue;  // dangling: stays flagged
+      std::fill(cone.begin(), cone.end(), 0);
+      std::fill(reach.begin(), reach.end(), 0);
+      stack.assign(1, source);
+      cone[source] = 1;
+      while (!stack.empty()) {
+        const GateId id = stack.back();
+        stack.pop_back();
+        for (const auto& [reader, pin] : topo.readers[id]) {
+          if (circuit.gate(reader).type == GateType::kDff) continue;
+          if (cone[reader] != 0) continue;
+          cone[reader] = 1;
+          stack.push_back(reader);
+        }
+      }
+      stack.assign(1, source);
+      reach[source] = 1;
+      bool hit = observed[source] != 0;
+      while (!hit && !stack.empty()) {
+        const GateId id = stack.back();
+        stack.pop_back();
+        for (const auto& [reader, pin] : topo.readers[id]) {
+          const Gate& consumer = circuit.gate(reader);
+          if (consumer.type == GateType::kDff) continue;
+          if (reach[reader] != 0) continue;
+          const bool and_like = consumer.type == GateType::kAnd ||
+                                consumer.type == GateType::kNand;
+          const bool or_like = consumer.type == GateType::kOr ||
+                               consumer.type == GateType::kNor;
+          bool blocked = false;
+          if (and_like || or_like) {
+            const LineValue controlling =
+                and_like ? LineValue::kZero : LineValue::kOne;
+            for (std::int32_t q = 0;
+                 q < static_cast<std::int32_t>(consumer.fanin.size()); ++q) {
+              if (q == pin) continue;
+              const GateId sibling = consumer.fanin[q];
+              if (report.constant[sibling] == controlling &&
+                  cone[sibling] == 0) {
+                blocked = true;
+                break;
+              }
+            }
+          }
+          if (blocked) continue;
+          reach[reader] = 1;
+          if (observed[reader] != 0) {
+            hit = true;
+            break;
+          }
+          stack.push_back(reader);
+        }
+      }
+      if (hit) report.observable[source] = 1;
     }
   }
 
@@ -403,6 +480,57 @@ Report analyze(const Circuit& circuit, const Options& options) {
     }
   }
 
+  // ---- implication-prover redundancies (finalized circuits only) ----
+  // The structural verdicts above come from tied constants alone; the
+  // implication engine adds implied constants, necessary-assignment
+  // conflicts and FIRE stem conflicts — the reconvergent redundancies a
+  // forward/backward sweep cannot see. Only finalized circuits can be
+  // compiled, and the prover only runs when its class is enabled.
+  if (circuit.finalized() &&
+      options.policy(RuleClass::kUntestable) != Policy::kOff) {
+    const circuit::CompiledCircuit compiled(circuit);
+    const ImplicationEngine engine(compiled);
+    const RedundancyReport redundancy = identify_redundancies(engine);
+    std::vector<fault::Fault> merged;
+    merged.reserve(report.untestable_sites.size() + redundancy.sites.size());
+    auto structural = report.untestable_sites.begin();
+    for (const RedundantSite& site : redundancy.sites) {
+      while (structural != report.untestable_sites.end() &&
+             *structural < site.fault) {
+        merged.push_back(*structural++);
+      }
+      if (structural != report.untestable_sites.end() &&
+          *structural == site.fault) {
+        merged.push_back(*structural++);  // already proven structurally
+        continue;
+      }
+      merged.push_back(site.fault);
+      std::string message = "statically untestable: ";
+      switch (site.reason) {
+        case RedundancyReason::kActivationConstant:
+          message += "an implied constant holds the stuck value on every "
+                     "pattern";
+          break;
+        case RedundancyReason::kUnobservable:
+          message += "no propagation path reaches an observed point";
+          break;
+        case RedundancyReason::kNecessaryConflict:
+          message += "necessary assignments conflict on line '" +
+                     circuit.gate(site.witness).name + "'";
+          break;
+        case RedundancyReason::kStemConflict:
+          message += "detection needs stem '" +
+                     circuit.gate(site.witness).name +
+                     "' at 0 and 1 at once (FIRE)";
+          break;
+      }
+      emit.emit(Rule::kUntestableImplication, site.fault.gate,
+                fault::fault_name(circuit, site.fault), std::move(message));
+    }
+    merged.insert(merged.end(), structural, report.untestable_sites.end());
+    report.untestable_sites = std::move(merged);
+  }
+
   // ---- fanout-free regions (over combinational gates) ----
   {
     std::vector<GateId> region(n, kNoGate);
@@ -431,6 +559,7 @@ Report analyze(const Circuit& circuit, const Options& options) {
   }
 
   emit.finish();
+  sort_diagnostics(report.diagnostics);
   return report;
 }
 

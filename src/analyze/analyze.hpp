@@ -15,9 +15,14 @@
 // (activation impossible) or every path from its site to an observed
 // point passes a side pin held at a controlling constant (observation
 // impossible). PODEM must agree: tests/test_analyze_crosscheck.cpp pins
-// untestable_sites ⊆ PODEM kUntestable on collapsed universes. The
-// converse is deliberately not claimed — reconvergent redundancy needs a
-// decision procedure, not a structural pass.
+// untestable_sites ⊆ PODEM kUntestable on collapsed universes. Beyond the
+// structural pass, analyze() now also runs the implication engine
+// (analyze/implication.hpp + analyze/redundancy.hpp): implied constants,
+// necessary-assignment conflicts and FIRE stem proofs land as
+// untestable_implication diagnostics and catch a useful slice of the
+// reconvergent redundancy the structural pass cannot see. Completeness is
+// still not claimed — tests/test_implication_crosscheck.cpp pins a
+// reconvergent case only a full decision procedure (PODEM) finds.
 //
 // Unlike every other consumer in the library, the analyzer accepts
 // UNFINALIZED circuits: finalize() throws on the very defects (cycles,

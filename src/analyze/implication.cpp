@@ -1,0 +1,473 @@
+#include "analyze/implication.hpp"
+
+#include <algorithm>
+
+namespace lsiq::analyze {
+
+namespace {
+
+using circuit::CompiledCircuit;
+using circuit::GateId;
+using circuit::GateType;
+using circuit::kNoGate;
+using sim::Tri;
+
+bool and_like(GateType type) noexcept {
+  return type == GateType::kAnd || type == GateType::kNand;
+}
+bool or_like(GateType type) noexcept {
+  return type == GateType::kOr || type == GateType::kNor;
+}
+
+Tri literal_tri(Literal lit) noexcept {
+  return literal_one(lit) ? Tri::kOne : Tri::kZero;
+}
+
+/// Caps that keep the one-time learning sweep near-linear: per-literal
+/// closures larger than this are not indexed (their contrapositives are
+/// almost all derivable anyway), and no literal accumulates more learned
+/// edges than it could usefully replay.
+constexpr std::size_t kMaxForcedStored = 256;
+constexpr std::size_t kMaxLearnedPerLiteral = 64;
+/// Round caps for the implied-constant fixpoints (each round is a full
+/// 2n-literal probe; real circuits converge in one or two).
+constexpr int kConstantRounds = 4;
+constexpr int kPostLearnRounds = 2;
+
+}  // namespace
+
+ImplicationEngine::ImplicationEngine(const CompiledCircuit& compiled)
+    : compiled_(&compiled), n_(compiled.node_count()) {
+  build_base();
+  learn();
+  build_cones();
+  build_dominators();
+}
+
+LineValue ImplicationEngine::constant(GateId id) const {
+  switch (base_[id]) {
+    case Tri::kZero:
+      return LineValue::kZero;
+    case Tri::kOne:
+      return LineValue::kOne;
+    default:
+      return LineValue::kUnknown;
+  }
+}
+
+bool ImplicationEngine::set_value(std::vector<Tri>& values,
+                                  std::vector<GateId>& queue, GateId id,
+                                  Tri value) const {
+  if (value == Tri::kX) return true;
+  const Tri current = values[id];
+  if (current == value) return true;
+  if (current != Tri::kX) return false;  // 0 and 1 both forced: contradiction
+  values[id] = value;
+  // Re-examine the gate itself (its backward rules just armed) and every
+  // reader (their forward/backward rules see a new operand). Values are
+  // monotone X -> {0,1}, so total enqueues are bounded by edges + nodes.
+  queue.push_back(id);
+  const GateId* outs = compiled_->fanout(id);
+  const std::size_t count = compiled_->fanout_count(id);
+  for (std::size_t i = 0; i < count; ++i) queue.push_back(outs[i]);
+  return true;
+}
+
+bool ImplicationEngine::examine(std::vector<Tri>& values,
+                                std::vector<GateId>& queue, GateId id) const {
+  // Learned indirect implications fire off the gate's literal regardless
+  // of its type (they encode non-local consequences, not gate semantics).
+  if (!learned_.empty() && values[id] != Tri::kX) {
+    const Literal lit = make_literal(id, values[id] == Tri::kOne);
+    for (const Literal forced : learned_[lit]) {
+      if (!set_value(values, queue, literal_line(forced),
+                     literal_tri(forced))) {
+        return false;
+      }
+    }
+  }
+
+  const GateType type = compiled_->type(id);
+  // Sources: inputs and flip-flop outputs are free variables, and a DFF
+  // is a scan boundary — its D driver is observed, its output is an
+  // independent pattern input, so nothing implies across it either way.
+  if (type == GateType::kInput || type == GateType::kDff) return true;
+  if (type == GateType::kConst0) return set_value(values, queue, id, Tri::kZero);
+  if (type == GateType::kConst1) return set_value(values, queue, id, Tri::kOne);
+
+  const GateId* pins = compiled_->fanin(id);
+  const int count = static_cast<int>(compiled_->fanin_count(id));
+  if (count == 0) return true;  // floating gate: lint's problem, not ours
+  const Tri out = values[id];
+
+  if (type == GateType::kBuf || type == GateType::kNot) {
+    const bool invert = type == GateType::kNot;
+    const Tri in = values[pins[0]];
+    if (in != Tri::kX &&
+        !set_value(values, queue, id, invert ? sim::tri_not(in) : in)) {
+      return false;
+    }
+    if (out != Tri::kX &&
+        !set_value(values, queue, pins[0], invert ? sim::tri_not(out) : out)) {
+      return false;
+    }
+    return true;
+  }
+
+  if (and_like(type) || or_like(type)) {
+    const bool is_and = and_like(type);
+    const bool invert = type == GateType::kNand || type == GateType::kNor;
+    const Tri controlling = is_and ? Tri::kZero : Tri::kOne;
+    const Tri neutral = is_and ? Tri::kOne : Tri::kZero;
+    int unknown = 0;
+    GateId unknown_pin = kNoGate;
+    bool controlled = false;
+    for (int i = 0; i < count; ++i) {
+      const Tri v = values[pins[i]];
+      if (v == controlling) controlled = true;
+      if (v == Tri::kX) {
+        ++unknown;
+        unknown_pin = pins[i];
+      }
+    }
+    // Forward: one controlling input decides the output; all-neutral does
+    // too.
+    if (controlled) {
+      const Tri forward = invert ? sim::tri_not(controlling) : controlling;
+      if (!set_value(values, queue, id, forward)) return false;
+    } else if (unknown == 0) {
+      const Tri forward = invert ? sim::tri_not(neutral) : neutral;
+      if (!set_value(values, queue, id, forward)) return false;
+    }
+    // Backward: the neutral-side output value forces every input neutral;
+    // the controlled-side output with exactly one unknown input is the
+    // unit rule (that input must be the controlling one).
+    if (out != Tri::kX) {
+      const Tri effective = invert ? sim::tri_not(out) : out;
+      if (effective == neutral) {
+        for (int i = 0; i < count; ++i) {
+          if (!set_value(values, queue, pins[i], neutral)) return false;
+        }
+      } else if (!controlled && unknown == 1) {
+        if (!set_value(values, queue, unknown_pin, controlling)) return false;
+      }
+    }
+    return true;
+  }
+
+  // XOR / XNOR: parity forward once every input is known; with exactly
+  // one unknown input and a known output, solve the parity backward.
+  const bool invert = type == GateType::kXnor;
+  int unknown = 0;
+  GateId unknown_pin = kNoGate;
+  bool parity = invert;  // folds the inversion in: parity == output value
+  for (int i = 0; i < count; ++i) {
+    const Tri v = values[pins[i]];
+    if (v == Tri::kX) {
+      ++unknown;
+      unknown_pin = pins[i];
+    } else {
+      parity ^= v == Tri::kOne;
+    }
+  }
+  if (unknown == 0) {
+    if (!set_value(values, queue, id, parity ? Tri::kOne : Tri::kZero)) {
+      return false;
+    }
+  } else if (unknown == 1 && out != Tri::kX) {
+    const bool in = (out == Tri::kOne) != parity;
+    if (!set_value(values, queue, unknown_pin, in ? Tri::kOne : Tri::kZero)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ImplicationEngine::drain(std::vector<Tri>& values,
+                              std::vector<GateId>& queue) const {
+  while (!queue.empty()) {
+    const GateId id = queue.back();
+    queue.pop_back();
+    if (!examine(values, queue, id)) return false;
+  }
+  return true;
+}
+
+bool ImplicationEngine::propagate(const std::vector<Literal>& assumptions,
+                                  std::vector<Tri>& values) const {
+  values = base_;
+  std::vector<GateId> queue;
+  queue.reserve(64);
+  for (const Literal lit : assumptions) {
+    if (!set_value(values, queue, literal_line(lit), literal_tri(lit))) {
+      return false;
+    }
+  }
+  return drain(values, queue);
+}
+
+void ImplicationEngine::build_base() {
+  base_.assign(n_, Tri::kX);
+  std::vector<GateId> queue;
+  for (GateId id = 0; id < static_cast<GateId>(n_); ++id) {
+    const GateType type = compiled_->type(id);
+    if (type == GateType::kConst0) {
+      set_value(base_, queue, id, Tri::kZero);
+    } else if (type == GateType::kConst1) {
+      set_value(base_, queue, id, Tri::kOne);
+    }
+  }
+  // Tied constants are consistent facts; this drain cannot contradict.
+  drain(base_, queue);
+}
+
+bool ImplicationEngine::sweep_constants() {
+  bool changed = false;
+  std::vector<Tri> values;
+  std::vector<GateId> queue;
+  for (GateId id = 0; id < static_cast<GateId>(n_); ++id) {
+    if (base_[id] != Tri::kX) continue;
+    for (const bool one : {false, true}) {
+      if (propagate({make_literal(id, one)}, values)) continue;
+      // `id = one` is impossible on every pattern: the opposite value is
+      // an implied constant. Bake it in and propagate its consequences
+      // (a true fact — this drain cannot contradict).
+      queue.clear();
+      set_value(base_, queue, id, one ? Tri::kZero : Tri::kOne);
+      drain(base_, queue);
+      changed = true;
+      break;
+    }
+  }
+  return changed;
+}
+
+void ImplicationEngine::learn() {
+  learned_.clear();
+
+  // Phase 1: implied constants from gate rules alone. Each new constant
+  // can enable more, so iterate (capped; real circuits settle fast).
+  for (int round = 0; round < kConstantRounds; ++round) {
+    if (!sweep_constants()) break;
+  }
+
+  // Phase 2: the direct closure F[L] of every free literal — both the
+  // source of contrapositives and the redundancy filter below.
+  const std::size_t literal_count = 2 * n_;
+  std::vector<std::vector<Literal>> forced(literal_count);
+  std::vector<char> truncated(literal_count, 0);
+  std::vector<Tri> values;
+  for (GateId id = 0; id < static_cast<GateId>(n_); ++id) {
+    if (base_[id] != Tri::kX) continue;
+    for (const bool one : {false, true}) {
+      const Literal lit = make_literal(id, one);
+      if (!propagate({lit}, values)) continue;  // phase-1 cap leftovers
+      auto& list = forced[lit];
+      for (GateId m = 0; m < static_cast<GateId>(n_); ++m) {
+        if (m == id || base_[m] != Tri::kX || values[m] == Tri::kX) continue;
+        if (list.size() >= kMaxForcedStored) {
+          truncated[lit] = 1;
+          break;
+        }
+        list.push_back(make_literal(m, values[m] == Tri::kOne));
+      }
+      std::sort(list.begin(), list.end());
+    }
+  }
+
+  // Phase 3: contrapositive learning. L => M gives not-M => not-L; store
+  // the pair on not-M unless its own direct closure already derives it
+  // (then it is not an *indirect* implication, just gate rules replayed).
+  // Distinct (lit, m) pairs give distinct edges, so no dedup is needed.
+  learned_.assign(literal_count, {});
+  for (Literal lit = 0; lit < static_cast<Literal>(literal_count); ++lit) {
+    for (const Literal m : forced[lit]) {
+      const Literal source = literal_not(m);
+      const Literal target = literal_not(lit);
+      if (truncated[source] != 0) continue;
+      const auto& direct = forced[source];
+      if (std::binary_search(direct.begin(), direct.end(), target)) continue;
+      auto& edges = learned_[source];
+      if (edges.size() >= kMaxLearnedPerLiteral) continue;
+      edges.push_back(target);
+    }
+  }
+
+  // Phase 4: constants only the learned edges can expose.
+  for (int round = 0; round < kPostLearnRounds; ++round) {
+    if (!sweep_constants()) break;
+  }
+}
+
+void ImplicationEngine::build_cones() {
+  cone_stride_ = (n_ + 63) / 64;
+  cone_.assign(n_ * cone_stride_, 0);
+  const auto& order = compiled_->source().topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    std::uint64_t* row = cone_.data() + static_cast<std::size_t>(id) * cone_stride_;
+    row[id / 64] |= 1ULL << (id % 64);
+    const GateId* outs = compiled_->fanout(id);
+    const std::size_t count = compiled_->fanout_count(id);
+    for (std::size_t i = 0; i < count; ++i) {
+      const GateId reader = outs[i];
+      // Fault effects stop at a scan boundary: the DFF's capture is
+      // observed, its output this pattern is an unaffected free variable.
+      if (compiled_->type(reader) == GateType::kDff) continue;
+      const std::uint64_t* src =
+          cone_.data() + static_cast<std::size_t>(reader) * cone_stride_;
+      for (std::size_t w = 0; w < cone_stride_; ++w) row[w] |= src[w];
+    }
+  }
+}
+
+GateId ImplicationEngine::intersect_doms(GateId a, GateId b) const {
+  while (a != b) {
+    while (rank_[a] > rank_[b]) a = idom_[a];
+    while (rank_[b] > rank_[a]) b = idom_[b];
+  }
+  return a;
+}
+
+void ImplicationEngine::build_dominators() {
+  const circuit::Circuit& circuit = compiled_->source();
+  sink_ = static_cast<GateId>(n_);
+  idom_.assign(n_ + 1, kNoGate);
+  rank_.assign(n_ + 1, 0);
+  reachable_.assign(n_, 0);
+
+  // The observed set under the full-scan model: primary outputs plus
+  // every flip-flop's D driver.
+  std::vector<char> observed(n_, 0);
+  for (const GateId id : circuit.primary_outputs()) observed[id] = 1;
+  for (const GateId id : circuit.flip_flops()) {
+    if (compiled_->fanin_count(id) > 0) observed[compiled_->fanin(id)[0]] = 1;
+  }
+
+  // Cooper–Harvey–Kennedy over the fanout DAG toward the virtual sink.
+  // Reverse topological order finalizes every successor before its
+  // drivers, so one pass suffices; rank increases in processing order
+  // and idom chains strictly decrease it, which is what intersect walks.
+  idom_[sink_] = sink_;
+  rank_[sink_] = 0;
+  std::uint32_t next_rank = 1;
+  const auto& order = circuit.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    rank_[id] = next_rank++;
+    GateId dom = observed[id] != 0 ? sink_ : kNoGate;
+    const GateId* outs = compiled_->fanout(id);
+    const std::size_t count = compiled_->fanout_count(id);
+    for (std::size_t i = 0; i < count; ++i) {
+      const GateId reader = outs[i];
+      if (compiled_->type(reader) == GateType::kDff) continue;
+      if (reachable_[reader] == 0) continue;
+      dom = dom == kNoGate ? reader : intersect_doms(dom, reader);
+    }
+    if (dom == kNoGate) continue;  // no path to any observed point
+    reachable_[id] = 1;
+    idom_[id] = dom;
+  }
+}
+
+GateId ImplicationEngine::immediate_dominator(GateId id) const {
+  const GateId dom = idom_[id];
+  return dom == kNoGate || dom == sink_ ? kNoGate : dom;
+}
+
+std::vector<GateId> ImplicationEngine::dominators(GateId id) const {
+  std::vector<GateId> chain;
+  if (reachable_[id] == 0) return chain;
+  for (GateId dom = idom_[id]; dom != sink_; dom = idom_[dom]) {
+    chain.push_back(dom);
+  }
+  return chain;
+}
+
+std::vector<Literal> ImplicationEngine::necessary_seeds(
+    const fault::Fault& fault) const {
+  std::vector<Literal> seeds;
+  const GateId line = fault::fault_line(*compiled_, fault);
+  // Activation: the good machine must drive the opposite of the stuck
+  // value onto the faulted line.
+  seeds.push_back(make_literal(line, !fault.stuck_at_one));
+
+  GateId source = fault.gate;
+  if (!fault::is_stem(fault)) {
+    const GateType type = compiled_->type(fault.gate);
+    // A DFF's D pin is itself captured: activation is the whole story.
+    if (type == GateType::kDff) return seeds;
+    // The effect lives only on the faulted branch, so every other pin of
+    // the reading gate carries its good value — and must be
+    // non-controlling or the gate output is identical in both machines.
+    if (and_like(type) || or_like(type)) {
+      const bool neutral_one = and_like(type);
+      const GateId* pins = compiled_->fanin(fault.gate);
+      const int count = static_cast<int>(compiled_->fanin_count(fault.gate));
+      for (int q = 0; q < count; ++q) {
+        if (q == fault.pin) continue;
+        seeds.push_back(make_literal(pins[q], neutral_one));
+      }
+    }
+  }
+
+  // Unique sensitization: every propagation path crosses every dominator
+  // of the effect source, so each dominator's side inputs that lie
+  // OUTSIDE the fault cone (their good and faulty values coincide) must
+  // be non-controlling. Side inputs inside the cone may carry the effect
+  // and impose nothing.
+  if (reachable_[source] != 0) {
+    for (GateId dom = idom_[source]; dom != sink_; dom = idom_[dom]) {
+      const GateType type = compiled_->type(dom);
+      if (!and_like(type) && !or_like(type)) continue;
+      const bool neutral_one = and_like(type);
+      const GateId* pins = compiled_->fanin(dom);
+      const int count = static_cast<int>(compiled_->fanin_count(dom));
+      for (int q = 0; q < count; ++q) {
+        if (in_cone(source, pins[q])) continue;
+        seeds.push_back(make_literal(pins[q], neutral_one));
+      }
+    }
+  }
+
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  return seeds;
+}
+
+NecessaryAssignments ImplicationEngine::necessary_assignments(
+    const fault::Fault& fault) const {
+  // Observability prerequisite: a branch into a DFF is captured directly;
+  // every other fault needs a structural path from its effect source.
+  const bool captured = !fault::is_stem(fault) &&
+                        compiled_->type(fault.gate) == GateType::kDff;
+  if (!captured && reachable_[fault.gate] == 0) {
+    NecessaryAssignments out;
+    out.contradictory = true;
+    return out;
+  }
+  return close_over(necessary_seeds(fault));
+}
+
+NecessaryAssignments ImplicationEngine::justification_assignments(
+    GateId line, bool value) const {
+  return close_over({make_literal(line, value)});
+}
+
+NecessaryAssignments ImplicationEngine::close_over(
+    std::vector<Literal> seeds) const {
+  NecessaryAssignments out;
+  std::vector<Tri> values;
+  if (!propagate(seeds, values)) {
+    out.contradictory = true;
+    return out;
+  }
+  for (GateId id = 0; id < static_cast<GateId>(n_); ++id) {
+    if (base_[id] == Tri::kX && values[id] != Tri::kX) {
+      out.literals.push_back(make_literal(id, values[id] == Tri::kOne));
+    }
+  }
+  return out;
+}
+
+}  // namespace lsiq::analyze

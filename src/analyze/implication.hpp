@@ -1,0 +1,196 @@
+// Static logic implications, implied constants and stem dominators over a
+// compiled netlist — the decision-procedure half of the static analyzer.
+//
+// The structural pass (analyze.hpp) only learns what tied constants force;
+// everything reconvergent is out of its reach. This engine closes part of
+// that gap without a single simulation: assume one literal (line = value),
+// propagate it over the ternary lattice with the full set of forward and
+// backward gate rules, and read the closure. Three products fall out:
+//
+//   * implied constants — a literal whose closure is contradictory is
+//     impossible, so its line is constant at the opposite value (this is
+//     how y = AND(a, NOT a) is proven constant-0 with no tied inputs);
+//   * indirect implications — contrapositives of propagated closures that
+//     no local gate rule derives (z = OR(AND(a,b), AND(a,c)) gives
+//     z=1 => a=1), learned once and replayed during later propagations
+//     (classic static learning, Schulz's SOCRATES);
+//   * necessary assignments — the good-machine values every test for a
+//     fault must establish: the activation literal plus the non-cone side
+//     inputs of every dominator of the fault site held non-controlling
+//     (unique sensitization), all closed under the implication graph. A
+//     contradictory necessary set is a redundancy proof; a consistent one
+//     prunes PODEM's search (tpg/podem.hpp, PodemOptions::use_implications).
+//
+// Dominators are computed on the fanout DAG toward a virtual sink joined
+// to every observed point (primary outputs and flip-flop D drivers), so a
+// gate's dominator chain is exactly the set of gates every propagation
+// path from it must cross. Flip-flops are full-scan boundaries: nothing
+// propagates through a DFF (its output is an independent pattern input,
+// its D driver is itself observed).
+//
+// Everything here reasons about the GOOD machine only — implied values
+// hold for every input pattern, so every verdict is sound under any
+// single-fault hypothesis. Memory is O(node_count^2 / 8) for the fanout
+// cone bitsets: built for ATPG-scale circuits, like PODEM itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "circuit/compiled.hpp"
+#include "fault/fault.hpp"
+#include "sim/logic_value.hpp"
+
+namespace lsiq::analyze {
+
+/// A literal: line `gate` carrying `value`. Encoded 2 * gate + value so
+/// literal lists pack into flat vectors.
+using Literal = std::uint32_t;
+
+[[nodiscard]] constexpr Literal make_literal(circuit::GateId gate,
+                                             bool one) noexcept {
+  return 2 * gate + (one ? 1u : 0u);
+}
+[[nodiscard]] constexpr circuit::GateId literal_line(Literal lit) noexcept {
+  return lit / 2;
+}
+[[nodiscard]] constexpr bool literal_one(Literal lit) noexcept {
+  return (lit & 1u) != 0;
+}
+[[nodiscard]] constexpr Literal literal_not(Literal lit) noexcept {
+  return lit ^ 1u;
+}
+
+/// The good-machine requirements shared by every test for one fault (or
+/// one justification objective), closed under the implication graph.
+/// `contradictory` means no input pattern satisfies them all — a static
+/// proof of redundancy (unjustifiability).
+struct NecessaryAssignments {
+  std::vector<Literal> literals;  ///< sorted, base constants excluded
+  bool contradictory = false;
+};
+
+class ImplicationEngine {
+ public:
+  /// Build the implication graph: seed constants, run the learning sweep
+  /// (implied constants + indirect implications), compute dominators and
+  /// fanout cones. The compiled view must outlive the engine.
+  explicit ImplicationEngine(const circuit::CompiledCircuit& compiled);
+
+  [[nodiscard]] const circuit::CompiledCircuit& compiled() const noexcept {
+    return *compiled_;
+  }
+
+  /// Constant verdict of a line, including implication-derived constants
+  /// (a superset of what tied-constant propagation alone proves).
+  [[nodiscard]] LineValue constant(circuit::GateId id) const;
+
+  /// Assume `assumptions` on top of the baked-in constants and run the
+  /// implication closure (forward/backward gate rules plus learned
+  /// indirect implications). `values` is resized to node_count() and
+  /// overwritten with the closure. Returns false on contradiction.
+  bool propagate(const std::vector<Literal>& assumptions,
+                 std::vector<sim::Tri>& values) const;
+
+  // ---- dominators on the fanout DAG ----
+
+  /// True when at least one path from the gate reaches an observed point.
+  [[nodiscard]] bool reaches_observed(circuit::GateId id) const {
+    return reachable_[id] != 0;
+  }
+
+  /// Immediate dominator of `id` toward the observed points; kNoGate when
+  /// the virtual sink is the only dominator (or the gate is unreachable).
+  [[nodiscard]] circuit::GateId immediate_dominator(circuit::GateId id) const;
+
+  /// The full dominator chain of `id` (excluding `id` and the virtual
+  /// sink), nearest first: every propagation path from `id` to an
+  /// observed point passes through each of these gates.
+  [[nodiscard]] std::vector<circuit::GateId> dominators(
+      circuit::GateId id) const;
+
+  /// True when `target` lies in the transitive fanout cone of `source`
+  /// (source itself included).
+  [[nodiscard]] bool in_cone(circuit::GateId source,
+                             circuit::GateId target) const {
+    return (cone_[static_cast<std::size_t>(source) * cone_stride_ +
+                  target / 64] >>
+            (target % 64) &
+            1u) != 0;
+  }
+
+  // ---- necessary assignments ----
+
+  /// Necessary good-machine assignments for DETECTING `fault`: activation
+  /// plus unique sensitization through the dominator chain, closed under
+  /// implications. contradictory == true is a sound redundancy proof.
+  [[nodiscard]] NecessaryAssignments necessary_assignments(
+      const fault::Fault& fault) const;
+
+  /// The seed-level necessary literals of `fault` BEFORE closure: the
+  /// activation literal, the reading gate's side pins at non-controlling
+  /// values (branch faults), and the non-cone side inputs of every
+  /// dominator held non-controlling. Sorted and deduplicated. This is the
+  /// raw requirement list FIRE's inverted index and the cheap pairwise
+  /// conflict check consume; necessary_assignments() is its closure.
+  [[nodiscard]] std::vector<Literal> necessary_seeds(
+      const fault::Fault& fault) const;
+
+  /// Necessary assignments for JUSTIFYING line == value (no observation
+  /// requirement): the closure of the single literal. contradictory ==
+  /// true proves the line constant at the opposite value.
+  [[nodiscard]] NecessaryAssignments justification_assignments(
+      circuit::GateId line, bool value) const;
+
+ private:
+  /// Worklist state of one propagation (reused via caller-owned buffers).
+  bool set_value(std::vector<sim::Tri>& values,
+                 std::vector<circuit::GateId>& queue, circuit::GateId id,
+                 sim::Tri value) const;
+  bool examine(std::vector<sim::Tri>& values,
+               std::vector<circuit::GateId>& queue,
+               circuit::GateId id) const;
+  bool drain(std::vector<sim::Tri>& values,
+             std::vector<circuit::GateId>& queue) const;
+
+  void build_base();
+  void build_cones();
+  void build_dominators();
+  void learn();
+  /// One constants round: probe every free literal, bake contradictions
+  /// into base_ as implied constants. Returns true when base_ changed.
+  bool sweep_constants();
+
+  /// Nearest common dominator of two processed nodes (CHK intersect,
+  /// walking idom chains by rank toward the sink).
+  [[nodiscard]] circuit::GateId intersect_doms(circuit::GateId a,
+                                               circuit::GateId b) const;
+
+  /// Collect the closure of `seeds` into a NecessaryAssignments record.
+  [[nodiscard]] NecessaryAssignments close_over(
+      std::vector<Literal> seeds) const;
+
+  const circuit::CompiledCircuit* compiled_;
+  std::size_t n_ = 0;
+
+  /// Baked-in per-line constants (tied + implication-derived).
+  std::vector<sim::Tri> base_;
+
+  /// Learned indirect implications: for each literal (index), the
+  /// literals it forces that no local gate rule derives.
+  std::vector<std::vector<Literal>> learned_;
+
+  /// Fanout-cone bitsets, cone_stride_ words per gate.
+  std::vector<std::uint64_t> cone_;
+  std::size_t cone_stride_ = 0;
+
+  /// Dominators: immediate dominator per gate (sink_ = virtual sink id,
+  /// kNoGate = unreachable), processing rank for chain walks.
+  circuit::GateId sink_ = 0;
+  std::vector<circuit::GateId> idom_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<char> reachable_;
+};
+
+}  // namespace lsiq::analyze

@@ -1,0 +1,164 @@
+#include "analyze/redundancy.hpp"
+
+#include <cstddef>
+
+#include "circuit/compiled.hpp"
+#include "sim/logic_value.hpp"
+
+namespace lsiq::analyze {
+
+namespace {
+
+using circuit::GateId;
+using circuit::GateType;
+using circuit::kNoGate;
+using sim::Tri;
+
+constexpr std::uint32_t kNoStamp = 0xffffffffu;
+
+}  // namespace
+
+const char* redundancy_reason_name(RedundancyReason reason) {
+  switch (reason) {
+    case RedundancyReason::kActivationConstant:
+      return "activation";
+    case RedundancyReason::kUnobservable:
+      return "observability";
+    case RedundancyReason::kNecessaryConflict:
+      return "necessary-conflict";
+    case RedundancyReason::kStemConflict:
+      return "stem-conflict";
+  }
+  return "?";
+}
+
+RedundancyReport identify_redundancies(const ImplicationEngine& engine) {
+  const circuit::CompiledCircuit& compiled = engine.compiled();
+  const GateId n = static_cast<GateId>(compiled.node_count());
+
+  // ---- enumerate every stuck-at site in FaultList site order ----
+  std::vector<fault::Fault> faults;
+  for (GateId id = 0; id < n; ++id) {
+    for (const bool stuck_at_one : {false, true}) {
+      faults.push_back(fault::Fault{id, -1, stuck_at_one});
+    }
+    const std::int32_t pins =
+        static_cast<std::int32_t>(compiled.fanin_count(id));
+    for (std::int32_t pin = 0; pin < pins; ++pin) {
+      for (const bool stuck_at_one : {false, true}) {
+        faults.push_back(fault::Fault{id, pin, stuck_at_one});
+      }
+    }
+  }
+
+  const std::size_t fault_count = faults.size();
+  std::vector<char> redundant(fault_count, 0);
+  std::vector<RedundancyReason> reason(fault_count,
+                                       RedundancyReason::kActivationConstant);
+  std::vector<GateId> witness(fault_count, kNoGate);
+
+  // ---- cheap provers + necessary-seed collection for FIRE ----
+  // The inverted index maps a KILLING literal (the negation of some
+  // fault's necessary assignment) to the faults it kills: when a stem
+  // closure forces that literal, those faults cannot be detected while
+  // the stem holds that value.
+  std::vector<std::vector<std::uint32_t>> killed_by(2 * n);
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    const fault::Fault& fault = faults[i];
+    const GateId line = fault::fault_line(compiled, fault);
+    const LineValue stuck =
+        fault.stuck_at_one ? LineValue::kOne : LineValue::kZero;
+    if (engine.constant(line) == stuck) {
+      redundant[i] = 1;
+      reason[i] = RedundancyReason::kActivationConstant;
+      continue;
+    }
+    const bool captured = !fault::is_stem(fault) &&
+                          compiled.type(fault.gate) == GateType::kDff;
+    if (!captured && !engine.reaches_observed(fault.gate)) {
+      redundant[i] = 1;
+      reason[i] = RedundancyReason::kUnobservable;
+      continue;
+    }
+    const std::vector<Literal> seeds = engine.necessary_seeds(fault);
+    // Seed-level conflicts: two opposite literals on one line (sorted
+    // seeds put them adjacent), or a literal an implied constant forbids.
+    bool conflicted = false;
+    for (std::size_t s = 0; s < seeds.size() && !conflicted; ++s) {
+      const GateId seed_line = literal_line(seeds[s]);
+      if (s + 1 < seeds.size() && literal_line(seeds[s + 1]) == seed_line) {
+        conflicted = true;
+        witness[i] = seed_line;
+        break;
+      }
+      const LineValue required =
+          literal_one(seeds[s]) ? LineValue::kOne : LineValue::kZero;
+      const LineValue constant = engine.constant(seed_line);
+      if (constant != LineValue::kUnknown && constant != required) {
+        conflicted = true;
+        witness[i] = seed_line;
+      }
+    }
+    if (conflicted) {
+      redundant[i] = 1;
+      reason[i] = RedundancyReason::kNecessaryConflict;
+      continue;
+    }
+    for (const Literal seed : seeds) {
+      killed_by[literal_not(seed)].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // ---- FIRE: per-stem conflict sets ----
+  // For each fanout stem s and polarity v, the closure of s = v kills the
+  // faults whose necessary assignments it negates. A fault killed under
+  // BOTH polarities needs s = 0 and s = 1 at once: redundant.
+  std::vector<std::uint32_t> killed_zero(fault_count, kNoStamp);
+  std::vector<std::uint32_t> killed_one(fault_count, kNoStamp);
+  std::vector<Tri> closure;
+  std::vector<std::uint32_t> hit;  // faults killed under the current stem
+  for (GateId stem = 0; stem < n; ++stem) {
+    if (compiled.fanout_count(stem) < 2) continue;
+    if (engine.constant(stem) != LineValue::kUnknown) continue;
+    hit.clear();
+    bool closed_both = true;
+    for (const bool one : {false, true}) {
+      if (!engine.propagate({make_literal(stem, one)}, closure)) {
+        closed_both = false;  // implied constant the round cap missed
+        break;
+      }
+      std::vector<std::uint32_t>& killed = one ? killed_one : killed_zero;
+      for (GateId line = 0; line < n; ++line) {
+        if (closure[line] == Tri::kX ||
+            engine.constant(line) != LineValue::kUnknown) {
+          continue;
+        }
+        const Literal forced =
+            make_literal(line, closure[line] == Tri::kOne);
+        for (const std::uint32_t index : killed_by[forced]) {
+          if (killed[index] != stem) {
+            killed[index] = stem;
+            if (one) hit.push_back(index);
+          }
+        }
+      }
+    }
+    if (!closed_both) continue;
+    for (const std::uint32_t index : hit) {
+      if (redundant[index] == 0 && killed_zero[index] == stem) {
+        redundant[index] = 1;
+        reason[index] = RedundancyReason::kStemConflict;
+        witness[index] = stem;
+      }
+    }
+  }
+
+  RedundancyReport report;
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    if (redundant[i] == 0) continue;
+    report.sites.push_back(RedundantSite{faults[i], reason[i], witness[i]});
+  }
+  return report;
+}
+
+}  // namespace lsiq::analyze

@@ -1,5 +1,6 @@
 #include "analyze/rule.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace lsiq::analyze {
@@ -97,6 +98,17 @@ std::string Diagnostic::text() const {
   out += ": ";
   out += message;
   return out;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     const bool a_wide = a.gate == circuit::kNoGate;
+                     const bool b_wide = b.gate == circuit::kNoGate;
+                     if (a_wide != b_wide) return b_wide;
+                     return a.gate < b.gate;
+                   });
 }
 
 bool has_errors(const std::vector<Diagnostic>& diagnostics) {

@@ -41,6 +41,11 @@ enum class Rule : int {
 
   // -- class "testability": random-pattern-resistant faults --
   kResistantFault = 10,  ///< detection probability below the threshold
+
+  // -- class "untestable", implication prover (appended: IDs are stable) --
+  kUntestableImplication = 11,  ///< redundancy proven by the implication
+                                ///< engine (implied constants, necessary-
+                                ///< assignment conflicts, FIRE stems)
 };
 
 /// Rules are gated per class, not per rule: a policy knob per failure
@@ -73,6 +78,7 @@ enum class Policy : int {
     case Rule::kConstantLine: return "constant_line";
     case Rule::kUntestableFault: return "untestable_fault";
     case Rule::kResistantFault: return "resistant_fault";
+    case Rule::kUntestableImplication: return "untestable_implication";
   }
   return "unknown";
 }
@@ -88,7 +94,8 @@ enum class Policy : int {
     case Rule::kUnusedInput:
     case Rule::kUnobservableGate: return RuleClass::kDeadLogic;
     case Rule::kConstantLine:
-    case Rule::kUntestableFault: return RuleClass::kUntestable;
+    case Rule::kUntestableFault:
+    case Rule::kUntestableImplication: return RuleClass::kUntestable;
     case Rule::kResistantFault: return RuleClass::kTestability;
   }
   return RuleClass::kStructure;
@@ -164,6 +171,13 @@ struct Diagnostic {
 
 /// True when any diagnostic in the list is error-severity.
 [[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diagnostics);
+
+/// Deterministic diagnostic order: by rule id, then gate index, with each
+/// rule's circuit-wide / summary entries (gate == kNoGate) last. Stable,
+/// so same-gate findings keep their emission order (e.g. pins ascending).
+/// Both analyze() and the flow check gate apply this, which is what makes
+/// `--check` JSONL output byte-stable run over run.
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
 
 /// Thrown by the flow pre-run gate when a rule class set to Policy::kError
 /// fired. Carries EVERY diagnostic of the failed analysis (errors and

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "analyze/analyze.hpp"
+#include "analyze/implication.hpp"
+#include "analyze/redundancy.hpp"
 #include "analyze/testability.hpp"
 #include "bist/misr.hpp"
 #include "bist/session.hpp"
@@ -69,25 +71,58 @@ std::vector<quality::CoveragePoint> FlowResult::points() const {
 
 std::vector<analyze::Diagnostic> check(const fault::FaultList& faults,
                                        const FlowSpec& spec) {
+  return check_detailed(faults, spec).diagnostics;
+}
+
+CheckOutcome check_detailed(const fault::FaultList& faults,
+                            const FlowSpec& spec) {
   validate_or_throw(spec);
+  CheckOutcome outcome;
   const analyze::Options options = analyze_options(spec.analyze);
-  if (!options.any_enabled()) return {};
+  if (!options.any_enabled()) return outcome;
   analyze::Report report = analyze::analyze(faults.circuit(), options);
-  std::vector<analyze::Diagnostic> diagnostics =
-      std::move(report.diagnostics);
+  outcome.diagnostics = std::move(report.diagnostics);
   if (options.testability != analyze::Policy::kOff) {
     const analyze::TestabilityReport testability =
         analyze::analyze_testability(faults);
     std::vector<analyze::Diagnostic> extra =
         analyze::testability_diagnostics(faults, testability, options);
-    diagnostics.insert(diagnostics.end(),
-                       std::make_move_iterator(extra.begin()),
-                       std::make_move_iterator(extra.end()));
+    outcome.diagnostics.insert(outcome.diagnostics.end(),
+                               std::make_move_iterator(extra.begin()),
+                               std::make_move_iterator(extra.end()));
+    // Keep the merged stream in the canonical rule/gate order so --check
+    // output stays byte-stable regardless of which classes are enabled.
+    analyze::sort_diagnostics(outcome.diagnostics);
   }
-  if (analyze::has_errors(diagnostics)) {
-    throw analyze::LintError(std::move(diagnostics));
+  if (analyze::has_errors(outcome.diagnostics)) {
+    throw analyze::LintError(std::move(outcome.diagnostics));
   }
-  return diagnostics;
+
+  // The static-redundancy census: count the universe classes the
+  // implication engine proves untestable. A proof about any site of a
+  // class covers the whole class — collapsing only merges faults no test
+  // distinguishes. For a transition universe the proof transfers through
+  // the capture half: the Fault record IS the matching capture stuck-at,
+  // and a redundant capture objective makes the transition fault
+  // untestable (tpg::generate_transition_test's kCapture proof).
+  if (options.untestable != analyze::Policy::kOff) {
+    const circuit::CompiledCircuit compiled(faults.circuit());
+    const analyze::ImplicationEngine engine(compiled);
+    const analyze::RedundancyReport redundancy =
+        analyze::identify_redundancies(engine);
+    std::vector<char> hit(faults.class_count(), 0);
+    for (const analyze::RedundantSite& site : redundancy.sites) {
+      const std::size_t index = faults.index_of(site.fault);
+      if (index >= faults.fault_count()) continue;  // not in this universe
+      hit[faults.class_of(index)] = 1;
+    }
+    for (std::size_t c = 0; c < faults.class_count(); ++c) {
+      if (hit[c] == 0) continue;
+      ++outcome.statically_redundant_classes;
+      outcome.statically_redundant_faults += faults.class_size(c);
+    }
+  }
+  return outcome;
 }
 
 sim::PatternSet make_patterns(const fault::FaultList& faults,
@@ -150,8 +185,11 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec,
 
   // 0. The pre-run analyze gate: lint the netlist before any engine
   // spends time on it. An error-policy finding throws LintError here;
-  // warnings ride along on the result.
-  result.lint = check(faults, spec);
+  // warnings and the static-redundancy census ride along on the result.
+  CheckOutcome gate = check_detailed(faults, spec);
+  result.lint = std::move(gate.diagnostics);
+  result.statically_redundant_classes = gate.statically_redundant_classes;
+  result.statically_redundant_faults = gate.statically_redundant_faults;
 
   // 1. Materialize the ordered pattern program.
   result.patterns = make_patterns(faults, spec.source, &result.atpg);
@@ -300,6 +338,14 @@ std::string FlowResult::report() const {
   }
   out << "\n  final " << model_label << " coverage f = "
       << util::format_percent(final_coverage(), 2) << "\n";
+  if (statically_redundant_faults > 0) {
+    out << "  statically redundant: " << statically_redundant_faults
+        << " universe fault" << (statically_redundant_faults == 1 ? "" : "s")
+        << " in " << statically_redundant_classes << " class"
+        << (statically_redundant_classes == 1 ? "" : "es")
+        << " proven untestable by the implication engine (removable from "
+           "the coverage/DPPM denominator)\n";
+  }
   if (!lint.empty()) {
     out << "  lint: " << lint.size() << " warning"
         << (lint.size() == 1 ? "" : "s") << " from the analyze gate\n";

@@ -71,6 +71,14 @@ struct FlowResult {
   /// analyze::LintError before anything is graded.
   std::vector<analyze::Diagnostic> lint;
 
+  /// Universe faults (and their equivalence classes) the implication
+  /// engine proved untestable before any pattern was graded — the
+  /// denominator correction Section 1 allows: a statically redundant
+  /// fault can be removed from N when quoting coverage or DPPM. Both stay
+  /// 0 when spec.analyze.untestable is "off".
+  std::size_t statically_redundant_classes = 0;
+  std::size_t statically_redundant_faults = 0;
+
   /// Final coverage of the program under the spec's observation.
   [[nodiscard]] double final_coverage() const;
 
@@ -122,6 +130,20 @@ FlowResult run(const fault::FaultList& faults, const FlowSpec& spec,
 /// it directly.
 std::vector<analyze::Diagnostic> check(const fault::FaultList& faults,
                                        const FlowSpec& spec);
+
+/// What the pre-run gate learned: the warn-severity diagnostics plus the
+/// static-redundancy census over the universe (see the FlowResult fields
+/// of the same names). `lsiq_flow --check` prints the census so a dry run
+/// answers "how many faults can no pattern ever catch" without grading.
+struct CheckOutcome {
+  std::vector<analyze::Diagnostic> diagnostics;
+  std::size_t statically_redundant_classes = 0;
+  std::size_t statically_redundant_faults = 0;
+};
+
+/// check() with the static-redundancy census. Same throwing behavior.
+CheckOutcome check_detailed(const fault::FaultList& faults,
+                            const FlowSpec& spec);
 
 /// Convenience overload: enumerate the spec's fault-model universe of the
 /// circuit (fault_model::universe) first, then run.

@@ -86,6 +86,12 @@ std::vector<SpecIssue> validate(const FlowSpec& spec) {
           "unsupported LFSR width " + std::to_string(source.lfsr_width) +
               " (use 4, 8, 16, 24, 32, 48 or 64)");
     }
+  } else if (source.kind == "atpg") {
+    if (source.atpg.podem.max_backtracks <= 0) {
+      add("source.atpg.podem.max_backtracks",
+          "atpg source requires max_backtracks > 0 (every deterministic "
+          "solve would abort immediately)");
+    }
   } else if (source.kind == "explicit") {
     if (!source.patterns.has_value() || source.patterns->empty()) {
       add("source.patterns",

@@ -115,6 +115,8 @@ void apply_key(SpecFile& file, const std::string& key,
     spec.source.atpg.seed = parse_unsigned(value, line, key);
   } else if (key == "atpg_compact") {
     spec.source.atpg_compact = parse_bool(value, line, key);
+  } else if (key == "atpg_implications") {
+    spec.source.atpg.podem.use_implications = parse_bool(value, line, key);
   } else if (key == "pattern_file") {
     spec.source.file = value;
   } else if (key == "observe") {
@@ -237,6 +239,10 @@ std::string write_spec_string(const SpecFile& file) {
     out << "atpg_random = " << spec.source.atpg.random_patterns << "\n"
         << "atpg_seed = " << spec.source.atpg.seed << "\n"
         << "atpg_compact = " << (spec.source.atpg_compact ? 1 : 0) << "\n";
+    // Non-default only, so pre-existing spec files round-trip unchanged.
+    if (!spec.source.atpg.podem.use_implications) {
+      out << "atpg_implications = 0\n";
+    }
   } else if (spec.source.kind == "file") {
     out << "pattern_file = " << spec.source.file << "\n";
   }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 
+#include "analyze/implication.hpp"
 #include "fault_model/transition.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/error.hpp"
@@ -78,11 +80,22 @@ AtpgResult generate_stuck_at_tests(const FaultList& faults,
   // ---- Phase 2: PODEM on the survivors, with fault dropping ----
   sim::ParallelSimulator good_sim(circuit);
   fault::Propagator propagator(good_sim.compiled());
+  // One implication engine for the whole run: the static learning pass is
+  // per-circuit work, not per-fault work.
+  PodemOptions podem_options = options.podem;
+  std::optional<analyze::ImplicationEngine> shared_engine;
+  if (podem_options.use_implications &&
+      podem_options.implications == nullptr) {
+    shared_engine.emplace(*good_sim.compiled());
+    podem_options.implications = &*shared_engine;
+  }
   std::size_t redundant_faults = 0;  // weighted by class size
   for (std::size_t c = 0; c < faults.class_count(); ++c) {
     if (detected[c] != 0) continue;
     const Fault& target = faults.representatives()[c];
-    const PodemResult podem = generate_test(circuit, target, options.podem);
+    const PodemResult podem = generate_test(circuit, target, podem_options);
+    result.total_backtracks += podem.backtracks;
+    result.total_decisions += podem.decisions;
     switch (podem.status) {
       case TestStatus::kUntestable:
         ++result.redundant_classes;
@@ -175,12 +188,23 @@ AtpgResult generate_transition_tests(const FaultList& faults,
   // gated by the launch — counts.
   const fault_model::TwoPatternWindow pair_window(
       propagator.compiled()->node_count());
+  // One implication engine for the whole run, shared by both halves of
+  // every pair solve.
+  PodemOptions podem_options = options.podem;
+  std::optional<analyze::ImplicationEngine> shared_engine;
+  if (podem_options.use_implications &&
+      podem_options.implications == nullptr) {
+    shared_engine.emplace(*good_sim.compiled());
+    podem_options.implications = &*shared_engine;
+  }
   std::size_t redundant_faults = 0;  // weighted by class size
   for (std::size_t c = 0; c < faults.class_count(); ++c) {
     if (detected[c] != 0) continue;
     const Fault& target = faults.representatives()[c];
     const TransitionTestResult test =
-        generate_transition_test(circuit, target, options.podem);
+        generate_transition_test(circuit, target, podem_options);
+    result.total_backtracks += test.backtracks;
+    result.total_decisions += test.decisions;
     switch (test.status) {
       case TestStatus::kUntestable:
         ++result.redundant_classes;

@@ -46,6 +46,13 @@ struct AtpgResult {
   /// redundant_classes; both stay 0 for stuck-at universes).
   std::size_t untestable_launch_classes = 0;
   std::size_t untestable_capture_classes = 0;
+  /// Deterministic-phase search effort, summed over every PODEM solve
+  /// (both halves of a transition pair) including untestable and aborted
+  /// ones. With PodemOptions::use_implications the counts can only drop —
+  /// conflict pruning abandons doomed subtrees early — which makes them
+  /// the natural regression pin for the implication assist.
+  long long total_backtracks = 0;
+  long long total_decisions = 0;
   /// Coverage over the full universe, f = m/N (the paper's figure of merit).
   double coverage = 0.0;
   /// Coverage with proven-redundant faults removed from the denominator —

@@ -1,7 +1,11 @@
 #include "tpg/podem.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
+#include "analyze/implication.hpp"
+#include "circuit/compiled.hpp"
 #include "sim/five_value_sim.hpp"
 #include "tpg/scoap.hpp"
 #include "util/error.hpp"
@@ -197,6 +201,35 @@ void export_pattern(const FiveValueSimulator& simulator,
   }
 }
 
+/// Resolve the implication engine a solve consults: the caller's shared
+/// engine when provided, a locally built one otherwise (the optionals give
+/// it storage that outlives the search), or none when the knob is off.
+const analyze::ImplicationEngine* resolve_engine(
+    const Circuit& circuit, const PodemOptions& options,
+    std::optional<circuit::CompiledCircuit>& owned_compiled,
+    std::optional<analyze::ImplicationEngine>& owned_engine) {
+  if (!options.use_implications) return nullptr;
+  if (options.implications != nullptr) return options.implications;
+  owned_compiled.emplace(circuit);
+  owned_engine.emplace(*owned_compiled);
+  return &*owned_engine;
+}
+
+/// True when some necessary good-machine literal is already implied to the
+/// opposite value. Five-valued implication is monotone — a determined rail
+/// never changes as more inputs are assigned — so a violation here proves
+/// every extension of the current assignment fails, and the subtree can be
+/// abandoned without exploring it.
+bool necessary_violated(const FiveValueSimulator& simulator,
+                        const std::vector<analyze::Literal>& necessary) {
+  for (const analyze::Literal lit : necessary) {
+    const Tri good = simulator.value(analyze::literal_line(lit)).good;
+    if (good == Tri::kX) continue;
+    if ((good == Tri::kOne) != analyze::literal_one(lit)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
@@ -208,12 +241,32 @@ PodemResult generate_test(const Circuit& circuit, const fault::Fault& fault,
   simulator.set_fault(fault.gate, fault.pin, fault.stuck_at_one);
   simulator.imply();
 
+  // Static implication assist: a contradictory necessary-assignment set is
+  // a redundancy proof before the first decision; a consistent set becomes
+  // a conflict monitor inside dead_end.
+  std::optional<circuit::CompiledCircuit> owned_compiled;
+  std::optional<analyze::ImplicationEngine> owned_engine;
+  const analyze::ImplicationEngine* engine =
+      resolve_engine(circuit, options, owned_compiled, owned_engine);
+  std::vector<analyze::Literal> necessary;
+  if (engine != nullptr) {
+    analyze::NecessaryAssignments assignments =
+        engine->necessary_assignments(fault);
+    if (assignments.contradictory) {
+      result.status = TestStatus::kUntestable;
+      export_pattern(simulator, options, result);
+      return result;
+    }
+    necessary = std::move(assignments.literals);
+  }
+
   std::vector<Decision> stack;
 
   auto dead_end = [&]() {
     // The current assignment cannot be extended to a test.
     if (!simulator.activation_possible()) return true;
     if (simulator.fault_effect_observed()) return false;
+    if (necessary_violated(simulator, necessary)) return true;
     const FiveValue line = simulator.value(simulator.fault_line());
     const bool activated = sim::is_d_or_dbar(line) ||
                            (!sim::has_x(line) &&
@@ -279,6 +332,25 @@ PodemResult justify_line(const circuit::Circuit& circuit,
   simulator.set_fault(line, -1, /*stuck_at_one=*/value == Tri::kZero);
   simulator.imply();
 
+  // Static implication assist, mirroring generate_test: a contradictory
+  // closure of (line = value) proves the line constant at the opposite
+  // value; the closure's literals prune decision subtrees that violate one.
+  std::optional<circuit::CompiledCircuit> owned_compiled;
+  std::optional<analyze::ImplicationEngine> owned_engine;
+  const analyze::ImplicationEngine* engine =
+      resolve_engine(circuit, options, owned_compiled, owned_engine);
+  std::vector<analyze::Literal> necessary;
+  if (engine != nullptr) {
+    analyze::NecessaryAssignments assignments =
+        engine->justification_assignments(line, value == Tri::kOne);
+    if (assignments.contradictory) {
+      result.status = TestStatus::kUntestable;
+      export_pattern(simulator, options, result);
+      return result;
+    }
+    necessary = std::move(assignments.literals);
+  }
+
   std::vector<Decision> stack;
   for (;;) {
     const Tri good = simulator.value(line).good;
@@ -292,8 +364,10 @@ PodemResult justify_line(const circuit::Circuit& circuit,
     }
 
     // good is X (keep driving toward the objective) or the opposite value
-    // (the current assignments imply the line away — a dead end).
-    bool need_backtrack = good != Tri::kX;
+    // (the current assignments imply the line away — a dead end). A
+    // violated necessary literal is the same dead end caught earlier.
+    bool need_backtrack =
+        good != Tri::kX || necessary_violated(simulator, necessary);
     std::size_t input_index = 0;
     Tri decide = Tri::kX;
     if (!need_backtrack) {
@@ -336,7 +410,16 @@ TransitionTestResult generate_transition_test(const circuit::Circuit& circuit,
   // TwoPatternWindow's gating.
   const circuit::GateId line = fault::fault_line(circuit, fault);
   const Tri launch_value = fault.stuck_at_one ? Tri::kOne : Tri::kZero;
-  PodemOptions launch_options = options;
+
+  // Both halves consult the implication engine; build it once here rather
+  // than once per half when the caller did not share one.
+  std::optional<circuit::CompiledCircuit> owned_compiled;
+  std::optional<analyze::ImplicationEngine> owned_engine;
+  PodemOptions shared_options = options;
+  shared_options.implications =
+      resolve_engine(circuit, options, owned_compiled, owned_engine);
+
+  PodemOptions launch_options = shared_options;
   // Decorrelate the two patterns' X-fill so launch == capture only where
   // the cubes require it.
   launch_options.fill_seed = options.fill_seed ^ 0x9e3779b97f4a7c15ULL;
@@ -355,7 +438,7 @@ TransitionTestResult generate_transition_test(const circuit::Circuit& circuit,
   // Capture: under the gross-delay abstraction the fault behaves as the
   // matching stuck-at on the capture pattern, and the Fault record IS
   // that stuck-at in the fault_model encoding — plain PODEM solves it.
-  const PodemResult capture = generate_test(circuit, fault, options);
+  const PodemResult capture = generate_test(circuit, fault, shared_options);
   result.backtracks += capture.backtracks;
   result.decisions += capture.decisions;
   if (capture.status != TestStatus::kDetected) {

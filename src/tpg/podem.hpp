@@ -22,6 +22,10 @@
 #include "fault/fault.hpp"
 #include "sim/logic_value.hpp"
 
+namespace lsiq::analyze {
+class ImplicationEngine;
+}  // namespace lsiq::analyze
+
 namespace lsiq::tpg {
 
 enum class TestStatus {
@@ -40,6 +44,18 @@ struct PodemOptions {
   /// fanins by controllability cost instead of logic level — usually fewer
   /// backtracks on reconvergent structures. Must outlive the call.
   const struct TestabilityMeasures* scoap = nullptr;
+  /// Consult a static implication engine (analyze/implication.hpp) for the
+  /// fault's necessary assignments: a contradictory set is an instant
+  /// redundancy proof (zero backtracks), and a violated necessary literal
+  /// is detected as a dead end before the subtree is explored. Pruning is
+  /// conflict-detection only — the decision order is untouched, so a
+  /// detected fault yields the bit-identical cube and pattern, with
+  /// backtracks less than or equal to the unassisted search.
+  bool use_implications = true;
+  /// Engine to consult when use_implications is set. Null means build one
+  /// locally per call; callers solving many faults on one circuit should
+  /// pass a shared engine (must outlive the call).
+  const analyze::ImplicationEngine* implications = nullptr;
 
   friend bool operator==(const PodemOptions&, const PodemOptions&) = default;
 };

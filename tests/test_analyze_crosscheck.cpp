@@ -3,8 +3,10 @@
 // redundant by the decision procedure (untestable_sites ⊆ PODEM
 // kUntestable on the collapsed universe), and where redundancy comes ONLY
 // from tied constants the two must agree exactly. The converse direction
-// is deliberately not claimed — reconvergent redundancy is invisible to a
-// structural pass, and the last test pins one such miss.
+// is still not claimed in full, but the implication engine closed the
+// classic gap: the last test is the reconvergent miss PR 7 pinned, now
+// flipped to a positive detection (the remaining frontier lives in
+// test_implication_crosscheck.cpp).
 #include <gtest/gtest.h>
 
 #include <set>
@@ -134,12 +136,12 @@ TEST(AnalyzeCrosscheck, GeneratorCircuitsHoldTheSubsetContract) {
   }
 }
 
-TEST(AnalyzeCrosscheck, ReconvergentRedundancyIsBeyondStaticReach) {
+TEST(AnalyzeCrosscheck, ReconvergentRedundancyCaughtByImplicationProver) {
   // y = a AND (NOT a) is constant 0 through reconvergence, not through a
-  // tied input: PODEM proves y s-a-0 redundant while the structural pass
-  // (correctly, per its contract) stays silent. This pins the documented
-  // incompleteness so a future "improvement" that starts over-claiming
-  // fails loudly.
+  // tied input. The forward/backward structural sweep cannot see it — an
+  // earlier revision pinned exactly this miss — but the implication
+  // engine's contradiction probe proves y an implied constant, so the
+  // analyzer now reports y s-a-0 with the untestable_implication rule.
   Circuit c("reconvergent");
   const GateId a = c.add_input("a");
   const GateId n = c.add_gate(GateType::kNot, {a}, "n");
@@ -150,12 +152,28 @@ TEST(AnalyzeCrosscheck, ReconvergentRedundancyIsBeyondStaticReach) {
   c.finalize();
 
   const Report report = analyze(c);
-  EXPECT_TRUE(report.untestable_sites.empty());
+  std::set<FaultKey> sites;
+  for (const fault::Fault& site : report.untestable_sites) {
+    sites.insert(key(site));
+  }
+  EXPECT_TRUE(sites.count({y, -1, false}) != 0)
+      << "implication prover missed the reconvergent constant on y";
+  // The finding is attributed to the implication rule, not the structural
+  // one (tied constants played no part here).
+  bool implication_diagnostic = false;
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.rule == Rule::kUntestableImplication &&
+        diagnostic.gate == y) {
+      implication_diagnostic = true;
+    }
+  }
+  EXPECT_TRUE(implication_diagnostic);
 
   const fault::Fault stuck0{y, -1, false};
   const tpg::PodemResult proof = tpg::generate_test(c, stuck0);
   EXPECT_EQ(proof.status, tpg::TestStatus::kUntestable);
-  // The subset contract still holds vacuously.
+  // Every flagged site — structural or implication-proven — must still be
+  // confirmed by the decision procedure.
   expect_sites_subset_of_podem(c, report);
 }
 

@@ -81,6 +81,14 @@ const Case kCases[] = {
      [](FlowSpec& s) { s.source.kind = "file"; },
      "source.file",
      "file source requires a path"},
+    {"atpg source with a zero backtrack budget",
+     [](FlowSpec& s) {
+       s.source.kind = "atpg";
+       s.source.atpg.podem.max_backtracks = 0;
+     },
+     "source.atpg.podem.max_backtracks",
+     "atpg source requires max_backtracks > 0 (every deterministic solve "
+     "would abort immediately)"},
     {"bad observation name",
      [](FlowSpec& s) { s.observe.kind = "scan"; },
      "observe.kind",

@@ -1,0 +1,320 @@
+// Unit tests for the static implication engine: direct forward/backward
+// gate implications, learned indirect implications, implied constants,
+// necessary assignments, and the stem-dominator / fanout-cone machinery.
+// The dominator tests are table-driven with EXACT expected chains — the
+// sets, not just membership — so a traversal-order bug cannot hide behind
+// a superset.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analyze/implication.hpp"
+#include "circuit/compiled.hpp"
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+#include "sim/logic_value.hpp"
+
+namespace lsiq::analyze {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+using circuit::kNoGate;
+using sim::Tri;
+
+TEST(Implication, DirectForwardAndBackwardAndRules) {
+  Circuit c("and2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::kAnd, {a, b}, "g");
+  c.mark_output(g);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  std::vector<Tri> closure;
+  // Forward: both neutral inputs force the output.
+  ASSERT_TRUE(engine.propagate({make_literal(a, true), make_literal(b, true)},
+                               closure));
+  EXPECT_EQ(closure[g], Tri::kOne);
+  // Forward: one controlling input suffices.
+  ASSERT_TRUE(engine.propagate({make_literal(a, false)}, closure));
+  EXPECT_EQ(closure[g], Tri::kZero);
+  // Backward: a neutral output pins every input.
+  ASSERT_TRUE(engine.propagate({make_literal(g, true)}, closure));
+  EXPECT_EQ(closure[a], Tri::kOne);
+  EXPECT_EQ(closure[b], Tri::kOne);
+  // Backward unit rule: 0 at the output with one input known neutral
+  // forces the remaining input to the controlling value.
+  ASSERT_TRUE(engine.propagate({make_literal(g, false), make_literal(a, true)},
+                               closure));
+  EXPECT_EQ(closure[b], Tri::kZero);
+}
+
+TEST(Implication, InverterIsBidirectional) {
+  Circuit c("inv");
+  const GateId a = c.add_input("a");
+  const GateId n = c.add_gate(GateType::kNot, {a}, "n");
+  c.mark_output(n);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  std::vector<Tri> closure;
+  ASSERT_TRUE(engine.propagate({make_literal(n, true)}, closure));
+  EXPECT_EQ(closure[a], Tri::kZero);
+  ASSERT_TRUE(engine.propagate({make_literal(a, true)}, closure));
+  EXPECT_EQ(closure[n], Tri::kZero);
+}
+
+TEST(Implication, XorBackwardSolvesTheSingleUnknown) {
+  Circuit c("xor2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate(GateType::kXor, {a, b}, "x");
+  c.mark_output(x);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  std::vector<Tri> closure;
+  ASSERT_TRUE(engine.propagate({make_literal(x, true), make_literal(a, true)},
+                               closure));
+  EXPECT_EQ(closure[b], Tri::kZero);
+  ASSERT_TRUE(engine.propagate(
+      {make_literal(x, false), make_literal(a, true)}, closure));
+  EXPECT_EQ(closure[b], Tri::kOne);
+}
+
+TEST(Implication, LearnsTheClassicIndirectImplication) {
+  // z = OR(AND(a,b), AND(a,c)): no single gate rule derives z=1 => a=1
+  // (the OR's backward rule does not know which term is true), but the
+  // contrapositive of a=0 => z=0 does. This is the canonical SOCRATES
+  // static-learning example.
+  Circuit c("socrates");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId d = c.add_input("c");
+  const GateId t1 = c.add_gate(GateType::kAnd, {a, b}, "t1");
+  const GateId t2 = c.add_gate(GateType::kAnd, {a, d}, "t2");
+  const GateId z = c.add_gate(GateType::kOr, {t1, t2}, "z");
+  c.mark_output(z);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  std::vector<Tri> closure;
+  ASSERT_TRUE(engine.propagate({make_literal(z, true)}, closure));
+  EXPECT_EQ(closure[a], Tri::kOne)
+      << "indirect implication z=1 => a=1 was not learned";
+}
+
+TEST(Implication, ReconvergentConstantIsImplied) {
+  // y = AND(a, NOT a) is constant 0 with no tied input anywhere — the
+  // case the structural analyzer provably cannot see.
+  Circuit c("recon");
+  const GateId a = c.add_input("a");
+  const GateId na = c.add_gate(GateType::kNot, {a}, "na");
+  const GateId y = c.add_gate(GateType::kAnd, {a, na}, "y");
+  const GateId b = c.add_input("b");
+  const GateId out = c.add_gate(GateType::kOr, {y, b}, "out");
+  c.mark_output(out);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  EXPECT_EQ(engine.constant(y), LineValue::kZero);
+  EXPECT_EQ(engine.constant(a), LineValue::kUnknown);
+  EXPECT_EQ(engine.constant(out), LineValue::kUnknown);  // out follows b
+
+  // Assuming the impossible literal is a contradiction...
+  std::vector<Tri> closure;
+  EXPECT_FALSE(engine.propagate({make_literal(y, true)}, closure));
+  // ...so activation of y s-a-0 is impossible and justification of y=1
+  // is unsatisfiable, while y=0 needs nothing at all.
+  EXPECT_TRUE(
+      engine.necessary_assignments(fault::Fault{y, -1, false}).contradictory);
+  EXPECT_TRUE(engine.justification_assignments(y, true).contradictory);
+  EXPECT_FALSE(engine.justification_assignments(y, false).contradictory);
+}
+
+TEST(Implication, NecessaryAssignmentsIncludeDominatorSideInputs) {
+  // Chain a,b -> x = AND -> y = NOT -> out. Detecting b s-a-0 requires
+  // activation (b=1) and unique sensitization through the dominator x,
+  // whose side input a sits outside b's cone: a=1. The closure then adds
+  // x=1 and y=0.
+  Circuit c("chain");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate(GateType::kAnd, {a, b}, "x");
+  const GateId y = c.add_gate(GateType::kNot, {x}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  const NecessaryAssignments necessary =
+      engine.necessary_assignments(fault::Fault{b, -1, false});
+  ASSERT_FALSE(necessary.contradictory);
+  const std::vector<Literal> expected = {
+      make_literal(a, true), make_literal(b, true), make_literal(x, true),
+      make_literal(y, false)};
+  EXPECT_EQ(necessary.literals, expected);
+}
+
+// ---- dominators: table-driven exact chains ----
+
+struct DominatorCase {
+  const char* label;
+  GateId gate;
+  std::vector<GateId> chain;  ///< expected dominators(gate), nearest first
+};
+
+void expect_chains(const ImplicationEngine& engine,
+                   const std::vector<DominatorCase>& table) {
+  for (const DominatorCase& row : table) {
+    SCOPED_TRACE(row.label);
+    EXPECT_EQ(engine.dominators(row.gate), row.chain);
+    const GateId idom =
+        row.chain.empty() ? kNoGate : row.chain.front();
+    EXPECT_EQ(engine.immediate_dominator(row.gate), idom);
+  }
+}
+
+TEST(Implication, DominatorsOnALinearChain) {
+  Circuit c("line");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate(GateType::kAnd, {a, b}, "x");
+  const GateId y = c.add_gate(GateType::kNot, {x}, "y");
+  c.mark_output(y);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  expect_chains(engine, {
+                            {"a", a, {x, y}},
+                            {"b", b, {x, y}},
+                            {"x", x, {y}},
+                            {"y", y, {}},
+                        });
+}
+
+TEST(Implication, SingleStemReconvergenceDominatesAtTheMergeGate) {
+  Circuit c("stem1");
+  const GateId a = c.add_input("a");
+  const GateId s = c.add_gate(GateType::kBuf, {a}, "s");
+  const GateId p = c.add_gate(GateType::kNot, {s}, "p");
+  const GateId q = c.add_gate(GateType::kBuf, {s}, "q");
+  const GateId r = c.add_gate(GateType::kAnd, {p, q}, "r");
+  c.mark_output(r);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  expect_chains(engine, {
+                            {"stem s", s, {r}},
+                            {"branch p", p, {r}},
+                            {"branch q", q, {r}},
+                            {"merge r", r, {}},
+                        });
+}
+
+TEST(Implication, NestedStemsReconvergeAtDifferentDepths) {
+  // Two stems nested: s1's branches merge at m, which is itself a stem
+  // whose branches merge at w. Every gate under s1 must list BOTH merge
+  // points, in nearest-first order.
+  Circuit c("stem2");
+  const GateId a = c.add_input("a");
+  const GateId s1 = c.add_gate(GateType::kBuf, {a}, "s1");
+  const GateId p = c.add_gate(GateType::kNot, {s1}, "p");
+  const GateId q = c.add_gate(GateType::kBuf, {s1}, "q");
+  const GateId m = c.add_gate(GateType::kOr, {p, q}, "m");
+  const GateId u = c.add_gate(GateType::kNot, {m}, "u");
+  const GateId v = c.add_gate(GateType::kBuf, {m}, "v");
+  const GateId w = c.add_gate(GateType::kAnd, {u, v}, "w");
+  c.mark_output(w);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  expect_chains(engine, {
+                            {"outer stem s1", s1, {m, w}},
+                            {"inner branch p", p, {m, w}},
+                            {"inner merge m", m, {w}},
+                            {"outer branch u", u, {w}},
+                            {"outer merge w", w, {}},
+                        });
+}
+
+TEST(Implication, MultipleOutputsBreakDominance) {
+  // g feeds two primary outputs: its propagation paths diverge straight
+  // to the virtual sink, so nothing dominates it.
+  Circuit c("twoout");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::kAnd, {a, b}, "g");
+  const GateId o1 = c.add_gate(GateType::kBuf, {g}, "o1");
+  const GateId o2 = c.add_gate(GateType::kNot, {g}, "o2");
+  c.mark_output(o1);
+  c.mark_output(o2);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  expect_chains(engine, {
+                            {"diverging g", g, {}},
+                            {"o1", o1, {}},
+                            {"a", a, {g}},
+                        });
+}
+
+TEST(Implication, DffBoundariesEndDominatorChainsAndCones) {
+  // g drives a flip-flop's D input: g is itself an observed point (full
+  // scan), so its chain is empty, and the cone of g stops AT the DFF —
+  // fault effects are captured, not propagated through.
+  Circuit c("scan");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::kAnd, {a, b}, "g");
+  const GateId ff = c.add_dff("ff");
+  c.connect_dff(ff, g);
+  const GateId h = c.add_gate(GateType::kOr, {ff, a}, "h");
+  c.mark_output(h);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  expect_chains(engine, {
+                            {"D driver g", g, {}},
+                            {"dff output", ff, {h}},
+                            {"input b", b, {g}},
+                            {"input a (g and h paths)", a, {}},
+                        });
+
+  EXPECT_TRUE(engine.reaches_observed(g));
+  EXPECT_TRUE(engine.in_cone(g, g));
+  EXPECT_FALSE(engine.in_cone(g, h))
+      << "a fault effect must not cross the scan boundary";
+  EXPECT_TRUE(engine.in_cone(a, h));
+}
+
+TEST(Implication, UnreachableGatesAreReportedAsSuch) {
+  Circuit c("dangling");
+  const GateId a = c.add_input("a");
+  const GateId live = c.add_gate(GateType::kBuf, {a}, "live");
+  const GateId dead = c.add_gate(GateType::kNot, {a}, "dead");
+  c.mark_output(live);
+  c.finalize();
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+
+  EXPECT_TRUE(engine.reaches_observed(live));
+  EXPECT_FALSE(engine.reaches_observed(dead));
+  EXPECT_EQ(engine.immediate_dominator(dead), kNoGate);
+  EXPECT_TRUE(engine.dominators(dead).empty());
+}
+
+}  // namespace
+}  // namespace lsiq::analyze

@@ -1,0 +1,250 @@
+// The implication prover cross-checked against PODEM, the library's
+// decision procedure for redundancy:
+//
+//   * soundness — every fault identify_redundancies() flags must be proven
+//     kUntestable by an UNASSISTED PODEM (use_implications off, so the
+//     check cannot be circular), over handcrafted circuits, the generator
+//     families, and randomized DAG netlists;
+//   * conservatism of the PODEM assist — with implications on, a detected
+//     fault yields the bit-identical pattern and cube, and never more
+//     backtracks (the assist prunes doomed subtrees, it does not steer);
+//   * the pinned mult16 deterministic-ATPG backtrack reduction;
+//   * the remaining frontier — a reconvergent functional equivalence
+//     (XOR of two structurally different implementations of a OR b) whose
+//     output s-a-0 PODEM proves redundant but fault-independent static
+//     analysis cannot, pinned so an over-claiming "improvement" fails
+//     loudly here the way the PR 7 reconvergent miss once did in
+//     test_analyze_crosscheck.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/implication.hpp"
+#include "analyze/redundancy.hpp"
+#include "circuit/compiled.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_list.hpp"
+#include "tpg/atpg.hpp"
+#include "tpg/podem.hpp"
+#include "util/rng.hpp"
+
+namespace lsiq::analyze {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateId;
+using circuit::GateType;
+
+/// Every implication-proven site must be confirmed redundant by the plain
+/// decision procedure. Returns the number of sites checked so callers can
+/// assert the sweep was not vacuous where it should not be.
+std::size_t expect_sites_podem_redundant(const Circuit& circuit) {
+  const circuit::CompiledCircuit compiled(circuit);
+  const ImplicationEngine engine(compiled);
+  const RedundancyReport report = identify_redundancies(engine);
+  tpg::PodemOptions plain;
+  plain.use_implications = false;
+  plain.max_backtracks = 1000000;
+  for (const RedundantSite& site : report.sites) {
+    const tpg::PodemResult proof =
+        tpg::generate_test(circuit, site.fault, plain);
+    EXPECT_EQ(proof.status, tpg::TestStatus::kUntestable)
+        << "implication prover over-claims ("
+        << redundancy_reason_name(site.reason) << ") on "
+        << fault::fault_name(circuit, site.fault) << " in "
+        << circuit.name();
+  }
+  return report.sites.size();
+}
+
+/// A deterministic random DAG: a handful of inputs, sometimes a tied
+/// constant, then `gates` random gates over earlier nodes (duplicate
+/// fanins allowed — instant reconvergence), a few random observed points.
+/// Small enough that PODEM settles every fault without aborting.
+Circuit random_dag(std::uint64_t seed, std::size_t gates) {
+  util::Rng rng(seed);
+  Circuit c("rand" + std::to_string(seed));
+  std::vector<GateId> pool;
+  const std::size_t inputs = 3 + rng.uniform_below(3);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    pool.push_back(c.add_input("i" + std::to_string(i)));
+  }
+  if (rng.bernoulli(0.5)) {
+    pool.push_back(c.add_gate(GateType::kConst0, {}, "tie0"));
+  }
+  if (rng.bernoulli(0.25)) {
+    pool.push_back(c.add_gate(GateType::kConst1, {}, "tie1"));
+  }
+  const GateType kinds[] = {GateType::kAnd, GateType::kNand, GateType::kOr,
+                            GateType::kNor, GateType::kXor, GateType::kXnor,
+                            GateType::kNot, GateType::kBuf};
+  for (std::size_t g = 0; g < gates; ++g) {
+    const GateType type = kinds[rng.uniform_below(8)];
+    const bool unary = type == GateType::kNot || type == GateType::kBuf;
+    std::vector<GateId> fanin;
+    fanin.push_back(pool[rng.uniform_below(pool.size())]);
+    if (!unary) {
+      fanin.push_back(pool[rng.uniform_below(pool.size())]);
+    }
+    pool.push_back(c.add_gate(type, fanin, "g" + std::to_string(g)));
+  }
+  std::vector<GateId> observed = {pool.back()};
+  for (int extra = 0; extra < 2; ++extra) {
+    const GateId pick = pool[rng.uniform_below(pool.size())];
+    if (std::find(observed.begin(), observed.end(), pick) ==
+        observed.end()) {
+      observed.push_back(pick);
+    }
+  }
+  for (const GateId id : observed) c.mark_output(id);
+  c.finalize();
+  return c;
+}
+
+TEST(ImplicationCrosscheck, SitesPodemRedundantOnHandcraftedCircuits) {
+  // The reconvergent-constant circuit: six sites, three distinct proof
+  // kinds (implied constant, necessary conflict, FIRE stem conflict).
+  Circuit recon("recon");
+  const GateId a = recon.add_input("a");
+  const GateId na = recon.add_gate(GateType::kNot, {a}, "na");
+  const GateId y = recon.add_gate(GateType::kAnd, {a, na}, "y");
+  const GateId b = recon.add_input("b");
+  const GateId out = recon.add_gate(GateType::kOr, {y, b}, "out");
+  recon.mark_output(out);
+  recon.finalize();
+  EXPECT_GT(expect_sites_podem_redundant(recon), 0u);
+}
+
+TEST(ImplicationCrosscheck, SitesPodemRedundantOnGeneratorFamilies) {
+  // The healthy generators must stay clean (no false redundancy claims on
+  // fully testable circuits); the carry-select adder's mux reconvergence
+  // genuinely carries redundant sites, so the subset check bites there.
+  for (const Circuit& c :
+       {circuit::make_c17(), circuit::make_alu(2), circuit::make_alu(4),
+        circuit::make_parity_tree(8)}) {
+    SCOPED_TRACE(c.name());
+    EXPECT_EQ(expect_sites_podem_redundant(c), 0u);
+  }
+  EXPECT_GT(expect_sites_podem_redundant(
+                circuit::make_carry_select_adder(16, 4)),
+            0u);
+}
+
+TEST(ImplicationCrosscheck, SitesPodemRedundantOnRandomizedNetlists) {
+  std::size_t total_sites = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const Circuit c = random_dag(seed, 24);
+    SCOPED_TRACE(c.name());
+    total_sites += expect_sites_podem_redundant(c);
+  }
+  // The sweep must have exercised the provers, not just clean circuits.
+  EXPECT_GT(total_sites, 0u);
+}
+
+TEST(ImplicationCrosscheck, FrontierReconvergentEquivalenceStillMissed) {
+  // f and g both compute (a OR b) through different structure; XOR(f, g)
+  // is constant 0 through FUNCTIONAL equivalence of two cones. PODEM
+  // proves out s-a-0 redundant, but no fault-independent static pass here
+  // does: no single-literal probe contradicts, and neither polarity of
+  // any stem closure forces out to 0. This pins the engine's current
+  // frontier — if a future change proves it statically, move the site
+  // into the positive tests and find a new frontier.
+  Circuit c("frontier");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId na = c.add_gate(GateType::kNot, {a}, "na");
+  const GateId nb = c.add_gate(GateType::kNot, {b}, "nb");
+  const GateId t1 = c.add_gate(GateType::kAnd, {a, b}, "t1");
+  const GateId t2 = c.add_gate(GateType::kAnd, {a, nb}, "t2");
+  const GateId t3 = c.add_gate(GateType::kAnd, {na, b}, "t3");
+  const GateId f = c.add_gate(GateType::kOr, {t1, t2, t3}, "f");
+  const GateId g = c.add_gate(GateType::kOr, {a, b}, "g");
+  const GateId out = c.add_gate(GateType::kXor, {f, g}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  tpg::PodemOptions plain;
+  plain.use_implications = false;
+  const tpg::PodemResult proof =
+      tpg::generate_test(c, fault::Fault{out, -1, false}, plain);
+  ASSERT_EQ(proof.status, tpg::TestStatus::kUntestable);
+
+  const circuit::CompiledCircuit compiled(c);
+  const ImplicationEngine engine(compiled);
+  EXPECT_EQ(engine.constant(out), LineValue::kUnknown);
+  const RedundancyReport report = identify_redundancies(engine);
+  bool claimed = false;
+  for (const RedundantSite& site : report.sites) {
+    if (site.fault == fault::Fault{out, -1, false}) claimed = true;
+  }
+  EXPECT_FALSE(claimed) << "the frontier moved: update this pin";
+  // Whatever else it proved here must still be sound.
+  expect_sites_podem_redundant(c);
+}
+
+TEST(ImplicationCrosscheck, AssistedPodemIsBitIdenticalAndNeverSlower) {
+  std::vector<Circuit> circuits;
+  circuits.push_back(circuit::make_c17());
+  circuits.push_back(circuit::make_alu(4));
+  for (std::uint64_t seed = 31; seed <= 38; ++seed) {
+    circuits.push_back(random_dag(seed, 24));
+  }
+  for (const Circuit& c : circuits) {
+    SCOPED_TRACE(c.name());
+    const circuit::CompiledCircuit compiled(c);
+    const ImplicationEngine engine(compiled);
+    tpg::PodemOptions with;
+    with.implications = &engine;
+    tpg::PodemOptions without;
+    without.use_implications = false;
+    const fault::FaultList faults = fault::FaultList::full_universe(c);
+    for (const fault::Fault& f : faults.representatives()) {
+      const tpg::PodemResult assisted = tpg::generate_test(c, f, with);
+      const tpg::PodemResult plain = tpg::generate_test(c, f, without);
+      // The assist may rescue an abort (strictly better), never the
+      // reverse; matching verdicts must match bit for bit.
+      if (plain.status == tpg::TestStatus::kAborted) continue;
+      ASSERT_EQ(assisted.status, plain.status)
+          << fault::fault_name(c, f);
+      EXPECT_LE(assisted.backtracks, plain.backtracks)
+          << fault::fault_name(c, f);
+      if (plain.status == tpg::TestStatus::kDetected) {
+        EXPECT_EQ(assisted.pattern, plain.pattern)
+            << fault::fault_name(c, f);
+        EXPECT_EQ(assisted.cube, plain.cube) << fault::fault_name(c, f);
+      }
+    }
+  }
+}
+
+TEST(ImplicationCrosscheck, Mult16DeterministicAtpgBacktracksDrop) {
+  // Deterministic-only ATPG on the 16-bit array multiplier: every class
+  // goes through PODEM, so the necessary-assignment pruning shows up
+  // directly in the run's total backtrack count — while the emitted
+  // program stays bit-identical (same patterns, same coverage).
+  const Circuit c = circuit::make_array_multiplier(16);
+  const fault::FaultList faults = fault::FaultList::full_universe(c);
+  tpg::AtpgOptions with;
+  with.random_patterns = 0;
+  tpg::AtpgOptions without = with;
+  without.podem.use_implications = false;
+
+  const tpg::AtpgResult assisted = tpg::generate_tests(faults, with);
+  const tpg::AtpgResult plain = tpg::generate_tests(faults, without);
+
+  EXPECT_LT(assisted.total_backtracks, plain.total_backtracks)
+      << "the implication assist stopped paying for itself on mult16";
+  EXPECT_LE(assisted.total_decisions, plain.total_decisions);
+  EXPECT_EQ(assisted.patterns, plain.patterns);
+  EXPECT_EQ(assisted.detected_classes, plain.detected_classes);
+  EXPECT_EQ(assisted.redundant_classes, plain.redundant_classes);
+  EXPECT_EQ(assisted.aborted_classes, plain.aborted_classes);
+  EXPECT_DOUBLE_EQ(assisted.coverage, plain.coverage);
+}
+
+}  // namespace
+}  // namespace lsiq::analyze

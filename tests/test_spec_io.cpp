@@ -201,6 +201,7 @@ TEST(SpecIo, RoundTripCoversEveryEnumValueOfEveryAxis) {
             original.spec.source.lfsr_seed = 31;
             original.spec.source.atpg.random_patterns = 48;
             original.spec.source.atpg.seed = 5;
+            original.spec.source.atpg.podem.use_implications = false;
             original.spec.source.atpg_compact = true;
             original.spec.source.file = "patterns.txt";
             original.spec.observe.kind = observe;

@@ -261,15 +261,26 @@ int main(int argc, char** argv) {
     if (check_mode) {
       // Dry-run lint: the analyze gate only, diagnostics as JSON lines.
       try {
-        const std::vector<analyze::Diagnostic> diagnostics =
-            flow::check(faults, file.spec);
-        for (const analyze::Diagnostic& diagnostic : diagnostics) {
+        const flow::CheckOutcome outcome =
+            flow::check_detailed(faults, file.spec);
+        for (const analyze::Diagnostic& diagnostic : outcome.diagnostics) {
           std::cout << diagnostic.to_jsonl() << "\n";
         }
         std::cerr << "check OK: circuit " << file.circuit << ", "
                   << faults.class_count() << " collapsed classes, "
-                  << diagnostics.size() << " warning"
-                  << (diagnostics.size() == 1 ? "" : "s") << "\n";
+                  << outcome.diagnostics.size() << " warning"
+                  << (outcome.diagnostics.size() == 1 ? "" : "s");
+        if (outcome.statically_redundant_faults > 0) {
+          std::cerr << ", " << outcome.statically_redundant_faults
+                    << " statically redundant fault"
+                    << (outcome.statically_redundant_faults == 1 ? "" : "s")
+                    << " (" << outcome.statically_redundant_classes
+                    << (outcome.statically_redundant_classes == 1
+                            ? " class"
+                            : " classes")
+                    << ")";
+        }
+        std::cerr << "\n";
         return finish(EXIT_SUCCESS);
       } catch (const analyze::LintError& e) {
         std::size_t errors = 0;
