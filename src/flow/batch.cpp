@@ -15,198 +15,20 @@
 #include "flow/spec_io.hpp"
 #include "util/deadline.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lsiq::flow {
 
 namespace {
 
-// ---- spec-content hashing (checkpoint staleness detection) ----
-
-/// FNV-1a over the file's bytes; 0 when the file cannot be read (a record
-/// hashed 0 is never treated as resumable).
-std::uint64_t hash_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return 0;
-  std::uint64_t hash = 14695981039346656037ULL;
-  char buffer[4096];
-  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
-    const std::streamsize got = in.gcount();
-    for (std::streamsize i = 0; i < got; ++i) {
-      hash ^= static_cast<unsigned char>(buffer[i]);
-      hash *= 1099511628211ULL;
-    }
-    if (!in) break;
-  }
-  return hash;
-}
-
-// ---- minimal JSON (the result-store wire format) ----
-//
-// Records are flat objects of strings, numbers and booleans; a
-// hand-rolled writer/reader keeps the library dependency-free and the
-// format under this file's control.
-
-void append_json_string(std::string& out, const std::string& text) {
-  out += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char escaped[8];
-          std::snprintf(escaped, sizeof escaped, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += escaped;
-        } else {
-          out += c;  // UTF-8 payload bytes pass through untouched
-        }
-    }
-  }
-  out += '"';
-}
-
-/// Round-trippable double text (%.17g): format(parse(format(x))) ==
-/// format(x), which is what keeps a record byte-stable across a
-/// checkpoint parse/reserialize cycle.
-std::string format_double(double value) {
-  char text[64];
-  std::snprintf(text, sizeof text, "%.17g", value);
-  return text;
-}
+namespace json = util::json;
 
 std::string format_hash(std::uint64_t hash) {
   char text[32];
   std::snprintf(text, sizeof text, "0x%016llx",
                 static_cast<unsigned long long>(hash));
   return text;
-}
-
-struct JsonValue {
-  enum class Kind { kString, kNumber, kBool };
-  Kind kind = Kind::kString;
-  std::string text;      // kString: unescaped payload; kNumber: raw text
-  double number = 0.0;
-  bool boolean = false;
-};
-
-/// Parse one flat JSON object of string/number/bool values. Returns false
-/// on any malformation — resume treats such a line as torn and skips it.
-bool parse_flat_object(const std::string& line,
-                       std::map<std::string, JsonValue>* out) {
-  std::size_t i = 0;
-  const auto skip_space = [&] {
-    while (i < line.size() &&
-           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
-      ++i;
-    }
-  };
-  const auto parse_string = [&](std::string* text) -> bool {
-    if (i >= line.size() || line[i] != '"') return false;
-    ++i;
-    text->clear();
-    while (i < line.size() && line[i] != '"') {
-      char c = line[i++];
-      if (c != '\\') {
-        *text += c;
-        continue;
-      }
-      if (i >= line.size()) return false;
-      const char escape = line[i++];
-      switch (escape) {
-        case '"': *text += '"'; break;
-        case '\\': *text += '\\'; break;
-        case '/': *text += '/'; break;
-        case 'n': *text += '\n'; break;
-        case 'r': *text += '\r'; break;
-        case 't': *text += '\t'; break;
-        case 'b': *text += '\b'; break;
-        case 'f': *text += '\f'; break;
-        case 'u': {
-          if (i + 4 > line.size()) return false;
-          unsigned value = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = line[i++];
-            value <<= 4;
-            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
-            else return false;
-          }
-          if (value > 0xff) return false;  // the writer only escapes bytes
-          *text += static_cast<char>(value);
-          break;
-        }
-        default: return false;
-      }
-    }
-    if (i >= line.size()) return false;
-    ++i;  // closing quote
-    return true;
-  };
-
-  skip_space();
-  if (i >= line.size() || line[i] != '{') return false;
-  ++i;
-  skip_space();
-  if (i < line.size() && line[i] == '}') return true;
-  while (true) {
-    skip_space();
-    std::string key;
-    if (!parse_string(&key)) return false;
-    skip_space();
-    if (i >= line.size() || line[i] != ':') return false;
-    ++i;
-    skip_space();
-    JsonValue value;
-    if (i < line.size() && line[i] == '"') {
-      value.kind = JsonValue::Kind::kString;
-      if (!parse_string(&value.text)) return false;
-    } else if (line.compare(i, 4, "true") == 0) {
-      value.kind = JsonValue::Kind::kBool;
-      value.boolean = true;
-      i += 4;
-    } else if (line.compare(i, 5, "false") == 0) {
-      value.kind = JsonValue::Kind::kBool;
-      value.boolean = false;
-      i += 5;
-    } else {
-      const std::size_t start = i;
-      while (i < line.size() && line[i] != ',' && line[i] != '}' &&
-             line[i] != ' ') {
-        ++i;
-      }
-      value.kind = JsonValue::Kind::kNumber;
-      value.text = line.substr(start, i - start);
-      try {
-        std::size_t consumed = 0;
-        value.number = std::stod(value.text, &consumed);
-        if (consumed != value.text.size()) return false;
-      } catch (const std::exception&) {
-        return false;
-      }
-    }
-    (*out)[key] = std::move(value);
-    skip_space();
-    if (i >= line.size()) return false;
-    if (line[i] == ',') {
-      ++i;
-      continue;
-    }
-    if (line[i] == '}') return true;
-    return false;
-  }
-}
-
-const JsonValue* find_value(const std::map<std::string, JsonValue>& values,
-                            const std::string& key, JsonValue::Kind kind) {
-  const auto it = values.find(key);
-  if (it == values.end() || it->second.kind != kind) return nullptr;
-  return &it->second;
 }
 
 /// Bound a failure message: long enough for every real diagnostic in the
@@ -221,81 +43,28 @@ std::string sanitize_message(const std::string& message) {
 void append_record_fields(std::string& out, const BatchRecord& record,
                           bool canonical) {
   out += "{\"spec\":";
-  append_json_string(out, record.spec);
+  json::append_string(out, record.spec);
   out += ",\"hash\":";
-  append_json_string(out, format_hash(record.hash));
+  json::append_string(out, format_hash(record.hash));
   out += ",\"status\":";
-  append_json_string(out, record.status);
+  json::append_string(out, record.status);
   out += ",\"error_code\":";
-  append_json_string(out, error_code_name(record.error_code));
+  json::append_string(out, error_code_name(record.error_code));
   out += ",\"transient\":";
   out += record.transient ? "true" : "false";
   out += ",\"attempts\":" + std::to_string(record.attempts);
   if (!canonical) {
-    out += ",\"wall_ms\":" + format_double(record.wall_ms);
+    out += ",\"wall_ms\":" + json::format_double(record.wall_ms);
     out += ",\"resumed\":";
     out += record.resumed ? "true" : "false";
   }
   out += ",\"patterns\":" + std::to_string(record.patterns);
   out += ",\"classes\":" + std::to_string(record.classes);
-  out += ",\"coverage\":" + format_double(record.coverage);
-  out += ",\"dppm\":" + format_double(record.dppm);
+  out += ",\"coverage\":" + json::format_double(record.coverage);
+  out += ",\"dppm\":" + json::format_double(record.dppm);
   out += ",\"error\":";
-  append_json_string(out, record.error);
+  json::append_string(out, record.error);
   out += "}";
-}
-
-// ---- the JSONL result store / checkpoint ----
-
-class ResultStore {
- public:
-  ResultStore(const std::string& path, std::ostream* stream)
-      : path_(path), stream_(stream) {
-    if (!path.empty()) {
-      file_.emplace(path, std::ios::trunc);
-      if (!*file_) {
-        throw IoError("cannot open result store for writing: " + path);
-      }
-    }
-  }
-
-  /// Commit one record: append + flush (the flush is the checkpoint
-  /// durability point). A checkpoint write failure aborts the batch —
-  /// a result store that drops records is worse than no store.
-  void append(const BatchRecord& record) {
-    const std::string line = record.to_jsonl();
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (file_.has_value()) {
-      *file_ << line << '\n' << std::flush;
-      if (!*file_) {
-        throw IoError("result store write failed: " + path_);
-      }
-    }
-    if (stream_ != nullptr) {
-      *stream_ << line << '\n' << std::flush;
-    }
-  }
-
- private:
-  std::string path_;
-  std::ostream* stream_;
-  std::optional<std::ofstream> file_;
-  std::mutex mutex_;
-};
-
-/// Last record per spec from an existing checkpoint; unparsable (torn)
-/// lines are skipped, so a store killed mid-write still resumes.
-std::map<std::string, BatchRecord> load_checkpoint(const std::string& path) {
-  std::map<std::string, BatchRecord> records;
-  std::ifstream in(path);
-  if (!in) return records;  // first run: nothing to resume
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::optional<BatchRecord> record = BatchRecord::from_jsonl(line);
-    if (record.has_value()) records[record->spec] = std::move(*record);
-  }
-  return records;
 }
 
 // ---- running one spec ----
@@ -316,19 +85,20 @@ void run_spec_once(const std::string& path, ArtifactCache& cache,
   // validate() guaranteed the model name resolves.
   const fault_model::FaultModel model =
       *fault_model::fault_model_from_name(file.spec.fault_model.kind);
-  const ArtifactCache::Artifacts& artifacts = cache.get(file.circuit, model);
+  const std::shared_ptr<const ArtifactCache::Artifacts> artifacts =
+      cache.get(file.circuit, model);
   if (options.check_only) {
     // Lint-before-run: the analyze gate only. A LintError escapes to the
     // retry boundary and becomes a permanent "lint" failure record.
-    check(*artifacts.faults, file.spec);
-    record->classes = artifacts.faults->class_count();
+    check(*artifacts->faults, file.spec);
+    record->classes = artifacts->faults->class_count();
     return;
   }
-  const FlowResult result = run(*artifacts.faults, file.spec,
-                                artifacts.compiled);
+  const FlowResult result = run(*artifacts->faults, file.spec,
+                                artifacts->compiled);
 
   record->patterns = result.patterns.size();
-  record->classes = artifacts.faults->class_count();
+  record->classes = artifacts->faults->class_count();
   record->coverage =
       result.curve.has_value() ? result.curve->final_coverage() : 0.0;
   const double delivered = result.bist.has_value()
@@ -338,13 +108,151 @@ void run_spec_once(const std::string& path, ArtifactCache& cache,
       result.analyzer.has_value() ? result.analyzer->dppm(delivered) : 0.0;
 }
 
-/// The crash-isolation + retry boundary around one spec. Never throws:
-/// every failure becomes a structured record.
-BatchRecord run_one_spec(const std::string& path, ArtifactCache& cache,
-                         const BatchOptions& options) {
+}  // namespace
+
+// ---- spec-content hashing (checkpoint staleness detection) ----
+
+std::uint64_t hash_spec_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::uint64_t hash = 14695981039346656037ULL;
+  char buffer[4096];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    for (std::streamsize i = 0; i < got; ++i) {
+      hash ^= static_cast<unsigned char>(buffer[i]);
+      hash *= 1099511628211ULL;
+    }
+    if (!in) break;
+  }
+  return hash;
+}
+
+// ---- RetryPolicy ----
+
+int RetryPolicy::backoff_ms(int attempt) const {
+  if (backoff_initial_ms <= 0) return 0;
+  double delay = backoff_initial_ms;
+  for (int k = 1; k < attempt; ++k) {
+    delay *= backoff_multiplier;
+    if (delay >= backoff_max_ms) break;
+  }
+  return static_cast<int>(std::min<double>(delay, backoff_max_ms));
+}
+
+// ---- BatchRecord ----
+
+std::string BatchRecord::to_jsonl() const {
+  std::string out;
+  append_record_fields(out, *this, /*canonical=*/false);
+  return out;
+}
+
+std::string BatchRecord::canonical_jsonl() const {
+  std::string out;
+  append_record_fields(out, *this, /*canonical=*/true);
+  return out;
+}
+
+std::optional<BatchRecord> BatchRecord::from_jsonl(const std::string& line) {
+  std::map<std::string, json::Value> values;
+  if (!json::parse_flat_object(line, &values)) return std::nullopt;
+
+  using Kind = json::Value::Kind;
+  const json::Value* spec = json::find(values, "spec", Kind::kString);
+  const json::Value* hash = json::find(values, "hash", Kind::kString);
+  const json::Value* status = json::find(values, "status", Kind::kString);
+  const json::Value* code = json::find(values, "error_code", Kind::kString);
+  const json::Value* transient = json::find(values, "transient", Kind::kBool);
+  const json::Value* attempts = json::find(values, "attempts", Kind::kNumber);
+  const json::Value* wall_ms = json::find(values, "wall_ms", Kind::kNumber);
+  const json::Value* patterns = json::find(values, "patterns", Kind::kNumber);
+  const json::Value* classes = json::find(values, "classes", Kind::kNumber);
+  const json::Value* coverage = json::find(values, "coverage", Kind::kNumber);
+  const json::Value* dppm = json::find(values, "dppm", Kind::kNumber);
+  const json::Value* error = json::find(values, "error", Kind::kString);
+  if (spec == nullptr || hash == nullptr || status == nullptr ||
+      code == nullptr || transient == nullptr || attempts == nullptr ||
+      patterns == nullptr || classes == nullptr || coverage == nullptr ||
+      dppm == nullptr || error == nullptr) {
+    return std::nullopt;
+  }
+  if (status->text != "ok" && status->text != "failed") return std::nullopt;
+  const std::optional<ErrorCode> parsed_code =
+      error_code_from_name(code->text);
+  if (!parsed_code.has_value()) return std::nullopt;
+
+  BatchRecord record;
+  record.spec = spec->text;
+  try {
+    record.hash = std::stoull(hash->text, nullptr, 16);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  record.status = status->text;
+  record.error_code = *parsed_code;
+  record.transient = transient->boolean;
+  record.attempts = static_cast<int>(attempts->number);
+  record.wall_ms = wall_ms != nullptr ? wall_ms->number : 0.0;
+  const json::Value* resumed = json::find(values, "resumed", Kind::kBool);
+  record.resumed = resumed != nullptr && resumed->boolean;
+  record.patterns = static_cast<std::size_t>(patterns->number);
+  record.classes = static_cast<std::size_t>(classes->number);
+  record.coverage = coverage->number;
+  record.dppm = dppm->number;
+  record.error = error->text;
+  return record;
+}
+
+// ---- ResultStore ----
+
+ResultStore::ResultStore(const std::string& path, std::ostream* stream,
+                         Mode mode)
+    : path_(path), stream_(stream) {
+  if (!path.empty()) {
+    file_.emplace(path, mode == Mode::kTruncate ? std::ios::trunc
+                                                : std::ios::app);
+    if (!*file_) {
+      throw IoError("cannot open result store for writing: " + path);
+    }
+  }
+}
+
+void ResultStore::append(const BatchRecord& record) {
+  const std::string line = record.to_jsonl();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.has_value()) {
+    *file_ << line << '\n' << std::flush;
+    if (!*file_) {
+      throw IoError("result store write failed: " + path_);
+    }
+  }
+  if (stream_ != nullptr) {
+    *stream_ << line << '\n' << std::flush;
+  }
+}
+
+std::map<std::string, BatchRecord> load_result_store(
+    const std::string& path) {
+  std::map<std::string, BatchRecord> records;
+  std::ifstream in(path);
+  if (!in) return records;  // first run: nothing to resume
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<BatchRecord> record = BatchRecord::from_jsonl(line);
+    if (record.has_value()) records[record->spec] = std::move(*record);
+  }
+  return records;
+}
+
+// ---- running one spec (public boundary) ----
+
+BatchRecord run_spec_with_retry(const std::string& path, ArtifactCache& cache,
+                                const BatchOptions& options) {
   BatchRecord record;
   record.spec = path;
-  record.hash = hash_file(path);
+  record.hash = hash_spec_file(path);
   const auto start = std::chrono::steady_clock::now();
   int attempt = 0;
   while (true) {
@@ -391,87 +299,9 @@ BatchRecord run_one_spec(const std::string& path, ArtifactCache& cache,
   return record;
 }
 
-}  // namespace
-
-// ---- RetryPolicy ----
-
-int RetryPolicy::backoff_ms(int attempt) const {
-  if (backoff_initial_ms <= 0) return 0;
-  double delay = backoff_initial_ms;
-  for (int k = 1; k < attempt; ++k) {
-    delay *= backoff_multiplier;
-    if (delay >= backoff_max_ms) break;
-  }
-  return static_cast<int>(std::min<double>(delay, backoff_max_ms));
-}
-
-// ---- BatchRecord ----
-
-std::string BatchRecord::to_jsonl() const {
-  std::string out;
-  append_record_fields(out, *this, /*canonical=*/false);
-  return out;
-}
-
-std::string BatchRecord::canonical_jsonl() const {
-  std::string out;
-  append_record_fields(out, *this, /*canonical=*/true);
-  return out;
-}
-
-std::optional<BatchRecord> BatchRecord::from_jsonl(const std::string& line) {
-  std::map<std::string, JsonValue> values;
-  if (!parse_flat_object(line, &values)) return std::nullopt;
-
-  using Kind = JsonValue::Kind;
-  const JsonValue* spec = find_value(values, "spec", Kind::kString);
-  const JsonValue* hash = find_value(values, "hash", Kind::kString);
-  const JsonValue* status = find_value(values, "status", Kind::kString);
-  const JsonValue* code = find_value(values, "error_code", Kind::kString);
-  const JsonValue* transient = find_value(values, "transient", Kind::kBool);
-  const JsonValue* attempts = find_value(values, "attempts", Kind::kNumber);
-  const JsonValue* wall_ms = find_value(values, "wall_ms", Kind::kNumber);
-  const JsonValue* patterns = find_value(values, "patterns", Kind::kNumber);
-  const JsonValue* classes = find_value(values, "classes", Kind::kNumber);
-  const JsonValue* coverage = find_value(values, "coverage", Kind::kNumber);
-  const JsonValue* dppm = find_value(values, "dppm", Kind::kNumber);
-  const JsonValue* error = find_value(values, "error", Kind::kString);
-  if (spec == nullptr || hash == nullptr || status == nullptr ||
-      code == nullptr || transient == nullptr || attempts == nullptr ||
-      patterns == nullptr || classes == nullptr || coverage == nullptr ||
-      dppm == nullptr || error == nullptr) {
-    return std::nullopt;
-  }
-  if (status->text != "ok" && status->text != "failed") return std::nullopt;
-  const std::optional<ErrorCode> parsed_code =
-      error_code_from_name(code->text);
-  if (!parsed_code.has_value()) return std::nullopt;
-
-  BatchRecord record;
-  record.spec = spec->text;
-  try {
-    record.hash = std::stoull(hash->text, nullptr, 16);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-  record.status = status->text;
-  record.error_code = *parsed_code;
-  record.transient = transient->boolean;
-  record.attempts = static_cast<int>(attempts->number);
-  record.wall_ms = wall_ms != nullptr ? wall_ms->number : 0.0;
-  const JsonValue* resumed = find_value(values, "resumed", Kind::kBool);
-  record.resumed = resumed != nullptr && resumed->boolean;
-  record.patterns = static_cast<std::size_t>(patterns->number);
-  record.classes = static_cast<std::size_t>(classes->number);
-  record.coverage = coverage->number;
-  record.dppm = dppm->number;
-  record.error = error->text;
-  return record;
-}
-
 // ---- ArtifactCache ----
 
-const ArtifactCache::Artifacts& ArtifactCache::get(
+std::shared_ptr<const ArtifactCache::Artifacts> ArtifactCache::get(
     const std::string& circuit_name, fault_model::FaultModel model) {
   const std::pair<std::string, int> key(circuit_name,
                                         static_cast<int>(model));
@@ -479,12 +309,13 @@ const ArtifactCache::Artifacts& ArtifactCache::get(
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
-    return *it->second;
+    it->second.last_use = ++tick_;
+    return it->second.artifacts;
   }
   // Build outside the map so a throwing build caches nothing. The circuit
   // is heap-allocated FIRST and never moves afterwards — the FaultList
   // and the compiled view both hold references into it.
-  auto artifacts = std::make_unique<Artifacts>();
+  auto artifacts = std::make_shared<Artifacts>();
   artifacts->circuit = std::make_unique<const circuit::Circuit>(
       circuit_from_name(circuit_name));
   artifacts->faults = std::make_unique<const fault::FaultList>(
@@ -492,7 +323,49 @@ const ArtifactCache::Artifacts& ArtifactCache::get(
   artifacts->compiled =
       std::make_shared<const circuit::CompiledCircuit>(*artifacts->circuit);
   ++misses_;
-  return *entries_.emplace(key, std::move(artifacts)).first->second;
+  Entry entry;
+  entry.artifacts = std::move(artifacts);
+  entry.cost = cost_of(*entry.artifacts);
+  entry.last_use = ++tick_;
+  cost_ += entry.cost;
+  std::shared_ptr<const Artifacts> handle = entry.artifacts;
+  entries_.emplace(key, std::move(entry));
+  evict_locked();
+  return handle;
+}
+
+void ArtifactCache::set_max_cost(std::size_t max_cost) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_cost_ = max_cost;
+  evict_locked();
+}
+
+void ArtifactCache::evict_locked() {
+  if (max_cost_ == 0) return;
+  while (cost_ > max_cost_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    cost_ -= victim->second.cost;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.cost = cost_;
+  stats.max_cost = max_cost_;
+  return stats;
 }
 
 std::size_t ArtifactCache::hits() const {
@@ -503,6 +376,10 @@ std::size_t ArtifactCache::hits() const {
 std::size_t ArtifactCache::misses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::size_t ArtifactCache::cost_of(const Artifacts& artifacts) {
+  return artifacts.compiled != nullptr ? artifacts.compiled->node_count() : 0;
 }
 
 // ---- BatchResult ----
@@ -599,15 +476,17 @@ BatchResult run_batch(const std::vector<std::string>& specs,
   // truncated for rewriting. Failures are always re-attempted.
   std::map<std::string, BatchRecord> carried;
   if (!options.checkpoint.empty() && options.resume) {
-    carried = load_checkpoint(options.checkpoint);
+    carried = load_result_store(options.checkpoint);
   }
 
-  ResultStore store(options.checkpoint, options.stream);
+  ResultStore store(options.checkpoint, options.stream,
+                    ResultStore::Mode::kTruncate);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto it = carried.find(specs[i]);
     if (it == carried.end() || it->second.status != "ok") continue;
-    if (it->second.hash == 0 || it->second.hash != hash_file(specs[i])) {
+    if (it->second.hash == 0 ||
+        it->second.hash != hash_spec_file(specs[i])) {
       continue;  // spec changed since the checkpoint: rerun it
     }
     result.records[i] = it->second;
@@ -616,15 +495,15 @@ BatchResult run_batch(const std::vector<std::string>& specs,
     store.append(result.records[i]);
   }
 
-  ArtifactCache cache;
+  ArtifactCache cache(options.cache_max_cost);
   const std::size_t pending = static_cast<std::size_t>(
       std::count(done.begin(), done.end(), 0));
   if (pending > 0) {
     // Lanes claim manifest indices from a shared counter; each record is
     // written to its manifest slot, so result order is independent of
-    // scheduling. Spec failures are records (run_one_spec never throws);
-    // anything escaping a lane — a checkpoint-write IoError, an armed
-    // "batch.record" failpoint — aborts the batch via the pool's
+    // scheduling. Spec failures are records (run_spec_with_retry never
+    // throws); anything escaping a lane — a checkpoint-write IoError, an
+    // armed "batch.record" failpoint — aborts the batch via the pool's
     // first-exception rethrow, leaving the store a valid prefix.
     util::ThreadPool pool(
         std::min(util::resolve_worker_count(options.num_workers), pending));
@@ -634,7 +513,7 @@ BatchResult run_batch(const std::vector<std::string>& specs,
         const std::size_t i = next.fetch_add(1);
         if (i >= specs.size()) return;
         if (done[i] != 0) continue;
-        BatchRecord record = run_one_spec(specs[i], cache, options);
+        BatchRecord record = run_spec_with_retry(specs[i], cache, options);
         LSIQ_FAILPOINT("batch.record");
         store.append(record);
         result.records[i] = std::move(record);
@@ -647,8 +526,9 @@ BatchResult run_batch(const std::vector<std::string>& specs,
     if (record.status == "failed") ++result.failed_count;
     if (record.resumed) ++result.resumed_count;
   }
-  result.cache_hits = cache.hits();
-  result.cache_misses = cache.misses();
+  const ArtifactCache::Stats cache_stats = cache.stats();
+  result.cache_hits = cache_stats.hits;
+  result.cache_misses = cache_stats.misses;
   return result;
 }
 

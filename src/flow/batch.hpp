@@ -44,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -112,6 +113,12 @@ struct BatchOptions {
   /// is a "failed" record with error_code "lint" (permanent, no retry);
   /// ok records carry the universe's class count with zero patterns.
   bool check_only = false;
+
+  /// ArtifactCache cost bound (see ArtifactCache::set_max_cost) for the
+  /// batch's cache; 0 = unbounded, the right default for one-shot batches
+  /// that touch a handful of products. The long-lived flow service sets a
+  /// real bound so memory stays flat across thousands of jobs.
+  std::size_t cache_max_cost = 0;
 };
 
 /// One spec's outcome — one JSONL line in the result store.
@@ -145,11 +152,23 @@ struct BatchRecord {
   static std::optional<BatchRecord> from_jsonl(const std::string& line);
 };
 
-/// The batch-wide artifact cache: circuit + collapsed fault universe +
-/// compiled view per (circuit selector, fault model). Thread-safe; entries
-/// live until the cache dies, and every returned reference stays valid for
-/// the cache's lifetime (entries are heap-allocated and never evicted —
-/// a batch touches a handful of products, not millions).
+/// The shared artifact cache: circuit + collapsed fault universe +
+/// compiled view per (circuit selector, fault model). Thread-safe.
+///
+/// Entries are handed out as shared_ptr, so EVICTION is safe: an evicted
+/// entry stays alive until the last job using it drops its handle — the
+/// cache only stops handing it out. The eviction policy is cost-weighted
+/// LRU: each entry's cost is its compiled-circuit size (node count — the
+/// quantity the simulation buffers and CSR arrays all scale with), and
+/// whenever the live total exceeds max_cost the least-recently-used
+/// entries are dropped. The most-recently-used entry is never evicted, so
+/// one artifact bigger than the whole bound still builds and runs — the
+/// bound then degrades to "cache nothing else".
+///
+/// max_cost == 0 means unbounded (the one-shot batch default). The
+/// long-lived flow service (src/service/) sets a real bound so a daemon's
+/// memory stays flat across thousands of jobs; hits/misses/evictions and
+/// the live cost are exposed for its `stats` request.
 class ArtifactCache {
  public:
   struct Artifacts {
@@ -158,22 +177,100 @@ class ArtifactCache {
     std::shared_ptr<const circuit::CompiledCircuit> compiled;
   };
 
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;   ///< live (non-evicted) entries
+    std::size_t cost = 0;      ///< summed cost of live entries
+    std::size_t max_cost = 0;  ///< configured bound; 0 = unbounded
+  };
+
+  ArtifactCache() = default;
+  explicit ArtifactCache(std::size_t max_cost) : max_cost_(max_cost) {}
+
   /// Build-or-reuse. Builds under the cache lock (cold starts serialize;
   /// steady state is one map lookup). Throws what circuit_from_name /
-  /// universe construction throws; failures are not cached.
-  const Artifacts& get(const std::string& circuit_name,
-                       fault_model::FaultModel model);
+  /// universe construction throws; failures are not cached. The returned
+  /// handle stays valid for the handle's lifetime regardless of eviction.
+  std::shared_ptr<const Artifacts> get(const std::string& circuit_name,
+                                       fault_model::FaultModel model);
 
+  /// (Re)configure the cost bound; evicts immediately when the new bound
+  /// is tighter than the live total. 0 = unbounded.
+  void set_max_cost(std::size_t max_cost);
+
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
 
+  /// The cost charged for one entry (compiled node count) — exposed so
+  /// tests and capacity planning can size max_cost in the same unit.
+  [[nodiscard]] static std::size_t cost_of(const Artifacts& artifacts);
+
  private:
+  struct Entry {
+    std::shared_ptr<const Artifacts> artifacts;
+    std::size_t cost = 0;
+    std::uint64_t last_use = 0;  ///< recency tick for LRU ordering
+  };
+
+  /// Drop LRU entries (never the newest) until cost_ fits max_cost_.
+  /// Caller holds mutex_.
+  void evict_locked();
+
   mutable std::mutex mutex_;
-  std::map<std::pair<std::string, int>, std::unique_ptr<Artifacts>>
-      entries_;
+  std::map<std::pair<std::string, int>, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t cost_ = 0;
+  std::size_t max_cost_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
+
+/// The JSONL result store / checkpoint writer. Thread-safe; every append
+/// is flushed (the durability point). kTruncate is the batch convention —
+/// the store is rebuilt from carried-over plus fresh records each run.
+/// kAppend is the flow-service convention: the daemon's store is an
+/// append-only journal that survives daemon restarts, and readers apply
+/// last-record-per-spec semantics (load_result_store).
+class ResultStore {
+ public:
+  enum class Mode { kTruncate, kAppend };
+
+  /// Opens `path` (empty = no file); `stream` additionally receives every
+  /// line (the CLI passes stdout). Throws IoError when the file cannot be
+  /// opened.
+  ResultStore(const std::string& path, std::ostream* stream,
+              Mode mode = Mode::kTruncate);
+
+  /// Commit one record: append + flush. A store write failure throws
+  /// IoError — a result store that drops records is worse than no store.
+  void append(const BatchRecord& record);
+
+ private:
+  std::string path_;
+  std::ostream* stream_;
+  std::optional<std::ofstream> file_;
+  std::mutex mutex_;
+};
+
+/// Last record per spec from an existing store; unparsable (torn) lines
+/// are skipped, so a store killed mid-write still loads. Missing file =
+/// empty map (first run).
+std::map<std::string, BatchRecord> load_result_store(const std::string& path);
+
+/// FNV-1a over the spec file's bytes; 0 when the file cannot be read (a
+/// record hashed 0 is never treated as resumable).
+std::uint64_t hash_spec_file(const std::string& path);
+
+/// The crash-isolation + retry boundary around ONE spec: run it under the
+/// options' deadline, retry transient failures per options.retry, and
+/// NEVER throw — every failure becomes a structured record. This is the
+/// shared unit of work of run_batch and the flow service's worker lanes.
+BatchRecord run_spec_with_retry(const std::string& path, ArtifactCache& cache,
+                                const BatchOptions& options);
 
 /// The whole batch's outcome. records is in MANIFEST order regardless of
 /// completion order, so two runs of one manifest are directly comparable.

@@ -1,0 +1,281 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.hpp"
+#include "util/failpoint.hpp"
+
+namespace lsiq::service {
+
+namespace {
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a client that hung up mid-response must not SIGPIPE
+    // the daemon; the failed send just ends this connection.
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket write failed: ") +
+                    std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof address.sun_path) {
+    throw IoError("socket path too long: " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+// ---- SocketServer ----
+
+SocketServer::SocketServer(FlowService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {
+  const sockaddr_un address = make_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError(std::string("cannot create socket: ") +
+                  std::strerror(errno));
+  }
+  ::unlink(path_.c_str());  // a stale socket file from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("cannot listen on " + path_ + ": " + detail);
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::stop() {
+  stop_.store(true);
+  // shutdown() unblocks a blocked accept(); close alone does not,
+  // reliably, on all kernels.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void SocketServer::serve() {
+  while (!stop_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load()) return;
+      throw IoError(std::string("accept failed: ") + std::strerror(errno));
+    }
+    bool keep_serving = true;
+    try {
+      LSIQ_FAILPOINT("service.accept");
+      keep_serving = handle_connection(fd);
+    } catch (const std::exception&) {
+      // An injected accept failure or a torn connection drops THIS
+      // client; the daemon keeps serving.
+    }
+    ::close(fd);
+    if (!keep_serving) return;
+  }
+}
+
+bool SocketServer::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return true;  // torn connection: drop it, keep serving
+    }
+    if (n == 0) return true;  // client done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::string response;
+      const bool keep_serving = handle_line(line, &response);
+      write_all(fd, response);
+      if (!keep_serving) return false;
+    }
+  }
+}
+
+bool SocketServer::handle_line(const std::string& line, std::string* out) {
+  const std::optional<Request> request = parse_request(line);
+  if (!request.has_value()) {
+    *out += error_response(ErrorCode::kParse, "malformed request line");
+    *out += '\n';
+    return true;
+  }
+  try {
+    if (request->op == "submit") {
+      std::uint64_t id = 0;
+      if (!request->spec.empty()) {
+        id = service_.submit(request->spec, request->priority,
+                             request->deadline_ms);
+      } else if (!request->spec_text.empty()) {
+        id = service_.submit_inline(request->spec_text, request->priority,
+                                    request->deadline_ms);
+      } else {
+        *out += error_response(ErrorCode::kInvalidSpec,
+                               "submit needs spec or spec_text");
+        *out += '\n';
+        return true;
+      }
+      // A resumed job is done before submit() returns, so report the
+      // job's actual state, not an assumed "queued".
+      const std::optional<JobInfo> info = service_.status(id);
+      *out += submit_response(id, info.has_value() ? info->state
+                                                   : JobState::kQueued);
+      *out += '\n';
+      return true;
+    }
+    if (request->op == "status" || request->op == "result" ||
+        request->op == "cancel") {
+      if (!request->has_job) {
+        *out += error_response(ErrorCode::kParse,
+                               request->op + " needs a job id");
+        *out += '\n';
+        return true;
+      }
+      const std::optional<JobInfo> info = service_.status(request->job);
+      if (!info.has_value()) {
+        *out += error_response(ErrorCode::kNotFound,
+                               "no job with id " +
+                                   std::to_string(request->job));
+        *out += '\n';
+        return true;
+      }
+      if (request->op == "status") {
+        *out += job_response(*info);
+      } else if (request->op == "result") {
+        if (info->state != JobState::kDone) {
+          *out += error_response(
+              ErrorCode::kNotFound,
+              "job " + std::to_string(request->job) + " is " +
+                  job_state_name(info->state) + ", not finished");
+        } else {
+          *out += result_response(*info);
+        }
+      } else {
+        *out += cancel_response(request->job, service_.cancel(request->job));
+      }
+      *out += '\n';
+      return true;
+    }
+    if (request->op == "list") {
+      const std::vector<JobInfo> jobs = service_.list();
+      *out += list_header_response(jobs.size());
+      *out += '\n';
+      for (const JobInfo& info : jobs) {
+        *out += job_response(info);
+        *out += '\n';
+      }
+      return true;
+    }
+    if (request->op == "stats") {
+      *out += stats_response(service_.stats());
+      *out += '\n';
+      return true;
+    }
+    if (request->op == "ping") {
+      *out += ping_response();
+      *out += '\n';
+      return true;
+    }
+    if (request->op == "drain") {
+      service_.drain();  // blocks until every admitted job is done
+      *out += ok_response();
+      *out += '\n';
+      return false;
+    }
+    if (request->op == "shutdown") {
+      service_.shutdown();
+      *out += ok_response();
+      *out += '\n';
+      return false;
+    }
+    *out += error_response(ErrorCode::kParse, "unknown op: " + request->op);
+    *out += '\n';
+    return true;
+  } catch (const Error& e) {
+    *out += error_response(e.code(), e.what());
+    *out += '\n';
+    return true;
+  } catch (const std::exception& e) {
+    *out += error_response(ErrorCode::kUnknown, e.what());
+    *out += '\n';
+    return true;
+  }
+}
+
+// ---- SocketClient ----
+
+SocketClient::SocketClient(const std::string& socket_path) {
+  const sockaddr_un address = make_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError(std::string("cannot create socket: ") +
+                  std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("cannot connect to " + socket_path + ": " + detail);
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketClient::send_line(const std::string& line) {
+  write_all(fd_, line + "\n");
+}
+
+std::string SocketClient::read_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket read failed: ") +
+                    std::strerror(errno));
+    }
+    if (n == 0) {
+      throw IoError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace lsiq::service

@@ -1,0 +1,90 @@
+// UNIX-domain socket transport for the flow service.
+//
+// SocketServer owns the listening socket of one FlowService and runs a
+// sequential accept loop: connections are served one at a time, each
+// connection may carry any number of newline-delimited requests, and the
+// loop exits after answering a drain/shutdown request. Sequential is a
+// feature, not a shortcut — every request except drain is sub-millisecond
+// (job execution is async on the service's worker lanes), so there is
+// nothing to parallelize, and one thread means no transport-level
+// interleaving to reason about. Clients that wait for a job poll `status`
+// over short-lived connections, which keeps `cancel` from another
+// terminal responsive while they wait.
+//
+// The "service.accept" failpoint fires right after accept(): an injected
+// error drops that connection (client sees EOF) and the loop continues —
+// how CI proves a misbehaving client cannot take the daemon down.
+//
+// SocketClient is the matching blocking client (used by lsiq_flow's
+// client mode and the tests): connect, send_line, read_line.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace lsiq::service {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (unlinking a stale socket file
+  /// first). Throws IoError when the socket cannot be created or bound.
+  SocketServer(FlowService& service, std::string socket_path);
+
+  /// Closes the listening socket and unlinks the socket file.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept-and-serve until a drain or shutdown request has been
+  /// answered (or stop() is called). drain finishes the queue before the
+  /// loop exits; shutdown cancels it.
+  void serve();
+
+  /// Unblock serve() from another thread (signal handlers route here).
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+
+ private:
+  /// Serve one connection; returns false when the loop should exit.
+  bool handle_connection(int fd);
+
+  /// Answer one request line; appends response lines to `out` and
+  /// returns false when the loop should exit after responding.
+  bool handle_line(const std::string& line, std::string* out);
+
+  FlowService& service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+};
+
+class SocketClient {
+ public:
+  /// Connects to a SocketServer; throws IoError when the socket is
+  /// missing or refuses.
+  explicit SocketClient(const std::string& socket_path);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Send one request line ('\n' appended). Throws IoError on failure.
+  void send_line(const std::string& line);
+
+  /// Read one response line. Throws IoError on EOF / failure — the
+  /// server always answers a well-formed request, so EOF mid-exchange
+  /// means the connection was dropped.
+  std::string read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace lsiq::service

@@ -13,8 +13,18 @@
 // for per-block polling; the clock is only read while a scope is active.
 // Scopes nest: an inner scope may only tighten the deadline (the effective
 // deadline is the minimum), and destruction restores the outer one.
+//
+// Cancellation rides the same rail: a CancelScope installs an external
+// std::atomic<bool> flag, and the same poll that checks the clock checks
+// every flag on the scope stack — when one is set the poll throws
+// CancelledError (ErrorCode::kCancelled). This is how the flow service
+// (src/service/) cancels a RUNNING job: the worker lane installs a
+// CancelScope around the whole attempt loop, a `cancel` request flips the
+// job's flag, and the run unwinds at its next checkpoint through the same
+// structured error path a deadline overrun takes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 
 namespace lsiq::util {
@@ -22,10 +32,16 @@ namespace lsiq::util {
 namespace detail {
 struct DeadlineFrame {
   std::chrono::steady_clock::time_point deadline;
+  /// Optional external cancellation flag; every frame on the stack is
+  /// checked, so an outer CancelScope stays live under inner
+  /// DeadlineScopes (the batch retry loop nests exactly that way).
+  const std::atomic<bool>* cancel = nullptr;
   const DeadlineFrame* outer;
 };
 extern thread_local const DeadlineFrame* tl_deadline;
-/// Reads the clock and throws DeadlineExceeded when tl_deadline passed.
+/// Checks every cancel flag on the scope stack (throws CancelledError),
+/// then reads the clock and throws DeadlineExceeded when the effective
+/// deadline passed.
 void poll_deadline_slow();
 }  // namespace detail
 
@@ -38,6 +54,23 @@ class DeadlineScope {
 
   DeadlineScope(const DeadlineScope&) = delete;
   DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  detail::DeadlineFrame frame_;
+};
+
+/// RAII: installs an external cancellation flag for the scope's lifetime.
+/// poll_deadline() throws lsiq::CancelledError once the flag reads true;
+/// the flag's owner (the flow service's job table) must outlive the scope.
+/// Carries no deadline of its own — an enclosing DeadlineScope, if any,
+/// stays effective.
+class CancelScope {
+ public:
+  explicit CancelScope(const std::atomic<bool>& flag);
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
 
  private:
   detail::DeadlineFrame frame_;

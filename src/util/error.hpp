@@ -37,6 +37,9 @@ enum class ErrorCode : int {
   kCancelled = 9,    ///< CancelledError: work was cancelled externally
   kLint = 10,        ///< analyze::LintError: the pre-run static-analysis
                      ///< gate found error-severity diagnostics
+  kQueueFull = 11,   ///< flow service admission refused: queue at capacity
+  kShutdown = 12,    ///< flow service is draining / shut down; no admission
+  kNotFound = 13,    ///< flow service: no job with the requested id
 };
 
 /// Stable lower_snake name of a code (the JSONL wire form).
@@ -53,6 +56,9 @@ enum class ErrorCode : int {
     case ErrorCode::kDeadline: return "deadline";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kLint: return "lint";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kNotFound: return "not_found";
   }
   return "unknown";
 }
@@ -64,19 +70,23 @@ enum class ErrorCode : int {
        {ErrorCode::kOk, ErrorCode::kUnknown, ErrorCode::kContract,
         ErrorCode::kParse, ErrorCode::kNumeric, ErrorCode::kInvalidSpec,
         ErrorCode::kIo, ErrorCode::kTransient, ErrorCode::kDeadline,
-        ErrorCode::kCancelled, ErrorCode::kLint}) {
+        ErrorCode::kCancelled, ErrorCode::kLint, ErrorCode::kQueueFull,
+        ErrorCode::kShutdown, ErrorCode::kNotFound}) {
     if (name == error_code_name(code)) return code;
   }
   return std::nullopt;
 }
 
 /// The retry split: transient failures are tied to the moment they happened
-/// (I/O hiccup, resource exhaustion) and are worth a bounded, backed-off
-/// retry; everything else reproduces on the same input. Deadline overruns
-/// are deliberately PERMANENT — a spec that blew its budget once will blow
-/// it again, and retrying a wedged run multiplies the damage.
+/// (I/O hiccup, resource exhaustion, a momentarily full admission queue)
+/// and are worth a bounded, backed-off retry; everything else reproduces on
+/// the same input. Deadline overruns are deliberately PERMANENT — a spec
+/// that blew its budget once will blow it again, and retrying a wedged run
+/// multiplies the damage. A kShutdown refusal is permanent too: a draining
+/// service never re-opens admission.
 [[nodiscard]] constexpr bool is_transient(ErrorCode code) noexcept {
-  return code == ErrorCode::kIo || code == ErrorCode::kTransient;
+  return code == ErrorCode::kIo || code == ErrorCode::kTransient ||
+         code == ErrorCode::kQueueFull;
 }
 
 /// Base class of all exceptions thrown by lsiq libraries.

@@ -42,6 +42,10 @@ std::string trim(const std::string& text) {
     case ErrorCode::kOk:
     case ErrorCode::kUnknown:
     case ErrorCode::kInvalidSpec:
+    case ErrorCode::kLint:
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kShutdown:
+    case ErrorCode::kNotFound:
       break;
   }
   throw Error(what, code);

@@ -27,7 +27,10 @@
 // Sites installed today: "spec.read" (flow spec-file reading),
 // "flow.run" (entry of flow::run), "flow.patterns" (pattern
 // materialization), "flow.grade" (before grading), "batch.record"
-// (before a batch result record is committed).
+// (before a batch result record is committed), "service.accept" (a flow
+// service connection was accepted; injected errors drop the connection)
+// and "service.job" (a flow service worker lane picked up a job; injected
+// errors become structured failure records).
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,11 @@
+// The one shared version constant. Both CLI front doors (tools/lsiq_flow,
+// tools/lsiq_flowd) print it for --version, so the two binaries of one
+// build can never disagree about what they are.
+#pragma once
+
+namespace lsiq {
+
+/// Library + tools version, bumped per release PR.
+inline constexpr const char* kVersion = "0.9.0";
+
+}  // namespace lsiq

@@ -481,6 +481,104 @@ TEST_F(BatchTest, ArtifactsAreSharedAcrossSpecs) {
   EXPECT_EQ(cold.canonical(), warm.canonical());
 }
 
+TEST_F(BatchTest, CacheEvictsLeastRecentlyUsedUnderCostBound) {
+  // Learn the real cost of three products first (costs are circuit
+  // sizes — pinning literals here would break on generator changes),
+  // then bound a fresh cache one node below their sum so the third
+  // insertion MUST evict exactly the least-recently-used entry.
+  const auto model = fault_model::FaultModel::kStuckAt;
+  ArtifactCache probe;
+  const std::size_t cost_a =
+      ArtifactCache::cost_of(*probe.get("c17", model));
+  const std::size_t cost_b =
+      ArtifactCache::cost_of(*probe.get("adder8", model));
+  const std::size_t cost_c =
+      ArtifactCache::cost_of(*probe.get("parity8", model));
+
+  ArtifactCache cache(cost_a + cost_b + cost_c - 1);
+  cache.get("c17", model);      // t1
+  cache.get("adder8", model);   // t2
+  cache.get("parity8", model);  // t3 — evicts c17, the LRU
+  ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.cost, cost_b + cost_c);
+
+  // adder8 is still cached (a hit refreshes its recency) ...
+  cache.get("adder8", model);  // t4
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // ... so re-adding c17 evicts parity8 (t3), not adder8 (t4): recency
+  // is use order, not insertion order.
+  const auto rebuilt = cache.get("c17", model);  // t5
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_NE(rebuilt->compiled, nullptr);  // rebuilt entries are whole
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.cost, cost_a + cost_b);
+  EXPECT_LE(stats.cost, stats.max_cost);
+}
+
+TEST_F(BatchTest, EvictedArtifactHandlesStayValid) {
+  // Eviction only stops the cache from handing an entry out; a job
+  // holding the shared handle keeps grading against it safely.
+  const auto model = fault_model::FaultModel::kStuckAt;
+  ArtifactCache cache;
+  const std::shared_ptr<const ArtifactCache::Artifacts> held =
+      cache.get("c17", model);
+  cache.get("adder8", model);
+  cache.set_max_cost(1);  // tighter bound evicts immediately ...
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  // ... but the held handle is untouched.
+  EXPECT_NE(held->circuit, nullptr);
+  EXPECT_NE(held->faults, nullptr);
+  EXPECT_GT(held->compiled->node_count(), 0u);
+}
+
+TEST_F(BatchTest, MostRecentEntryIsNeverEvicted) {
+  // A bound smaller than any single artifact degrades to "cache nothing
+  // else": the newest entry always survives, so oversized products still
+  // build and run instead of thrashing to an empty cache.
+  const auto model = fault_model::FaultModel::kStuckAt;
+  ArtifactCache cache(1);
+  cache.get("c17", model);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);  // sole entry is the MRU
+  cache.get("adder8", model);
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);      // adder8 displaced c17 ...
+  EXPECT_EQ(stats.evictions, 1u);    // ... by evicting it
+  EXPECT_GT(stats.cost, stats.max_cost);  // documented MRU exemption
+}
+
+TEST_F(BatchTest, BoundedCacheDoesNotChangeBatchResults) {
+  // Determinism across hit/evict/rebuild: a batch thrashing a one-node
+  // cache (every artifact rebuilt repeatedly) grades byte-identically
+  // to the same batch with an unbounded cache.
+  const std::vector<std::string> specs = {
+      write_spec("a.spec"),
+      write_spec("b.spec",
+                 "circuit = adder8\nsource = lfsr\npatterns = 64\n"
+                 "observe = full\nengine = ppsfp\n"),
+      write_spec("c.spec")};  // c17 again: a rebuild after eviction
+  BatchOptions unbounded = fast_options();
+  unbounded.num_workers = 1;
+  BatchOptions bounded = unbounded;
+  bounded.cache_max_cost = 1;
+  const BatchResult plain = run_batch(specs, unbounded);
+  const BatchResult thrashed = run_batch(specs, bounded);
+  EXPECT_EQ(plain.ok_count, 3u);
+  EXPECT_EQ(thrashed.ok_count, 3u);
+  EXPECT_EQ(plain.canonical(), thrashed.canonical());
+  // The bound really did change cache behavior (no silent no-op).
+  EXPECT_EQ(plain.cache_misses, 2u);
+  EXPECT_EQ(thrashed.cache_misses, 3u);
+}
+
 TEST_F(BatchTest, CheckOnlyLintsWithoutGrading) {
   // A netlist with an unused input, run through the check-only batch:
   // the default warn policy yields an "ok" record with zero patterns

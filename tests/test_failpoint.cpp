@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -39,11 +40,17 @@ TEST(ErrorTaxonomy, CodesAreStableAndNamed) {
   EXPECT_EQ(static_cast<int>(ErrorCode::kDeadline), 8);
   EXPECT_EQ(static_cast<int>(ErrorCode::kCancelled), 9);
   EXPECT_EQ(static_cast<int>(ErrorCode::kLint), 10);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kQueueFull), 11);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kShutdown), 12);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kNotFound), 13);
 
   EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
   EXPECT_STREQ(error_code_name(ErrorCode::kInvalidSpec), "invalid_spec");
   EXPECT_STREQ(error_code_name(ErrorCode::kDeadline), "deadline");
   EXPECT_STREQ(error_code_name(ErrorCode::kLint), "lint");
+  EXPECT_STREQ(error_code_name(ErrorCode::kQueueFull), "queue_full");
+  EXPECT_STREQ(error_code_name(ErrorCode::kShutdown), "shutdown");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
 }
 
 TEST(ErrorTaxonomy, NamesRoundTrip) {
@@ -51,7 +58,8 @@ TEST(ErrorTaxonomy, NamesRoundTrip) {
        {ErrorCode::kOk, ErrorCode::kUnknown, ErrorCode::kContract,
         ErrorCode::kParse, ErrorCode::kNumeric, ErrorCode::kInvalidSpec,
         ErrorCode::kIo, ErrorCode::kTransient, ErrorCode::kDeadline,
-        ErrorCode::kCancelled, ErrorCode::kLint}) {
+        ErrorCode::kCancelled, ErrorCode::kLint, ErrorCode::kQueueFull,
+        ErrorCode::kShutdown, ErrorCode::kNotFound}) {
     SCOPED_TRACE(error_code_name(code));
     const std::optional<ErrorCode> parsed =
         error_code_from_name(error_code_name(code));
@@ -78,6 +86,13 @@ TEST(ErrorTaxonomy, TransientSplitMatchesRetrySemantics) {
   EXPECT_FALSE(is_transient(ErrorCode::kCancelled));
   // A lint refusal is deterministic: the same netlist re-lints the same.
   EXPECT_FALSE(is_transient(ErrorCode::kLint));
+
+  // The flow-service codes: a momentarily full admission queue clears
+  // itself (retry-worthy); a draining service never re-opens and a
+  // missing job id stays missing.
+  EXPECT_TRUE(is_transient(ErrorCode::kQueueFull));
+  EXPECT_FALSE(is_transient(ErrorCode::kShutdown));
+  EXPECT_FALSE(is_transient(ErrorCode::kNotFound));
 }
 
 TEST(ErrorTaxonomy, SubclassesCarryTheirCode) {
@@ -258,6 +273,61 @@ TEST_F(FailpointTest, SleepActionTripsAnActiveDeadline) {
   Failpoints::instance().arm_from_string("flow.grade=sleep(20)");
   DeadlineScope scope(std::chrono::milliseconds(5));
   EXPECT_THROW(LSIQ_FAILPOINT("flow.grade"), DeadlineExceeded);
+}
+
+// ---- cooperative cancellation ----
+
+TEST(CancelScope, SetFlagThrowsCancelledOnPoll) {
+  std::atomic<bool> flag{false};
+  CancelScope scope(flag);
+  EXPECT_NO_THROW(poll_deadline());  // unset flag: polls pass
+  flag.store(true);
+  EXPECT_THROW(poll_deadline(), lsiq::CancelledError);
+}
+
+TEST(CancelScope, OuterFlagStaysLiveUnderInnerDeadlineScope) {
+  // The flow service nests exactly this way: a CancelScope around the
+  // whole attempt loop, a DeadlineScope per attempt inside it. The cancel
+  // flag must win even though the inner frame carries only a clock.
+  std::atomic<bool> flag{false};
+  CancelScope cancel(flag);
+  DeadlineScope deadline(std::chrono::milliseconds(60000));
+  flag.store(true);
+  EXPECT_THROW(poll_deadline(), lsiq::CancelledError);
+}
+
+TEST(CancelScope, CancellationOutranksAnExpiredDeadline) {
+  // When both conditions hold, the poll reports CANCELLED: the job died
+  // because someone asked, not because it was slow — the flow service
+  // records hinge on that distinction.
+  std::atomic<bool> flag{true};
+  CancelScope cancel(flag);
+  DeadlineScope deadline(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_THROW(poll_deadline(), lsiq::CancelledError);
+}
+
+TEST(CancelScope, UnwindsOnScopeExit) {
+  std::atomic<bool> flag{true};
+  {
+    CancelScope scope(flag);
+  }
+  EXPECT_FALSE(deadline_active());
+  EXPECT_NO_THROW(poll_deadline());
+}
+
+TEST_F(FailpointTest, SleepingSiteObservesCancellation) {
+  // A running job's cancel flag flips while the run sleeps inside a
+  // site; the post-sleep re-poll surfaces CancelledError right there.
+  Failpoints::instance().arm_from_string("flow.grade=sleep(30)");
+  std::atomic<bool> flag{false};
+  CancelScope scope(flag);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    flag.store(true);
+  });
+  EXPECT_THROW(LSIQ_FAILPOINT("flow.grade"), lsiq::CancelledError);
+  canceller.join();
 }
 
 }  // namespace

@@ -5,22 +5,33 @@
 //     lsiq_flow --validate <spec-file>   check the spec, run nothing
 //     lsiq_flow --check <spec-file>      spec + netlist lint, run nothing
 //     lsiq_flow --batch <manifest>       run many specs (see --help)
+//     lsiq_flow --server SOCK --submit <spec-file>
+//                                        submit to a lsiq_flowd daemon
+//     lsiq_flow --canon <store.jsonl>    canonicalize a result store
 //
 // A spec file selects a circuit and the four flow axes (see
 // flow/spec_io.hpp for the format, tools/specs/ for examples). A manifest
 // is a directory of .spec files or a list file naming them one per line.
 //
 // Exit-code contract (stable; scripts may rely on it):
-//   0  success — the flow ran (every batch spec "ok" in --batch mode)
+//   0  success — the flow ran (every batch spec "ok" in --batch mode;
+//      in client mode, the request succeeded and a waited-for job's
+//      record is "ok")
 //   1  runtime failure — unreadable files, unreachable strobes, failed
-//      batch specs, or a write failure on the report/JSONL output
+//      batch specs, a refused or failed daemon request, or a write
+//      failure on the report/JSONL output
 //   2  spec/usage error — bad command line, malformed or invalid spec,
 //      empty manifest
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "analyze/rule.hpp"
 #include "fault/fault_list.hpp"
@@ -28,13 +39,19 @@
 #include "flow/batch.hpp"
 #include "flow/flow.hpp"
 #include "flow/spec_io.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
+#include "util/version.hpp"
 
 namespace {
 
 constexpr const char* kHelp = R"help(usage: lsiq_flow [options] <spec-file>
        lsiq_flow --batch [options] <manifest>
+       lsiq_flow --server SOCKET <client-op>
+       lsiq_flow --canon <store.jsonl>
 
 Run one declarative flow spec end to end — materialize the pattern
 source, grade it, manufacture and test the virtual lot, characterize
@@ -42,6 +59,7 @@ DPPM — and print the Table-1 report. See tools/specs/ for examples.
 
 Options:
   -h, --help            print this help and exit 0
+  --version             print the version and exit 0
   --validate            check the spec (including the circuit name), run
                         nothing
   --check               dry-run lint: validate the spec, resolve the
@@ -72,10 +90,40 @@ Batch mode (--batch <manifest>):
                         permanent failures never retry)
   --backoff-ms N        initial retry backoff (default 100; grows 4x per
                         retry, capped at 2000ms; 0 = no sleeping)
+  --cache-cost N        artifact cache cost bound in compiled nodes
+                        (default 0 = unbounded; see lsiq_flowd --help)
 
   Failure injection: set LSIQ_FAILPOINTS (e.g.
   "flow.grade=error(io,1)") to fault named sites deterministically —
   see src/util/failpoint.hpp for the grammar and site list.
+
+Client mode (--server SOCKET, talking to a lsiq_flowd daemon):
+  --submit SPEC         submit one spec file; prints the submit response
+                        (JSON, includes the job id). With --wait, polls
+                        until the job is done and prints its full result
+                        record; exit 0 iff the record is "ok"
+  --priority N          submit priority (higher runs first; default 0)
+  --deadline-ms N       per-job deadline override for --submit
+  --wait                after --submit: block until the job finishes
+  --status JOB          print one job's state
+  --result JOB          print a finished job's full result record
+  --cancel JOB          cancel a queued (immediate) or running
+                        (cooperative) job
+  --list                print every job, one JSON line each
+  --stats               print queue + artifact-cache counters
+  --ping                check the daemon is alive; prints its version
+  --drain               finish all admitted jobs, then stop the daemon
+  --shutdown            cancel queued jobs and stop the daemon
+  All responses are single JSON lines (README.md "Flow service" has the
+  field tables). Refusals print the server's error response and exit 1 —
+  error_code "queue_full" is worth a client-side retry, "shutdown" is
+  not.
+
+Store canonicalization (--canon <store.jsonl>):
+  Print the store's last record per spec, sorted by spec path, in
+  canonical form (volatile fields wall_ms/resumed dropped). Two stores
+  of the same work — a --batch checkpoint and a daemon journal, say —
+  canonicalize to identical bytes; CI diffs exactly that.
 
 Exit codes: 0 = success; 1 = runtime failure (including failed batch
 specs and report/JSONL write failures); 2 = spec or usage error.
@@ -84,6 +132,8 @@ specs and report/JSONL write failures); 2 = spec or usage error.
 int usage() {
   std::cerr << "usage: lsiq_flow [--validate | --check] <spec-file>\n"
                "       lsiq_flow [--check] --batch [options] <manifest>\n"
+               "       lsiq_flow --server SOCKET <client-op>\n"
+               "       lsiq_flow --canon <store.jsonl>\n"
                "       lsiq_flow --help\n";
   return 2;
 }
@@ -137,6 +187,124 @@ int run_batch_mode(const BatchCli& cli) {
   }
 }
 
+// ---- client mode (talking to a lsiq_flowd daemon) ----
+
+struct ClientCli {
+  std::string server;
+  std::string op;     ///< submit|status|result|cancel|list|stats|ping|...
+  std::string spec;   ///< submit: spec path (passed VERBATIM — the record
+                      ///< must name the same path a --batch manifest would)
+  std::uint64_t job = 0;
+  int priority = 0;
+  int deadline_ms = -1;
+  bool wait = false;
+};
+
+/// One response line → parsed fields; empty map on malformation.
+std::map<std::string, lsiq::util::json::Value> parse_response(
+    const std::string& line) {
+  std::map<std::string, lsiq::util::json::Value> values;
+  if (!lsiq::util::json::parse_flat_object(line, &values)) values.clear();
+  return values;
+}
+
+int run_client_mode(const ClientCli& cli) {
+  using namespace lsiq;
+  namespace json = util::json;
+  using Kind = json::Value::Kind;
+  try {
+    service::SocketClient client(cli.server);
+    service::Request request;
+    request.op = cli.op;
+    if (cli.op == "submit") {
+      request.spec = cli.spec;
+      request.priority = cli.priority;
+      request.deadline_ms = cli.deadline_ms;
+    } else if (cli.op == "status" || cli.op == "result" ||
+               cli.op == "cancel") {
+      request.job = cli.job;
+      request.has_job = true;
+    }
+    client.send_line(service::format_request(request));
+    const std::string line = client.read_line();
+    std::cout << line << "\n";
+    const auto values = parse_response(line);
+    const json::Value* ok = json::find(values, "ok", Kind::kBool);
+    if (ok == nullptr || !ok->boolean) return finish(EXIT_FAILURE);
+
+    if (cli.op == "list") {
+      const json::Value* count = json::find(values, "count", Kind::kNumber);
+      const std::size_t jobs =
+          count != nullptr ? static_cast<std::size_t>(count->number) : 0;
+      for (std::size_t i = 0; i < jobs; ++i) {
+        std::cout << client.read_line() << "\n";
+      }
+      return finish(EXIT_SUCCESS);
+    }
+
+    if (cli.op == "submit" && cli.wait) {
+      const json::Value* job = json::find(values, "job", Kind::kNumber);
+      if (job == nullptr) return finish(EXIT_FAILURE);
+      const auto id = static_cast<std::uint64_t>(job->number);
+      // Poll over the same connection; short-lived exchanges keep the
+      // daemon responsive to cancels from elsewhere while we wait.
+      while (true) {
+        service::Request poll;
+        poll.op = "status";
+        poll.job = id;
+        poll.has_job = true;
+        client.send_line(service::format_request(poll));
+        const auto status = parse_response(client.read_line());
+        const json::Value* state = json::find(status, "state", Kind::kString);
+        if (state == nullptr) return finish(EXIT_FAILURE);
+        if (state->text == "done") break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      service::Request fetch;
+      fetch.op = "result";
+      fetch.job = id;
+      fetch.has_job = true;
+      client.send_line(service::format_request(fetch));
+      const std::string record_line = client.read_line();
+      std::cout << record_line << "\n";
+      const auto record = parse_response(record_line);
+      const json::Value* status = json::find(record, "status", Kind::kString);
+      return finish(status != nullptr && status->text == "ok"
+                        ? EXIT_SUCCESS
+                        : EXIT_FAILURE);
+    }
+    return finish(EXIT_SUCCESS);
+  } catch (const lsiq::Error& e) {
+    std::cerr << "lsiq_flow: client error [" << error_code_name(e.code())
+              << "]: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "lsiq_flow: internal error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
+
+// ---- store canonicalization ----
+
+int run_canon_mode(const std::string& path) {
+  using namespace lsiq;
+  {
+    std::ifstream probe(path);
+    if (!probe) {
+      std::cerr << "lsiq_flow: cannot read result store: " << path << "\n";
+      return EXIT_FAILURE;
+    }
+  }
+  // load_result_store applies last-record-per-spec; the map is already
+  // sorted by spec path, which IS the canonical order.
+  const std::map<std::string, flow::BatchRecord> records =
+      flow::load_result_store(path);
+  for (const auto& [spec, record] : records) {
+    std::cout << record.canonical_jsonl() << "\n";
+  }
+  return finish(EXIT_SUCCESS);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +323,8 @@ int main(int argc, char** argv) {
   bool check_mode = false;
   bool batch_mode = false;
   BatchCli batch;
+  ClientCli client;
+  std::string canon_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -171,9 +341,50 @@ int main(int argc, char** argv) {
       }
       return parsed;
     };
+    // A client-mode op that takes a job id; sets client.op + client.job.
+    const auto job_op = [&](const char* name) -> bool {
+      const auto value = option_value(name);
+      if (!value.has_value()) return false;
+      client.op = name + 2;  // strip "--"
+      client.job = static_cast<std::uint64_t>(*value);
+      return true;
+    };
     if (arg == "-h" || arg == "--help") {
       std::cout << kHelp;
       return finish(EXIT_SUCCESS);
+    } else if (arg == "--version") {
+      std::cout << "lsiq_flow " << kVersion << "\n";
+      return finish(EXIT_SUCCESS);
+    } else if (arg == "--server") {
+      if (++i >= argc) {
+        std::cerr << "lsiq_flow: --server needs a socket path\n";
+        return usage();
+      }
+      client.server = argv[i];
+    } else if (arg == "--canon") {
+      if (++i >= argc) {
+        std::cerr << "lsiq_flow: --canon needs a store path\n";
+        return usage();
+      }
+      canon_path = argv[i];
+    } else if (arg == "--submit") {
+      if (++i >= argc) {
+        std::cerr << "lsiq_flow: --submit needs a spec path\n";
+        return usage();
+      }
+      client.op = "submit";
+      client.spec = argv[i];
+    } else if (arg == "--status" || arg == "--result" || arg == "--cancel") {
+      if (!job_op(arg.c_str())) return usage();
+    } else if (arg == "--list" || arg == "--stats" || arg == "--ping" ||
+               arg == "--drain" || arg == "--shutdown") {
+      client.op = arg.substr(2);
+    } else if (arg == "--wait") {
+      client.wait = true;
+    } else if (arg == "--priority") {
+      const auto value = option_value("--priority");
+      if (!value.has_value()) return usage();
+      client.priority = static_cast<int>(*value);
     } else if (arg == "--validate") {
       validate_only = true;
     } else if (arg == "--check") {
@@ -196,6 +407,11 @@ int main(int argc, char** argv) {
       const auto value = option_value("--deadline-ms");
       if (!value.has_value()) return usage();
       batch.options.deadline_ms = static_cast<int>(*value);
+      client.deadline_ms = static_cast<int>(*value);
+    } else if (arg == "--cache-cost") {
+      const auto value = option_value("--cache-cost");
+      if (!value.has_value()) return usage();
+      batch.options.cache_max_cost = static_cast<std::size_t>(*value);
     } else if (arg == "--max-attempts") {
       const auto value = option_value("--max-attempts");
       if (!value.has_value() || *value < 1) return usage();
@@ -211,6 +427,22 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  if (!canon_path.empty()) {
+    if (batch_mode || validate_only || check_mode || !path.empty() ||
+        !client.server.empty()) {
+      return usage();
+    }
+    return run_canon_mode(canon_path);
+  }
+  if (!client.server.empty() || !client.op.empty()) {
+    // Client mode: --server plus exactly one op, nothing from the other
+    // modes mixed in.
+    if (client.server.empty() || client.op.empty() || batch_mode ||
+        validate_only || check_mode || !path.empty()) {
+      return usage();
+    }
+    return run_client_mode(client);
   }
   if (path.empty()) return usage();
   if (batch_mode && validate_only) return usage();

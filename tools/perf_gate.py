@@ -3,11 +3,24 @@
 
     perf_gate.py BASELINE.json CURRENT.json [--filter SUBSTRING]
                  [--threshold FRACTION] [--per SUBSTRING=FRACTION]...
+                 [--history FILE [--label LABEL]]
 
 Compares real_time for every benchmark whose name contains the filter
 substring (default: every benchmark in the file) and exits non-zero when
 any of them is slower than baseline * (1 + threshold) (default 0.25, the
-ROADMAP's >25% gate).
+ROADMAP's >25% gate). Each side's time is the benchmark's MEDIAN
+aggregate when the run has one (repetitions), falling back to the mean
+aggregate, then to the raw iteration entry.
+
+Trend history: --history FILE appends ONE JSON line per invocation with
+the current run's medians — {"label":...,"benchmarks":{name:
+{"real_time":...,"time_unit":...}}} — so CI can chain the file across
+runs into a queryable perf trajectory. The line is appended even when
+the gate fails (a regression is exactly the point worth plotting), and
+--label tags it (a commit SHA, a date; default empty). To seed or extend
+history on a run with no baseline artifact, self-compare:
+`perf_gate.py CUR.json CUR.json --history trend.jsonl` — the gate
+trivially passes and the medians are still recorded.
 
 Per-benchmark budgets: noisy or highly-threaded benchmarks can carry a
 wider budget than the default without loosening the gate for everything
@@ -31,19 +44,43 @@ import sys
 
 
 def load_times(path, name_filter):
-    """Map benchmark name -> (real_time, time_unit) for matching entries."""
+    """Map benchmark name -> (real_time, time_unit) for matching entries.
+
+    Precedence per name: median aggregate > mean aggregate > raw entry,
+    so repeated runs gate (and record history) on the noise-robust
+    median while plain runs still work.
+    """
     with open(path) as handle:
         data = json.load(handle)
-    times = {}
+    ranks = {"median": 3, "mean": 2}
+    best = {}  # name -> (rank, real_time, time_unit)
     for bench in data.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate" and bench.get(
-                "aggregate_name") != "mean":
-            continue
+        if bench.get("run_type") == "aggregate":
+            rank = ranks.get(bench.get("aggregate_name"))
+            if rank is None:
+                continue  # stddev/cv and friends are not times
+        else:
+            rank = 1
         name = bench.get("run_name", bench.get("name", ""))
         if name_filter not in name:
             continue
-        times[name] = (float(bench["real_time"]), bench.get("time_unit", ""))
-    return times
+        if name not in best or rank > best[name][0]:
+            best[name] = (rank, float(bench["real_time"]),
+                          bench.get("time_unit", ""))
+    return {name: (time, unit) for name, (_, time, unit) in best.items()}
+
+
+def append_history(path, label, times):
+    """Append one trend line (the run's medians) to the JSONL history."""
+    entry = {
+        "label": label,
+        "benchmarks": {
+            name: {"real_time": time, "time_unit": unit}
+            for name, (time, unit) in sorted(times.items())
+        },
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def parse_per_budgets(entries):
@@ -88,11 +125,21 @@ def main():
                         metavar="SUBSTRING=FRACTION",
                         help="per-benchmark budget override; repeatable, "
                              "longest matching substring wins")
+    parser.add_argument("--history", metavar="FILE", default="",
+                        help="append this run's medians to a JSONL trend "
+                             "file (written even when the gate fails)")
+    parser.add_argument("--label", default="",
+                        help="tag recorded in the --history line "
+                             "(e.g. a commit SHA)")
     args = parser.parse_args()
     budgets = parse_per_budgets(args.per)
 
     baseline = load_times(args.baseline, args.filter)
     current = load_times(args.current, args.filter)
+    if args.history and current:
+        append_history(args.history, args.label, current)
+        print(f"perf gate: appended {len(current)} median(s) to "
+              f"{args.history}")
     if not baseline:
         print(f"perf gate: baseline has no '{args.filter}' benchmarks; "
               "nothing to compare")
