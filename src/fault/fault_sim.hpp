@@ -65,6 +65,11 @@ struct FaultSimResult {
   /// Cumulative coverage versus pattern count.
   [[nodiscard]] CoverageCurve curve(const FaultList& faults,
                                     std::size_t pattern_count) const;
+
+  /// Recompute covered_faults / detected_classes / coverage from
+  /// first_detection. Every engine calls this last; the sharded engine's
+  /// fold step calls it after scattering the per-shard vectors.
+  void finalize(const FaultList& faults);
 };
 
 /// Event-driven faulty-machine propagation over one 64-pattern block — the
@@ -82,11 +87,14 @@ class Propagator {
 
   /// Sync the propagation scratch to a freshly simulated good-machine
   /// block. REQUIRED before the first detect_word / detect_word_resim of
-  /// every block: good-value buffers are typically reused across blocks,
-  /// so the engine cannot detect a stale sync itself — a forgotten
-  /// begin_block after re-simulating into the same buffer reads the old
-  /// block's values. (The one-shot detect_word_for_fault wrappers do this
-  /// internally.)
+  /// every block. `good` is either node_count() words (a hand-built
+  /// buffer) or node_count()+1 words — a ParallelSimulator::values()
+  /// buffer whose trailing word is the block epoch stamped by
+  /// simulate_block. With the stamp present, every detect call verifies
+  /// the buffer has not been re-simulated since this sync and fails
+  /// loudly (assert + LSIQ_EXPECT) on the classic forgotten-begin_block
+  /// bug; without it the caller is on their own. (The one-shot
+  /// detect_word_for_fault wrappers sync internally.)
   void begin_block(const std::vector<std::uint64_t>& good);
 
   /// Detection word for one fault (bit p = pattern p of the block detects
@@ -155,6 +163,11 @@ class Propagator {
                     std::uint64_t* result, std::uint64_t* faulty_site) const;
   void schedule_fanout(circuit::GateId id);
   void sweep_clean(const std::uint64_t* good);
+  /// Stale-sync guard run by every detect entry point: `good` must be the
+  /// buffer last passed to begin_block, un-resimulated since (verified via
+  /// the trailing epoch stamp when the buffer carries one).
+  void check_sync(const std::vector<std::uint64_t>& good,
+                  const char* who) const;
 
   std::shared_ptr<const circuit::CompiledCircuit> compiled_;
   std::vector<char> queued_;
@@ -168,6 +181,9 @@ class Propagator {
   std::vector<std::uint64_t> work_;
   std::size_t dirty_level_ = 0;
   bool block_synced_ = false;
+  /// Block epoch of the stamped buffer last seen by begin_block;
+  /// 0 when that buffer carried no stamp (epochs start at 1).
+  std::uint64_t stamp_ = 0;
 };
 
 /// Reference engine (see header comment). Intended for small circuits.
@@ -182,21 +198,45 @@ FaultSimResult simulate_serial(const FaultList& faults,
 /// `compiled`, when non-null, must be a compiled view of faults.circuit()
 /// and is used instead of recompiling — the batch runner's per-(circuit,
 /// model) artifact cache passes it so N specs over one circuit compile
-/// once. Results are bit-identical either way.
+/// once. `width` in {1, 4, 8} selects the grading word: width w grades
+/// w*64 patterns per good-machine pass through the sim::WideWord kernel
+/// (width 1 is the classic uint64_t path). Results are bit-identical for
+/// every width and with or without a caller-supplied compiled view.
 FaultSimResult simulate_ppsfp(
     const FaultList& faults, const sim::PatternSet& patterns,
     const StrobeSchedule* schedule = nullptr,
-    std::shared_ptr<const circuit::CompiledCircuit> compiled = nullptr);
+    std::shared_ptr<const circuit::CompiledCircuit> compiled = nullptr,
+    std::size_t width = 1);
 
 /// Multi-threaded PPSFP: per block, the live-fault list is partitioned
 /// across `num_threads` workers (resolved by util::resolve_worker_count;
 /// 0 = one per hardware thread), each with its own Propagator; fault
 /// dropping compacts the list after every block. Bit-identical to
-/// simulate_ppsfp and simulate_serial. `compiled` as in simulate_ppsfp.
+/// simulate_ppsfp and simulate_serial. `compiled` and `width` as in
+/// simulate_ppsfp.
 FaultSimResult simulate_ppsfp_mt(
     const FaultList& faults, const sim::PatternSet& patterns,
     const StrobeSchedule* schedule = nullptr, std::size_t num_threads = 0,
-    std::shared_ptr<const circuit::CompiledCircuit> compiled = nullptr);
+    std::shared_ptr<const circuit::CompiledCircuit> compiled = nullptr,
+    std::size_t width = 1);
+
+/// The PPSFP-family grading core, exposed for the sharding layer
+/// (fault/shard.hpp): grade collapsed classes [class_begin, class_end) of
+/// `faults` over the whole pattern set and write each graded class's
+/// first-detection index (or -1) into `first_detection`, which must
+/// already be sized faults.class_count(); entries outside the range are
+/// not touched. `compiled` must be a non-null view of faults.circuit().
+/// `width` in {1, 4, 8}. With `use_pool` false the range grades on the
+/// calling thread; true fans it out over resolve_worker_count(num_threads)
+/// lanes. The bits written are identical for every width / thread / range
+/// split — per-class detect words are pure functions of the patterns.
+void grade_class_range(
+    const FaultList& faults, const sim::PatternSet& patterns,
+    const StrobeSchedule* schedule,
+    const std::shared_ptr<const circuit::CompiledCircuit>& compiled,
+    std::size_t width, bool use_pool, std::size_t num_threads,
+    std::size_t class_begin, std::size_t class_end,
+    std::vector<std::int64_t>& first_detection);
 
 /// Detection words for one fault over one simulated block: bit p is set
 /// when pattern p of the block detects the fault. Convenience wrappers

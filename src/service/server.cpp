@@ -1,11 +1,14 @@
 #include "service/server.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "service/protocol.hpp"
@@ -45,8 +48,13 @@ sockaddr_un make_address(const std::string& path) {
 
 // ---- SocketServer ----
 
-SocketServer::SocketServer(FlowService& service, std::string socket_path)
-    : service_(service), path_(std::move(socket_path)) {
+SocketServer::SocketServer(FlowService& service, std::string socket_path,
+                           SocketServerOptions options)
+    : service_(service),
+      path_(std::move(socket_path)),
+      options_(options),
+      slots_(std::max<std::size_t>(options.max_connections, 1)) {
+  for (std::atomic<int>& slot : slots_) slot.store(-1);
   const sockaddr_un address = make_address(path_);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -72,8 +80,14 @@ SocketServer::~SocketServer() {
 void SocketServer::stop() {
   stop_.store(true);
   // shutdown() unblocks a blocked accept(); close alone does not,
-  // reliably, on all kernels.
+  // reliably, on all kernels. Connection shutdowns make every blocked
+  // handler read see EOF. All of it is atomic loads/stores plus
+  // shutdown(2), so a signal handler can call this safely.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (std::atomic<int>& slot : slots_) {
+    const int fd = slot.load();
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
 }
 
 void SocketServer::serve() {
@@ -81,26 +95,106 @@ void SocketServer::serve() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      if (stop_.load()) return;
+      if (stop_.load()) break;
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_cv_.wait(lock, [this] { return active_ == 0; });
       throw IoError(std::string("accept failed: ") + std::strerror(errno));
     }
-    bool keep_serving = true;
     try {
       LSIQ_FAILPOINT("service.accept");
-      keep_serving = handle_connection(fd);
     } catch (const std::exception&) {
-      // An injected accept failure or a torn connection drops THIS
-      // client; the daemon keeps serving.
+      // An injected accept failure drops THIS client; the daemon keeps
+      // serving.
+      ::close(fd);
+      continue;
     }
-    ::close(fd);
-    if (!keep_serving) return;
+
+    // Claim a connection slot. No free slot means max_connections
+    // handlers are in flight — refuse with a structured, parseable
+    // error line instead of making this client queue behind (possibly
+    // hung) peers.
+    std::size_t slot = slots_.size();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].load() < 0) {
+          slot = i;
+          slots_[i].store(fd);
+          ++active_;
+          break;
+        }
+      }
+    }
+    if (slot == slots_.size()) {
+      try {
+        write_all(fd,
+                  error_response(
+                      ErrorCode::kQueueFull,
+                      "connection limit reached (" +
+                          std::to_string(slots_.size()) +
+                          " active); retry shortly") +
+                      "\n");
+      } catch (const std::exception&) {
+        // The refused client hung up first; nothing to tell it.
+      }
+      ::close(fd);
+      continue;
+    }
+    std::thread(&SocketServer::run_connection, this, fd, slot).detach();
   }
+  // Join in spirit: handlers are detached, so wait for every one to
+  // release its slot before returning — after this the server object
+  // can be destroyed safely.
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+void SocketServer::run_connection(int fd, std::size_t slot) {
+  bool keep_serving = true;
+  try {
+    keep_serving = handle_connection(fd);
+  } catch (const std::exception&) {
+    // A torn connection drops THIS client; the daemon keeps serving.
+  }
+  if (!keep_serving) stop();  // before the slot release: see below
+  slots_[slot].store(-1);
+  ::close(fd);
+  // Last touch of the object: once active_ hits zero under the lock,
+  // serve() may return and the server be destroyed, so the decrement
+  // and notify must be the final statements of this thread.
+  std::lock_guard<std::mutex> lock(mutex_);
+  --active_;
+  idle_cv_.notify_all();
 }
 
 bool SocketServer::handle_connection(int fd) {
   std::string buffer;
   char chunk[4096];
   while (true) {
+    if (options_.idle_timeout_ms > 0) {
+      // The idle timer arms between reads, so a slow request stream is
+      // fine; only silence past the bound trips it.
+      pollfd poll_fd{};
+      poll_fd.fd = fd;
+      poll_fd.events = POLLIN;
+      int ready;
+      do {
+        ready = ::poll(&poll_fd, 1,
+                       static_cast<int>(options_.idle_timeout_ms));
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        // Structured refusal, not a hang: tell the idle client why it
+        // is being cut off, then free the slot.
+        write_all(fd, error_response(
+                          ErrorCode::kDeadline,
+                          "idle for over " +
+                              std::to_string(options_.idle_timeout_ms) +
+                              " ms; reconnect to continue") +
+                          "\n");
+        return true;
+      }
+      if (ready < 0) return true;  // torn connection: drop it
+    }
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;

@@ -1,5 +1,7 @@
 #include "sim/parallel_sim.hpp"
 
+#include <atomic>
+
 #include "util/error.hpp"
 
 namespace lsiq::sim {
@@ -98,7 +100,18 @@ ParallelSimulator::ParallelSimulator(
                     "ParallelSimulator requires a compiled circuit");
         return std::move(compiled);
       }()),
-      values_(compiled_->node_count(), 0) {}
+      // One extra word: the trailing block-epoch stamp (see
+      // next_block_epoch()).
+      values_(compiled_->node_count() + 1, 0) {}
+
+std::uint64_t ParallelSimulator::next_block_epoch() {
+  // Relaxed is enough: the stamp is data, not a synchronization edge. The
+  // MT grading engine publishes the buffer to its lanes through the thread
+  // pool's own barrier. Epoch 0 is never handed out, so a zero-initialized
+  // buffer can never pass a stamp comparison by accident.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void ParallelSimulator::simulate_block(
     const std::vector<std::uint64_t>& input_words) {
@@ -110,10 +123,11 @@ void ParallelSimulator::simulate_block(
     values[inputs[i]] = input_words[i];
   }
   compiled_->eval_suffix(0, values);
+  values_[compiled_->node_count()] = next_block_epoch();
 }
 
 std::uint64_t ParallelSimulator::value(GateId id) const {
-  LSIQ_EXPECT(id < values_.size(), "value: gate id out of range");
+  LSIQ_EXPECT(id < compiled_->node_count(), "value: gate id out of range");
   return values_[id];
 }
 

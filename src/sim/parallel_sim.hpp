@@ -31,6 +31,13 @@ std::uint64_t eval_gate_word_with_pin(const circuit::Circuit& circuit,
 
 class ParallelSimulator {
  public:
+  /// Process-wide block-epoch counter. Every simulate_block() call draws a
+  /// fresh epoch and stamps it into the extra trailing word of values(), so
+  /// a fault::Propagator can detect that the good-value buffer it synced
+  /// with begin_block() has since been overwritten (the classic forgotten
+  /// re-sync bug the fault_sim header used to merely document).
+  static std::uint64_t next_block_epoch();
+
   /// Compiles the circuit privately. When several engines simulate the same
   /// circuit, compile once and use the shared-view constructor instead.
   explicit ParallelSimulator(const circuit::Circuit& circuit);
@@ -48,7 +55,10 @@ class ParallelSimulator {
   /// Word-level value of a gate after simulate_block.
   [[nodiscard]] std::uint64_t value(circuit::GateId id) const;
 
-  /// All gate values (indexed by GateId) after simulate_block.
+  /// All gate values (indexed by GateId) after simulate_block. The vector
+  /// carries one extra trailing word — the block epoch stamped by the last
+  /// simulate_block() — so consumers that size-check should use
+  /// node_count(), not values().size().
   [[nodiscard]] const std::vector<std::uint64_t>& values() const noexcept {
     return values_;
   }

@@ -103,9 +103,31 @@ std::vector<std::uint64_t> PatternSet::block_words(std::size_t block) const {
 PatternSet PatternSet::slice(std::size_t first, std::size_t count) const {
   LSIQ_EXPECT(first + count <= pattern_count_, "slice: range out of bounds");
   PatternSet out(input_count_);
-  for (std::size_t p = first; p < first + count; ++p) {
-    out.append(pattern(p));
+  if (count == 0) return out;
+  // Word-level copy: each output word is the source word at the slice
+  // start shifted down, ORed with the spill of the next source word when
+  // the slice is not 64-aligned. The old per-pattern append path cost
+  // O(count x inputs) bit operations; this is O(count/64 x inputs) words.
+  const std::size_t out_blocks = (count + 63) / 64;
+  const std::size_t src_block = first / 64;
+  const std::size_t off = first % 64;
+  const std::size_t tail = count % 64;  // valid lanes of the final block
+  for (std::size_t i = 0; i < input_count_; ++i) {
+    const std::vector<std::uint64_t>& src = words_[i];
+    std::vector<std::uint64_t>& dst = out.words_[i];
+    dst.assign(out_blocks, 0);
+    for (std::size_t k = 0; k < out_blocks; ++k) {
+      std::uint64_t word = src[src_block + k] >> off;
+      if (off != 0 && src_block + k + 1 < src.size()) {
+        word |= src[src_block + k + 1] << (64 - off);
+      }
+      dst[k] = word;
+    }
+    // Unused lanes of the final block must stay zero — operator== and
+    // block-level consumers rely on that invariant.
+    if (tail != 0) dst[out_blocks - 1] &= (1ULL << tail) - 1;
   }
+  out.pattern_count_ = count;
   return out;
 }
 

@@ -1,0 +1,188 @@
+// WideWord<N>: an N x 64-lane bit-parallel pattern word.
+//
+// The grading kernels (src/fault/fault_sim.cpp) evaluate one gate per
+// word with pure bitwise ops, so widening the word widens the pattern
+// throughput of every pass: N=1 is the classic 64-pattern PPSFP block,
+// N=4 grades 256 patterns per sweep, N=8 grades 512. Because every
+// operation here is bitwise AND/OR/XOR/NOT, the wide kernels are
+// bit-identical to N independent narrow blocks — the width is purely a
+// blocking/vectorization choice, never a semantic one.
+//
+// When the translation unit is compiled with AVX2 (-mavx2 or
+// -march=native), the N%4==0 widths use 256-bit vector ops; otherwise a
+// portable unrolled loop is used. Both paths compute the same bits, so
+// results do not depend on the ISA. Storage is 32-byte aligned either
+// way so the AVX2 path can use aligned loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace lsiq::sim {
+
+template <std::size_t N>
+struct alignas(32) WideWord {
+  static_assert(N >= 1, "WideWord needs at least one lane word");
+  std::uint64_t w[N];
+
+  static constexpr std::size_t lane_words() { return N; }
+  static constexpr std::size_t lane_count() { return N * 64; }
+
+  // Broadcast helpers: WideWord<N>::zeros() / ones() mirror the 0 /
+  // ~0ULL literals of the narrow kernels.
+  static constexpr WideWord zeros() {
+    WideWord out{};
+    return out;
+  }
+  static constexpr WideWord ones() {
+    WideWord out{};
+    for (std::size_t i = 0; i < N; ++i) out.w[i] = ~std::uint64_t{0};
+    return out;
+  }
+
+  constexpr bool any() const {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < N; ++i) acc |= w[i];
+    return acc != 0;
+  }
+
+  friend constexpr bool operator==(const WideWord& a, const WideWord& b) {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (a.w[i] != b.w[i]) return false;
+    }
+    return true;
+  }
+
+#if defined(__AVX2__)
+  static constexpr bool kVectorized = (N % 4) == 0;
+#else
+  static constexpr bool kVectorized = false;
+#endif
+
+  friend WideWord operator&(const WideWord& a, const WideWord& b) {
+#if defined(__AVX2__)
+    if constexpr (kVectorized) {
+      WideWord out;
+      for (std::size_t i = 0; i < N; i += 4) {
+        const __m256i va =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(a.w + i));
+        const __m256i vb =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(b.w + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(out.w + i),
+                           _mm256_and_si256(va, vb));
+      }
+      return out;
+    }
+#endif
+    WideWord out;
+    for (std::size_t i = 0; i < N; ++i) out.w[i] = a.w[i] & b.w[i];
+    return out;
+  }
+
+  friend WideWord operator|(const WideWord& a, const WideWord& b) {
+#if defined(__AVX2__)
+    if constexpr (kVectorized) {
+      WideWord out;
+      for (std::size_t i = 0; i < N; i += 4) {
+        const __m256i va =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(a.w + i));
+        const __m256i vb =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(b.w + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(out.w + i),
+                           _mm256_or_si256(va, vb));
+      }
+      return out;
+    }
+#endif
+    WideWord out;
+    for (std::size_t i = 0; i < N; ++i) out.w[i] = a.w[i] | b.w[i];
+    return out;
+  }
+
+  friend WideWord operator^(const WideWord& a, const WideWord& b) {
+#if defined(__AVX2__)
+    if constexpr (kVectorized) {
+      WideWord out;
+      for (std::size_t i = 0; i < N; i += 4) {
+        const __m256i va =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(a.w + i));
+        const __m256i vb =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(b.w + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(out.w + i),
+                           _mm256_xor_si256(va, vb));
+      }
+      return out;
+    }
+#endif
+    WideWord out;
+    for (std::size_t i = 0; i < N; ++i) out.w[i] = a.w[i] ^ b.w[i];
+    return out;
+  }
+
+  friend WideWord operator~(const WideWord& a) {
+#if defined(__AVX2__)
+    if constexpr (kVectorized) {
+      WideWord out;
+      const __m256i all = _mm256_set1_epi64x(-1);
+      for (std::size_t i = 0; i < N; i += 4) {
+        const __m256i va =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(a.w + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(out.w + i),
+                           _mm256_xor_si256(va, all));
+      }
+      return out;
+    }
+#endif
+    WideWord out;
+    for (std::size_t i = 0; i < N; ++i) out.w[i] = ~a.w[i];
+    return out;
+  }
+
+  WideWord& operator&=(const WideWord& b) { return *this = *this & b; }
+  WideWord& operator|=(const WideWord& b) { return *this = *this | b; }
+  WideWord& operator^=(const WideWord& b) { return *this = *this ^ b; }
+};
+
+// word_traits unify the narrow and wide kernels: the grading templates
+// in fault_sim.cpp are written against these four operations so the
+// same code instantiates for uint64_t (the historical kernel) and for
+// WideWord<N>.
+template <typename W>
+struct word_traits;
+
+template <>
+struct word_traits<std::uint64_t> {
+  static constexpr std::size_t lane_words = 1;
+  static constexpr std::uint64_t zeros() { return 0; }
+  static constexpr std::uint64_t ones() { return ~std::uint64_t{0}; }
+  static constexpr bool any(std::uint64_t w) { return w != 0; }
+  static constexpr std::uint64_t sub_word(std::uint64_t w, std::size_t) {
+    return w;
+  }
+  static constexpr void set_sub_word(std::uint64_t& w, std::size_t,
+                                     std::uint64_t value) {
+    w = value;
+  }
+};
+
+template <std::size_t N>
+struct word_traits<WideWord<N>> {
+  static constexpr std::size_t lane_words = N;
+  static constexpr WideWord<N> zeros() { return WideWord<N>::zeros(); }
+  static constexpr WideWord<N> ones() { return WideWord<N>::ones(); }
+  static constexpr bool any(const WideWord<N>& w) { return w.any(); }
+  static constexpr std::uint64_t sub_word(const WideWord<N>& w,
+                                          std::size_t i) {
+    return w.w[i];
+  }
+  static constexpr void set_sub_word(WideWord<N>& w, std::size_t i,
+                                     std::uint64_t value) {
+    w.w[i] = value;
+  }
+};
+
+}  // namespace lsiq::sim

@@ -20,6 +20,7 @@
 #include "circuit/generators.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault/shard.hpp"
 #include "fault/strobe.hpp"
 #include "fault_model/universe.hpp"
 #include "sim/pattern.hpp"
@@ -83,6 +84,35 @@ void expect_engines_agree(const FaultList& faults, const PatternSet& patterns,
         << "ppsfp_mt with " << threads << " threads diverges";
     EXPECT_EQ(serial.covered_faults, mt.covered_faults);
     EXPECT_EQ(serial.detected_classes, mt.detected_classes);
+  }
+  // The wide kernel grades width x 64 patterns per pass; widths 4 and 8
+  // must land bit-identically on the same oracle, single- and
+  // multi-threaded.
+  for (const std::size_t width : {std::size_t{4}, std::size_t{8}}) {
+    const FaultSimResult wide =
+        simulate_ppsfp(faults, patterns, schedule, nullptr, width);
+    EXPECT_EQ(serial.first_detection, wide.first_detection)
+        << "wide kernel (width " << width << ") diverges";
+    const FaultSimResult wide_mt =
+        simulate_ppsfp_mt(faults, patterns, schedule, 4, nullptr, width);
+    EXPECT_EQ(serial.first_detection, wide_mt.first_detection)
+        << "wide MT kernel (width " << width << ") diverges";
+  }
+  // The sharded engine must fold per-shard vectors back to the identical
+  // result for any shard count (7 leaves some shards nearly empty on the
+  // smaller universes). Shard count 2 also crosses in a wide width so the
+  // shard x width product is covered.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{7}}) {
+    ShardedOptions options;
+    options.shards = shards;
+    options.width = shards == 2 ? 4 : 1;
+    const FaultSimResult sharded =
+        simulate_sharded(faults, patterns, schedule, options);
+    EXPECT_EQ(serial.first_detection, sharded.first_detection)
+        << "sharded engine with " << shards << " shards diverges";
+    EXPECT_EQ(serial.covered_faults, sharded.covered_faults);
+    EXPECT_EQ(serial.detected_classes, sharded.detected_classes);
   }
 }
 

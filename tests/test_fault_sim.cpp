@@ -373,6 +373,52 @@ TEST(FaultSimKernels, DetectWordRequiresBlockSync) {
                                          good.values()));
 }
 
+TEST(FaultSimKernels, DetectWordRejectsStaleBlockSync) {
+  // The stale-sync hazard: begin_block captures the good values, the
+  // caller re-simulates the shared buffer for the NEXT block, then calls
+  // detect with the new values while the propagator still holds the old
+  // ones. Every lane of the detect word would be computed against the
+  // wrong good machine. The block-epoch stamp turns that silent
+  // corruption into a loud contract failure.
+  const Circuit c = circuit::make_c17();
+  const FaultList faults = FaultList::full_universe(c);
+  sim::ParallelSimulator good(c);
+  std::vector<std::uint64_t> words(c.pattern_inputs().size(), 1);
+  good.simulate_block(words);
+  Propagator propagator(good.compiled());
+  propagator.begin_block(good.values());
+
+  // Re-simulate the same buffer: a new block, a new epoch stamp.
+  words.assign(words.size(), ~0ULL);
+  good.simulate_block(words);
+#ifdef NDEBUG
+  EXPECT_THROW(propagator.detect_word(faults.representatives()[0],
+                                      good.values()),
+               ContractViolation);
+  EXPECT_THROW(propagator.detect_word_resim(faults.representatives()[0],
+                                            good.values()),
+               ContractViolation);
+#else
+  // With asserts live the stale sync trips the debug assert first.
+  EXPECT_DEATH(propagator.detect_word(faults.representatives()[0],
+                                      good.values()),
+               "stale begin_block sync");
+#endif
+
+  // Re-syncing on the new block recovers.
+  propagator.begin_block(good.values());
+  EXPECT_NO_THROW(propagator.detect_word(faults.representatives()[0],
+                                         good.values()));
+
+  // A hand-built n-word buffer carries no stamp and opts out of the
+  // check (legacy callers that never touch ParallelSimulator::values()).
+  std::vector<std::uint64_t> bare(c.gate_count(), 0);
+  Propagator unstamped(good.compiled());
+  unstamped.begin_block(bare);
+  EXPECT_NO_THROW(
+      unstamped.detect_word(faults.representatives()[0], bare));
+}
+
 TEST(FaultSim, WeightedCoverageUsesClassSizes) {
   Circuit c("chain");
   GateId prev = c.add_input("a");

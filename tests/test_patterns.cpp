@@ -111,6 +111,42 @@ TEST(PatternSet, SliceExtractsSubrange) {
   }
 }
 
+TEST(PatternSet, WordLevelSliceMatchesBitByBitOnUnalignedRanges) {
+  // slice() is now a word-level copy (shift + carry from the next source
+  // word, partial-block tail mask); pin it against the old
+  // pattern()/append() path on ranges that exercise every alignment
+  // hazard: offsets straddling word boundaries, counts that end mid-word,
+  // and slices whose source spans more blocks than the destination.
+  util::Rng rng(4242);
+  PatternSet p(5);
+  p.append_random(517, rng);  // not a multiple of 64
+
+  const auto slow_slice = [&p](std::size_t first, std::size_t count) {
+    PatternSet out(p.input_count());
+    for (std::size_t i = first; i < first + count; ++i) {
+      out.append(p.pattern(i));
+    }
+    return out;
+  };
+
+  const std::size_t cases[][2] = {
+      {0, 517},   // identity, partial final block
+      {0, 64},    // aligned begin, aligned count
+      {1, 63},    // offset 1, ends exactly on a word boundary
+      {63, 2},    // straddles the first boundary
+      {64, 64},   // aligned non-zero begin
+      {65, 129},  // offset 1 into block 1, tail mid-word
+      {100, 317}, // arbitrary unaligned everything
+      {451, 66},  // runs into the partial final source block
+      {516, 1},   // last pattern alone
+      {300, 0},   // empty slice
+  };
+  for (const auto& [first, count] : cases) {
+    EXPECT_EQ(p.slice(first, count), slow_slice(first, count))
+        << "slice(" << first << ", " << count << ")";
+  }
+}
+
 TEST(PatternSet, AppendAllConcatenates) {
   PatternSet a(2);
   a.append({true, false});

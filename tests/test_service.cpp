@@ -596,5 +596,113 @@ TEST_F(ServiceTest, AcceptFailpointDropsConnectionNotDaemon) {
   serving.join();
 }
 
+// ---- multi-client hardening ----
+
+TEST_F(ServiceTest, OverMaxConnectionsGetsStructuredQueueFullRefusal) {
+  const std::string socket = (dir_ / "flowd.sock").string();
+  FlowService service(lane1_options());
+  SocketServerOptions server_options;
+  server_options.max_connections = 1;
+  SocketServer server(service, socket, server_options);
+  std::thread serving([&] { server.serve(); });
+
+  {
+    // The first client claims the only slot (the answered ping proves
+    // its handler is attached) and then just sits there — exactly the
+    // hung client that used to wedge the sequential accept loop.
+    SocketClient holder(socket);
+    holder.send_line("{\"op\":\"ping\"}");
+    EXPECT_NE(holder.read_line().find("\"ok\":true"), std::string::npos);
+
+    // The second client is refused with a parseable error line, not
+    // left queueing behind the hung peer.
+    SocketClient refused(socket);
+    const std::string line = refused.read_line();
+    EXPECT_NE(line.find("\"error_code\":\"queue_full\""), std::string::npos)
+        << line;
+    EXPECT_THROW(refused.read_line(), IoError);  // then EOF
+  }
+
+  // The slot is released on disconnect — but asynchronously (the
+  // holder's handler has to notice the EOF first), so retry until the
+  // next client is admitted rather than racing the release.
+  for (int attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 2000) << "slot never released";
+    SocketClient client(socket);
+    client.send_line("{\"op\":\"shutdown\"}");
+    std::string line;
+    try {
+      line = client.read_line();
+    } catch (const IoError&) {
+      continue;  // refused-and-closed before the request line landed
+    }
+    if (line.find("\"error_code\":\"queue_full\"") != std::string::npos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+    break;
+  }
+  serving.join();
+}
+
+TEST_F(ServiceTest, IdleConnectionGetsStructuredDeadlineRefusal) {
+  const std::string socket = (dir_ / "flowd.sock").string();
+  FlowService service(lane1_options());
+  SocketServerOptions server_options;
+  server_options.idle_timeout_ms = 50;
+  SocketServer server(service, socket, server_options);
+  std::thread serving([&] { server.serve(); });
+
+  {
+    // Connect and send nothing: the idle timer answers with a
+    // structured deadline error and closes the connection.
+    SocketClient idle(socket);
+    const std::string line = idle.read_line();
+    EXPECT_NE(line.find("\"error_code\":\"deadline\""), std::string::npos)
+        << line;
+    EXPECT_THROW(idle.read_line(), IoError);  // then EOF
+  }
+
+  // The timed-out connection freed its slot; the daemon still serves.
+  {
+    SocketClient client(socket);
+    client.send_line("{\"op\":\"ping\"}");
+    EXPECT_NE(client.read_line().find("\"ok\":true"), std::string::npos);
+    client.send_line("{\"op\":\"shutdown\"}");
+    client.read_line();
+  }
+  serving.join();
+}
+
+TEST_F(ServiceTest, AcceptFailpointDoesNotLeakAConnectionSlot) {
+  const std::string socket = (dir_ / "flowd.sock").string();
+  FlowService service(lane1_options());
+  SocketServerOptions server_options;
+  server_options.max_connections = 1;
+  SocketServer server(service, socket, server_options);
+  std::thread serving([&] { server.serve(); });
+
+  // The failpoint fires after accept() but before the slot claim; the
+  // dropped connection must not consume the single slot.
+  util::Failpoints::instance().arm_from_string(
+      "service.accept=error(io,1)");
+  {
+    SocketClient dropped(socket);
+    dropped.send_line("{\"op\":\"ping\"}");
+    EXPECT_THROW(dropped.read_line(), IoError);
+  }
+  {
+    // With the slot intact, the next client is admitted, not refused
+    // with queue_full.
+    SocketClient client(socket);
+    client.send_line("{\"op\":\"ping\"}");
+    EXPECT_NE(client.read_line().find("\"ok\":true"), std::string::npos);
+    client.send_line("{\"op\":\"shutdown\"}");
+    client.read_line();
+  }
+  serving.join();
+}
+
 }  // namespace
 }  // namespace lsiq::service

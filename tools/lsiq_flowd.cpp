@@ -62,6 +62,12 @@ Options:
   --deadline-ms N       default per-job cooperative deadline (0 = none)
   --max-attempts N      tries per job for transient failures (default 3)
   --backoff-ms N        initial retry backoff (default 100; 0 = none)
+  --max-conns N         concurrent-connection bound (default 8); the
+                        connection over it is refused with error_code
+                        "queue_full" instead of queueing
+  --idle-timeout-ms N   per-connection idle read timeout (default 0 =
+                        none); an idle connection is answered with
+                        error_code "deadline" and closed
 
 Failure injection: set LSIQ_FAILPOINTS (see src/util/failpoint.hpp);
 the daemon adds the sites "service.accept" (drop the connection) and
@@ -109,6 +115,7 @@ int main(int argc, char** argv) {
 
   std::string socket_path;
   service::ServiceOptions options;
+  service::SocketServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto option_value = [&](const char* name) -> std::optional<long> {
@@ -175,6 +182,14 @@ int main(int argc, char** argv) {
       const auto value = option_value("--backoff-ms");
       if (!value.has_value()) return usage();
       options.retry.backoff_initial_ms = static_cast<int>(*value);
+    } else if (arg == "--max-conns") {
+      const auto value = option_value("--max-conns");
+      if (!value.has_value() || *value < 1) return usage();
+      server_options.max_connections = static_cast<std::size_t>(*value);
+    } else if (arg == "--idle-timeout-ms") {
+      const auto value = option_value("--idle-timeout-ms");
+      if (!value.has_value()) return usage();
+      server_options.idle_timeout_ms = static_cast<std::size_t>(*value);
     } else {
       return usage();
     }
@@ -183,7 +198,7 @@ int main(int argc, char** argv) {
 
   try {
     service::FlowService service(options);
-    service::SocketServer server(service, socket_path);
+    service::SocketServer server(service, socket_path, server_options);
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
